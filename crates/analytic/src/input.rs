@@ -1,0 +1,164 @@
+use serde::{Deserialize, Serialize};
+
+use ringsim_core::SimReport;
+use ringsim_trace::Characteristics;
+use ringsim_types::CoherenceEvents;
+
+/// Per-data-reference frequencies of every transaction class, plus the
+/// instruction/data mix — everything the analytical models need to know
+/// about a workload.
+///
+/// This is the artefact the paper extracts from its trace-driven
+/// simulations; here it can come from the untimed reference interpreter
+/// ([`ModelInput::from_characteristics`]) or from a timed run
+/// ([`ModelInput::from_report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelInput {
+    /// Processor count.
+    pub procs: usize,
+    /// Instruction references per data reference.
+    pub instr_per_data: f64,
+    /// Transaction-class frequencies per data reference.
+    pub freqs: ClassFreqs,
+}
+
+/// Events per data reference, by class (see
+/// [`CoherenceEvents`] for class semantics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct ClassFreqs {
+    pub private_miss: f64,
+    pub read_clean_local: f64,
+    pub read_clean_remote: f64,
+    pub read_dirty_1: f64,
+    pub read_dirty_2: f64,
+    pub write_nosharers_local: f64,
+    pub write_nosharers_remote: f64,
+    pub write_sharers_local: f64,
+    pub write_sharers_remote: f64,
+    pub write_dirty_1: f64,
+    pub write_dirty_2: f64,
+    pub upgrade_nosharers_local: f64,
+    pub upgrade_nosharers_remote: f64,
+    pub upgrade_sharers_local: f64,
+    pub upgrade_sharers_remote: f64,
+    pub writeback_local: f64,
+    pub writeback_remote: f64,
+}
+
+impl ClassFreqs {
+    /// Derives frequencies from aggregate event counts.
+    #[must_use]
+    pub fn from_events(e: &CoherenceEvents) -> Self {
+        let n = e.data_refs().max(1) as f64;
+        let f = |x: u64| x as f64 / n;
+        Self {
+            private_miss: f(e.private_misses),
+            read_clean_local: f(e.read_clean_local),
+            read_clean_remote: f(e.read_clean_remote),
+            read_dirty_1: f(e.read_dirty_1),
+            read_dirty_2: f(e.read_dirty_2),
+            write_nosharers_local: f(e.write_nosharers_local),
+            write_nosharers_remote: f(e.write_nosharers_remote),
+            write_sharers_local: f(e.write_sharers_local),
+            write_sharers_remote: f(e.write_sharers_remote),
+            write_dirty_1: f(e.write_dirty_1),
+            write_dirty_2: f(e.write_dirty_2),
+            upgrade_nosharers_local: f(e.upgrade_nosharers_local),
+            upgrade_nosharers_remote: f(e.upgrade_nosharers_remote),
+            upgrade_sharers_local: f(e.upgrade_sharers_local),
+            upgrade_sharers_remote: f(e.upgrade_sharers_remote),
+            writeback_local: f(e.writeback_local),
+            writeback_remote: f(e.writeback_remote),
+        }
+    }
+
+    /// All miss-class frequencies summed (excluding upgrades).
+    #[must_use]
+    pub fn miss_total(&self) -> f64 {
+        self.private_miss
+            + self.read_clean_local
+            + self.read_clean_remote
+            + self.read_dirty_1
+            + self.read_dirty_2
+            + self.write_nosharers_local
+            + self.write_nosharers_remote
+            + self.write_sharers_local
+            + self.write_sharers_remote
+            + self.write_dirty_1
+            + self.write_dirty_2
+    }
+
+    /// All upgrade-class frequencies summed.
+    #[must_use]
+    pub fn upgrade_total(&self) -> f64 {
+        self.upgrade_nosharers_local
+            + self.upgrade_nosharers_remote
+            + self.upgrade_sharers_local
+            + self.upgrade_sharers_remote
+    }
+}
+
+impl ModelInput {
+    /// Builds the model input from an untimed characterisation run.
+    #[must_use]
+    pub fn from_characteristics(ch: &Characteristics) -> Self {
+        Self {
+            procs: ch.procs,
+            instr_per_data: ch.instr_per_data,
+            freqs: ClassFreqs::from_events(&ch.events),
+        }
+    }
+
+    /// Builds the model input from a timed simulation report.
+    ///
+    /// `instr_per_data` is not recorded in the report, so it must be passed
+    /// alongside (it comes from the workload spec).
+    #[must_use]
+    pub fn from_report(report: &SimReport, instr_per_data: f64) -> Self {
+        Self {
+            procs: report.nodes,
+            instr_per_data,
+            freqs: ClassFreqs::from_events(&report.events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> CoherenceEvents {
+        CoherenceEvents {
+            private_reads: 600,
+            private_writes: 200,
+            shared_reads: 150,
+            shared_writes: 50,
+            private_misses: 8,
+            read_clean_local: 1,
+            read_clean_remote: 9,
+            read_dirty_1: 3,
+            read_dirty_2: 2,
+            write_nosharers_remote: 4,
+            upgrade_sharers_remote: 5,
+            writeback_remote: 6,
+            ..CoherenceEvents::default()
+        }
+    }
+
+    #[test]
+    fn frequencies_are_per_data_ref() {
+        let f = ClassFreqs::from_events(&events());
+        assert!((f.private_miss - 8.0 / 1000.0).abs() < 1e-12);
+        assert!((f.read_clean_remote - 9.0 / 1000.0).abs() < 1e-12);
+        assert!((f.miss_total() - 27.0 / 1000.0).abs() < 1e-12);
+        assert!((f.upgrade_total() - 5.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_events_give_zero_freqs() {
+        let f = ClassFreqs::from_events(&CoherenceEvents::default());
+        assert_eq!(f.miss_total(), 0.0);
+        assert_eq!(f.upgrade_total(), 0.0);
+    }
+}

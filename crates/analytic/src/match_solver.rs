@@ -1,0 +1,195 @@
+use serde::{Deserialize, Serialize};
+
+use ringsim_bus::BusConfig;
+use ringsim_proto::ProtocolKind;
+use ringsim_ring::RingConfig;
+use ringsim_types::Time;
+
+use crate::bus_model::BusModel;
+use crate::input::ModelInput;
+use crate::ring_model::RingModel;
+
+/// Result of the Table 4 solve: the bus clock needed to match a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// The matching bus clock period.
+    pub bus_period: Time,
+    /// Processor utilisation of the reference ring system.
+    pub ring_proc_util: f64,
+    /// Processor utilisation of the matched bus system (≈ ring's).
+    pub bus_proc_util: f64,
+    /// Ring slot utilisation at the reference point.
+    pub ring_net_util: f64,
+    /// Bus utilisation at the matched clock.
+    pub bus_net_util: f64,
+}
+
+/// Finds the bus clock period at which a 64-bit split-transaction bus
+/// reaches the same processor utilisation (hence the same program execution
+/// time) as the given slotted-ring configuration — the solve behind the
+/// paper's Table 4.
+///
+/// The search is a bisection over the bus period: utilisation decreases
+/// monotonically as the bus slows down.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_analytic::{match_bus_clock, ModelInput, ClassFreqs};
+/// use ringsim_proto::ProtocolKind;
+/// use ringsim_ring::RingConfig;
+/// use ringsim_types::Time;
+///
+/// let input = ModelInput {
+///     procs: 8,
+///     instr_per_data: 2.0,
+///     freqs: ClassFreqs { read_clean_remote: 0.02, ..ClassFreqs::default() },
+/// };
+/// let m = match_bus_clock(
+///     &input,
+///     RingConfig::standard_500mhz(8),
+///     ProtocolKind::Snooping,
+///     Time::from_ns(10), // 100 MIPS processors
+/// );
+/// assert!((m.bus_proc_util - m.ring_proc_util).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn match_bus_clock(
+    input: &ModelInput,
+    ring: RingConfig,
+    protocol: ProtocolKind,
+    proc_cycle: Time,
+) -> MatchResult {
+    let ring_out = RingModel::new(ring, protocol).evaluate(input, proc_cycle);
+    let target = ring_out.proc_util;
+    let base = BusConfig::bus_50mhz(input.procs);
+
+    let eval = |period_ps: u64| {
+        let cfg = base.with_period(Time::from_ps(period_ps.max(1)));
+        BusModel::new(cfg).evaluate(input, proc_cycle)
+    };
+
+    // Bisect on the period: small period -> fast bus -> high proc util.
+    let mut lo: u64 = 10; // 0.01 ns: effectively a free bus
+    let mut hi: u64 = 1_000_000; // 1 us: effectively no bus
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2;
+        let u = eval(mid).proc_util;
+        if u > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1 {
+            break;
+        }
+    }
+    let period = Time::from_ps(lo);
+    let bus_out = eval(lo);
+    MatchResult {
+        bus_period: period,
+        ring_proc_util: target,
+        bus_proc_util: bus_out.proc_util,
+        ring_net_util: ring_out.net_util,
+        bus_net_util: bus_out.net_util,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::ClassFreqs;
+
+    fn input(procs: usize) -> ModelInput {
+        ModelInput {
+            procs,
+            instr_per_data: 2.0,
+            freqs: ClassFreqs {
+                private_miss: 0.002,
+                read_clean_remote: 0.015,
+                read_dirty_1: 0.004,
+                read_dirty_2: 0.003,
+                write_nosharers_remote: 0.004,
+                upgrade_sharers_remote: 0.004,
+                writeback_remote: 0.004,
+                ..ClassFreqs::default()
+            },
+        }
+    }
+
+    #[test]
+    fn match_is_tight() {
+        let m = match_bus_clock(
+            &input(16),
+            RingConfig::standard_500mhz(16),
+            ProtocolKind::Snooping,
+            Time::from_ns(10),
+        );
+        assert!(
+            (m.bus_proc_util - m.ring_proc_util).abs() < 5e-3,
+            "bus {} vs ring {}",
+            m.bus_proc_util,
+            m.ring_proc_util
+        );
+        assert!(m.bus_period > Time::ZERO);
+    }
+
+    #[test]
+    fn matching_bus_is_busier_than_ring() {
+        // Paper: the bus matching a ring runs at much higher utilisation.
+        let m = match_bus_clock(
+            &input(16),
+            RingConfig::standard_500mhz(16),
+            ProtocolKind::Snooping,
+            Time::from_ns(10),
+        );
+        assert!(
+            m.bus_net_util > m.ring_net_util,
+            "bus {} vs ring {}",
+            m.bus_net_util,
+            m.ring_net_util
+        );
+    }
+
+    #[test]
+    fn faster_rings_and_processors_demand_faster_buses() {
+        let slow_ring = match_bus_clock(
+            &input(16),
+            RingConfig::standard_250mhz(16),
+            ProtocolKind::Snooping,
+            Time::from_ns(10),
+        );
+        let fast_ring = match_bus_clock(
+            &input(16),
+            RingConfig::standard_500mhz(16),
+            ProtocolKind::Snooping,
+            Time::from_ns(10),
+        );
+        assert!(fast_ring.bus_period <= slow_ring.bus_period);
+
+        let fast_proc = match_bus_clock(
+            &input(16),
+            RingConfig::standard_500mhz(16),
+            ProtocolKind::Snooping,
+            Time::from_ps(2_500), // 400 MIPS
+        );
+        assert!(fast_proc.bus_period <= fast_ring.bus_period);
+    }
+
+    #[test]
+    fn more_processors_demand_faster_buses() {
+        let p8 = match_bus_clock(
+            &input(8),
+            RingConfig::standard_500mhz(8),
+            ProtocolKind::Snooping,
+            Time::from_ns(10),
+        );
+        let p32 = match_bus_clock(
+            &input(32),
+            RingConfig::standard_500mhz(32),
+            ProtocolKind::Snooping,
+            Time::from_ns(10),
+        );
+        assert!(p32.bus_period < p8.bus_period);
+    }
+}

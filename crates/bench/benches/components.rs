@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the simulator building blocks: cache operations,
+//! ring stepping, reference generation and the untimed interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ringsim_cache::{Cache, CacheConfig, LineState};
+use ringsim_ring::{RingConfig, SlotRing};
+use ringsim_trace::{RefInterpreter, Workload, WorkloadSpec};
+use ringsim_types::rng::Xoshiro256;
+use ringsim_types::{AccessKind, BlockAddr, NodeId};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("classify_fill_mix", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_default()).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| {
+            let block = BlockAddr::new(rng.next_below(16_384));
+            let kind = if rng.chance(0.3) { AccessKind::Write } else { AccessKind::Read };
+            match cache.classify(block, kind) {
+                ringsim_cache::AccessClass::Miss => {
+                    cache.fill(block, if kind.is_write() { LineState::We } else { LineState::Rs });
+                }
+                ringsim_cache::AccessClass::Upgrade => {
+                    cache.promote(block);
+                }
+                ringsim_cache::AccessClass::Hit => {}
+            }
+            black_box(cache.valid_lines() > 0)
+        });
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slot_ring");
+    for nodes in [8usize, 64] {
+        g.bench_function(format!("advance_{nodes}_nodes"), |b| {
+            let mut ring: SlotRing<u64> = SlotRing::new(RingConfig::standard_500mhz(nodes)).unwrap();
+            // Put some traffic on it.
+            let mut tag = 0u64;
+            b.iter(|| {
+                for n in 0..nodes {
+                    let node = NodeId::new(n);
+                    if let Some(slot) = ring.arrival(node) {
+                        if ring.peek(slot).is_some() {
+                            if tag.is_multiple_of(3) {
+                                black_box(ring.remove(slot, node));
+                            }
+                        } else {
+                            tag += 1;
+                            let _ = ring.try_insert(slot, node, tag);
+                        }
+                    }
+                }
+                ring.advance();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.bench_function("next_ref", |b| {
+        let mut w = Workload::new(WorkloadSpec::demo(8)).unwrap();
+        let stream = &mut w.streams_mut()[0];
+        b.iter(|| black_box(stream.next_ref()));
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    g.bench_function("process_ref", |b| {
+        let mut w = Workload::new(WorkloadSpec::demo(8)).unwrap();
+        let mut interp = RefInterpreter::new(8, w.space()).unwrap();
+        let mut refs = w.round_robin(u64::MAX / 16);
+        b.iter(|| interp.process(refs.next().expect("infinite-ish stream")));
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cache, bench_ring, bench_generator, bench_interpreter
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Benchmarks of the experiment kernels behind each table and figure of the
+//! paper (scaled down): what it costs to regenerate them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ringsim_analytic::{match_bus_clock, ModelInput, RingModel};
+use ringsim_proto::table1::{FullMapAccountant, LinkedListAccountant};
+use ringsim_proto::ProtocolKind;
+use ringsim_ring::RingConfig;
+use ringsim_trace::{characterize, Benchmark, Workload};
+use ringsim_types::Time;
+
+fn input16() -> ModelInput {
+    let ch = characterize(&Benchmark::Mp3d.spec(16).unwrap().with_refs(4_000)).unwrap();
+    ModelInput::from_characteristics(&ch)
+}
+
+fn bench_table1_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("traversal_accounting_16p", |b| {
+        b.iter(|| {
+            let mut w =
+                Workload::new(Benchmark::Mp3d.spec(16).unwrap().with_refs(2_000)).unwrap();
+            let layout = RingConfig::standard_500mhz(16).layout().unwrap();
+            let space = w.space();
+            let mut full =
+                FullMapAccountant::new(layout.clone(), move |blk| space.home_of_block(blk))
+                    .unwrap();
+            let space2 = w.space();
+            let mut ll =
+                LinkedListAccountant::new(layout, move |blk| space2.home_of_block(blk)).unwrap();
+            for r in w.round_robin(2_000) {
+                full.process(r);
+                ll.process(r);
+            }
+            black_box((full.report(), ll.report()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_table2_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("characterize_mp3d16", |b| {
+        b.iter(|| {
+            black_box(
+                characterize(&Benchmark::Mp3d.spec(16).unwrap().with_refs(4_000)).unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_table3_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.bench_function("snoop_rates_all_cells", |b| {
+        b.iter(|| {
+            let mut total = Time::ZERO;
+            for block in [16u64, 32, 64, 128] {
+                for link in [2u64, 4, 8] {
+                    let cfg = RingConfig {
+                        block_bytes: block,
+                        link_bytes: link,
+                        ..RingConfig::standard_500mhz(16)
+                    };
+                    total += cfg.snoop_interarrival();
+                }
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+fn bench_table4_kernel(c: &mut Criterion) {
+    let input = input16();
+    let mut g = c.benchmark_group("table4");
+    g.bench_function("match_bus_clock", |b| {
+        b.iter(|| {
+            black_box(match_bus_clock(
+                &input,
+                RingConfig::standard_500mhz(16),
+                ProtocolKind::Snooping,
+                Time::from_ns(10),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig3_kernel(c: &mut Criterion) {
+    let input = input16();
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("model_sweep_1_to_20ns", |b| {
+        let model = RingModel::new(RingConfig::standard_500mhz(16), ProtocolKind::Snooping);
+        b.iter(|| black_box(model.sweep(&input, 1, 20)));
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_table1_kernel, bench_table2_kernel, bench_table3_kernel, bench_table4_kernel, bench_fig3_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Whole-simulation benchmarks: how fast the timed ring and bus system
+//! simulators execute a fixed reference budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ringsim_core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim_proto::ProtocolKind;
+use ringsim_trace::{Workload, WorkloadSpec};
+
+const REFS: u64 = 2_000;
+
+fn bench_ring_sims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_system");
+    for (label, protocol) in
+        [("snooping", ProtocolKind::Snooping), ("directory", ProtocolKind::Directory)]
+    {
+        g.bench_function(format!("{label}_8p_{REFS}refs"), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::ring_500mhz(protocol, 8);
+                let w = Workload::new(WorkloadSpec::demo(8).with_refs(REFS)).unwrap();
+                black_box(RingSystem::new(cfg, w).unwrap().run())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_bus_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus_system");
+    g.bench_function(format!("snooping_8p_{REFS}refs"), |b| {
+        b.iter(|| {
+            let cfg = BusSystemConfig::bus_100mhz(8);
+            let w = Workload::new(WorkloadSpec::demo(8).with_refs(REFS)).unwrap();
+            black_box(BusSystem::new(cfg, w).unwrap().run())
+        });
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ring_sims, bench_bus_sim
+}
+criterion_main!(benches);

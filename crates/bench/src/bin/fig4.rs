@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig4 output. See `ringsim_bench::experiments`.
+fn main() {
+    let refs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
+    ringsim_bench::experiments::fig4::run(refs);
+}

@@ -1,0 +1,8 @@
+//! Runs the `future_work` experiment. See `ringsim_bench::experiments`.
+fn main() {
+    let refs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
+    ringsim_bench::experiments::future_work::run(refs);
+}

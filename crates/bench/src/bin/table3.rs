@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (pure geometry).
+fn main() {
+    ringsim_bench::experiments::table3::run();
+}

@@ -1,0 +1,8 @@
+//! Runs the 64-bit-ring experiment (the paper's unshown figure).
+fn main() {
+    let refs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
+    ringsim_bench::experiments::wide_ring::run(refs);
+}

@@ -1,0 +1,114 @@
+//! Figure 3: snooping vs directory on 500 MHz 32-bit rings — processor
+//! utilisation, ring utilisation and miss latency as the processor cycle
+//! sweeps 1–20 ns, for MP3D/WATER/CHOLESKY at 8/16/32 processors.
+
+use serde::Serialize;
+
+use ringsim_analytic::{ModelOutput, RingModel};
+use ringsim_proto::ProtocolKind;
+use ringsim_ring::RingConfig;
+use ringsim_trace::Benchmark;
+
+use crate::{benchmark_input, write_dat, write_json};
+
+/// One full curve for one (benchmark, procs, protocol) combination.
+#[derive(Debug, Serialize)]
+pub struct Curve {
+    /// Benchmark name.
+    pub bench: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Protocol name.
+    pub protocol: String,
+    /// Points `(proc_cycle_ns, proc_util, ring_util, miss_latency_ns)`.
+    pub points: Vec<(u64, f64, f64, f64)>,
+}
+
+/// Sweeps one benchmark/size under both protocols.
+pub fn curves_for(
+    bench: Benchmark,
+    procs: usize,
+    ring: RingConfig,
+    refs_per_proc: u64,
+) -> Vec<Curve> {
+    let (_, input) = benchmark_input(bench, procs, refs_per_proc).expect("paper config");
+    [ProtocolKind::Snooping, ProtocolKind::Directory]
+        .into_iter()
+        .map(|protocol| {
+            let model = RingModel::new(ring, protocol);
+            let points = model
+                .sweep(&input, 1, 20)
+                .into_iter()
+                .map(|(t, o): (_, ModelOutput)| {
+                    (t.as_ps() / 1000, o.proc_util, o.net_util, o.miss_latency_ns)
+                })
+                .collect();
+            Curve {
+                bench: bench.name().to_owned(),
+                procs,
+                protocol: protocol.name().to_owned(),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Writes each curve as a gnuplot-ready `.dat` series.
+pub fn write_curve_dats(prefix: &str, curves: &[Curve]) {
+    for c in curves {
+        let rows: Vec<Vec<f64>> = c
+            .points
+            .iter()
+            .map(|&(ns, u, r, l)| vec![ns as f64, 100.0 * u, 100.0 * r, l])
+            .collect();
+        write_dat(
+            &format!("{prefix}_{}_{}p_{}", c.bench, c.procs, c.protocol),
+            "proc_cycle_ns proc_util_pct ring_util_pct miss_latency_ns",
+            &rows,
+        );
+    }
+}
+
+/// Prints a compact view of a set of curves at selected processor cycles.
+pub fn print_curves(title: &str, curves: &[Curve]) {
+    println!("{title}");
+    println!("{:-<98}", "");
+    println!(
+        "{:<12} {:>4} {:<10} | {:>22} | {:>22} | {:>26}",
+        "bench", "P", "protocol", "proc util % @2/5/10/20ns", "ring util % @2/5/10/20", "miss latency ns @2/5/10/20"
+    );
+    for c in curves {
+        let pick = |ns: u64| c.points.iter().find(|p| p.0 == ns).expect("sweep point");
+        let u: Vec<f64> = [2, 5, 10, 20].iter().map(|&n| 100.0 * pick(n).1).collect();
+        let r: Vec<f64> = [2, 5, 10, 20].iter().map(|&n| 100.0 * pick(n).2).collect();
+        let l: Vec<f64> = [2, 5, 10, 20].iter().map(|&n| pick(n).3).collect();
+        println!(
+            "{:<12} {:>4} {:<10} | {:>4.0} {:>4.0} {:>4.0} {:>4.0}      | {:>4.0} {:>4.0} {:>4.0} {:>4.0}      | {:>5.0} {:>5.0} {:>5.0} {:>5.0}",
+            c.bench, c.procs, c.protocol,
+            u[0], u[1], u[2], u[3],
+            r[0], r[1], r[2], r[3],
+            l[0], l[1], l[2], l[3],
+        );
+    }
+}
+
+/// Regenerates Figure 3.
+pub fn run(refs_per_proc: u64) {
+    let mut all = Vec::new();
+    for bench in [Benchmark::Mp3d, Benchmark::Water, Benchmark::Cholesky] {
+        for &procs in bench.paper_sizes() {
+            all.extend(curves_for(
+                bench,
+                procs,
+                RingConfig::standard_500mhz(procs),
+                refs_per_proc,
+            ));
+        }
+    }
+    print_curves(
+        "Figure 3: snooping vs directory, 500 MHz 32-bit rings (SPLASH, 8/16/32 procs)",
+        &all,
+    );
+    write_curve_dats("fig3", &all);
+    write_json("fig3", &all);
+}

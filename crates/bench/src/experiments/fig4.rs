@@ -1,0 +1,22 @@
+//! Figure 4: snooping vs directory on 500 MHz 32-bit rings for the
+//! 64-processor benchmarks (FFT, WEATHER, SIMPLE).
+
+use ringsim_ring::RingConfig;
+use ringsim_trace::Benchmark;
+
+use crate::experiments::fig3::{curves_for, print_curves, write_curve_dats};
+use crate::write_json;
+
+/// Regenerates Figure 4.
+pub fn run(refs_per_proc: u64) {
+    let mut all = Vec::new();
+    for bench in [Benchmark::Fft, Benchmark::Weather, Benchmark::Simple] {
+        all.extend(curves_for(bench, 64, RingConfig::standard_500mhz(64), refs_per_proc));
+    }
+    print_curves(
+        "Figure 4: snooping vs directory, 500 MHz 32-bit rings (FFT/WEATHER/SIMPLE, 64 procs)",
+        &all,
+    );
+    write_curve_dats("fig4", &all);
+    write_json("fig4", &all);
+}

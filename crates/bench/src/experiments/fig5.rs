@@ -1,0 +1,62 @@
+//! Figure 5: breakdown of directory-protocol remote misses into 1-cycle
+//! clean, 1-cycle dirty and 2-cycle classes, for all twelve benchmark
+//! configurations.
+
+use serde::Serialize;
+
+use ringsim_trace::Benchmark;
+
+use crate::{benchmark_input, write_json};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    bench: String,
+    procs: usize,
+    one_cycle_clean_pct: f64,
+    one_cycle_dirty_pct: f64,
+    two_cycle_pct: f64,
+}
+
+/// Regenerates Figure 5.
+pub fn run(refs_per_proc: u64) {
+    println!("Figure 5: directory-protocol remote-miss class breakdown (%)");
+    println!("{:-<72}", "");
+    println!(
+        "{:<12} {:>4} | {:>14} {:>14} {:>10} | bar",
+        "bench", "P", "1-cycle clean", "1-cycle dirty", "2-cycle"
+    );
+    let mut rows = Vec::new();
+    for (bench, procs) in Benchmark::paper_configs() {
+        let (ch, _) = benchmark_input(bench, procs, refs_per_proc).expect("paper config");
+        let e = ch.events;
+        let c1 = e.fig5_one_cycle_clean() as f64;
+        let d1 = e.fig5_one_cycle_dirty() as f64;
+        let c2 = e.fig5_two_cycle() as f64;
+        let total = (c1 + d1 + c2).max(1.0);
+        let row = Row {
+            bench: bench.name().to_owned(),
+            procs,
+            one_cycle_clean_pct: 100.0 * c1 / total,
+            one_cycle_dirty_pct: 100.0 * d1 / total,
+            two_cycle_pct: 100.0 * c2 / total,
+        };
+        let bar_len = 40usize;
+        let n1 = (row.one_cycle_clean_pct / 100.0 * bar_len as f64).round() as usize;
+        let n2 = (row.one_cycle_dirty_pct / 100.0 * bar_len as f64).round() as usize;
+        let n3 = bar_len.saturating_sub(n1 + n2);
+        println!(
+            "{:<12} {:>4} | {:>13.1}% {:>13.1}% {:>9.1}% | {}{}{}",
+            row.bench,
+            procs,
+            row.one_cycle_clean_pct,
+            row.one_cycle_dirty_pct,
+            row.two_cycle_pct,
+            "#".repeat(n1),
+            "+".repeat(n2),
+            ".".repeat(n3),
+        );
+        rows.push(row);
+    }
+    println!("(# = 1-cycle clean, + = 1-cycle dirty, . = 2-cycle)");
+    write_json("fig5", &rows);
+}

@@ -1,0 +1,113 @@
+//! Paper §6's forward-looking claims, evaluated with the extended models:
+//!
+//! * "the slotted ring could benefit from latency tolerance techniques ...
+//!   because the large latencies observed for the slotted ring are, in most
+//!   cases, not caused by heavy contention but by pure delays";
+//! * "most latency tolerance techniques ... can be self-defeating in an
+//!   interconnect working close to saturation. This would probably happen
+//!   in a split transaction bus using very fast processors";
+//! * "the ring would be able to accommodate the increase in the load
+//!   without significantly altering the expected latencies".
+
+use serde::Serialize;
+
+use ringsim_analytic::{BusModel, RingModel};
+use ringsim_bus::BusConfig;
+use ringsim_proto::ProtocolKind;
+use ringsim_ring::RingConfig;
+use ringsim_trace::Benchmark;
+use ringsim_types::Time;
+
+use crate::{benchmark_input, write_json};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    network: &'static str,
+    mips: u64,
+    base_util: f64,
+    tolerant_util: f64,
+    gain_points: f64,
+    base_read_latency: f64,
+    tolerant_read_latency: f64,
+    base_net_util: f64,
+    tolerant_net_util: f64,
+}
+
+/// Evaluates write-latency tolerance (write buffers / weak ordering) on the
+/// ring and on the bus, per paper §6.
+pub fn run(refs_per_proc: u64) {
+    let procs = 16;
+    let (_, input) = benchmark_input(Benchmark::Mp3d, procs, refs_per_proc).expect("paper config");
+    println!("Paper §6: write-latency tolerance on mp3d.16 — ring vs bus");
+    println!("{:-<100}", "");
+    println!(
+        "{:<9} {:>5} | {:>8} {:>8} {:>7} | {:>9} {:>9} | {:>8} {:>8}",
+        "network", "MIPS", "baseU%", "tolU%", "gain", "baseLat", "tolLat", "baseNet%", "tolNet%"
+    );
+    let mut rows = Vec::new();
+    for mips in [100u64, 200, 400] {
+        let t = Time::from_ps(1_000_000 / mips);
+        // Ring, snooping.
+        let base = RingModel::new(RingConfig::standard_500mhz(procs), ProtocolKind::Snooping);
+        let tol = base.with_write_tolerance(true);
+        let (b, w) = (base.evaluate(&input, t), tol.evaluate(&input, t));
+        rows.push(Row {
+            network: "ring-500",
+            mips,
+            base_util: b.proc_util,
+            tolerant_util: w.proc_util,
+            gain_points: w.proc_util - b.proc_util,
+            base_read_latency: b.miss_latency_ns,
+            tolerant_read_latency: w.miss_latency_ns,
+            base_net_util: b.net_util,
+            tolerant_net_util: w.net_util,
+        });
+        // Bus at 50 MHz (the saturation-prone baseline).
+        let base = BusModel::new(BusConfig::bus_50mhz(procs));
+        let tol = base.with_write_tolerance(true);
+        let (b, w) = (base.evaluate(&input, t), tol.evaluate(&input, t));
+        rows.push(Row {
+            network: "bus-50",
+            mips,
+            base_util: b.proc_util,
+            tolerant_util: w.proc_util,
+            gain_points: w.proc_util - b.proc_util,
+            base_read_latency: b.miss_latency_ns,
+            tolerant_read_latency: w.miss_latency_ns,
+            base_net_util: b.net_util,
+            tolerant_net_util: w.net_util,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:<9} {:>5} | {:>8.1} {:>8.1} {:>+6.1}pp | {:>9.0} {:>9.0} | {:>8.1} {:>8.1}",
+            r.network,
+            r.mips,
+            100.0 * r.base_util,
+            100.0 * r.tolerant_util,
+            100.0 * r.gain_points,
+            r.base_read_latency,
+            r.tolerant_read_latency,
+            100.0 * r.base_net_util,
+            100.0 * r.tolerant_net_util,
+        );
+    }
+    // Summarise the paper's prediction.
+    let ring_lat_growth: f64 = rows
+        .iter()
+        .filter(|r| r.network == "ring-500")
+        .map(|r| r.tolerant_read_latency / r.base_read_latency - 1.0)
+        .fold(0.0, f64::max);
+    let bus_lat_growth: f64 = rows
+        .iter()
+        .filter(|r| r.network == "bus-50")
+        .map(|r| r.tolerant_read_latency / r.base_read_latency - 1.0)
+        .fold(0.0, f64::max);
+    println!();
+    println!(
+        "tolerating write latency inflates remaining miss latency by ≤{:.0}% on the ring but {:.0}% on the saturated bus",
+        100.0 * ring_lat_growth,
+        100.0 * bus_lat_growth
+    );
+    write_json("future_work", &rows);
+}

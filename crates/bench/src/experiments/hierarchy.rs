@@ -1,0 +1,80 @@
+//! Extension: two-level ring hierarchies (paper §5 related work — Hector,
+//! KSR1) against the flat 64-node slotted ring, across cluster shapes and
+//! home-placement locality.
+
+use serde::Serialize;
+
+use ringsim_analytic::{HierRingModel, RingModel};
+use ringsim_proto::ProtocolKind;
+use ringsim_ring::{RingConfig, RingHierarchy};
+use ringsim_trace::Benchmark;
+use ringsim_types::Time;
+
+use crate::{benchmark_input, write_json};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    topology: String,
+    locality_pct: u32,
+    proc_util: f64,
+    miss_latency_ns: f64,
+    local_util: f64,
+    global_util: f64,
+}
+
+/// Compares the flat 64-processor ring with 4×16 / 8×8 / 16×4 hierarchies.
+pub fn run(refs_per_proc: u64) {
+    let (_, input) = benchmark_input(Benchmark::Weather, 64, refs_per_proc).expect("paper config");
+    let t = Time::from_ns(5); // 200 MIPS
+    println!("Hierarchical rings vs the flat 64-node ring (weather.64 mix, snooping, 200 MIPS)");
+    println!("{:-<86}", "");
+    println!(
+        "{:<10} {:>9} | {:>10} {:>14} | {:>11} {:>11}",
+        "topology", "locality", "proc util%", "miss lat (ns)", "local util%", "global util%"
+    );
+    let mut rows = Vec::new();
+
+    let flat = RingModel::new(RingConfig::standard_500mhz(64), ProtocolKind::Snooping)
+        .evaluate(&input, t);
+    println!(
+        "{:<10} {:>8}% | {:>10.1} {:>14.0} | {:>11.1} {:>11}",
+        "flat-64", "-", 100.0 * flat.proc_util, flat.miss_latency_ns, 100.0 * flat.net_util, "-"
+    );
+    rows.push(Row {
+        topology: "flat-64".into(),
+        locality_pct: 0,
+        proc_util: flat.proc_util,
+        miss_latency_ns: flat.miss_latency_ns,
+        local_util: flat.net_util,
+        global_util: 0.0,
+    });
+
+    for (rings, per) in [(4usize, 16usize), (8, 8), (16, 4)] {
+        let hier = RingHierarchy::new(rings, per).expect("valid hierarchy");
+        let uniform = (100.0 * hier.uniform_locality()).round() as u32;
+        for locality_pct in [uniform, 50, 80] {
+            let model = HierRingModel::new(hier.clone())
+                .with_locality(f64::from(locality_pct) / 100.0);
+            let out = model.evaluate(&input, t);
+            println!(
+                "{:<10} {:>8}% | {:>10.1} {:>14.0} | {:>11.1} {:>11.1}",
+                format!("{rings}x{per}"),
+                locality_pct,
+                100.0 * out.proc_util,
+                out.miss_latency_ns,
+                100.0 * out.probe_util,
+                100.0 * out.block_util,
+            );
+            rows.push(Row {
+                topology: format!("{rings}x{per}"),
+                locality_pct,
+                proc_util: out.proc_util,
+                miss_latency_ns: out.miss_latency_ns,
+                local_util: out.probe_util,
+                global_util: out.block_util,
+            });
+        }
+    }
+    println!("(locality = fraction of remote transactions homed in the requester's local ring)");
+    write_json("hierarchy", &rows);
+}

@@ -1,0 +1,20 @@
+//! One runner per paper table/figure, plus validation and ablations.
+//!
+//! Every runner prints a human-readable table and writes a JSON twin into
+//! `results/`. The `all` binary chains them.
+
+pub mod ablation;
+pub mod block_sweep;
+pub mod fig3;
+pub mod future_work;
+pub mod hierarchy;
+pub mod ring_access;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod validate;
+pub mod wide_ring;

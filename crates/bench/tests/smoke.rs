@@ -1,0 +1,90 @@
+//! Smoke tests: every experiment runner completes on a tiny budget and
+//! leaves its JSON artefact behind. Guards the harness against bit-rot.
+
+use ringsim_bench::experiments as ex;
+use ringsim_bench::results_dir;
+
+const TINY: u64 = 2_000;
+
+fn json_exists(name: &str) -> bool {
+    results_dir().join(format!("{name}.json")).exists()
+}
+
+#[test]
+fn table1_runs() {
+    ex::table1::run(TINY);
+    assert!(json_exists("table1"));
+}
+
+#[test]
+fn table2_runs() {
+    ex::table2::run(TINY);
+    assert!(json_exists("table2"));
+}
+
+#[test]
+fn table3_runs() {
+    ex::table3::run();
+    assert!(json_exists("table3"));
+}
+
+#[test]
+fn table4_runs() {
+    ex::table4::run(TINY);
+    assert!(json_exists("table4"));
+}
+
+#[test]
+fn fig3_runs() {
+    ex::fig3::run(TINY);
+    assert!(json_exists("fig3"));
+    assert!(results_dir().join("fig3_mp3d_8p_snooping.dat").exists());
+}
+
+#[test]
+fn fig5_runs() {
+    ex::fig5::run(TINY);
+    assert!(json_exists("fig5"));
+}
+
+#[test]
+fn fig6_runs() {
+    ex::fig6::run(TINY);
+    assert!(json_exists("fig6"));
+}
+
+#[test]
+fn validate_runs() {
+    ex::validate::run(TINY);
+    assert!(json_exists("validate"));
+}
+
+#[test]
+fn ablation_runs() {
+    ex::ablation::run(TINY);
+    assert!(json_exists("ablation"));
+}
+
+#[test]
+fn future_work_runs() {
+    ex::future_work::run(TINY);
+    assert!(json_exists("future_work"));
+}
+
+#[test]
+fn block_sweep_runs() {
+    ex::block_sweep::run(TINY);
+    assert!(json_exists("block_sweep"));
+}
+
+#[test]
+fn hierarchy_runs() {
+    ex::hierarchy::run(TINY);
+    assert!(json_exists("hierarchy"));
+}
+
+#[test]
+fn wide_ring_runs() {
+    ex::wide_ring::run(TINY);
+    assert!(json_exists("wide_ring"));
+}

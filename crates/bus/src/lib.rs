@@ -1,0 +1,299 @@
+//! The split-transaction shared-bus interconnect (paper §4.3).
+//!
+//! The paper's baseline is a FutureBus+-like 64-bit split-transaction bus
+//! clocked at 50 or 100 MHz, with a 3-state write-invalidate snooping
+//! protocol and the shared memory partitioned among the processing nodes. A
+//! remote miss needs a minimum of **six bus cycles** — a 2-cycle
+//! request/address phase and a 4-cycle response phase (header + two 8-byte
+//! data beats + turnaround for a 16-byte block) — excluding arbitration and
+//! the 140 ns fetch, exactly as the paper states.
+//!
+//! [`Bus`] models the shared medium as a FIFO-arbitrated exclusive
+//! resource: every phase reserves the bus for a number of cycles, grants
+//! are back-to-back in request order, and the busy time yields the bus
+//! utilisation metric. The coherence semantics that ride on it live in
+//! `ringsim-core`'s bus system simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use ringsim_bus::{Bus, BusConfig};
+//! use ringsim_types::Time;
+//!
+//! let cfg = BusConfig::bus_100mhz(16);
+//! assert_eq!(cfg.min_remote_miss_cycles(), 6);
+//! let mut bus = Bus::new(cfg).unwrap();
+//! let (start, end) = bus.acquire(Time::ZERO, cfg.request_cycles);
+//! assert_eq!(start, Time::ZERO);
+//! assert_eq!(end, Time::from_ns(20)); // 2 cycles at 10 ns
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::{ConfigError, Time};
+
+/// Physical and structural parameters of the split-transaction bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Number of processing nodes attached.
+    pub nodes: usize,
+    /// Bus clock period (20 ns at 50 MHz, 10 ns at 100 MHz).
+    pub clock_period: Time,
+    /// Data path width in bytes (8 for the paper's 64-bit buses).
+    pub width_bytes: u64,
+    /// Cache block size in bytes.
+    pub block_bytes: u64,
+    /// Bus cycles of the request (address/snoop) phase.
+    pub request_cycles: u64,
+    /// Bus cycles of response-phase overhead (header/turnaround) on top of
+    /// the data beats.
+    pub response_overhead_cycles: u64,
+    /// Bus cycles of an address-only invalidation transaction.
+    pub inval_cycles: u64,
+}
+
+impl BusConfig {
+    /// The paper's 50 MHz 64-bit split-transaction bus.
+    #[must_use]
+    pub fn bus_50mhz(nodes: usize) -> Self {
+        Self {
+            nodes,
+            clock_period: Time::from_ns(20),
+            width_bytes: 8,
+            block_bytes: 16,
+            request_cycles: 2,
+            response_overhead_cycles: 2,
+            inval_cycles: 2,
+        }
+    }
+
+    /// The paper's 100 MHz 64-bit split-transaction bus.
+    #[must_use]
+    pub fn bus_100mhz(nodes: usize) -> Self {
+        Self { clock_period: Time::from_ns(10), ..Self::bus_50mhz(nodes) }
+    }
+
+    /// A bus with an arbitrary clock period (used by the Table 4 match
+    /// solver).
+    #[must_use]
+    pub fn with_period(mut self, period: Time) -> Self {
+        self.clock_period = period;
+        self
+    }
+
+    /// Data beats needed to move one cache block.
+    #[must_use]
+    pub fn data_cycles(&self) -> u64 {
+        self.block_bytes.div_ceil(self.width_bytes)
+    }
+
+    /// Bus cycles of a response phase (overhead + data beats).
+    #[must_use]
+    pub fn response_cycles(&self) -> u64 {
+        self.response_overhead_cycles + self.data_cycles()
+    }
+
+    /// Minimum bus cycles to satisfy a remote miss, excluding arbitration
+    /// and the memory fetch — the paper's "minimum of six".
+    #[must_use]
+    pub fn min_remote_miss_cycles(&self) -> u64 {
+        self.request_cycles + self.response_cycles()
+    }
+
+    /// Duration of `cycles` bus cycles.
+    #[must_use]
+    pub fn cycles_time(&self, cycles: u64) -> Time {
+        self.clock_period * cycles
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes < 2 {
+            return Err(ConfigError::new("nodes", "need at least 2 nodes"));
+        }
+        if self.clock_period.is_zero() {
+            return Err(ConfigError::new("clock_period", "must be non-zero"));
+        }
+        if self.width_bytes == 0 || !self.width_bytes.is_power_of_two() {
+            return Err(ConfigError::new("width_bytes", "must be a non-zero power of two"));
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err(ConfigError::new("block_bytes", "must be a non-zero power of two"));
+        }
+        if self.request_cycles == 0 || self.inval_cycles == 0 {
+            return Err(ConfigError::new("request_cycles", "phases must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self::bus_100mhz(16)
+    }
+}
+
+/// Occupancy counters of the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Total time the bus was granted.
+    pub busy: Time,
+    /// Time granted to request/invalidation (address) phases.
+    pub address_busy: Time,
+    /// Time granted to response (data) phases.
+    pub data_busy: Time,
+    /// Number of grants.
+    pub grants: u64,
+}
+
+impl BusStats {
+    /// Bus utilisation over a window of length `window`.
+    #[must_use]
+    pub fn utilization(&self, window: Time) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_ps() as f64 / window.as_ps() as f64).min(1.0)
+        }
+    }
+}
+
+/// Which kind of phase a grant pays for (metrics only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Address/request/invalidation phase.
+    Address,
+    /// Data response phase.
+    Data,
+}
+
+/// The FIFO-arbitrated exclusive bus resource.
+///
+/// Callers ask for the bus at a given simulated time; the bus grants the
+/// earliest slot at or after that time, back to back with earlier grants.
+/// This models a pipelined central arbiter with FIFO fairness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bus {
+    cfg: BusConfig,
+    free_at: Time,
+    stats: BusStats,
+}
+
+impl Bus {
+    /// Creates an idle bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid.
+    pub fn new(cfg: BusConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self { cfg, free_at: Time::ZERO, stats: BusStats::default() })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> BusConfig {
+        self.cfg
+    }
+
+    /// Earliest time a new grant could start.
+    #[must_use]
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    /// Occupancy counters.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Reserves the bus for `cycles` bus cycles at the earliest opportunity
+    /// at or after `now`; returns `(start, end)` of the grant.
+    pub fn acquire(&mut self, now: Time, cycles: u64) -> (Time, Time) {
+        self.acquire_kind(now, cycles, PhaseKind::Address)
+    }
+
+    /// Like [`Bus::acquire`] with an explicit phase kind for the
+    /// address/data utilisation split.
+    pub fn acquire_kind(&mut self, now: Time, cycles: u64, kind: PhaseKind) -> (Time, Time) {
+        let start = self.free_at.max(now);
+        let dur = self.cfg.cycles_time(cycles);
+        let end = start + dur;
+        self.free_at = end;
+        self.stats.busy += dur;
+        self.stats.grants += 1;
+        match kind {
+            PhaseKind::Address => self.stats.address_busy += dur,
+            PhaseKind::Data => self.stats.data_busy += dur,
+        }
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cycle_counts() {
+        let cfg = BusConfig::bus_50mhz(8);
+        assert_eq!(cfg.data_cycles(), 2);
+        assert_eq!(cfg.response_cycles(), 4);
+        assert_eq!(cfg.min_remote_miss_cycles(), 6);
+        // 6 cycles at 50 MHz = 120 ns of pure bus time per remote miss.
+        assert_eq!(cfg.cycles_time(cfg.min_remote_miss_cycles()), Time::from_ns(120));
+    }
+
+    #[test]
+    fn grants_are_fifo_back_to_back() {
+        let mut bus = Bus::new(BusConfig::bus_100mhz(4)).unwrap();
+        let (s1, e1) = bus.acquire(Time::from_ns(5), 2);
+        assert_eq!(s1, Time::from_ns(5));
+        assert_eq!(e1, Time::from_ns(25));
+        // A request arriving earlier than the bus frees queues behind.
+        let (s2, e2) = bus.acquire(Time::from_ns(10), 4);
+        assert_eq!(s2, Time::from_ns(25));
+        assert_eq!(e2, Time::from_ns(65));
+        // An idle gap is preserved.
+        let (s3, _) = bus.acquire(Time::from_ns(100), 1);
+        assert_eq!(s3, Time::from_ns(100));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bus = Bus::new(BusConfig::bus_100mhz(4)).unwrap();
+        bus.acquire_kind(Time::ZERO, 2, PhaseKind::Address);
+        bus.acquire_kind(Time::ZERO, 4, PhaseKind::Data);
+        let st = bus.stats();
+        assert_eq!(st.grants, 2);
+        assert_eq!(st.busy, Time::from_ns(60));
+        assert_eq!(st.address_busy, Time::from_ns(20));
+        assert_eq!(st.data_busy, Time::from_ns(40));
+        assert!((st.utilization(Time::from_ns(120)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BusConfig::bus_50mhz(8).validate().is_ok());
+        assert!(BusConfig { nodes: 1, ..BusConfig::bus_50mhz(8) }.validate().is_err());
+        assert!(BusConfig { width_bytes: 3, ..BusConfig::bus_50mhz(8) }.validate().is_err());
+        assert!(
+            BusConfig { clock_period: Time::ZERO, ..BusConfig::bus_50mhz(8) }.validate().is_err()
+        );
+    }
+
+    #[test]
+    fn larger_blocks_need_more_beats() {
+        let cfg = BusConfig { block_bytes: 64, ..BusConfig::bus_50mhz(8) };
+        assert_eq!(cfg.data_cycles(), 8);
+        assert_eq!(cfg.min_remote_miss_cycles(), 12);
+    }
+}

@@ -1,0 +1,485 @@
+//! Direct-mapped write-back coherent cache model.
+//!
+//! The paper evaluates 128 KB direct-mapped data caches with 16-byte blocks
+//! and a three-state write-invalidate protocol. A cache line is in one of
+//! three states ([`LineState`]): `Inv` (not present), `Rs` (read-shared) or
+//! `We` (write-exclusive, i.e. dirty). This crate models only the
+//! processor-side array; the coherence *protocol* (who supplies data, when
+//! invalidations travel) lives in `ringsim-proto` and drives the cache
+//! through the snoop methods.
+//!
+//! The access path is split in two because the simulators are timed: a
+//! [`Cache::classify`] call decides hit/upgrade/miss without mutating
+//! anything, and the fill ([`Cache::fill`]) or promotion
+//! ([`Cache::promote`]) happens later, when the coherence transaction
+//! completes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ringsim_cache::{Cache, CacheConfig, LineState, AccessClass};
+//! use ringsim_types::{AccessKind, BlockAddr};
+//!
+//! let mut cache = Cache::new(CacheConfig::paper_default()).unwrap();
+//! let b = BlockAddr::new(0x10);
+//! assert_eq!(cache.classify(b, AccessKind::Read), AccessClass::Miss);
+//! cache.fill(b, LineState::Rs);
+//! assert_eq!(cache.classify(b, AccessKind::Read), AccessClass::Hit);
+//! assert_eq!(cache.classify(b, AccessKind::Write), AccessClass::Upgrade);
+//! cache.promote(b);
+//! assert_eq!(cache.classify(b, AccessKind::Write), AccessClass::Hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::{AccessKind, BlockAddr, ConfigError};
+
+/// Coherence state of one cache line (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// Block not present.
+    Inv,
+    /// Read-Shared: present read-only, memory is up to date.
+    Rs,
+    /// Write-Exclusive: present read-write; this cache owns the only valid
+    /// copy and must supply it / write it back.
+    We,
+}
+
+impl LineState {
+    /// `true` for any valid (non-`Inv`) state.
+    #[must_use]
+    pub const fn is_valid(self) -> bool {
+        !matches!(self, LineState::Inv)
+    }
+
+    /// `true` for `We`.
+    #[must_use]
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, LineState::We)
+    }
+}
+
+/// Classification of a processor access against the current cache contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// Read hit on `Rs`/`We`, or write hit on `We`: no coherence action.
+    Hit,
+    /// Write to a block held in `Rs`: the processor must obtain write
+    /// permission (an *invalidation* transaction in the paper's terminology)
+    /// but no data transfer is needed.
+    Upgrade,
+    /// Block absent (or present under a conflicting tag): a miss that needs
+    /// a data transfer.
+    Miss,
+}
+
+/// Geometry of a direct-mapped cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache block (line) size in bytes.
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The configuration used throughout the paper's evaluation: 128 KB
+    /// direct-mapped with 16-byte blocks.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        Self { size_bytes: 128 * 1024, block_bytes: 16 }
+    }
+
+    /// Number of lines in the cache.
+    #[must_use]
+    pub const fn lines(&self) -> u64 {
+        self.size_bytes / self.block_bytes
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if either size is zero or not a power of
+    /// two, or the block does not fit in the cache.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.size_bytes == 0 || !self.size_bytes.is_power_of_two() {
+            return Err(ConfigError::new("size_bytes", "must be a non-zero power of two"));
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err(ConfigError::new("block_bytes", "must be a non-zero power of two"));
+        }
+        if self.block_bytes > self.size_bytes {
+            return Err(ConfigError::new("block_bytes", "block larger than cache"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    state: LineState,
+}
+
+/// Per-cache event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read or write hits.
+    pub hits: u64,
+    /// Misses (including cold and conflict misses).
+    pub misses: u64,
+    /// Write hits on `Rs` lines (coherence upgrades).
+    pub upgrades: u64,
+    /// Lines invalidated by remote coherence activity.
+    pub snoop_invalidations: u64,
+    /// `We` lines downgraded to `Rs` by remote read misses.
+    pub snoop_downgrades: u64,
+    /// Dirty lines evicted (write-backs).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all classified accesses (upgrades count as accesses
+    /// but not as misses, matching the paper's Table 2).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.upgrades;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A direct-mapped write-back cache with three-state lines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Option<Line>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-`Inv`) cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is invalid (see
+    /// [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let lines = vec![None; cfg.lines() as usize];
+        Ok(Self { cfg, lines, stats: CacheStats::default() })
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated event counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn slot(&self, block: BlockAddr) -> (usize, u64) {
+        let lines = self.cfg.lines();
+        let idx = (block.raw() % lines) as usize;
+        let tag = block.raw() / lines;
+        (idx, tag)
+    }
+
+    /// Current state of `block` in this cache (`Inv` when absent).
+    #[must_use]
+    pub fn state_of(&self, block: BlockAddr) -> LineState {
+        let (idx, tag) = self.slot(block);
+        match self.lines[idx] {
+            Some(line) if line.tag == tag => line.state,
+            _ => LineState::Inv,
+        }
+    }
+
+    /// Classifies an access *without* changing cache contents, and updates
+    /// the hit/miss/upgrade counters.
+    ///
+    /// The caller performs the resulting coherence transaction (if any) and
+    /// then calls [`Cache::fill`] or [`Cache::promote`].
+    pub fn classify(&mut self, block: BlockAddr, kind: AccessKind) -> AccessClass {
+        let class = self.peek(block, kind);
+        match class {
+            AccessClass::Hit => self.stats.hits += 1,
+            AccessClass::Miss => self.stats.misses += 1,
+            AccessClass::Upgrade => self.stats.upgrades += 1,
+        }
+        class
+    }
+
+    /// Like [`Cache::classify`] but without touching the statistics — used
+    /// by lookahead code paths that only want to know whether an access
+    /// would stall.
+    #[must_use]
+    pub fn peek(&self, block: BlockAddr, kind: AccessKind) -> AccessClass {
+        match (self.state_of(block), kind) {
+            (LineState::Inv, _) => AccessClass::Miss,
+            (LineState::Rs, AccessKind::Write) => AccessClass::Upgrade,
+            _ => AccessClass::Hit,
+        }
+    }
+
+    /// Installs `block` in `state`, returning the victim line (block number
+    /// and state) if a valid line had to be evicted. A `We` victim must be
+    /// written back by the caller; the `writebacks` counter is bumped here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is `Inv` (filling a line as invalid is a protocol
+    /// bug).
+    pub fn fill(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
+        assert!(state.is_valid(), "cannot fill a line in Inv state");
+        let (idx, tag) = self.slot(block);
+        let lines = self.cfg.lines();
+        let victim = match self.lines[idx] {
+            Some(line) if line.tag != tag => {
+                let victim_block = BlockAddr::new(line.tag * lines + idx as u64);
+                if line.state.is_dirty() {
+                    self.stats.writebacks += 1;
+                }
+                Some((victim_block, line.state))
+            }
+            _ => None,
+        };
+        self.lines[idx] = Some(Line { tag, state });
+        victim
+    }
+
+    /// Promotes an `Rs` line to `We` after a successful upgrade transaction.
+    ///
+    /// Returns `false` (and leaves the cache unchanged) when the line is no
+    /// longer present — a remote write may have invalidated it while the
+    /// upgrade was in flight, in which case the access must be retried as a
+    /// write miss.
+    pub fn promote(&mut self, block: BlockAddr) -> bool {
+        let (idx, tag) = self.slot(block);
+        match &mut self.lines[idx] {
+            Some(line) if line.tag == tag && line.state.is_valid() => {
+                line.state = LineState::We;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Invalidates `block` if present (remote write miss / invalidation
+    /// observed). Returns the state the line was in.
+    pub fn snoop_invalidate(&mut self, block: BlockAddr) -> LineState {
+        let (idx, tag) = self.slot(block);
+        match self.lines[idx] {
+            Some(line) if line.tag == tag && line.state.is_valid() => {
+                self.lines[idx] = None;
+                self.stats.snoop_invalidations += 1;
+                line.state
+            }
+            _ => LineState::Inv,
+        }
+    }
+
+    /// Downgrades a `We` line to `Rs` (remote read miss observed by the
+    /// dirty node). Returns `true` when the line was indeed `We`.
+    pub fn snoop_downgrade(&mut self, block: BlockAddr) -> bool {
+        let (idx, tag) = self.slot(block);
+        match &mut self.lines[idx] {
+            Some(line) if line.tag == tag && line.state.is_dirty() => {
+                line.state = LineState::Rs;
+                self.stats.snoop_downgrades += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evicts `block` if present without recording a write-back (used by
+    /// tests and by protocol paths that account for the write-back
+    /// themselves). Returns the prior state.
+    pub fn evict(&mut self, block: BlockAddr) -> LineState {
+        let (idx, tag) = self.slot(block);
+        match self.lines[idx] {
+            Some(line) if line.tag == tag => {
+                self.lines[idx] = None;
+                line.state
+            }
+            _ => LineState::Inv,
+        }
+    }
+
+    /// Iterates over all valid blocks currently cached, with their states.
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        let lines = self.cfg.lines();
+        self.lines.iter().enumerate().filter_map(move |(idx, line)| {
+            line.map(|l| (BlockAddr::new(l.tag * lines + idx as u64), l.state))
+        })
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().flatten().filter(|l| l.state.is_valid()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsim_types::AccessKind::{Read, Write};
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { size_bytes: 256, block_bytes: 16 }).unwrap()
+    }
+
+    #[test]
+    fn paper_default_geometry() {
+        let cfg = CacheConfig::paper_default();
+        assert_eq!(cfg.lines(), 8192);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(CacheConfig { size_bytes: 100, block_bytes: 16 }.validate().is_err());
+        assert!(CacheConfig { size_bytes: 128, block_bytes: 0 }.validate().is_err());
+        assert!(CacheConfig { size_bytes: 16, block_bytes: 64 }.validate().is_err());
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        let b = BlockAddr::new(3);
+        assert_eq!(c.classify(b, Read), AccessClass::Miss);
+        assert_eq!(c.fill(b, LineState::Rs), None);
+        assert_eq!(c.classify(b, Read), AccessClass::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_on_rs_is_upgrade() {
+        let mut c = small();
+        let b = BlockAddr::new(7);
+        c.fill(b, LineState::Rs);
+        assert_eq!(c.classify(b, Write), AccessClass::Upgrade);
+        assert!(c.promote(b));
+        assert_eq!(c.classify(b, Write), AccessClass::Hit);
+        assert_eq!(c.state_of(b), LineState::We);
+    }
+
+    #[test]
+    fn promote_fails_after_remote_invalidation() {
+        let mut c = small();
+        let b = BlockAddr::new(9);
+        c.fill(b, LineState::Rs);
+        assert_eq!(c.snoop_invalidate(b), LineState::Rs);
+        assert!(!c.promote(b));
+        assert_eq!(c.state_of(b), LineState::Inv);
+    }
+
+    #[test]
+    fn conflict_eviction_reports_victim() {
+        let mut c = small(); // 16 lines
+        let a = BlockAddr::new(5);
+        let b = BlockAddr::new(5 + 16); // same index, different tag
+        c.fill(a, LineState::We);
+        let victim = c.fill(b, LineState::Rs);
+        assert_eq!(victim, Some((a, LineState::We)));
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.state_of(a), LineState::Inv);
+        assert_eq!(c.state_of(b), LineState::Rs);
+    }
+
+    #[test]
+    fn refill_same_block_is_not_eviction() {
+        let mut c = small();
+        let a = BlockAddr::new(5);
+        c.fill(a, LineState::Rs);
+        assert_eq!(c.fill(a, LineState::We), None);
+        assert_eq!(c.stats().writebacks, 0);
+        assert_eq!(c.state_of(a), LineState::We);
+    }
+
+    #[test]
+    fn snoop_downgrade_only_hits_we() {
+        let mut c = small();
+        let a = BlockAddr::new(2);
+        c.fill(a, LineState::Rs);
+        assert!(!c.snoop_downgrade(a));
+        c.promote(a);
+        assert!(c.snoop_downgrade(a));
+        assert_eq!(c.state_of(a), LineState::Rs);
+        assert_eq!(c.stats().snoop_downgrades, 1);
+    }
+
+    #[test]
+    fn snoop_invalidate_misses_are_noops() {
+        let mut c = small();
+        assert_eq!(c.snoop_invalidate(BlockAddr::new(77)), LineState::Inv);
+        assert_eq!(c.stats().snoop_invalidations, 0);
+    }
+
+    #[test]
+    fn resident_blocks_roundtrip() {
+        let mut c = small();
+        c.fill(BlockAddr::new(1), LineState::Rs);
+        c.fill(BlockAddr::new(2), LineState::We);
+        let mut resident: Vec<_> = c.resident_blocks().collect();
+        resident.sort_by_key(|(b, _)| b.raw());
+        assert_eq!(
+            resident,
+            vec![(BlockAddr::new(1), LineState::Rs), (BlockAddr::new(2), LineState::We)]
+        );
+        assert_eq!(c.valid_lines(), 2);
+    }
+
+    #[test]
+    fn miss_rate_counts_upgrades_as_accesses() {
+        let mut c = small();
+        let b = BlockAddr::new(0);
+        c.classify(b, Read); // miss
+        c.fill(b, LineState::Rs);
+        c.classify(b, Read); // hit
+        c.classify(b, Write); // upgrade
+        assert!((c.stats().miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = small();
+        let b = BlockAddr::new(0);
+        assert_eq!(c.peek(b, Read), AccessClass::Miss);
+        assert_eq!(c.stats().misses, 0);
+        c.fill(b, LineState::Rs);
+        assert_eq!(c.peek(b, Write), AccessClass::Upgrade);
+        assert_eq!(c.stats().upgrades, 0);
+    }
+
+    #[test]
+    fn evict_returns_prior_state() {
+        let mut c = small();
+        let b = BlockAddr::new(4);
+        c.fill(b, LineState::We);
+        assert_eq!(c.evict(b), LineState::We);
+        assert_eq!(c.evict(b), LineState::Inv);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+}

@@ -1,0 +1,703 @@
+//! The timed split-transaction-bus system simulator (the paper's baseline,
+//! §4.3): the same processors, caches and workloads as the ring simulator,
+//! attached to a FIFO-arbitrated snooping bus.
+//!
+//! Unlike the ring — where messages are physically in flight and conflicts
+//! need acks, retries and home-side locks — the bus serialises every
+//! coherence transaction at its address phase. The simulator exploits that:
+//! snoop resolution and cache-state updates are applied *atomically* at the
+//! end of each request phase (the canonical serialisation point of bus
+//! snooping), while data delivery and processor wake-up keep their real
+//! latencies (memory fetch, response-phase arbitration and transfer).
+
+use std::collections::HashMap;
+
+use ringsim_bus::{Bus, BusConfig, PhaseKind};
+use ringsim_cache::{AccessClass, Cache, CacheConfig, LineState};
+use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
+use ringsim_types::stats::{Histogram, RunningMean};
+use ringsim_types::{
+    AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time,
+};
+
+use crate::report::{ClassLatencies, NodeSummary, SimReport};
+
+/// Configuration of a bus-based system.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_core::BusSystemConfig;
+/// use ringsim_types::Time;
+///
+/// let cfg = BusSystemConfig::bus_100mhz(16).with_mips(100);
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.proc_cycle, Time::from_ns(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusSystemConfig {
+    /// Bus parameters.
+    pub bus: BusConfig,
+    /// Per-processor cache geometry.
+    pub cache: CacheConfig,
+    /// Processor cycle time.
+    pub proc_cycle: Time,
+    /// Local memory bank access time (140 ns in the paper).
+    pub mem_latency: Time,
+    /// Dirty-cache supply time.
+    pub supply_latency: Time,
+}
+
+impl BusSystemConfig {
+    /// The paper's 50 MHz 64-bit bus with default caches and 50 MIPS
+    /// processors.
+    #[must_use]
+    pub fn bus_50mhz(nodes: usize) -> Self {
+        Self {
+            bus: BusConfig::bus_50mhz(nodes),
+            cache: CacheConfig::paper_default(),
+            proc_cycle: Time::from_ns(20),
+            mem_latency: Time::from_ns(140),
+            supply_latency: Time::from_ns(140),
+        }
+    }
+
+    /// The paper's 100 MHz 64-bit bus.
+    #[must_use]
+    pub fn bus_100mhz(nodes: usize) -> Self {
+        Self { bus: BusConfig::bus_100mhz(nodes), ..Self::bus_50mhz(nodes) }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.bus.nodes
+    }
+
+    /// Builder-style processor cycle override.
+    #[must_use]
+    pub fn with_proc_cycle(mut self, proc_cycle: Time) -> Self {
+        self.proc_cycle = proc_cycle;
+        self
+    }
+
+    /// Builder-style MIPS override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mips` is zero.
+    #[must_use]
+    pub fn with_mips(self, mips: u64) -> Self {
+        assert!(mips > 0, "mips must be positive");
+        self.with_proc_cycle(Time::from_ps(1_000_000 / mips))
+    }
+
+    /// Validates all parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.bus.validate()?;
+        self.cache.validate()?;
+        if self.bus.nodes > 64 {
+            return Err(ConfigError::new("bus.nodes", "at most 64 nodes supported"));
+        }
+        if self.proc_cycle.is_zero() || self.mem_latency.is_zero() || self.supply_latency.is_zero()
+        {
+            return Err(ConfigError::new("timing", "all latencies must be non-zero"));
+        }
+        if self.cache.block_bytes != self.bus.block_bytes {
+            return Err(ConfigError::new(
+                "cache.block_bytes",
+                "must match bus.block_bytes (one block per response)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    Read,
+    Write,
+    Upgrade,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    block: BlockAddr,
+    kind: TxnKind,
+    region: Region,
+    start: Time,
+    /// Set at the serialisation point: how the miss was served.
+    served: Served,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    Pending,
+    Local,
+    CleanRemote,
+    Dirty,
+}
+
+#[derive(Debug)]
+struct BusNode {
+    stream: NodeStream,
+    cache: Cache,
+    ready_at: Time,
+    instr_carry: f64,
+    refs_issued: u64,
+    warmup_refs: u64,
+    total_refs: u64,
+    measuring: bool,
+    measure_start: Time,
+    busy: Time,
+    finish_at: Option<Time>,
+    txn: Option<Txn>,
+    misses: u64,
+    miss_lat: RunningMean,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Resume the processor's issue loop.
+    ProcReady { node: usize },
+    /// A miss's request/address phase completes: snoop resolution.
+    RequestDone { node: usize },
+    /// An invalidation (upgrade) address phase completes.
+    UpgradeDone { node: usize },
+    /// The blocked processor's transaction finishes.
+    Complete { node: usize },
+}
+
+/// Quantum of lookahead (in time) a processor may run ahead of the global
+/// event clock while it keeps hitting in its cache. Bounds the window in
+/// which a fast-forwarded node could miss a remote invalidation.
+const PROC_QUANTUM: Time = Time::from_ns(200);
+
+/// The timed bus-based system simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_core::{BusSystem, BusSystemConfig};
+/// use ringsim_trace::{Workload, WorkloadSpec};
+///
+/// let cfg = BusSystemConfig::bus_100mhz(4);
+/// let workload = Workload::new(WorkloadSpec::demo(4).with_refs(2_000)).unwrap();
+/// let report = BusSystem::new(cfg, workload).unwrap().run();
+/// assert!(report.proc_util > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct BusSystem {
+    cfg: BusSystemConfig,
+    bus: Bus,
+    nodes: Vec<BusNode>,
+    space: AddressSpace,
+    /// Current write-exclusive holder of each block (bus snooping resolves
+    /// ownership instantly at the serialisation point).
+    owners: HashMap<u64, NodeId>,
+    /// Earliest time the block's data is available at its current
+    /// owner/home (covers data still in flight to a new owner).
+    data_ready: HashMap<u64, Time>,
+    queue: crate::EventQueue<Event>,
+    now: Time,
+    miss_lat: RunningMean,
+    miss_hist: Histogram,
+    upg_lat: RunningMean,
+    class_lat: ClassLatencies,
+    events: CoherenceEvents,
+    snapshot: Option<(ringsim_bus::BusStats, Time)>,
+}
+
+impl BusSystem {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid or the
+    /// workload's processor count does not match the bus's node count.
+    pub fn new(cfg: BusSystemConfig, workload: Workload) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if workload.procs() != cfg.nodes() {
+            return Err(ConfigError::new(
+                "workload.procs",
+                format!("workload has {} processors, bus has {}", workload.procs(), cfg.nodes()),
+            ));
+        }
+        let spec = workload.spec().clone();
+        let space = workload.space();
+        let bus = Bus::new(cfg.bus)?;
+        let nodes = workload
+            .into_streams()
+            .into_iter()
+            .map(|stream| {
+                Ok(BusNode {
+                    stream,
+                    cache: Cache::new(cfg.cache)?,
+                    ready_at: Time::ZERO,
+                    instr_carry: 0.0,
+                    refs_issued: 0,
+                    warmup_refs: spec.warmup_refs_per_proc,
+                    total_refs: spec.warmup_refs_per_proc + spec.data_refs_per_proc,
+                    measuring: false,
+                    measure_start: Time::ZERO,
+                    busy: Time::ZERO,
+                    finish_at: None,
+                    txn: None,
+                    misses: 0,
+                    miss_lat: RunningMean::default(),
+                })
+            })
+            .collect::<Result<Vec<_>, ConfigError>>()?;
+        Ok(Self {
+            cfg,
+            bus,
+            nodes,
+            space,
+            owners: HashMap::new(),
+            data_ready: HashMap::new(),
+            queue: crate::EventQueue::new(),
+            now: Time::ZERO,
+            miss_lat: RunningMean::default(),
+            miss_hist: Histogram::new(50.0, 80),
+            upg_lat: RunningMean::default(),
+            class_lat: ClassLatencies::default(),
+            events: CoherenceEvents::default(),
+            snapshot: None,
+        })
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    fn home_of(&self, block: BlockAddr) -> NodeId {
+        self.space.home_of_block(block)
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> SimReport {
+        for i in 0..self.nodes.len() {
+            self.schedule(Time::ZERO, Event::ProcReady { node: i });
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            self.now = t;
+            match ev {
+                Event::ProcReady { node } => self.step_processor(node),
+                Event::RequestDone { node } => self.request_done(node),
+                Event::UpgradeDone { node } => self.upgrade_done(node),
+                Event::Complete { node } => self.complete(node),
+            }
+            if self.snapshot.is_none() && self.nodes.iter().all(|n| n.measuring) {
+                self.snapshot = Some((self.bus.stats(), self.now));
+            }
+        }
+        self.build_report()
+    }
+
+    fn step_processor(&mut self, i: usize) {
+        let horizon = self.now + PROC_QUANTUM;
+        loop {
+            let node = &mut self.nodes[i];
+            if node.finish_at.is_some() || node.txn.is_some() {
+                return;
+            }
+            if node.ready_at > horizon {
+                let at = node.ready_at;
+                self.schedule(at, Event::ProcReady { node: i });
+                return;
+            }
+            if node.refs_issued == node.total_refs {
+                node.finish_at = Some(node.ready_at);
+                return;
+            }
+            let icycles = node.instr_carry + node.stream.instr_per_data();
+            let whole = icycles.floor();
+            node.instr_carry = icycles - whole;
+            let cost = self.cfg.proc_cycle * (1 + whole as u64);
+            if node.measuring {
+                node.busy += cost;
+            }
+            node.ready_at += cost;
+            let r = node.stream.next_ref();
+            node.refs_issued += 1;
+            if !node.measuring && node.refs_issued > node.warmup_refs {
+                node.measuring = true;
+                node.measure_start = node.ready_at;
+                node.busy = cost;
+            }
+            let block = r.addr.block(BLOCK_BYTES);
+            let class = node.cache.classify(block, r.kind);
+            if node.measuring {
+                match (r.region, r.kind) {
+                    (Region::Private, AccessKind::Read) => self.events.private_reads += 1,
+                    (Region::Private, AccessKind::Write) => self.events.private_writes += 1,
+                    (Region::Shared, AccessKind::Read) => self.events.shared_reads += 1,
+                    (Region::Shared, AccessKind::Write) => self.events.shared_writes += 1,
+                }
+            }
+            match class {
+                AccessClass::Hit => continue,
+                AccessClass::Upgrade | AccessClass::Miss => {
+                    let kind = match (class, r.kind) {
+                        (AccessClass::Upgrade, _) => TxnKind::Upgrade,
+                        (_, AccessKind::Read) => TxnKind::Read,
+                        (_, AccessKind::Write) => TxnKind::Write,
+                    };
+                    let start = self.nodes[i].ready_at;
+                    self.nodes[i].txn =
+                        Some(Txn { block, kind, region: r.region, start, served: Served::Pending });
+                    // Arbitrate for the address phase.
+                    let cycles = if kind == TxnKind::Upgrade {
+                        self.cfg.bus.inval_cycles
+                    } else {
+                        self.cfg.bus.request_cycles
+                    };
+                    let (_, end) = self.bus.acquire_kind(start, cycles, PhaseKind::Address);
+                    let ev = if kind == TxnKind::Upgrade {
+                        Event::UpgradeDone { node: i }
+                    } else {
+                        Event::RequestDone { node: i }
+                    };
+                    self.schedule(end, ev);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Invalidate every other cached copy of `block`; returns how many
+    /// copies were dropped.
+    fn invalidate_others(&mut self, block: BlockAddr, except: usize) -> u64 {
+        let mut count = 0;
+        for (j, node) in self.nodes.iter_mut().enumerate() {
+            if j != except && node.cache.snoop_invalidate(block).is_valid() {
+                count += 1;
+            }
+        }
+        if let Some(&owner) = self.owners.get(&block.raw()) {
+            if owner.index() != except {
+                self.owners.remove(&block.raw());
+            }
+        }
+        count
+    }
+
+    fn upgrade_done(&mut self, i: usize) {
+        let t = self.nodes[i].txn.expect("upgrade txn");
+        let block = t.block;
+        if self.nodes[i].cache.state_of(block).is_valid() {
+            let invalidated = self.invalidate_others(block, i);
+            let promoted = self.nodes[i].cache.promote(block);
+            debug_assert!(promoted);
+            self.owners.insert(block.raw(), NodeId::new(i));
+            if self.nodes[i].measuring && t.region == Region::Shared {
+                let local = self.home_of(block) == NodeId::new(i);
+                match (invalidated > 0, local) {
+                    (false, true) => self.events.upgrade_nosharers_local += 1,
+                    (false, false) => self.events.upgrade_nosharers_remote += 1,
+                    (true, true) => self.events.upgrade_sharers_local += 1,
+                    (true, false) => self.events.upgrade_sharers_remote += 1,
+                }
+                self.events.invalidated_copies += invalidated;
+            } else if self.nodes[i].measuring && t.region == Region::Private {
+                self.events.upgrade_nosharers_local += 1;
+            }
+            self.schedule(self.now, Event::Complete { node: i });
+        } else {
+            // The line was invalidated while we waited for the bus: the
+            // address phase we just completed doubles as the request phase
+            // of a write miss.
+            self.nodes[i].txn =
+                Some(Txn { kind: TxnKind::Write, served: Served::Pending, ..t });
+            self.request_done(i);
+        }
+    }
+
+    fn request_done(&mut self, i: usize) {
+        let me = NodeId::new(i);
+        let t = self.nodes[i].txn.expect("miss txn");
+        let block = t.block;
+        let home = self.home_of(block);
+        let local = home == me;
+        let owner = self.owners.get(&block.raw()).copied().filter(|&d| d != me);
+        let measuring = self.nodes[i].measuring;
+
+        // --- classification (mirrors the reference interpreter's buckets)
+        if measuring {
+            match t.region {
+                Region::Private => self.events.private_misses += 1,
+                Region::Shared => match (t.kind, owner) {
+                    (TxnKind::Read, Some(d)) => {
+                        if dirty_on_path(me, home, d, self.cfg.nodes()) {
+                            self.events.read_dirty_2 += 1;
+                        } else {
+                            self.events.read_dirty_1 += 1;
+                        }
+                    }
+                    (TxnKind::Read, None) => {
+                        if local {
+                            self.events.read_clean_local += 1;
+                        } else {
+                            self.events.read_clean_remote += 1;
+                        }
+                    }
+                    (_, Some(d)) => {
+                        if dirty_on_path(me, home, d, self.cfg.nodes()) {
+                            self.events.write_dirty_2 += 1;
+                        } else {
+                            self.events.write_dirty_1 += 1;
+                        }
+                    }
+                    (_, None) => {
+                        // Sharer count observed below (invalidate_others).
+                    }
+                },
+            }
+        }
+
+        // --- snoop resolution (atomic at the serialisation point)
+        let is_write = t.kind != TxnKind::Read;
+        let mut invalidated = 0;
+        if is_write {
+            invalidated = self.invalidate_others(block, i);
+        } else if let Some(d) = owner {
+            self.nodes[d.index()].cache.snoop_downgrade(block);
+            self.owners.remove(&block.raw());
+        }
+        if measuring && is_write && owner.is_none() && t.region == Region::Shared {
+            match (invalidated > 0, local) {
+                (false, true) => self.events.write_nosharers_local += 1,
+                (false, false) => self.events.write_nosharers_remote += 1,
+                (true, true) => self.events.write_sharers_local += 1,
+                (true, false) => self.events.write_sharers_remote += 1,
+            }
+        }
+        if measuring && is_write {
+            self.events.invalidated_copies += invalidated;
+        }
+
+        // --- timing: who supplies, and when
+        let ready = self.data_ready.get(&block.raw()).copied().unwrap_or(Time::ZERO);
+        let completion = match owner {
+            Some(_) => {
+                // Cache-to-cache transfer: wait for the owner's copy, the
+                // supply access, then a response phase on the bus.
+                let supply_at = self.now.max(ready) + self.cfg.supply_latency;
+                let (_, re) = self.bus.acquire_kind(
+                    supply_at,
+                    self.cfg.bus.response_cycles(),
+                    PhaseKind::Data,
+                );
+                re
+            }
+            None if local => self.now.max(ready) + self.cfg.mem_latency,
+            None => {
+                let fetch_done = self.now.max(ready) + self.cfg.mem_latency;
+                let (_, re) = self.bus.acquire_kind(
+                    fetch_done,
+                    self.cfg.bus.response_cycles(),
+                    PhaseKind::Data,
+                );
+                re
+            }
+        };
+
+        // Record how the miss was served for the class-latency breakdown.
+        if let Some(txn) = self.nodes[i].txn.as_mut() {
+            txn.served = match owner {
+                Some(_) => Served::Dirty,
+                None if local => Served::Local,
+                None => Served::CleanRemote,
+            };
+        }
+        // --- commit cache state now (serialisation point), deliver later.
+        let state = if is_write { LineState::We } else { LineState::Rs };
+        if is_write {
+            self.owners.insert(block.raw(), me);
+        }
+        self.data_ready.insert(block.raw(), completion);
+        if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, state) {
+            let vhome = self.home_of(victim);
+            if self.owners.get(&victim.raw()) == Some(&me) {
+                self.owners.remove(&victim.raw());
+            }
+            if vstate.is_dirty() {
+                // Write-back: one response-phase transfer after completion.
+                if vhome != me {
+                    self.bus.acquire_kind(completion, self.cfg.bus.response_cycles(), PhaseKind::Data);
+                }
+                if measuring {
+                    if vhome == me {
+                        self.events.writeback_local += 1;
+                    } else {
+                        self.events.writeback_remote += 1;
+                    }
+                }
+            }
+        }
+        self.schedule(completion, Event::Complete { node: i });
+    }
+
+    fn complete(&mut self, i: usize) {
+        let t = self.nodes[i].txn.take().expect("completing absent txn");
+        let node = &mut self.nodes[i];
+        node.ready_at = node.ready_at.max(self.now);
+        let latency = self.now.saturating_sub(t.start);
+        if node.measuring {
+            if t.kind == TxnKind::Upgrade {
+                self.upg_lat.push_time_ns(latency);
+                self.class_lat.upgrade.push_time_ns(latency);
+            } else {
+                self.miss_lat.push_time_ns(latency);
+                self.miss_hist.record(latency.as_ns_f64());
+                node.misses += 1;
+                node.miss_lat.push_time_ns(latency);
+                match t.served {
+                    Served::Local => self.class_lat.local.push_time_ns(latency),
+                    Served::Dirty => self.class_lat.dirty.push_time_ns(latency),
+                    _ => self.class_lat.clean_remote.push_time_ns(latency),
+                }
+            }
+        }
+        self.step_processor(i);
+    }
+
+    /// Coherence state of `block` in node `i`'s cache (inspection hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cache_state(&self, i: usize, block: BlockAddr) -> LineState {
+        self.nodes[i].cache.state_of(block)
+    }
+
+    fn build_report(&mut self) -> SimReport {
+        let sim_end = self
+            .nodes
+            .iter()
+            .map(|n| n.finish_at.expect("all nodes finished"))
+            .max()
+            .unwrap_or(Time::ZERO);
+        let per_node: Vec<NodeSummary> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let finished = n.finish_at.expect("finished");
+                let window = finished.saturating_sub(n.measure_start);
+                let util = if window.is_zero() {
+                    0.0
+                } else {
+                    n.busy.as_ps() as f64 / window.as_ps() as f64
+                };
+                NodeSummary {
+                    util: util.min(1.0),
+                    misses: n.misses,
+                    mean_miss_latency_ns: n.miss_lat.mean(),
+                    finished_at: finished,
+                }
+            })
+            .collect();
+        let proc_util = per_node.iter().map(|n| n.util).sum::<f64>() / per_node.len().max(1) as f64;
+        let stats = self.bus.stats();
+        let (base, start) =
+            self.snapshot.unwrap_or((ringsim_bus::BusStats::default(), Time::ZERO));
+        let window = sim_end.saturating_sub(start);
+        let busy = stats.busy.saturating_sub(base.busy);
+        let addr_busy = stats.address_busy.saturating_sub(base.address_busy);
+        let data_busy = stats.data_busy.saturating_sub(base.data_busy);
+        let frac = |t: Time| {
+            if window.is_zero() {
+                0.0
+            } else {
+                (t.as_ps() as f64 / window.as_ps() as f64).min(1.0)
+            }
+        };
+        SimReport {
+            protocol: "bus-snooping".into(),
+            nodes: self.cfg.nodes(),
+            proc_cycle: self.cfg.proc_cycle,
+            sim_end,
+            proc_util,
+            ring_util: frac(busy),
+            probe_util: frac(addr_busy),
+            block_util: frac(data_busy),
+            miss_latency: self.miss_lat,
+            miss_histogram: self.miss_hist.clone(),
+            upgrade_latency: self.upg_lat,
+            class_latencies: self.class_lat,
+            events: self.events,
+            retries: 0,
+            per_node,
+        }
+    }
+}
+
+/// Geometry classification kept for cross-interconnect comparability of
+/// event counts (latency on a bus does not depend on it).
+fn dirty_on_path(requester: NodeId, home: NodeId, dirty: NodeId, nodes: usize) -> bool {
+    if home == requester || dirty == home {
+        return false;
+    }
+    requester.hops_to(dirty, nodes) < requester.hops_to(home, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsim_trace::WorkloadSpec;
+
+    fn run(nodes: usize, refs: u64, mips: u64) -> SimReport {
+        let cfg = BusSystemConfig::bus_100mhz(nodes).with_mips(mips);
+        let w = Workload::new(WorkloadSpec::demo(nodes).with_refs(refs)).unwrap();
+        BusSystem::new(cfg, w).unwrap().run()
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let r = run(4, 3_000, 50);
+        assert!(r.proc_util > 0.0 && r.proc_util <= 1.0);
+        assert!(r.ring_util > 0.0 && r.ring_util <= 1.0);
+        assert!(r.miss_latency.count() > 0);
+        assert_eq!(r.events.data_refs(), 4 * 3_000);
+    }
+
+    #[test]
+    fn miss_latency_has_memory_floor() {
+        let r = run(4, 2_000, 50);
+        assert!(r.miss_latency.min().unwrap_or(0.0) >= 139.0);
+    }
+
+    #[test]
+    fn bus_saturates_with_fast_processors() {
+        let slow = run(8, 2_500, 50);
+        let fast = run(8, 2_500, 500);
+        assert!(fast.ring_util > slow.ring_util);
+        assert!(fast.proc_util < slow.proc_util);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(4, 2_000, 100);
+        let b = run(4, 2_000, 100);
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn address_and_data_utilisation_sum_to_total() {
+        let r = run(4, 2_000, 100);
+        assert!((r.probe_util + r.block_util - r.ring_util).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_mismatched_workload() {
+        let cfg = BusSystemConfig::bus_50mhz(8);
+        let w = Workload::new(WorkloadSpec::demo(4)).unwrap();
+        assert!(BusSystem::new(cfg, w).is_err());
+    }
+}

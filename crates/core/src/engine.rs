@@ -1,0 +1,152 @@
+//! The small discrete-event core shared by the system simulators: a
+//! time-ordered event queue with stable FIFO ordering for simultaneous
+//! events.
+//!
+//! The ring simulator is cycle-stepped (the slot pipeline advances every
+//! ring clock) and uses the queue for *delayed* actions — memory accesses
+//! completing, retries firing; the bus simulator is fully event-driven.
+//! Both need the same guarantees:
+//!
+//! * events fire in non-decreasing time order,
+//! * two events scheduled for the same instant fire in scheduling order
+//!   (determinism requires breaking ties stably),
+//! * scheduling in the past is allowed and fires "now" (the caller decides
+//!   what that means).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ringsim_types::Time;
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_core::EventQueue;
+/// use ringsim_types::Time;
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule(Time::from_ns(30), "later");
+/// q.schedule(Time::from_ns(10), "first");
+/// q.schedule(Time::from_ns(10), "second"); // same instant: FIFO
+/// assert_eq!(q.pop_due(Time::from_ns(10)), Some((Time::from_ns(10), "first")));
+/// assert_eq!(q.pop_due(Time::from_ns(10)), Some((Time::from_ns(10), "second")));
+/// assert_eq!(q.pop_due(Time::from_ns(10)), None); // "later" is not due yet
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Time, u64)>>,
+    bodies: std::collections::HashMap<u64, E>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), bodies: std::collections::HashMap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let key = self.seq;
+        self.seq += 1;
+        self.bodies.insert(key, event);
+        self.heap.push(Reverse((at, key)));
+    }
+
+    /// Pops the earliest event due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        match self.heap.peek() {
+            Some(&Reverse((t, _))) if t <= now => {}
+            _ => return None,
+        }
+        let Reverse((t, key)) = self.heap.pop().expect("peeked");
+        let ev = self.bodies.remove(&key).expect("event body present");
+        Some((t, ev))
+    }
+
+    /// Pops the earliest event regardless of time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse((t, key)) = self.heap.pop()?;
+        let ev = self.bodies.remove(&key).expect("event body present");
+        Some((t, ev))
+    }
+
+    /// Time of the next event, if any.
+    #[must_use]
+    pub fn next_at(&self) -> Option<Time> {
+        self.heap.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(5), 5);
+        q.schedule(Time::from_ns(1), 1);
+        q.schedule(Time::from_ns(3), 3);
+        assert_eq!(q.pop(), Some((Time::from_ns(1), 1)));
+        assert_eq!(q.pop(), Some((Time::from_ns(3), 3)));
+        assert_eq!(q.pop(), Some((Time::from_ns(5), 5)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ns(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Time::from_ns(7), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), 'a');
+        q.schedule(Time::from_ns(20), 'b');
+        assert_eq!(q.pop_due(Time::from_ns(5)), None);
+        assert_eq!(q.pop_due(Time::from_ns(15)), Some((Time::from_ns(10), 'a')));
+        assert_eq!(q.pop_due(Time::from_ns(15)), None);
+        assert!(!q.is_empty());
+        assert_eq!(q.next_at(), Some(Time::from_ns(20)));
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::ZERO, 0);
+        q.schedule(Time::ZERO, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::stats::{Histogram, RunningMean};
+use ringsim_types::{CoherenceEvents, Time};
+
+/// Mean latencies by transaction class (the requester's view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatencies {
+    /// Misses satisfied by the local memory bank (no interconnect).
+    pub local: RunningMean,
+    /// Misses served clean by a remote home.
+    pub clean_remote: RunningMean,
+    /// Misses served by a dirty cache.
+    pub dirty: RunningMean,
+    /// Upgrade (invalidation) transactions.
+    pub upgrade: RunningMean,
+}
+
+/// Per-node summary in a [`SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// Fraction of its measured window the processor spent executing.
+    pub util: f64,
+    /// Misses it suffered (measured window).
+    pub misses: u64,
+    /// Mean miss latency in nanoseconds.
+    pub mean_miss_latency_ns: f64,
+    /// Time the node finished its reference budget.
+    pub finished_at: Time,
+}
+
+/// Results of one timed system simulation.
+///
+/// The latency and utilisation definitions follow the paper:
+///
+/// * **processor utilisation** — fraction of time the processor is busy
+///   executing rather than waiting for misses or invalidations (footnote 2);
+/// * **ring slot utilisation** — average fraction of occupied slots;
+/// * **miss latency** — mean stall time of misses (upgrades reported
+///   separately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Protocol the system ran.
+    pub protocol: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Processor cycle time.
+    pub proc_cycle: Time,
+    /// End of simulation (all nodes done).
+    pub sim_end: Time,
+    /// Mean processor utilisation over nodes, 0–1.
+    pub proc_util: f64,
+    /// Ring slot utilisation, 0–1 (all slot kinds).
+    pub ring_util: f64,
+    /// Probe-slot utilisation, 0–1.
+    pub probe_util: f64,
+    /// Block-slot utilisation, 0–1.
+    pub block_util: f64,
+    /// Mean miss latency (ns) over all misses.
+    pub miss_latency: RunningMean,
+    /// Miss-latency histogram (50 ns bins up to 4 µs + overflow).
+    pub miss_histogram: Histogram,
+    /// Mean upgrade (invalidation) latency (ns).
+    pub upgrade_latency: RunningMean,
+    /// Mean latency by transaction class.
+    pub class_latencies: ClassLatencies,
+    /// Coherence event counts, summed over nodes (measured window only).
+    pub events: CoherenceEvents,
+    /// Nacked-and-retried transactions (snooping) or home-queued requests
+    /// (directory).
+    pub retries: u64,
+    /// Per-node summaries.
+    pub per_node: Vec<NodeSummary>,
+}
+
+impl SimReport {
+    /// Directory miss-class breakdown in percent — Figure 5's three bars:
+    /// (1-cycle clean, 1-cycle dirty, 2-cycle).
+    #[must_use]
+    pub fn fig5_percentages(&self) -> (f64, f64, f64) {
+        let c1 = self.events.fig5_one_cycle_clean() as f64;
+        let d1 = self.events.fig5_one_cycle_dirty() as f64;
+        let c2 = self.events.fig5_two_cycle() as f64;
+        let total = c1 + d1 + c2;
+        if total == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (100.0 * c1 / total, 100.0 * d1 / total, 100.0 * c2 / total)
+        }
+    }
+
+    /// Mean miss latency in nanoseconds (0 when no misses).
+    #[must_use]
+    pub fn miss_latency_ns(&self) -> f64 {
+        self.miss_latency.mean()
+    }
+
+    /// Approximate miss-latency percentile in nanoseconds (upper bin edge).
+    #[must_use]
+    pub fn miss_latency_percentile(&self, q: f64) -> Option<f64> {
+        self.miss_histogram.quantile(q)
+    }
+
+    /// Mean latency over misses *and* upgrades, weighted by count.
+    #[must_use]
+    pub fn stall_latency_ns(&self) -> f64 {
+        let mut all = self.miss_latency;
+        all.merge(&self.upgrade_latency);
+        all.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_percentages_sum_to_100() {
+        let events = CoherenceEvents {
+            read_clean_remote: 60,
+            read_dirty_1: 25,
+            read_dirty_2: 15,
+            ..CoherenceEvents::default()
+        };
+        let r = SimReport {
+            protocol: "directory".into(),
+            nodes: 8,
+            proc_cycle: Time::from_ns(20),
+            sim_end: Time::from_us(1),
+            proc_util: 0.5,
+            ring_util: 0.1,
+            probe_util: 0.1,
+            block_util: 0.1,
+            miss_latency: RunningMean::default(),
+            miss_histogram: Histogram::new(50.0, 80),
+            upgrade_latency: RunningMean::default(),
+            class_latencies: ClassLatencies::default(),
+            events,
+            retries: 0,
+            per_node: vec![],
+        };
+        let (a, b, c) = r.fig5_percentages();
+        assert!((a + b + c - 100.0).abs() < 1e-9);
+        assert!((a - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_latency_merges() {
+        let mut miss = RunningMean::default();
+        miss.push(300.0);
+        let mut upg = RunningMean::default();
+        upg.push(100.0);
+        let r = SimReport {
+            protocol: "snooping".into(),
+            nodes: 8,
+            proc_cycle: Time::from_ns(20),
+            sim_end: Time::from_us(1),
+            proc_util: 0.5,
+            ring_util: 0.1,
+            probe_util: 0.1,
+            block_util: 0.1,
+            miss_latency: miss,
+            miss_histogram: Histogram::new(50.0, 80),
+            upgrade_latency: upg,
+            class_latencies: ClassLatencies::default(),
+            events: CoherenceEvents::default(),
+            retries: 0,
+            per_node: vec![],
+        };
+        assert!((r.stall_latency_ns() - 200.0).abs() < 1e-9);
+        assert!((r.miss_latency_ns() - 300.0).abs() < 1e-9);
+    }
+}

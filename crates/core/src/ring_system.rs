@@ -1,0 +1,1582 @@
+//! The timed slotted-ring system simulator: processors, caches, the slot
+//! machine, and the snooping or full-map directory coherence protocol.
+//!
+//! One `RingSystem` owns everything; [`RingSystem::run`] steps the ring one
+//! clock at a time. Per cycle it (1) dispatches due delayed events (memory
+//! accesses completing, retries), (2) lets each processor issue references
+//! until it blocks or catches up with the clock, and (3) lets each node act
+//! on the slot header arriving at its interface — snoop it, remove it, or
+//! claim an empty slot for a queued message.
+//!
+//! ### Conflict handling
+//!
+//! * **Snooping** uses ack/retry, as slotted-ring snooping hardware did: a
+//!   probe that returns to its requester without the owner's acknowledgment
+//!   (owner busy, write-back in flight, conflicting transaction pending) is
+//!   re-issued after a short backoff. An unacknowledged *invalidation*
+//!   additionally drops the requester's stale line and converts into a write
+//!   miss.
+//! * **Directory** homes serialise transactions per block: the entry is
+//!   locked from request arrival to commit, and conflicting requests queue
+//!   at the home. A read fill overtaken by a multicast invalidation is
+//!   "poisoned": the blocked load still completes (it is ordered before the
+//!   write) but the line is not cached.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ringsim_cache::{AccessClass, Cache, LineState};
+use ringsim_proto::{Directory, HomeMemory, MsgClass, MsgKind, ProtocolKind, RingMessage};
+use ringsim_ring::{SlotId, SlotKind, SlotRing};
+use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
+use ringsim_types::stats::{Histogram, RunningMean};
+use ringsim_types::{
+    AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time,
+};
+
+use crate::config::SystemConfig;
+use crate::report::{ClassLatencies, NodeSummary, SimReport};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    Read,
+    Write,
+    Upgrade,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    block: BlockAddr,
+    kind: TxnKind,
+    region: Region,
+    start: Time,
+    /// Data/permission comes from local memory (home == self, block clean).
+    self_owner: bool,
+    /// Fully local transaction (no ring use at all): local clean read.
+    local_path: bool,
+    /// Local memory read finishes at this time (self-owner writes).
+    local_data_ready: Time,
+    /// A write/invalidate overtook this read fill; complete without caching.
+    poisoned: bool,
+    /// Remote copies invalidated on behalf of this transaction (snooping).
+    invalidated: u64,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct Node {
+    stream: NodeStream,
+    cache: Cache,
+    ready_at: Time,
+    instr_carry: f64,
+    refs_issued: u64,
+    warmup_refs: u64,
+    total_refs: u64,
+    measuring: bool,
+    measure_start: Time,
+    busy: Time,
+    finish_at: Option<Time>,
+    txn: Option<Txn>,
+    probe_q: VecDeque<RingMessage>,
+    block_q: VecDeque<RingMessage>,
+    /// Dirty blocks evicted but not yet acknowledged by the home
+    /// (directory mode): forwards are served from here.
+    wb_buffer: HashSet<u64>,
+    /// Forwards that arrived while this node's own fill was in flight.
+    pending_fwds: Vec<RingMessage>,
+    misses: u64,
+    miss_lat: RunningMean,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A purely local transaction completes.
+    Complete { node: usize },
+    /// `node` puts `msg` in its transmit queue (or delivers it locally when
+    /// `dst == src`).
+    Send { node: usize, msg: RingMessage },
+    /// Directory home finishes its memory/directory access for the locked
+    /// transaction on `block`.
+    HomeAct { block: u64 },
+    /// Snooping: re-issue a nacked transaction.
+    Retry { node: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HomeStage {
+    AwaitInval,
+    AwaitUpdate,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HomeTxn {
+    req: RingMessage,
+    stage: Option<HomeStage>,
+    /// The request was a `DirUpgrade` whose line had been invalidated in
+    /// flight: it is served as a write miss, so the eventual reply must
+    /// carry data (`BlockData`), never a bare `DirAck`.
+    converted: bool,
+}
+
+/// The assembled timed simulator for one ring-based system and one
+/// workload.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_core::{RingSystem, SystemConfig};
+/// use ringsim_proto::ProtocolKind;
+/// use ringsim_trace::{Workload, WorkloadSpec};
+///
+/// let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 4);
+/// let workload = Workload::new(WorkloadSpec::demo(4).with_refs(2_000)).unwrap();
+/// let mut sys = RingSystem::new(cfg, workload).unwrap();
+/// let report = sys.run();
+/// assert!(report.proc_util > 0.0 && report.proc_util <= 1.0);
+/// ```
+#[derive(Debug)]
+pub struct RingSystem {
+    cfg: SystemConfig,
+    ring: SlotRing<RingMessage>,
+    nodes: Vec<Node>,
+    space: AddressSpace,
+    // Snooping memory state.
+    mem: HomeMemory,
+    // Directory state.
+    dir: Directory,
+    home_txns: HashMap<u64, HomeTxn>,
+    home_pending: HashMap<u64, VecDeque<RingMessage>>,
+    queue: crate::EventQueue<Event>,
+    // Metrics.
+    miss_lat: RunningMean,
+    miss_hist: Histogram,
+    upg_lat: RunningMean,
+    class_lat: ClassLatencies,
+    events: CoherenceEvents,
+    retries: u64,
+    snapshot: Option<(ringsim_ring::RingStats, Time)>,
+    last_progress_cycle: u64,
+    /// Per-home memory bank availability (used when
+    /// `model_bank_contention` is on).
+    bank_free_at: Vec<Time>,
+}
+
+impl RingSystem {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid or the
+    /// workload's processor count does not match the ring's node count.
+    pub fn new(cfg: SystemConfig, workload: Workload) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if workload.procs() != cfg.nodes() {
+            return Err(ConfigError::new(
+                "workload.procs",
+                format!("workload has {} processors, ring has {}", workload.procs(), cfg.nodes()),
+            ));
+        }
+        let spec = workload.spec().clone();
+        let space = workload.space();
+        let ring = SlotRing::new(cfg.ring)?;
+        let nodes = workload
+            .into_streams()
+            .into_iter()
+            .map(|stream| {
+                Ok(Node {
+                    stream,
+                    cache: Cache::new(cfg.cache)?,
+                    ready_at: Time::ZERO,
+                    instr_carry: 0.0,
+                    refs_issued: 0,
+                    warmup_refs: spec.warmup_refs_per_proc,
+                    total_refs: spec.warmup_refs_per_proc + spec.data_refs_per_proc,
+                    measuring: false,
+                    measure_start: Time::ZERO,
+                    busy: Time::ZERO,
+                    finish_at: None,
+                    txn: None,
+                    probe_q: VecDeque::new(),
+                    block_q: VecDeque::new(),
+                    wb_buffer: HashSet::new(),
+                    pending_fwds: Vec::new(),
+                    misses: 0,
+                    miss_lat: RunningMean::default(),
+                })
+            })
+            .collect::<Result<Vec<_>, ConfigError>>()?;
+        let n = nodes.len();
+        Ok(Self {
+            cfg,
+            ring,
+            nodes,
+            space,
+            mem: HomeMemory::new(),
+            dir: Directory::new(n),
+            home_txns: HashMap::new(),
+            home_pending: HashMap::new(),
+            queue: crate::EventQueue::new(),
+            miss_lat: RunningMean::default(),
+            miss_hist: Histogram::new(50.0, 80),
+            upg_lat: RunningMean::default(),
+            class_lat: ClassLatencies::default(),
+            events: CoherenceEvents::default(),
+            retries: 0,
+            snapshot: None,
+            last_progress_cycle: 0,
+            bank_free_at: vec![Time::ZERO; n],
+        })
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    fn home_of(&self, block: BlockAddr) -> NodeId {
+        self.space.home_of_block(block)
+    }
+
+    /// When a memory access started at `now` at `home` completes. With bank
+    /// contention modelling on, accesses to the same bank serialise; off
+    /// (the paper's assumption), every access takes exactly `mem_latency`.
+    fn mem_done(&mut self, home: usize, now: Time) -> Time {
+        if self.cfg.model_bank_contention {
+            let start = self.bank_free_at[home].max(now);
+            let done = start + self.cfg.mem_latency;
+            self.bank_free_at[home] = done;
+            done
+        } else {
+            now + self.cfg.mem_latency
+        }
+    }
+
+    /// Runs to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation makes no progress for a very long stretch
+    /// (a protocol deadlock — a bug, caught loudly rather than hanging).
+    pub fn run(&mut self) -> SimReport {
+        loop {
+            let now = self.ring.now();
+            // 1. dispatch due events.
+            while let Some((_, ev)) = self.queue.pop_due(now) {
+                self.dispatch(ev, now);
+            }
+            // 2. processors.
+            for i in 0..self.nodes.len() {
+                self.step_processor(i, now);
+            }
+            // 3. slot arrivals.
+            for i in 0..self.nodes.len() {
+                if let Some(slot) = self.ring.arrival(NodeId::new(i)) {
+                    self.handle_slot(i, slot, now);
+                }
+            }
+            // 4. termination / watchdog.
+            if self.nodes.iter().all(|n| n.finish_at.is_some()) {
+                break;
+            }
+            if self.ring.cycle() - self.last_progress_cycle > 4_000_000 {
+                panic!(
+                    "ring simulation deadlock at cycle {}: {:?}",
+                    self.ring.cycle(),
+                    self.diagnostics()
+                );
+            }
+            self.ring.advance();
+            // Start the measured ring-utilisation window once every node has
+            // warmed up.
+            if self.snapshot.is_none() && self.nodes.iter().all(|n| n.measuring) {
+                self.snapshot = Some((self.ring.stats(), self.ring.now()));
+            }
+        }
+        self.build_report()
+    }
+
+    fn diagnostics(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                n.txn.as_ref().map(|t| {
+                    format!(
+                        "P{i}: txn {:?} on {} since {} retries {} (probe_q {}, block_q {})",
+                        t.kind,
+                        t.block,
+                        t.start,
+                        t.retries,
+                        n.probe_q.len(),
+                        n.block_q.len()
+                    )
+                })
+            })
+            .collect()
+    }
+
+    // ----------------------------------------------------------- processors
+
+    fn step_processor(&mut self, i: usize, now: Time) {
+        loop {
+            let node = &mut self.nodes[i];
+            if node.finish_at.is_some() || node.txn.is_some() || node.ready_at > now {
+                return;
+            }
+            if node.refs_issued == node.total_refs {
+                node.finish_at = Some(node.ready_at.max(now));
+                return;
+            }
+            // Instruction time for this data reference (instruction fetches
+            // never miss; fractional instruction counts carry over).
+            let icycles = node.instr_carry + node.stream.instr_per_data();
+            let whole = icycles.floor();
+            node.instr_carry = icycles - whole;
+            let cost = self.cfg.proc_cycle * (1 + whole as u64);
+            if node.measuring {
+                node.busy += cost;
+            }
+            node.ready_at += cost;
+            let r = node.stream.next_ref();
+            node.refs_issued += 1;
+            if !node.measuring && node.refs_issued > node.warmup_refs {
+                node.measuring = true;
+                node.measure_start = node.ready_at;
+                node.busy = cost; // this reference is the first measured one
+            }
+            let block = r.addr.block(BLOCK_BYTES);
+            let class = node.cache.classify(block, r.kind);
+            if node.measuring {
+                match (r.region, r.kind) {
+                    (Region::Private, AccessKind::Read) => self.events.private_reads += 1,
+                    (Region::Private, AccessKind::Write) => self.events.private_writes += 1,
+                    (Region::Shared, AccessKind::Read) => self.events.shared_reads += 1,
+                    (Region::Shared, AccessKind::Write) => self.events.shared_writes += 1,
+                }
+            }
+            match class {
+                AccessClass::Hit => continue,
+                AccessClass::Upgrade | AccessClass::Miss => {
+                    let kind = match (class, r.kind) {
+                        (AccessClass::Upgrade, _) => TxnKind::Upgrade,
+                        (_, AccessKind::Read) => TxnKind::Read,
+                        (_, AccessKind::Write) => TxnKind::Write,
+                    };
+                    let start = self.nodes[i].ready_at;
+                    self.nodes[i].txn = Some(Txn {
+                        block,
+                        kind,
+                        region: r.region,
+                        start,
+                        self_owner: false,
+                        local_path: false,
+                        local_data_ready: Time::ZERO,
+                        poisoned: false,
+                        invalidated: 0,
+                        retries: 0,
+                    });
+                    self.issue_txn(i, now.max(start));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queues `msg` for transmission no earlier than `at` (a transaction's
+    /// messages must not enter the ring before the processor has actually
+    /// issued the reference).
+    fn send_no_earlier(&mut self, i: usize, msg: RingMessage, at: Time) {
+        if at > self.ring.now() {
+            self.schedule(at, Event::Send { node: i, msg });
+        } else {
+            self.enqueue_msg(i, msg, at);
+        }
+    }
+
+    fn issue_txn(&mut self, i: usize, now: Time) {
+        let me = NodeId::new(i);
+        let (block, kind) = {
+            let t = self.nodes[i].txn.as_ref().expect("issue without txn");
+            (t.block, t.kind)
+        };
+        let home = self.home_of(block);
+        match self.cfg.protocol {
+            ProtocolKind::Snooping => {
+                let local_clean = home == me && !self.mem.is_dirty(block);
+                let t = self.nodes[i].txn.as_mut().expect("txn");
+                t.self_owner = false;
+                t.local_path = false;
+                match kind {
+                    TxnKind::Read if local_clean => {
+                        t.local_path = true;
+                        let done = self.mem_done(i, now);
+                        self.schedule(done, Event::Complete { node: i });
+                    }
+                    TxnKind::Read => {
+                        let probe = RingMessage::new(MsgKind::SnoopRead, block, me, me);
+                        self.send_no_earlier(i, probe, now);
+                    }
+                    TxnKind::Write => {
+                        if local_clean {
+                            t.self_owner = true;
+                            t.local_data_ready = Time::ZERO; // set below
+                            self.mem.set_dirty(block);
+                        }
+                        if self.nodes[i].txn.as_ref().is_some_and(|t| t.self_owner) {
+                            let ready = self.mem_done(i, now);
+                            if let Some(t) = self.nodes[i].txn.as_mut() {
+                                t.local_data_ready = ready;
+                            }
+                        }
+                        let probe = RingMessage::new(MsgKind::SnoopWrite, block, me, me);
+                        self.send_no_earlier(i, probe, now);
+                    }
+                    TxnKind::Upgrade => {
+                        if local_clean {
+                            t.self_owner = true;
+                            self.mem.set_dirty(block);
+                        }
+                        let probe = RingMessage::new(MsgKind::SnoopUpgrade, block, me, me);
+                        self.send_no_earlier(i, probe, now);
+                    }
+                }
+            }
+            ProtocolKind::Directory => {
+                let mk = match kind {
+                    TxnKind::Read => MsgKind::DirRead,
+                    TxnKind::Write => MsgKind::DirWrite,
+                    TxnKind::Upgrade => MsgKind::DirUpgrade,
+                };
+                let req = RingMessage::new(mk, block, me, home);
+                if home == me {
+                    if now > self.ring.now() {
+                        // Deliver to our own home side once the reference
+                        // actually issues.
+                        self.schedule(now, Event::Send { node: i, msg: req });
+                    } else {
+                        self.home_receive(req, now);
+                    }
+                } else {
+                    self.send_no_earlier(i, req, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- events
+
+    fn dispatch(&mut self, ev: Event, now: Time) {
+        match ev {
+            Event::Complete { node } => self.complete_local(node, now),
+            Event::Send { node, msg } => self.enqueue_msg(node, msg, now),
+            Event::HomeAct { block } => self.home_act(BlockAddr::new(block), now),
+            Event::Retry { node } => {
+                if self.nodes[node].txn.is_some() {
+                    self.issue_txn(node, now);
+                }
+            }
+        }
+    }
+
+    /// Completes a transaction that needed no reply message (local clean
+    /// read, or self-owned write waiting for memory + probe return).
+    fn complete_local(&mut self, i: usize, now: Time) {
+        let Some(t) = self.nodes[i].txn.clone() else { return };
+        match t.kind {
+            TxnKind::Read => {
+                if !t.poisoned {
+                    self.fill(i, t.block, LineState::Rs, now);
+                }
+                self.finish_txn(i, now, None);
+            }
+            TxnKind::Write => {
+                self.fill(i, t.block, LineState::We, now);
+                self.finish_txn(i, now, None);
+            }
+            TxnKind::Upgrade => {
+                let ok = self.nodes[i].cache.promote(t.block);
+                debug_assert!(ok, "self-owned upgrade failed to promote");
+                self.finish_txn(i, now, None);
+            }
+        }
+    }
+
+    fn enqueue_msg(&mut self, i: usize, msg: RingMessage, now: Time) {
+        if msg.dst == msg.src && !msg.kind.returns_to_source() {
+            // Local delivery (home == requester replies, local write-backs).
+            self.deliver(i, msg, now);
+            return;
+        }
+        match msg.class() {
+            MsgClass::Probe => self.nodes[i].probe_q.push_back(msg),
+            MsgClass::Block => self.nodes[i].block_q.push_back(msg),
+        }
+    }
+
+    // ------------------------------------------------------------- slots
+
+    fn handle_slot(&mut self, i: usize, slot: SlotId, now: Time) {
+        let me = NodeId::new(i);
+        let occupied = self.ring.peek(slot).is_some();
+        if occupied {
+            let msg = *self.ring.peek(slot).expect("occupied");
+            let removes = msg.dst == me && (!msg.kind.returns_to_source() || msg.src == me);
+            if removes {
+                let msg = self.ring.remove(slot, me);
+                self.last_progress_cycle = self.ring.cycle();
+                self.deliver(i, msg, now);
+            } else {
+                self.snoop(i, slot);
+            }
+        } else {
+            self.try_transmit(i, slot);
+        }
+    }
+
+    fn try_transmit(&mut self, i: usize, slot: SlotId) {
+        let me = NodeId::new(i);
+        let kind = self.ring.kind_of(slot);
+        let q = match kind {
+            SlotKind::Block => &mut self.nodes[i].block_q,
+            _ => &mut self.nodes[i].probe_q,
+        };
+        // First queued message that fits this slot (parity filter for
+        // probes).
+        let parity = kind.parity();
+        let pos = q.iter().position(|m| match kind {
+            SlotKind::Block => true,
+            _ => parity.accepts(m.block.is_even()),
+        });
+        if let Some(pos) = pos {
+            let msg = q.remove(pos).expect("position valid");
+            if self.ring.try_insert(slot, me, msg).is_err() {
+                // Anti-starvation rule: put it back, try next slot.
+                let q = match kind {
+                    SlotKind::Block => &mut self.nodes[i].block_q,
+                    _ => &mut self.nodes[i].probe_q,
+                };
+                q.push_front(msg);
+            } else {
+                self.last_progress_cycle = self.ring.cycle();
+            }
+        }
+    }
+
+    /// A message passes node `i` without being removed: snooping actions.
+    fn snoop(&mut self, i: usize, slot: SlotId) {
+        let me = NodeId::new(i);
+        let msg = *self.ring.peek(slot).expect("occupied");
+        match msg.kind {
+            MsgKind::SnoopRead | MsgKind::SnoopWrite | MsgKind::SnoopUpgrade => {
+                self.snoop_probe(i, slot, msg);
+            }
+            MsgKind::DirInval
+                if msg.requester != me => {
+                    let was = self.nodes[i].cache.snoop_invalidate(msg.block);
+                    if was.is_valid() {
+                        // Presence bits are updated wholesale when the
+                        // multicast returns to the home.
+                    }
+                    self.poison_pending_read(i, msg.block);
+                }
+            _ => {}
+        }
+    }
+
+    fn poison_pending_read(&mut self, i: usize, block: BlockAddr) {
+        if let Some(t) = self.nodes[i].txn.as_mut() {
+            if t.block == block && t.kind == TxnKind::Read {
+                t.poisoned = true;
+            }
+        }
+    }
+
+    fn snoop_probe(&mut self, i: usize, slot: SlotId, msg: RingMessage) {
+        let me = NodeId::new(i);
+        debug_assert_ne!(msg.src, me, "source does not snoop its own probe");
+        let block = msg.block;
+        // A node with its own transaction in flight on this block does not
+        // participate: conflicts resolve through the home's dirty bit and
+        // the requester's retry.
+        if let Some(t) = &self.nodes[i].txn {
+            if t.block == block {
+                if msg.kind != MsgKind::SnoopRead && t.kind == TxnKind::Read {
+                    self.poison_pending_read(i, block);
+                }
+                return;
+            }
+        }
+        let state = self.nodes[i].cache.state_of(block);
+        let home = self.home_of(block);
+        let supply = self.cfg.supply_latency;
+        let mem = self.cfg.mem_latency;
+        let now = self.ring.now();
+        match msg.kind {
+            MsgKind::SnoopRead => {
+                if state == LineState::We {
+                    // Dirty owner: downgrade, ack, supply, refresh memory.
+                    self.nodes[i].cache.snoop_downgrade(block);
+                    if let Some(m) = self.ring.peek_mut(slot) {
+                        m.acked = true;
+                    }
+                    let data = RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        me,
+                        msg.requester,
+                        msg.requester,
+                    )
+                    .with_from_dirty(true);
+                    self.schedule(now + supply, Event::Send { node: i, msg: data });
+                    let wb = RingMessage::new(MsgKind::WriteBack, block, me, home);
+                    self.schedule(now + supply, Event::Send { node: i, msg: wb });
+                } else if me == home && !self.mem.is_dirty(block) {
+                    if let Some(m) = self.ring.peek_mut(slot) {
+                        m.acked = true;
+                    }
+                    let data = RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        me,
+                        msg.requester,
+                        msg.requester,
+                    );
+                    let done = self.mem_done(i, now);
+                    self.schedule(done, Event::Send { node: i, msg: data });
+                }
+            }
+            MsgKind::SnoopWrite => {
+                if state == LineState::We {
+                    // Dirty owner: supply and relinquish.
+                    self.nodes[i].cache.snoop_invalidate(block);
+                    if let Some(m) = self.ring.peek_mut(slot) {
+                        m.acked = true;
+                    }
+                    let data = RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        me,
+                        msg.requester,
+                        msg.requester,
+                    )
+                    .with_from_dirty(true);
+                    self.schedule(now + supply, Event::Send { node: i, msg: data });
+                } else if state == LineState::Rs {
+                    self.nodes[i].cache.snoop_invalidate(block);
+                    self.credit_invalidation(msg.requester, block);
+                }
+                if me == home
+                    && !self.mem.is_dirty(block) {
+                        if let Some(m) = self.ring.peek_mut(slot) {
+                            m.acked = true;
+                        }
+                        let data = RingMessage::for_requester(
+                            MsgKind::BlockData,
+                            block,
+                            me,
+                            msg.requester,
+                            msg.requester,
+                        );
+                        self.schedule(now + mem, Event::Send { node: i, msg: data });
+                        self.mem.set_dirty(block);
+                    }
+                    // If already dirty the (old or pending) owner responds.
+            }
+            MsgKind::SnoopUpgrade => {
+                if state == LineState::Rs {
+                    self.nodes[i].cache.snoop_invalidate(block);
+                    self.credit_invalidation(msg.requester, block);
+                }
+                if me == home && !self.mem.is_dirty(block) {
+                    if let Some(m) = self.ring.peek_mut(slot) {
+                        m.acked = true;
+                    }
+                    self.mem.set_dirty(block);
+                }
+            }
+            _ => unreachable!("snoop_probe called on non-probe"),
+        }
+    }
+
+    fn credit_invalidation(&mut self, requester: NodeId, block: BlockAddr) {
+        if let Some(t) = self.nodes[requester.index()].txn.as_mut() {
+            if t.block == block {
+                t.invalidated += 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- delivery
+
+    fn deliver(&mut self, i: usize, msg: RingMessage, now: Time) {
+        match msg.kind {
+            MsgKind::SnoopRead | MsgKind::SnoopWrite | MsgKind::SnoopUpgrade => {
+                self.probe_returned(i, msg, now);
+            }
+            MsgKind::DirRead | MsgKind::DirWrite | MsgKind::DirUpgrade => {
+                self.home_receive(msg, now);
+            }
+            MsgKind::DirFwdRead | MsgKind::DirFwdWrite => {
+                let pending = self.nodes[i]
+                    .txn
+                    .as_ref()
+                    .is_some_and(|t| t.block == msg.block);
+                if pending {
+                    self.nodes[i].pending_fwds.push(msg);
+                } else {
+                    self.serve_forward(i, msg, now);
+                }
+            }
+            MsgKind::DirInval => self.inval_returned(msg, now),
+            MsgKind::DirAck => self.ack_received(i, msg, now),
+            MsgKind::BlockData => self.data_received(i, msg, now),
+            MsgKind::WriteBack => match self.cfg.protocol {
+                ProtocolKind::Snooping => self.mem.clear_dirty(msg.block),
+                ProtocolKind::Directory => self.home_receive(msg, now),
+            },
+            MsgKind::MemUpdate => self.update_received(msg, now),
+        }
+    }
+
+    /// A snooping probe returned to its requester.
+    fn probe_returned(&mut self, i: usize, msg: RingMessage, now: Time) {
+        let Some(t) = self.nodes[i].txn.clone() else { return };
+        if t.block != msg.block {
+            return; // stale return from a superseded attempt
+        }
+        let acked = msg.acked || t.self_owner;
+        if !acked {
+            self.retries += 1;
+            let convert = t.kind == TxnKind::Upgrade;
+            {
+                let t = self.nodes[i].txn.as_mut().expect("txn");
+                t.retries += 1;
+                if convert {
+                    t.kind = TxnKind::Write;
+                }
+            }
+            if convert {
+                // The requester's line is stale: drop it before retrying as
+                // a write miss.
+                self.nodes[i].cache.snoop_invalidate(msg.block);
+            }
+            let backoff = self.cfg.ring.clock_period * self.cfg.retry_backoff_cycles;
+            self.schedule(now + backoff, Event::Retry { node: i });
+            return;
+        }
+        match t.kind {
+            TxnKind::Upgrade => {
+                // Ack observed in the following probe slot of the same type.
+                let delay = if t.self_owner {
+                    Time::ZERO
+                } else {
+                    self.cfg.ring.clock_period * self.cfg.ring.frame_stages() as u64
+                };
+                let ok = self.nodes[i].cache.promote(t.block);
+                debug_assert!(ok, "acked upgrade failed to promote");
+                let done = now + delay;
+                self.finish_txn_at(i, done, None);
+            }
+            TxnKind::Write if t.self_owner => {
+                let done = now.max(t.local_data_ready);
+                self.schedule(done, Event::Complete { node: i });
+            }
+            _ => {
+                // Data will arrive in a block message.
+            }
+        }
+    }
+
+    /// Data reply arrives at the requester.
+    fn data_received(&mut self, i: usize, msg: RingMessage, now: Time) {
+        let Some(t) = self.nodes[i].txn.clone() else {
+            return;
+        };
+        if t.block != msg.block {
+            return;
+        }
+        match t.kind {
+            TxnKind::Read => {
+                if !t.poisoned {
+                    self.fill(i, t.block, LineState::Rs, now);
+                }
+            }
+            TxnKind::Write | TxnKind::Upgrade => {
+                // Upgrades converted to write misses by the home also land
+                // here; either way the block arrives write-exclusive.
+                self.fill(i, t.block, LineState::We, now);
+            }
+        }
+        self.finish_txn(i, now, Some(msg));
+    }
+
+    /// Directory upgrade grant arrives at the requester.
+    fn ack_received(&mut self, i: usize, msg: RingMessage, now: Time) {
+        let Some(t) = self.nodes[i].txn.clone() else { return };
+        if t.block != msg.block {
+            return;
+        }
+        debug_assert_eq!(t.kind, TxnKind::Upgrade);
+        let ok = self.nodes[i].cache.promote(t.block);
+        debug_assert!(
+            ok,
+            "directory granted an upgrade for an absent line: node {i}, {msg}, state {:?}, dir {:?}",
+            self.nodes[i].cache.state_of(t.block),
+            self.dir.entry(t.block),
+        );
+        self.finish_txn(i, now, Some(msg));
+    }
+
+    /// Install a block and handle the victim it displaces.
+    fn fill(&mut self, i: usize, block: BlockAddr, state: LineState, now: Time) {
+        let me = NodeId::new(i);
+        if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, state) {
+            let vhome = self.home_of(victim);
+            match self.cfg.protocol {
+                ProtocolKind::Snooping => {
+                    if vstate.is_dirty() {
+                        if vhome == me {
+                            self.mem.clear_dirty(victim);
+                        } else {
+                            let wb = RingMessage::new(MsgKind::WriteBack, victim, me, vhome);
+                            self.enqueue_msg(i, wb, now);
+                        }
+                        self.count_writeback(i, vhome == me);
+                    }
+                }
+                ProtocolKind::Directory => {
+                    if vstate.is_dirty() {
+                        self.nodes[i].wb_buffer.insert(victim.raw());
+                        let wb = RingMessage::new(MsgKind::WriteBack, victim, me, vhome);
+                        if vhome == me {
+                            self.home_receive(wb, now);
+                        } else {
+                            self.enqueue_msg(i, wb, now);
+                        }
+                        self.count_writeback(i, vhome == me);
+                    } else {
+                        // Clean replacement: presence bits refreshed with a
+                        // zero-cost replacement hint (idealisation noted in
+                        // DESIGN.md).
+                        self.dir.remove_sharer(victim, me);
+                    }
+                }
+            }
+        }
+    }
+
+    fn count_writeback(&mut self, i: usize, local: bool) {
+        if self.nodes[i].measuring {
+            if local {
+                self.events.writeback_local += 1;
+            } else {
+                self.events.writeback_remote += 1;
+            }
+        }
+    }
+
+    /// Finish the in-flight transaction for node `i` at time `now`.
+    fn finish_txn(&mut self, i: usize, now: Time, reply: Option<RingMessage>) {
+        self.finish_txn_at(i, now, reply);
+    }
+
+    fn finish_txn_at(&mut self, i: usize, done: Time, reply: Option<RingMessage>) {
+        let t = self.nodes[i].txn.take().expect("finishing absent txn");
+        // Serve any forwards that waited for this fill (directory mode).
+        let fwds = std::mem::take(&mut self.nodes[i].pending_fwds);
+        for fwd in fwds {
+            if fwd.block == t.block {
+                self.serve_forward(i, fwd, done);
+            } else {
+                self.nodes[i].pending_fwds.push(fwd);
+            }
+        }
+        let node = &mut self.nodes[i];
+        node.ready_at = node.ready_at.max(done);
+        self.last_progress_cycle = self.ring.cycle();
+        let latency = done.saturating_sub(t.start);
+        if node.measuring {
+            let is_upgrade_final = t.kind == TxnKind::Upgrade;
+            if is_upgrade_final {
+                self.upg_lat.push_time_ns(latency);
+                self.class_lat.upgrade.push_time_ns(latency);
+            } else {
+                self.miss_lat.push_time_ns(latency);
+                self.miss_hist.record(latency.as_ns_f64());
+                node.misses += 1;
+                node.miss_lat.push_time_ns(latency);
+                // Class bucket from the requester's observations. A reply
+                // whose source is the requester itself came from the local
+                // home (directory mode serves local misses without the
+                // ring).
+                let me = NodeId::new(i);
+                if t.local_path || reply.is_some_and(|m| m.src == me && !m.from_dirty) {
+                    self.class_lat.local.push_time_ns(latency);
+                } else if reply.is_some_and(|m| m.from_dirty) {
+                    self.class_lat.dirty.push_time_ns(latency);
+                } else {
+                    self.class_lat.clean_remote.push_time_ns(latency);
+                }
+            }
+            if self.cfg.protocol == ProtocolKind::Snooping {
+                self.classify_snooping(i, &t, reply);
+            }
+        }
+    }
+
+    /// Snooping-mode event classification, performed at completion from the
+    /// transaction's own observations (who supplied, what got invalidated).
+    fn classify_snooping(&mut self, i: usize, t: &Txn, reply: Option<RingMessage>) {
+        let me = NodeId::new(i);
+        let block = t.block;
+        let home = self.home_of(block);
+        let local = home == me;
+        let ev = &mut self.events;
+        match t.region {
+            Region::Private => {
+                if t.kind != TxnKind::Upgrade {
+                    ev.private_misses += 1;
+                }
+                if t.kind == TxnKind::Upgrade
+                    && t.invalidated == 0 {
+                        if local {
+                            ev.upgrade_nosharers_local += 1;
+                        } else {
+                            ev.upgrade_nosharers_remote += 1;
+                        }
+                    }
+                return;
+            }
+            Region::Shared => {}
+        }
+        let dirty_src = reply.and_then(|m| if m.from_dirty { Some(m.src) } else { None });
+        match t.kind {
+            TxnKind::Read => match dirty_src {
+                Some(d) => {
+                    if dirty_on_path(me, home, d, self.cfg.nodes()) {
+                        ev.read_dirty_2 += 1;
+                    } else {
+                        ev.read_dirty_1 += 1;
+                    }
+                }
+                None => {
+                    if local {
+                        ev.read_clean_local += 1;
+                    } else {
+                        ev.read_clean_remote += 1;
+                    }
+                }
+            },
+            TxnKind::Write => match dirty_src {
+                Some(d) => {
+                    if dirty_on_path(me, home, d, self.cfg.nodes()) {
+                        ev.write_dirty_2 += 1;
+                    } else {
+                        ev.write_dirty_1 += 1;
+                    }
+                }
+                None => {
+                    match (t.invalidated > 0, local) {
+                        (false, true) => ev.write_nosharers_local += 1,
+                        (false, false) => ev.write_nosharers_remote += 1,
+                        (true, true) => ev.write_sharers_local += 1,
+                        (true, false) => ev.write_sharers_remote += 1,
+                    }
+                    ev.invalidated_copies += t.invalidated;
+                }
+            },
+            TxnKind::Upgrade => {
+                match (t.invalidated > 0, local) {
+                    (false, true) => ev.upgrade_nosharers_local += 1,
+                    (false, false) => ev.upgrade_nosharers_remote += 1,
+                    (true, true) => ev.upgrade_sharers_local += 1,
+                    (true, false) => ev.upgrade_sharers_remote += 1,
+                }
+                ev.invalidated_copies += t.invalidated;
+            }
+        }
+    }
+
+    // ------------------------------------------------ directory home side
+
+    fn home_receive(&mut self, msg: RingMessage, now: Time) {
+        debug_assert_eq!(self.cfg.protocol, ProtocolKind::Directory);
+        let block = msg.block;
+        if self.dir.try_lock(block) {
+            self.home_txns.insert(block.raw(), HomeTxn { req: msg, stage: None, converted: false });
+            let home = msg.dst.index();
+            let done = self.mem_done(home, now);
+            self.schedule(done, Event::HomeAct { block: block.raw() });
+        } else {
+            self.home_pending.entry(block.raw()).or_default().push_back(msg);
+            self.retries += 1;
+        }
+    }
+
+    fn unlock_and_drain(&mut self, block: BlockAddr, now: Time) {
+        self.dir.unlock(block);
+        self.home_txns.remove(&block.raw());
+        if let Some(queue) = self.home_pending.get_mut(&block.raw()) {
+            if let Some(next) = queue.pop_front() {
+                if queue.is_empty() {
+                    self.home_pending.remove(&block.raw());
+                }
+                self.home_receive(next, now);
+            } else {
+                self.home_pending.remove(&block.raw());
+            }
+        }
+    }
+
+    fn home_act(&mut self, block: BlockAddr, now: Time) {
+        let ht = *self.home_txns.get(&block.raw()).expect("home txn present");
+        let req = ht.req;
+        let home = req.dst;
+        debug_assert_eq!(home, self.home_of(block));
+        match req.kind {
+            MsgKind::WriteBack => {
+                let evictor = req.src;
+                let entry = self.dir.entry(block);
+                if entry.owner == Some(evictor) {
+                    self.dir.remove_sharer(block, evictor);
+                }
+                // Model the home's acknowledgment: the evictor's write-back
+                // buffer entry is reclaimed at this instant.
+                self.nodes[evictor.index()].wb_buffer.remove(&block.raw());
+                self.unlock_and_drain(block, now);
+            }
+            MsgKind::DirRead => self.home_read(req, now),
+            MsgKind::DirWrite => self.home_write(req, now, false),
+            MsgKind::DirUpgrade => {
+                let entry = self.dir.entry(block);
+                if entry.has_sharer(req.requester) {
+                    debug_assert!(entry.owner.is_none(), "upgrader coexists with an owner");
+                    self.home_upgrade(req, now);
+                } else {
+                    // The upgrader's line was invalidated while the request
+                    // waited: serve it as a write miss instead.
+                    self.home_write(req, now, true)
+                }
+            }
+            _ => unreachable!("home_act on non-request {:?}", req.kind),
+        }
+    }
+
+    fn measuring_requester(&self, req: &RingMessage) -> bool {
+        self.nodes[req.requester.index()].measuring
+    }
+
+    fn requester_region(&self, req: &RingMessage) -> Region {
+        self.nodes[req.requester.index()]
+            .txn
+            .as_ref()
+            .map_or(Region::Shared, |t| t.region)
+    }
+
+    /// The home is about to multicast an invalidation: it also invalidates
+    /// its own cached copy (it observes its own probe immediately) unless it
+    /// is the exempt requester.
+    fn home_self_invalidate(&mut self, home: NodeId, requester: NodeId, block: BlockAddr) {
+        if home != requester {
+            self.nodes[home.index()].cache.snoop_invalidate(block);
+            self.poison_pending_read(home.index(), block);
+        }
+    }
+
+    /// If the directory says the requester itself owns the block, its
+    /// write-back must be in flight: the home pulls it in place (clearing
+    /// the evictor's buffer models the acknowledgment) so the request can
+    /// proceed against clean memory.
+    fn reclaim_own_writeback(&mut self, block: BlockAddr, requester: NodeId) {
+        let entry = self.dir.entry(block);
+        if entry.owner == Some(requester) {
+            debug_assert!(
+                self.nodes[requester.index()].wb_buffer.contains(&block.raw()),
+                "directory owner misses without a write-back in flight"
+            );
+            self.dir.remove_sharer(block, requester);
+            self.nodes[requester.index()].wb_buffer.remove(&block.raw());
+        }
+    }
+
+    fn home_read(&mut self, req: RingMessage, now: Time) {
+        let block = req.block;
+        let home = req.dst;
+        let requester = req.requester;
+        self.reclaim_own_writeback(block, requester);
+        let entry = self.dir.entry(block);
+        let measuring = self.measuring_requester(&req);
+        let region = self.requester_region(&req);
+        let local = home == requester;
+        match entry.owner {
+            Some(d) => {
+                debug_assert_ne!(d, requester, "requester misses on a block it owns");
+                if measuring {
+                    if region == Region::Private {
+                        self.events.private_misses += 1;
+                    } else if dirty_on_path(requester, home, d, self.cfg.nodes()) {
+                        self.events.read_dirty_2 += 1;
+                    } else {
+                        self.events.read_dirty_1 += 1;
+                    }
+                }
+                let fwd =
+                    RingMessage::for_requester(MsgKind::DirFwdRead, block, home, d, requester);
+                self.home_txns.insert(
+                    block.raw(),
+                    HomeTxn { req, stage: Some(HomeStage::AwaitUpdate), converted: false },
+                );
+                self.schedule(now, Event::Send { node: home.index(), msg: fwd });
+            }
+            None => {
+                if measuring {
+                    if region == Region::Private {
+                        self.events.private_misses += 1;
+                    } else if local {
+                        self.events.read_clean_local += 1;
+                    } else {
+                        self.events.read_clean_remote += 1;
+                    }
+                }
+                self.dir.add_sharer(block, requester);
+                let data =
+                    RingMessage::for_requester(MsgKind::BlockData, block, home, requester, requester);
+                self.schedule(now, Event::Send { node: home.index(), msg: data });
+                self.unlock_and_drain(block, now);
+            }
+        }
+    }
+
+    fn home_write(&mut self, req: RingMessage, now: Time, converted_upgrade: bool) {
+        let block = req.block;
+        let home = req.dst;
+        let requester = req.requester;
+        self.reclaim_own_writeback(block, requester);
+        let entry = self.dir.entry(block);
+        let measuring = self.measuring_requester(&req);
+        let region = self.requester_region(&req);
+        let local = home == requester;
+        match entry.owner {
+            Some(d) => {
+                debug_assert_ne!(d, requester);
+                if measuring {
+                    if region == Region::Private {
+                        self.events.private_misses += 1;
+                    } else if dirty_on_path(requester, home, d, self.cfg.nodes()) {
+                        self.events.write_dirty_2 += 1;
+                    } else {
+                        self.events.write_dirty_1 += 1;
+                    }
+                }
+                let fwd =
+                    RingMessage::for_requester(MsgKind::DirFwdWrite, block, home, d, requester);
+                self.home_txns.insert(
+                    block.raw(),
+                    HomeTxn {
+                        req,
+                        stage: Some(HomeStage::AwaitUpdate),
+                        converted: converted_upgrade,
+                    },
+                );
+                self.schedule(now, Event::Send { node: home.index(), msg: fwd });
+            }
+            None => {
+                let others = entry.other_sharers(requester);
+                if measuring {
+                    if region == Region::Private {
+                        if !converted_upgrade {
+                            self.events.private_misses += 1;
+                        }
+                    } else {
+                        match (others != 0, local) {
+                            (false, true) => self.events.write_nosharers_local += 1,
+                            (false, false) => self.events.write_nosharers_remote += 1,
+                            (true, true) => self.events.write_sharers_local += 1,
+                            (true, false) => self.events.write_sharers_remote += 1,
+                        }
+                        self.events.invalidated_copies += others.count_ones() as u64;
+                    }
+                }
+                if others != 0 {
+                    self.home_self_invalidate(home, requester, block);
+                    let inval =
+                        RingMessage::for_requester(MsgKind::DirInval, block, home, home, requester);
+                    self.home_txns.insert(
+                        block.raw(),
+                        HomeTxn {
+                            req,
+                            stage: Some(HomeStage::AwaitInval),
+                            converted: converted_upgrade,
+                        },
+                    );
+                    self.schedule(now, Event::Send { node: home.index(), msg: inval });
+                } else {
+                    self.dir.set_owner(block, requester);
+                    let data = RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        home,
+                        requester,
+                        requester,
+                    );
+                    self.schedule(now, Event::Send { node: home.index(), msg: data });
+                    self.unlock_and_drain(block, now);
+                }
+            }
+        }
+    }
+
+    fn home_upgrade(&mut self, req: RingMessage, now: Time) {
+        let block = req.block;
+        let home = req.dst;
+        let requester = req.requester;
+        let entry = self.dir.entry(block);
+        let others = entry.other_sharers(requester);
+        let measuring = self.measuring_requester(&req);
+        let region = self.requester_region(&req);
+        let local = home == requester;
+        if measuring && region == Region::Shared {
+            match (others != 0, local) {
+                (false, true) => self.events.upgrade_nosharers_local += 1,
+                (false, false) => self.events.upgrade_nosharers_remote += 1,
+                (true, true) => self.events.upgrade_sharers_local += 1,
+                (true, false) => self.events.upgrade_sharers_remote += 1,
+            }
+            self.events.invalidated_copies += others.count_ones() as u64;
+        } else if measuring && region == Region::Private && others == 0 {
+            if local {
+                self.events.upgrade_nosharers_local += 1;
+            } else {
+                self.events.upgrade_nosharers_remote += 1;
+            }
+        }
+        if others != 0 {
+            self.home_self_invalidate(home, requester, block);
+            let inval = RingMessage::for_requester(MsgKind::DirInval, block, home, home, requester);
+            self.home_txns.insert(
+                block.raw(),
+                HomeTxn { req, stage: Some(HomeStage::AwaitInval), converted: false },
+            );
+            self.schedule(now, Event::Send { node: home.index(), msg: inval });
+        } else {
+            self.dir.set_owner(block, requester);
+            let ack = RingMessage::for_requester(MsgKind::DirAck, block, home, requester, requester);
+            self.schedule(now, Event::Send { node: home.index(), msg: ack });
+            self.unlock_and_drain(block, now);
+        }
+    }
+
+    /// The multicast invalidation returned to the home: reply to the
+    /// requester and commit.
+    fn inval_returned(&mut self, msg: RingMessage, now: Time) {
+        let block = msg.block;
+        let ht = *self.home_txns.get(&block.raw()).expect("inval context");
+        debug_assert_eq!(ht.stage, Some(HomeStage::AwaitInval));
+        let req = ht.req;
+        let home = req.dst;
+        let requester = req.requester;
+        self.dir.set_owner(block, requester);
+        let reply_kind = match req.kind {
+            // A converted upgrade is served as a write miss: the requester's
+            // line is gone, so the reply must carry the block.
+            MsgKind::DirUpgrade if !ht.converted => MsgKind::DirAck,
+            _ => MsgKind::BlockData,
+        };
+        let reply = RingMessage::for_requester(reply_kind, block, home, requester, requester);
+        self.schedule(now, Event::Send { node: home.index(), msg: reply });
+        self.unlock_and_drain(block, now);
+    }
+
+    /// The dirty node's memory/directory refresh arrived at the home.
+    fn update_received(&mut self, msg: RingMessage, now: Time) {
+        let block = msg.block;
+        let ht = *self.home_txns.get(&block.raw()).expect("update context");
+        debug_assert_eq!(ht.stage, Some(HomeStage::AwaitUpdate));
+        let req = ht.req;
+        let requester = req.requester;
+        let d = msg.src;
+        match req.kind {
+            MsgKind::DirRead => {
+                self.dir.clear_owner(block);
+                if !msg.retained {
+                    self.dir.remove_sharer(block, d);
+                }
+                self.dir.add_sharer(block, requester);
+            }
+            _ => {
+                self.dir.set_owner(block, requester);
+            }
+        }
+        self.unlock_and_drain(block, now);
+    }
+
+    /// A forward reached the (current or former) dirty node: supply data.
+    fn serve_forward(&mut self, i: usize, fwd: RingMessage, now: Time) {
+        let me = NodeId::new(i);
+        let block = fwd.block;
+        let home = fwd.src;
+        let state = self.nodes[i].cache.state_of(block);
+        let buffered = self.nodes[i].wb_buffer.contains(&block.raw());
+        debug_assert!(
+            state == LineState::We || buffered,
+            "forward to a node without the data: {fwd} (state {state:?})"
+        );
+        let retained = match fwd.kind {
+            MsgKind::DirFwdRead => {
+                if state == LineState::We {
+                    self.nodes[i].cache.snoop_downgrade(block);
+                    true
+                } else {
+                    false
+                }
+            }
+            MsgKind::DirFwdWrite => {
+                if state == LineState::We {
+                    self.nodes[i].cache.snoop_invalidate(block);
+                }
+                false
+            }
+            _ => unreachable!("serve_forward on non-forward"),
+        };
+        let data = RingMessage::for_requester(
+            MsgKind::BlockData,
+            block,
+            me,
+            fwd.requester,
+            fwd.requester,
+        )
+        .with_from_dirty(true);
+        let update = RingMessage::new(MsgKind::MemUpdate, block, me, home).with_retained(retained);
+        let at = now + self.cfg.supply_latency;
+        self.schedule(at, Event::Send { node: i, msg: data });
+        self.schedule(at, Event::Send { node: i, msg: update });
+    }
+
+    // ------------------------------------------------------------ report
+
+    fn build_report(&mut self) -> SimReport {
+        let sim_end = self
+            .nodes
+            .iter()
+            .map(|n| n.finish_at.expect("all nodes finished"))
+            .max()
+            .unwrap_or(Time::ZERO);
+        let per_node: Vec<NodeSummary> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let finished = n.finish_at.expect("finished");
+                let window = finished.saturating_sub(n.measure_start);
+                let util = if window.is_zero() {
+                    0.0
+                } else {
+                    n.busy.as_ps() as f64 / window.as_ps() as f64
+                };
+                NodeSummary {
+                    util: util.min(1.0),
+                    misses: n.misses,
+                    mean_miss_latency_ns: n.miss_lat.mean(),
+                    finished_at: finished,
+                }
+            })
+            .collect();
+        let proc_util = per_node.iter().map(|n| n.util).sum::<f64>() / per_node.len().max(1) as f64;
+        let total_stats = self.ring.stats();
+        let (base, _) = self.snapshot.unwrap_or((ringsim_ring::RingStats::default(), Time::ZERO));
+        let window = ringsim_ring::RingStats {
+            cycles: total_stats.cycles - base.cycles,
+            inserted: total_stats.inserted - base.inserted,
+            removed: total_stats.removed - base.removed,
+            occupied_slot_cycles: total_stats.occupied_slot_cycles - base.occupied_slot_cycles,
+            occupied_probe_cycles: total_stats.occupied_probe_cycles - base.occupied_probe_cycles,
+            occupied_block_cycles: total_stats.occupied_block_cycles - base.occupied_block_cycles,
+        };
+        SimReport {
+            protocol: self.cfg.protocol.name().to_owned(),
+            nodes: self.cfg.nodes(),
+            proc_cycle: self.cfg.proc_cycle,
+            sim_end,
+            proc_util,
+            ring_util: window.slot_utilization(self.ring.layout().slot_count()),
+            probe_util: window.probe_utilization(self.ring.probe_slots()),
+            block_util: window.block_utilization(self.ring.block_slots()),
+            miss_latency: self.miss_lat,
+            miss_histogram: self.miss_hist.clone(),
+            upgrade_latency: self.upg_lat,
+            class_latencies: self.class_lat,
+            events: self.events,
+            retries: self.retries,
+            per_node,
+        }
+    }
+
+    /// Coherence state of `block` in node `i`'s cache (inspection hook for
+    /// tests and tools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cache_state(&self, i: usize, block: BlockAddr) -> LineState {
+        self.nodes[i].cache.state_of(block)
+    }
+
+    /// Accumulated event counts so far (also available in the final
+    /// report).
+    #[must_use]
+    pub fn events(&self) -> CoherenceEvents {
+        self.events
+    }
+
+    /// Checks global single-writer / reader-consistency invariants over all
+    /// caches (test helper; O(cache lines × nodes)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        let mut writers: HashMap<u64, NodeId> = HashMap::new();
+        let mut readers: HashMap<u64, Vec<NodeId>> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (block, state) in node.cache.resident_blocks() {
+                match state {
+                    LineState::We => {
+                        if let Some(prev) = writers.insert(block.raw(), NodeId::new(i)) {
+                            return Err(format!("{block}: two writers {prev} and P{i}"));
+                        }
+                    }
+                    LineState::Rs => readers.entry(block.raw()).or_default().push(NodeId::new(i)),
+                    LineState::Inv => {}
+                }
+            }
+        }
+        for (&raw, &w) in &writers {
+            // A writer may coexist with readers only transiently while those
+            // readers hold in-flight conflicting transactions; at quiescence
+            // (when this is called) there must be none.
+            if let Some(rs) = readers.get(&raw) {
+                let stale: Vec<_> = rs
+                    .iter()
+                    .filter(|r| {
+                        self.nodes[r.index()]
+                            .txn
+                            .as_ref()
+                            .is_none_or(|t| t.block.raw() != raw)
+                    })
+                    .collect();
+                if !stale.is_empty() {
+                    return Err(format!(
+                        "B{raw:#x}: writer {w} coexists with settled readers {stale:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `true` when the dirty node lies on the requester→home segment of the
+/// ring, forcing a second traversal (paper Figure 2b).
+fn dirty_on_path(requester: NodeId, home: NodeId, dirty: NodeId, nodes: usize) -> bool {
+    if home == requester || dirty == home {
+        return false;
+    }
+    requester.hops_to(dirty, nodes) < requester.hops_to(home, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsim_trace::WorkloadSpec;
+
+    fn run(protocol: ProtocolKind, procs: usize, refs: u64) -> (SimReport, RingSystem) {
+        let cfg = SystemConfig::ring_500mhz(protocol, procs);
+        let workload = Workload::new(WorkloadSpec::demo(procs).with_refs(refs)).unwrap();
+        let mut sys = RingSystem::new(cfg, workload).unwrap();
+        let report = sys.run();
+        (report, sys)
+    }
+
+    #[test]
+    fn snooping_runs_to_completion() {
+        let (report, sys) = run(ProtocolKind::Snooping, 4, 3_000);
+        assert!(report.proc_util > 0.0 && report.proc_util <= 1.0);
+        assert!(report.ring_util > 0.0 && report.ring_util < 1.0);
+        assert!(report.miss_latency.count() > 0);
+        assert!(report.miss_latency.mean() > 100.0, "miss latency {} ns", report.miss_latency.mean());
+        sys.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn directory_runs_to_completion() {
+        let (report, sys) = run(ProtocolKind::Directory, 4, 3_000);
+        assert!(report.proc_util > 0.0 && report.proc_util <= 1.0);
+        assert!(report.miss_latency.count() > 0);
+        sys.check_coherence().unwrap();
+    }
+
+    #[test]
+    fn events_match_reference_mix() {
+        let (report, _) = run(ProtocolKind::Snooping, 4, 4_000);
+        assert_eq!(report.events.data_refs(), 4 * 4_000);
+        assert!(report.events.shared_misses() > 0);
+    }
+
+    #[test]
+    fn protocols_agree_on_event_counts_roughly() {
+        let (snoop, _) = run(ProtocolKind::Snooping, 4, 4_000);
+        let (dir, _) = run(ProtocolKind::Directory, 4, 4_000);
+        let s = snoop.events.shared_misses() as f64;
+        let d = dir.events.shared_misses() as f64;
+        let rel = (s - d).abs() / s.max(d);
+        assert!(rel < 0.15, "snoop {s} vs dir {d} misses differ by {rel}");
+    }
+
+    #[test]
+    fn snooping_miss_latency_exceeds_floor() {
+        // Round trip (30 cycles = 60 ns) + memory 140 ns is the absolute
+        // floor for a remote miss on an 8-node ring.
+        let (report, _) = run(ProtocolKind::Snooping, 8, 2_000);
+        assert!(report.miss_latency.min().unwrap_or(0.0) >= 139.0);
+    }
+
+    #[test]
+    fn faster_processors_load_the_ring_more() {
+        let mk = |cycle_ns| {
+            let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8)
+                .with_proc_cycle(Time::from_ns(cycle_ns));
+            let w = Workload::new(WorkloadSpec::demo(8).with_refs(3_000)).unwrap();
+            RingSystem::new(cfg, w).unwrap().run()
+        };
+        let slow = mk(20);
+        let fast = mk(2);
+        assert!(
+            fast.ring_util > slow.ring_util,
+            "fast {} <= slow {}",
+            fast.ring_util,
+            slow.ring_util
+        );
+    }
+
+    #[test]
+    fn directory_fig5_classes_populated() {
+        let (report, _) = run(ProtocolKind::Directory, 8, 4_000);
+        let (c1, d1, c2) = report.fig5_percentages();
+        assert!(c1 > 0.0);
+        assert!(d1 + c2 > 0.0, "demo workload has read-write sharing");
+        assert!((c1 + d1 + c2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = run(ProtocolKind::Snooping, 4, 2_000);
+        let (b, _) = run(ProtocolKind::Snooping, 4, 2_000);
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn rejects_mismatched_workload() {
+        let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8);
+        let w = Workload::new(WorkloadSpec::demo(4)).unwrap();
+        assert!(RingSystem::new(cfg, w).is_err());
+    }
+}

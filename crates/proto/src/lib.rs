@@ -1,0 +1,57 @@
+//! Cache-coherence protocol building blocks for the slotted ring.
+//!
+//! This crate provides, protocol by protocol, everything that is not timing:
+//!
+//! * [`RingMessage`] / [`MsgKind`] — the message vocabulary shared by the
+//!   snooping and directory protocols (probes and block messages, paper §2),
+//! * [`HomeMemory`] — the memory-side state of the snooping protocol: one
+//!   dirty bit per block (paper §3.1),
+//! * [`Directory`] — the full-map directory: presence bits + dirty bit per
+//!   block, with a busy/pending queue used by the timed simulator to
+//!   serialise conflicting transactions (paper §3.2),
+//! * [`table1`] — untimed traversal accountants for the full-map and the
+//!   SCI-like linked-list directory, which regenerate Table 1.
+//!
+//! The timed semantics (who waits for which slot when) live in
+//! `ringsim-core`; the untimed reference semantics live in
+//! `ringsim-trace::RefInterpreter`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod directory;
+mod memory;
+mod msg;
+pub mod table1;
+
+pub use directory::{DirEntry, Directory};
+pub use memory::HomeMemory;
+pub use msg::{MsgClass, MsgKind, RingMessage};
+
+use serde::{Deserialize, Serialize};
+
+/// Which coherence protocol a ring system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Broadcast snooping over probe slots (paper §3.1).
+    Snooping,
+    /// Full-map directory at the home nodes (paper §3.2).
+    Directory,
+}
+
+impl ProtocolKind {
+    /// Short lowercase label used in tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Snooping => "snooping",
+            ProtocolKind::Directory => "directory",
+        }
+    }
+}
+
+impl core::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,261 @@
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::{ConfigError, Time};
+
+use crate::layout::RingLayout;
+
+/// Block-address parity class served by a probe slot.
+///
+/// With the standard two-probe frame, one probe slot carries requests for
+/// even-numbered blocks and the other for odd-numbered blocks, so a 2-way
+/// interleaved dual snooping directory sees at most one probe per bank per
+/// frame (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parity {
+    /// Serves even-numbered blocks only.
+    Even,
+    /// Serves odd-numbered blocks only.
+    Odd,
+    /// Serves any block (used when a frame carries a single probe slot).
+    Any,
+}
+
+impl Parity {
+    /// Whether a probe for a block with the given evenness may use a slot of
+    /// this parity class.
+    #[must_use]
+    pub const fn accepts(self, block_is_even: bool) -> bool {
+        match self {
+            Parity::Even => block_is_even,
+            Parity::Odd => !block_is_even,
+            Parity::Any => true,
+        }
+    }
+}
+
+/// Physical and structural parameters of the slotted ring.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_ring::RingConfig;
+/// use ringsim_types::Time;
+///
+/// let cfg = RingConfig::standard_500mhz(16);
+/// assert_eq!(cfg.clock_period, Time::from_ns(2));
+/// assert_eq!(cfg.probe_stages(), 2);
+/// assert_eq!(cfg.block_slot_stages(), 6);
+/// assert_eq!(cfg.frame_stages(), 10);
+/// assert_eq!(cfg.snoop_interarrival(), Time::from_ns(20)); // Table 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Number of nodes on the ring.
+    pub nodes: usize,
+    /// Ring clock period (2 ns for the paper's 500 MHz links).
+    pub clock_period: Time,
+    /// Link width in bytes (4 for the paper's 32-bit rings).
+    pub link_bytes: u64,
+    /// Cache block size in bytes.
+    pub block_bytes: u64,
+    /// Size of a probe message and of a block-message header, in bytes.
+    pub header_bytes: u64,
+    /// Pipeline stages contributed by each node interface (3 minimum in the
+    /// paper).
+    pub stages_per_node: usize,
+    /// Probe slots per frame (2 in the paper: one even, one odd).
+    pub probe_slots_per_frame: usize,
+    /// Block slots per frame (1 in the paper).
+    pub block_slots_per_frame: usize,
+    /// When `false` (the default and the paper's anti-starvation rule), a
+    /// node that removes a message from a slot may not immediately reuse
+    /// that slot for its own transmission.
+    pub reuse_after_remove: bool,
+}
+
+impl RingConfig {
+    /// The paper's baseline ring: 500 MHz (2 ns), 32-bit links, 16-byte
+    /// blocks, 8-byte probes/headers, 3 stages per node, 2 probe slots + 1
+    /// block slot per frame, anti-starvation rule on.
+    #[must_use]
+    pub fn standard_500mhz(nodes: usize) -> Self {
+        Self {
+            nodes,
+            clock_period: Time::from_ns(2),
+            link_bytes: 4,
+            block_bytes: 16,
+            header_bytes: 8,
+            stages_per_node: 3,
+            probe_slots_per_frame: 2,
+            block_slots_per_frame: 1,
+            reuse_after_remove: false,
+        }
+    }
+
+    /// The paper's slower ring variant: identical except clocked at 250 MHz
+    /// (4 ns).
+    #[must_use]
+    pub fn standard_250mhz(nodes: usize) -> Self {
+        Self { clock_period: Time::from_ns(4), ..Self::standard_500mhz(nodes) }
+    }
+
+    /// A 64-bit-wide 500 MHz ring (paper §4.2 mentions 64-bit parallel
+    /// rings whose utilisation never exceeds 50%).
+    #[must_use]
+    pub fn wide_64bit_500mhz(nodes: usize) -> Self {
+        Self { link_bytes: 8, ..Self::standard_500mhz(nodes) }
+    }
+
+    /// Stages occupied by one probe slot: ⌈header bytes / link width⌉.
+    #[must_use]
+    pub fn probe_stages(&self) -> usize {
+        (self.header_bytes.div_ceil(self.link_bytes)) as usize
+    }
+
+    /// Stages occupied by one block slot: ⌈(header + block) / link width⌉.
+    #[must_use]
+    pub fn block_slot_stages(&self) -> usize {
+        ((self.header_bytes + self.block_bytes).div_ceil(self.link_bytes)) as usize
+    }
+
+    /// Stages in one frame.
+    #[must_use]
+    pub fn frame_stages(&self) -> usize {
+        self.probe_slots_per_frame * self.probe_stages()
+            + self.block_slots_per_frame * self.block_slot_stages()
+    }
+
+    /// Minimum time between probes destined to the same dual-directory bank
+    /// (one probe of each parity per frame): the snooping-rate constraint
+    /// reproduced in Table 3.
+    #[must_use]
+    pub fn snoop_interarrival(&self) -> Time {
+        self.clock_period * self.frame_stages() as u64
+    }
+
+    /// Derives the full ring geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any parameter is out of range (fewer
+    /// than 2 nodes, zero-width links, no slots, ...).
+    pub fn layout(&self) -> Result<RingLayout, ConfigError> {
+        self.validate()?;
+        Ok(RingLayout::from_config(self))
+    }
+
+    /// Validates the configuration without building a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes < 2 {
+            return Err(ConfigError::new("nodes", "need at least 2 nodes"));
+        }
+        if self.clock_period.is_zero() {
+            return Err(ConfigError::new("clock_period", "must be non-zero"));
+        }
+        if self.link_bytes == 0 || !self.link_bytes.is_power_of_two() {
+            return Err(ConfigError::new("link_bytes", "must be a non-zero power of two"));
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err(ConfigError::new("block_bytes", "must be a non-zero power of two"));
+        }
+        if self.header_bytes == 0 {
+            return Err(ConfigError::new("header_bytes", "must be non-zero"));
+        }
+        if self.stages_per_node == 0 {
+            return Err(ConfigError::new("stages_per_node", "must be non-zero"));
+        }
+        if self.probe_slots_per_frame == 0 {
+            return Err(ConfigError::new("probe_slots_per_frame", "need at least one probe slot"));
+        }
+        if self.block_slots_per_frame == 0 {
+            return Err(ConfigError::new("block_slots_per_frame", "need at least one block slot"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self::standard_500mhz(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_all_entries() {
+        // Paper Table 3: probe inter-arrival (ns) for 500 MHz links.
+        let cases = [
+            // (block bytes, link bytes, expected ns)
+            (16, 2, 40),
+            (32, 2, 56),
+            (64, 2, 88),
+            (128, 2, 152),
+            (16, 4, 20),
+            (32, 4, 28),
+            (64, 4, 44),
+            (128, 4, 76),
+            (16, 8, 10),
+            (32, 8, 14),
+            (64, 8, 22),
+            (128, 8, 38),
+        ];
+        for (block, link, ns) in cases {
+            let cfg = RingConfig {
+                block_bytes: block,
+                link_bytes: link,
+                ..RingConfig::standard_500mhz(16)
+            };
+            assert_eq!(
+                cfg.snoop_interarrival(),
+                Time::from_ns(ns),
+                "block={block} link={link}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_frame_is_ten_stages() {
+        let cfg = RingConfig::standard_500mhz(8);
+        assert_eq!(cfg.probe_stages(), 2);
+        assert_eq!(cfg.block_slot_stages(), 6);
+        assert_eq!(cfg.frame_stages(), 10);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let ok = RingConfig::standard_500mhz(8);
+        assert!(ok.validate().is_ok());
+        assert!(RingConfig { nodes: 1, ..ok }.validate().is_err());
+        assert!(RingConfig { link_bytes: 3, ..ok }.validate().is_err());
+        assert!(RingConfig { block_bytes: 0, ..ok }.validate().is_err());
+        assert!(RingConfig { stages_per_node: 0, ..ok }.validate().is_err());
+        assert!(RingConfig { probe_slots_per_frame: 0, ..ok }.validate().is_err());
+        assert!(RingConfig { block_slots_per_frame: 0, ..ok }.validate().is_err());
+        assert!(RingConfig { clock_period: Time::ZERO, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn parity_acceptance() {
+        assert!(Parity::Even.accepts(true));
+        assert!(!Parity::Even.accepts(false));
+        assert!(Parity::Odd.accepts(false));
+        assert!(!Parity::Odd.accepts(true));
+        assert!(Parity::Any.accepts(true) && Parity::Any.accepts(false));
+    }
+
+    #[test]
+    fn variants_share_structure() {
+        let slow = RingConfig::standard_250mhz(8);
+        assert_eq!(slow.clock_period, Time::from_ns(4));
+        assert_eq!(slow.frame_stages(), 10);
+        let wide = RingConfig::wide_64bit_500mhz(8);
+        assert_eq!(wide.frame_stages(), 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Two-level hierarchies of slotted rings (paper §5 related work: Hector
+//! and the KSR1 connect clusters of unidirectional slotted rings with a
+//! global ring).
+//!
+//! A [`RingHierarchy`] is `k` local rings of `m` processing nodes each; one
+//! extra interface position per local ring hosts the *inter-ring interface*
+//! (IRI), which also occupies one position on the global ring. The
+//! geometry here provides what the hierarchical analytic model and the
+//! hierarchy experiment need: stage counts per level, round-trip times and
+//! transaction path lengths for intra- and inter-ring coherence
+//! transactions under KSR1-style directory filters at the IRIs (a probe
+//! circulates its local ring; only unresolved probes ascend).
+
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::{ConfigError, NodeId, Time};
+
+use crate::config::RingConfig;
+use crate::layout::RingLayout;
+
+/// Configuration of a two-level ring hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_ring::RingHierarchy;
+///
+/// // 64 processors as 8 local rings of 8 nodes.
+/// let h = RingHierarchy::new(8, 8).unwrap();
+/// assert_eq!(h.total_nodes(), 64);
+/// // A local round trip is much shorter than the flat 64-node ring's.
+/// assert!(h.local_round_trip() < h.flat_equivalent_round_trip());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingHierarchy {
+    local_rings: usize,
+    nodes_per_ring: usize,
+    base: RingConfig,
+    local_layout: RingLayout,
+    global_layout: RingLayout,
+    flat_layout: RingLayout,
+}
+
+impl RingHierarchy {
+    /// Builds a hierarchy of `local_rings` rings with `nodes_per_ring`
+    /// processors each, using the paper's standard 500 MHz 32-bit link
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when either dimension is smaller than 2 or
+    /// the total exceeds 64 processors (the workspace-wide sharer-mask
+    /// limit).
+    pub fn new(local_rings: usize, nodes_per_ring: usize) -> Result<Self, ConfigError> {
+        Self::with_base(local_rings, nodes_per_ring, RingConfig::standard_500mhz(2))
+    }
+
+    /// Builds the hierarchy with custom link parameters (node counts in
+    /// `base` are ignored).
+    ///
+    /// # Errors
+    ///
+    /// See [`RingHierarchy::new`].
+    pub fn with_base(
+        local_rings: usize,
+        nodes_per_ring: usize,
+        base: RingConfig,
+    ) -> Result<Self, ConfigError> {
+        if local_rings < 2 {
+            return Err(ConfigError::new("local_rings", "need at least 2 local rings"));
+        }
+        if nodes_per_ring < 2 {
+            return Err(ConfigError::new("nodes_per_ring", "need at least 2 nodes per ring"));
+        }
+        let total = local_rings * nodes_per_ring;
+        if total > 64 {
+            return Err(ConfigError::new("total_nodes", "at most 64 processors supported"));
+        }
+        // Local ring: the processors plus one IRI position.
+        let local_cfg = RingConfig { nodes: nodes_per_ring + 1, ..base };
+        // Global ring: one position per IRI.
+        let global_cfg = RingConfig { nodes: local_rings.max(2), ..base };
+        let flat_cfg = RingConfig { nodes: total, ..base };
+        Ok(Self {
+            local_rings,
+            nodes_per_ring,
+            base,
+            local_layout: local_cfg.layout()?,
+            global_layout: global_cfg.layout()?,
+            flat_layout: flat_cfg.layout()?,
+        })
+    }
+
+    /// Number of local rings.
+    #[must_use]
+    pub fn local_rings(&self) -> usize {
+        self.local_rings
+    }
+
+    /// Processors per local ring.
+    #[must_use]
+    pub fn nodes_per_ring(&self) -> usize {
+        self.nodes_per_ring
+    }
+
+    /// Total processors.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.local_rings * self.nodes_per_ring
+    }
+
+    /// The link/slot parameters the hierarchy was built from.
+    #[must_use]
+    pub fn base(&self) -> &RingConfig {
+        &self.base
+    }
+
+    /// The local-ring geometry (processors + IRI).
+    #[must_use]
+    pub fn local_layout(&self) -> &RingLayout {
+        &self.local_layout
+    }
+
+    /// The global-ring geometry (one position per IRI).
+    #[must_use]
+    pub fn global_layout(&self) -> &RingLayout {
+        &self.global_layout
+    }
+
+    /// Which local ring hosts `node` (nodes are numbered ring-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn ring_of(&self, node: NodeId) -> usize {
+        assert!(node.index() < self.total_nodes(), "{node} out of range");
+        node.index() / self.nodes_per_ring
+    }
+
+    /// Whether two nodes share a local ring.
+    #[must_use]
+    pub fn same_ring(&self, a: NodeId, b: NodeId) -> bool {
+        self.ring_of(a) == self.ring_of(b)
+    }
+
+    /// Round-trip time of one local ring.
+    #[must_use]
+    pub fn local_round_trip(&self) -> Time {
+        self.base.clock_period * self.local_layout.stages() as u64
+    }
+
+    /// Round-trip time of the global ring.
+    #[must_use]
+    pub fn global_round_trip(&self) -> Time {
+        self.base.clock_period * self.global_layout.stages() as u64
+    }
+
+    /// Round-trip time of the equivalent flat ring with the same total
+    /// processor count (the baseline the hierarchy competes against).
+    #[must_use]
+    pub fn flat_equivalent_round_trip(&self) -> Time {
+        self.base.clock_period * self.flat_layout.stages() as u64
+    }
+
+    /// Contention-free time for a snooping probe to resolve an
+    /// **intra-ring** transaction: one local revolution.
+    #[must_use]
+    pub fn intra_ring_probe_time(&self) -> Time {
+        self.local_round_trip()
+    }
+
+    /// Contention-free time for a probe to resolve an **inter-ring**
+    /// transaction under KSR1-style IRI filters: a full local revolution
+    /// (which delivers it to the IRI and back), a full global revolution
+    /// (snooped by every IRI), and a full revolution of the responding
+    /// ring.
+    #[must_use]
+    pub fn inter_ring_probe_time(&self) -> Time {
+        self.local_round_trip() + self.global_round_trip() + self.local_round_trip()
+    }
+
+    /// Expected contention-free travel time of a data reply for an
+    /// inter-ring transaction: half of each traversed ring.
+    #[must_use]
+    pub fn inter_ring_reply_time(&self) -> Time {
+        (self.local_round_trip() + self.global_round_trip() + self.local_round_trip()) / 2
+    }
+
+    /// Expected contention-free travel time of a data reply that stays
+    /// within one ring: half a local revolution.
+    #[must_use]
+    pub fn intra_ring_reply_time(&self) -> Time {
+        self.local_round_trip() / 2
+    }
+
+    /// Probability that a uniformly placed home lands in the requester's
+    /// local ring.
+    #[must_use]
+    pub fn uniform_locality(&self) -> f64 {
+        1.0 / self.local_rings as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_of_8x8() {
+        let h = RingHierarchy::new(8, 8).unwrap();
+        assert_eq!(h.total_nodes(), 64);
+        // Local rings: 9 interfaces -> 27 stages -> 30 (3 frames).
+        assert_eq!(h.local_layout().stages(), 30);
+        // Global ring: 8 IRIs -> 24 stages -> 30.
+        assert_eq!(h.global_layout().stages(), 30);
+        // Flat 64-node ring: 200 stages.
+        assert_eq!(h.flat_equivalent_round_trip(), Time::from_ns(400));
+        assert_eq!(h.local_round_trip(), Time::from_ns(60));
+        assert_eq!(h.inter_ring_probe_time(), Time::from_ns(180));
+    }
+
+    #[test]
+    fn ring_membership() {
+        let h = RingHierarchy::new(4, 4).unwrap();
+        assert_eq!(h.ring_of(NodeId::new(0)), 0);
+        assert_eq!(h.ring_of(NodeId::new(3)), 0);
+        assert_eq!(h.ring_of(NodeId::new(4)), 1);
+        assert_eq!(h.ring_of(NodeId::new(15)), 3);
+        assert!(h.same_ring(NodeId::new(5), NodeId::new(6)));
+        assert!(!h.same_ring(NodeId::new(3), NodeId::new(4)));
+    }
+
+    #[test]
+    fn intra_beats_flat_inter_beats_nothing() {
+        // The whole point of the hierarchy: local transactions are much
+        // faster than on the flat ring; even remote ones can be faster
+        // because three small revolutions can beat one big one.
+        let h = RingHierarchy::new(8, 8).unwrap();
+        assert!(h.intra_ring_probe_time() < h.flat_equivalent_round_trip());
+        assert!(h.inter_ring_probe_time() < h.flat_equivalent_round_trip());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RingHierarchy::new(1, 8).is_err());
+        assert!(RingHierarchy::new(8, 1).is_err());
+        assert!(RingHierarchy::new(9, 8).is_err()); // 72 > 64
+        assert!(RingHierarchy::new(2, 2).is_ok());
+    }
+
+    #[test]
+    fn uniform_locality_is_one_over_rings() {
+        let h = RingHierarchy::new(4, 16).unwrap();
+        assert!((h.uniform_locality() - 0.25).abs() < 1e-12);
+    }
+}

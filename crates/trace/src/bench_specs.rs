@@ -1,0 +1,243 @@
+//! Calibrated workload specifications for the paper's six benchmarks.
+//!
+//! The paper's traces (SPLASH MP3D/WATER/CHOLESKY at 8/16/32 processors,
+//! MIT FFT/WEATHER/SIMPLE at 64) are unavailable; these specs parameterise
+//! the synthetic generator so that the *protocol-visible* statistics match
+//! Table 2 (reference mix, write fractions, miss rates) and the qualitative
+//! sharing-pattern mix of Figure 5:
+//!
+//! * **MP3D** — migratory-dominant, high shared write fraction, high miss
+//!   rate; a large 2-cycle/dirty miss population at every size.
+//! * **WATER** — very low miss rate, but the misses that do occur are
+//!   read-write shared (long migratory episodes), so the dirty fraction is
+//!   high.
+//! * **CHOLESKY** — mostly-clean misses (large read-mostly working set),
+//!   small dirty fraction, rapidly growing miss rate with system size.
+//! * **FFT** — write-heavy transpose-style sharing: many dirty misses.
+//! * **WEATHER / SIMPLE** — producer-consumer + read-only grids: high miss
+//!   rate but a very small fraction of dirty misses.
+//!
+//! The constants below were calibrated against `ringsim_trace::characterize`
+//! (see the `table2` experiment binary) to land within a few tens of percent
+//! of the published rates; EXPERIMENTS.md records the achieved values.
+
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::ConfigError;
+
+use crate::spec::WorkloadSpec;
+
+/// Default measured references per processor for experiment runs. The paper
+/// replays 3–15 M references per program; the synthetic workloads are
+/// statistically stationary, so a few hundred thousand references per
+/// processor give stable rates at a fraction of the cost.
+pub const DEFAULT_REFS_PER_PROC: u64 = 120_000;
+
+/// Default warmup references per processor (cache fill).
+pub const DEFAULT_WARMUP_PER_PROC: u64 = 30_000;
+
+/// The six programs evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// SPLASH MP3D: rarefied-fluid particle simulation.
+    Mp3d,
+    /// SPLASH WATER: molecular dynamics.
+    Water,
+    /// SPLASH CHOLESKY: sparse Cholesky factorisation.
+    Cholesky,
+    /// MIT FFT: fast Fourier transform (64 processors).
+    Fft,
+    /// MIT WEATHER: weather modelling (64 processors).
+    Weather,
+    /// MIT SIMPLE: hydrodynamics (64 processors).
+    Simple,
+}
+
+impl Benchmark {
+    /// All six benchmarks.
+    pub const ALL: [Benchmark; 6] =
+        [Benchmark::Mp3d, Benchmark::Water, Benchmark::Cholesky, Benchmark::Fft, Benchmark::Weather, Benchmark::Simple];
+
+    /// Lower-case name as used in result tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mp3d => "mp3d",
+            Benchmark::Water => "water",
+            Benchmark::Cholesky => "cholesky",
+            Benchmark::Fft => "fft",
+            Benchmark::Weather => "weather",
+            Benchmark::Simple => "simple",
+        }
+    }
+
+    /// Processor counts the paper evaluates for this benchmark.
+    #[must_use]
+    pub fn paper_sizes(self) -> &'static [usize] {
+        match self {
+            Benchmark::Mp3d | Benchmark::Water | Benchmark::Cholesky => &[8, 16, 32],
+            Benchmark::Fft | Benchmark::Weather | Benchmark::Simple => &[64],
+        }
+    }
+
+    /// The calibrated spec for `procs` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the paper does not define this
+    /// benchmark at `procs` processors.
+    pub fn spec(self, procs: usize) -> Result<WorkloadSpec, ConfigError> {
+        if !self.paper_sizes().contains(&procs) {
+            return Err(ConfigError::new(
+                "procs",
+                format!("{} is only defined for {:?} processors", self.name(), self.paper_sizes()),
+            ));
+        }
+        // Knobs per configuration; see the closed forms in the module docs:
+        //   shared miss rate ~ st + mig/run + pc*(1-pf)/burst
+        //   shared write frac ~ mig*wf*(run-1)/run + pc*pf
+        let k = match (self, procs) {
+            //                          ipd   shf    pw    cold    (ro,   st,   mig,  pc)   run wf    pf    burst
+            (Benchmark::Mp3d, 8) => Knobs { ipd: 2.00, shared: 0.34, pw: 0.22, cold: 0.0014, ro: 0.20, st: 0.03, mig: 0.62, pc: 0.15, run: 12, wf: 0.48, pf: 0.40, burst: 5, migs: 24, pcs: 12 },
+            (Benchmark::Mp3d, 16) => Knobs { ipd: 2.09, shared: 0.36, pw: 0.22, cold: 0.0018, ro: 0.20, st: 0.03, mig: 0.62, pc: 0.15, run: 9, wf: 0.44, pf: 0.40, burst: 5, migs: 24, pcs: 12 },
+            (Benchmark::Mp3d, 32) => Knobs { ipd: 2.41, shared: 0.45, pw: 0.22, cold: 0.0090, ro: 0.15, st: 0.17, mig: 0.55, pc: 0.13, run: 4, wf: 0.40, pf: 0.35, burst: 5, migs: 24, pcs: 12 },
+            (Benchmark::Water, 8) => Knobs { ipd: 2.34, shared: 0.136, pw: 0.18, cold: 0.00024, ro: 0.52, st: 0.003, mig: 0.42, pc: 0.05, run: 70, wf: 0.14, pf: 0.30, burst: 10, migs: 6, pcs: 3 },
+            (Benchmark::Water, 16) => Knobs { ipd: 2.39, shared: 0.159, pw: 0.18, cold: 0.00033, ro: 0.52, st: 0.003, mig: 0.42, pc: 0.05, run: 56, wf: 0.14, pf: 0.30, burst: 10, migs: 6, pcs: 3 },
+            (Benchmark::Water, 32) => Knobs { ipd: 2.42, shared: 0.175, pw: 0.18, cold: 0.00068, ro: 0.51, st: 0.006, mig: 0.42, pc: 0.05, run: 24, wf: 0.14, pf: 0.30, burst: 10, migs: 8, pcs: 3 },
+            (Benchmark::Cholesky, 8) => Knobs { ipd: 2.15, shared: 0.234, pw: 0.21, cold: 0.0050, ro: 0.47, st: 0.06, mig: 0.12, pc: 0.35, run: 12, wf: 0.32, pf: 0.30, burst: 8, migs: 8, pcs: 16 },
+            (Benchmark::Cholesky, 16) => Knobs { ipd: 2.39, shared: 0.289, pw: 0.20, cold: 0.0090, ro: 0.42, st: 0.13, mig: 0.10, pc: 0.35, run: 12, wf: 0.33, pf: 0.17, burst: 7, migs: 8, pcs: 16 },
+            (Benchmark::Cholesky, 32) => Knobs { ipd: 2.75, shared: 0.394, pw: 0.18, cold: 0.0210, ro: 0.26, st: 0.38, mig: 0.06, pc: 0.30, run: 10, wf: 0.47, pf: 0.08, burst: 5, migs: 8, pcs: 16 },
+            (Benchmark::Fft, 64) => Knobs { ipd: 0.72, shared: 0.239, pw: 0.27, cold: 0.0073, ro: 0.10, st: 0.06, mig: 0.70, pc: 0.14, run: 4, wf: 0.82, pf: 0.50, burst: 5, migs: 24, pcs: 12 },
+            (Benchmark::Weather, 64) => Knobs { ipd: 0.87, shared: 0.161, pw: 0.16, cold: 0.0031, ro: 0.26, st: 0.26, mig: 0.06, pc: 0.42, run: 10, wf: 0.40, pf: 0.40, burst: 7, migs: 8, pcs: 16 },
+            (Benchmark::Simple, 64) => Knobs { ipd: 0.83, shared: 0.291, pw: 0.35, cold: 0.0032, ro: 0.21, st: 0.50, mig: 0.05, pc: 0.24, run: 8, wf: 0.60, pf: 0.35, burst: 6, migs: 8, pcs: 16 },
+            _ => unreachable!("paper_sizes checked above"),
+        };
+        Ok(k.build(self.name(), procs))
+    }
+
+    /// The twelve (benchmark, processor-count) configurations of Table 2.
+    pub fn paper_configs() -> impl Iterator<Item = (Benchmark, usize)> {
+        Benchmark::ALL
+            .into_iter()
+            .flat_map(|b| b.paper_sizes().iter().map(move |&p| (b, p)))
+    }
+}
+
+fn base(name: String, procs: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        procs,
+        data_refs_per_proc: DEFAULT_REFS_PER_PROC,
+        warmup_refs_per_proc: DEFAULT_WARMUP_PER_PROC,
+        instr_per_data: 2.0,
+        shared_frac: 0.3,
+        private_write_frac: 0.2,
+        private_cold_frac: 0.001,
+        private_hot_blocks: 1024,
+        private_cold_blocks: 1 << 18,
+        shared_read_only_frac: 0.3,
+        shared_stream_frac: 0.0,
+        shared_migratory_frac: 0.5,
+        shared_prodcons_frac: 0.2,
+        read_only_blocks: 1024,
+        migratory_blocks: 512,
+        prodcons_blocks: 256,
+        migratory_run_len: 8,
+        migratory_write_frac: 0.5,
+        prodcons_producer_frac: 0.3,
+        prodcons_burst: 4,
+        seed: 0x0019_9305,
+    }
+}
+
+/// Calibration knobs of one benchmark configuration (see module docs for
+/// the closed forms relating them to Table 2 targets).
+struct Knobs {
+    /// Instruction references per data reference.
+    ipd: f64,
+    /// Fraction of data references to shared data.
+    shared: f64,
+    /// Private write fraction.
+    pw: f64,
+    /// Private cold-pool probability (private miss-rate knob).
+    cold: f64,
+    /// Pool weights: read-only, streaming, migratory, producer-consumer.
+    ro: f64,
+    st: f64,
+    mig: f64,
+    pc: f64,
+    /// Migratory episode length.
+    run: u64,
+    /// Migratory in-episode write probability.
+    wf: f64,
+    /// Producer fraction of producer-consumer bursts.
+    pf: f64,
+    /// Producer-consumer burst length.
+    burst: u64,
+    /// Migratory blocks per processor (small enough that warmup covers the
+    /// pool at this workload's episode rate).
+    migs: u64,
+    /// Producer-consumer blocks per processor.
+    pcs: u64,
+}
+
+impl Knobs {
+    fn build(self, name: &str, procs: usize) -> WorkloadSpec {
+        // Slow-churning pools (long migratory episodes) need a longer
+        // warmup to cover their working set before measurement starts.
+        let warmup = if self.run >= 20 { 2 * DEFAULT_WARMUP_PER_PROC } else { DEFAULT_WARMUP_PER_PROC };
+        WorkloadSpec {
+            warmup_refs_per_proc: warmup,
+            instr_per_data: self.ipd,
+            shared_frac: self.shared,
+            private_write_frac: self.pw,
+            private_cold_frac: self.cold,
+            shared_read_only_frac: self.ro,
+            shared_stream_frac: self.st,
+            shared_migratory_frac: self.mig,
+            shared_prodcons_frac: self.pc,
+            // Small enough to warm up quickly; steady-state behaviour is
+            // identical for any size that stays cache-resident.
+            read_only_blocks: 192,
+            migratory_blocks: self.migs * procs as u64,
+            prodcons_blocks: self.pcs * procs as u64,
+            migratory_run_len: self.run,
+            migratory_write_frac: self.wf,
+            prodcons_producer_frac: self.pf,
+            prodcons_burst: self.burst,
+            ..base(format!("{name}.{procs}"), procs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_configs_are_valid() {
+        let mut count = 0;
+        for (b, p) in Benchmark::paper_configs() {
+            let spec = b.spec(p).unwrap();
+            spec.validate().unwrap();
+            assert_eq!(spec.procs, p);
+            assert!(spec.name.starts_with(b.name()));
+            count += 1;
+        }
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn undefined_sizes_are_rejected() {
+        assert!(Benchmark::Mp3d.spec(64).is_err());
+        assert!(Benchmark::Fft.spec(8).is_err());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

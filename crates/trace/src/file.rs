@@ -1,0 +1,387 @@
+//! Recording and replaying reference traces.
+//!
+//! The paper's methodology is trace-driven: fixed per-processor address
+//! traces are replayed against different architectures. This module gives
+//! `ringsim` the same workflow: capture a synthetic workload once with
+//! [`RecordedTrace::capture`], persist it in a compact binary format, and
+//! rebuild a [`Workload`] whose per-node streams replay the recording
+//! byte-for-byte — so different interconnects and protocols can be compared
+//! on *identical* reference sequences.
+//!
+//! ### Format
+//!
+//! Little-endian, with a fixed header followed by per-node reference runs:
+//!
+//! ```text
+//! magic  "RSTRACE1"            8 bytes
+//! procs  u16                   number of processors
+//! seed   u64                   address-space placement seed
+//! ipd    f64                   instruction refs per data ref
+//! per-node: count u64, then count × { addr u64, flags u8 }
+//! flags: bit0 = write, bit1 = shared
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ringsim_types::{AccessKind, Addr, MemRef, NodeId, Region};
+
+use crate::gen::{NodeStream, Workload};
+use crate::space::AddressSpace;
+use crate::spec::WorkloadSpec;
+
+const MAGIC: &[u8; 8] = b"RSTRACE1";
+
+/// A captured multiprocessor reference trace.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_trace::{RecordedTrace, Workload, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::demo(4).with_refs(500);
+/// let trace = RecordedTrace::capture(&spec).unwrap();
+/// let mut replayed = trace.workload();
+/// let mut original = Workload::new(spec).unwrap();
+/// // Replay reproduces the original streams exactly.
+/// for n in 0..4 {
+///     for _ in 0..100 {
+///         assert_eq!(
+///             replayed.streams_mut()[n].next_ref(),
+///             original.streams_mut()[n].next_ref()
+///         );
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    procs: usize,
+    placement_seed: u64,
+    instr_per_data: f64,
+    per_node: Vec<Arc<[MemRef]>>,
+}
+
+impl RecordedTrace {
+    /// Captures `spec`'s full reference budget (warmup + measured) for
+    /// every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ringsim_types::ConfigError`] when the spec is invalid.
+    pub fn capture(spec: &WorkloadSpec) -> Result<Self, ringsim_types::ConfigError> {
+        let per_proc = spec.warmup_refs_per_proc + spec.data_refs_per_proc;
+        Self::capture_refs(spec, per_proc)
+    }
+
+    /// Captures a custom number of references per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ringsim_types::ConfigError`] when the spec is invalid or
+    /// `per_proc` is zero.
+    pub fn capture_refs(
+        spec: &WorkloadSpec,
+        per_proc: u64,
+    ) -> Result<Self, ringsim_types::ConfigError> {
+        if per_proc == 0 {
+            return Err(ringsim_types::ConfigError::new("per_proc", "must capture at least one reference"));
+        }
+        let mut workload = Workload::new(spec.clone())?;
+        let per_node = workload
+            .streams_mut()
+            .iter_mut()
+            .map(|s| (0..per_proc).map(|_| s.next_ref()).collect::<Vec<_>>().into())
+            .collect();
+        Ok(Self {
+            procs: spec.procs,
+            placement_seed: spec.seed ^ 0x5eed_9a9e,
+            instr_per_data: spec.instr_per_data,
+            per_node,
+        })
+    }
+
+    /// Builds a trace from hand-written per-node reference sequences —
+    /// the scripting hook used by protocol scenario tests: each node's
+    /// references replay in order, so exact coherence interactions can be
+    /// staged.
+    ///
+    /// `placement_seed` fixes shared-page home placement;
+    /// addresses in the private region carry their home explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ringsim_types::ConfigError`] when there are fewer than
+    /// 2 or more than 64 nodes, any node has no references, or a reference
+    /// names the wrong node.
+    pub fn from_refs(
+        per_node: Vec<Vec<MemRef>>,
+        placement_seed: u64,
+        instr_per_data: f64,
+    ) -> Result<Self, ringsim_types::ConfigError> {
+        use ringsim_types::ConfigError;
+        if per_node.len() < 2 || per_node.len() > 64 {
+            return Err(ConfigError::new("per_node", "need 2..=64 nodes"));
+        }
+        for (n, refs) in per_node.iter().enumerate() {
+            if refs.is_empty() {
+                return Err(ConfigError::new("per_node", format!("node {n} has no references")));
+            }
+            if refs.iter().any(|r| r.node.index() != n) {
+                return Err(ConfigError::new(
+                    "per_node",
+                    format!("node {n} holds a reference issued by another node"),
+                ));
+            }
+        }
+        if !instr_per_data.is_finite() || instr_per_data < 0.0 {
+            return Err(ConfigError::new("instr_per_data", "must be finite and non-negative"));
+        }
+        Ok(Self {
+            procs: per_node.len(),
+            placement_seed,
+            instr_per_data,
+            per_node: per_node.into_iter().map(Into::into).collect(),
+        })
+    }
+
+    /// Like [`RecordedTrace::workload`] but with an explicit
+    /// warmup/measured split of each node's reference budget (scenario
+    /// tests usually want `warmup = 0` so every event is counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is not smaller than the shortest node recording.
+    #[must_use]
+    pub fn workload_with_warmup(&self, warmup: u64) -> Workload {
+        let shortest = self.per_node.iter().map(|v| v.len() as u64).min().unwrap_or(0);
+        assert!(warmup < shortest, "warmup {warmup} >= shortest recording {shortest}");
+        let space = AddressSpace::new(self.procs, self.placement_seed);
+        let streams = self
+            .per_node
+            .iter()
+            .enumerate()
+            .map(|(n, refs)| {
+                NodeStream::replay(NodeId::new(n), self.instr_per_data, Arc::clone(refs))
+            })
+            .collect();
+        let mut spec = self.replay_spec();
+        spec.warmup_refs_per_proc = warmup;
+        spec.data_refs_per_proc = shortest - warmup;
+        Workload::from_parts(spec, space, streams)
+    }
+
+    /// Number of processors in the trace.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// References captured for node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn node_refs(&self, n: usize) -> &[MemRef] {
+        &self.per_node[n]
+    }
+
+    /// Total references across all nodes.
+    #[must_use]
+    pub fn total_refs(&self) -> u64 {
+        self.per_node.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Builds a [`Workload`] whose streams replay this trace (cyclically if
+    /// a simulator consumes more references than were recorded).
+    #[must_use]
+    pub fn workload(&self) -> Workload {
+        let space = AddressSpace::new(self.procs, self.placement_seed);
+        let streams = self
+            .per_node
+            .iter()
+            .enumerate()
+            .map(|(n, refs)| {
+                NodeStream::replay(NodeId::new(n), self.instr_per_data, Arc::clone(refs))
+            })
+            .collect();
+        Workload::from_parts(self.replay_spec(), space, streams)
+    }
+
+    /// A spec describing the replay (used by simulators for the reference
+    /// budget; the pool knobs are irrelevant and zeroed where possible).
+    fn replay_spec(&self) -> WorkloadSpec {
+        let per_proc = self.per_node.first().map_or(1, |v| v.len() as u64);
+        let warmup = (per_proc / 5).max(1);
+        WorkloadSpec {
+            name: format!("replay.{}", self.procs),
+            procs: self.procs,
+            data_refs_per_proc: per_proc.saturating_sub(warmup).max(1),
+            warmup_refs_per_proc: warmup,
+            instr_per_data: self.instr_per_data,
+            ..WorkloadSpec::demo(self.procs.max(2))
+        }
+    }
+
+    /// Serialises the trace to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.total_refs() as usize * 9);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(self.procs as u16);
+        buf.put_u64_le(self.placement_seed);
+        buf.put_f64_le(self.instr_per_data);
+        for refs in &self.per_node {
+            buf.put_u64_le(refs.len() as u64);
+            for r in refs.iter() {
+                buf.put_u64_le(r.addr.raw());
+                let flags = u8::from(r.kind.is_write()) | (u8::from(r.region.is_shared()) << 1);
+                buf.put_u8(flags);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] with `InvalidData` on magic/structure
+    /// mismatch or truncation.
+    pub fn from_bytes(mut data: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        if data.len() < 26 || &data[..8] != MAGIC {
+            return Err(bad("not a ringsim trace (bad magic)"));
+        }
+        data.advance(8);
+        let procs = usize::from(data.get_u16_le());
+        if procs == 0 || procs > 64 {
+            return Err(bad("processor count out of range"));
+        }
+        let placement_seed = data.get_u64_le();
+        let instr_per_data = data.get_f64_le();
+        if !instr_per_data.is_finite() || instr_per_data < 0.0 {
+            return Err(bad("invalid instruction ratio"));
+        }
+        let mut per_node = Vec::with_capacity(procs);
+        for n in 0..procs {
+            if data.remaining() < 8 {
+                return Err(bad("truncated trace (missing node header)"));
+            }
+            let count = data.get_u64_le() as usize;
+            if data.remaining() < count * 9 {
+                return Err(bad("truncated trace (missing references)"));
+            }
+            let mut refs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let addr = Addr::new(data.get_u64_le());
+                let flags = data.get_u8();
+                refs.push(MemRef {
+                    node: NodeId::new(n),
+                    addr,
+                    kind: if flags & 1 != 0 { AccessKind::Write } else { AccessKind::Read },
+                    region: if flags & 2 != 0 { Region::Shared } else { Region::Private },
+                });
+            }
+            per_node.push(refs.into());
+        }
+        Ok(Self { procs, placement_seed, instr_per_data, per_node })
+    }
+
+    /// Writes the trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`io::Error`] from the filesystem.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`io::Error`] from the filesystem or the parser.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> RecordedTrace {
+        RecordedTrace::capture_refs(&WorkloadSpec::demo(4), 300).unwrap()
+    }
+
+    #[test]
+    fn capture_matches_generator() {
+        let spec = WorkloadSpec::demo(4);
+        let trace = RecordedTrace::capture_refs(&spec, 200).unwrap();
+        let mut w = Workload::new(spec).unwrap();
+        for n in 0..4 {
+            for i in 0..200 {
+                assert_eq!(trace.node_refs(n)[i], w.streams_mut()[n].next_ref());
+            }
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_is_lossless() {
+        let trace = small_trace();
+        let bytes = trace.to_bytes();
+        let back = RecordedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = small_trace();
+        let dir = std::env::temp_dir().join("ringsim-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.rstrace");
+        trace.save(&path).unwrap();
+        let back = RecordedTrace::load(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replay_workload_reproduces_trace() {
+        let trace = small_trace();
+        let mut w = trace.workload();
+        for n in 0..4 {
+            for i in 0..300 {
+                assert_eq!(w.streams_mut()[n].next_ref(), trace.node_refs(n)[i]);
+            }
+            // Replay wraps around.
+            assert_eq!(w.streams_mut()[n].next_ref(), trace.node_refs(n)[0]);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(RecordedTrace::from_bytes(b"not a trace").is_err());
+        let mut bytes = small_trace().to_bytes().to_vec();
+        bytes.truncate(bytes.len() / 2);
+        assert!(RecordedTrace::from_bytes(&bytes).is_err());
+        bytes[0] = b'X';
+        assert!(RecordedTrace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn replay_preserves_home_mapping() {
+        let spec = WorkloadSpec::demo(4);
+        let trace = RecordedTrace::capture_refs(&spec, 100).unwrap();
+        let original = Workload::new(spec).unwrap();
+        let replay = trace.workload();
+        for r in trace.node_refs(0) {
+            assert_eq!(original.space().home_of(r.addr), replay.space().home_of(r.addr));
+        }
+    }
+}

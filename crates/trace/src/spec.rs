@@ -1,0 +1,269 @@
+use serde::{Deserialize, Serialize};
+
+use ringsim_types::ConfigError;
+
+/// Parameters of a synthetic workload.
+///
+/// The paper drives its simulations with address traces of six parallel
+/// programs (SPLASH MP3D/WATER/CHOLESKY and MIT FFT/WEATHER/SIMPLE). Those
+/// traces are not available, so `ringsim` substitutes a stochastic reference
+/// generator whose knobs map one-to-one onto the published trace
+/// characteristics (Table 2) and sharing-pattern mix (Figure 5):
+///
+/// * the private/shared reference split and write fractions are direct
+///   parameters;
+/// * the private miss rate is tuned by `private_cold_frac` (references to a
+///   much-larger-than-cache pool);
+/// * the *shared* miss rate and the miss-type mix are tuned by the blend of
+///   three sharing idioms:
+///   - **read-only** data (clean misses only),
+///   - **migratory** data (read-modify-write episodes that move between
+///     processors: dirty misses + single-sharer invalidations),
+///   - **producer–consumer** data (one writer, many readers: multi-sharer
+///     invalidations, mostly-clean reader misses).
+///
+/// All randomness is drawn from per-node deterministic streams seeded from
+/// `seed`, so a workload is a pure function of its spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Human-readable name ("mp3d.16", ...).
+    pub name: String,
+    /// Number of processors.
+    pub procs: usize,
+    /// Data references generated per processor (after warmup).
+    pub data_refs_per_proc: u64,
+    /// Additional warmup references per processor, excluded from statistics
+    /// but applied to cache state.
+    pub warmup_refs_per_proc: u64,
+    /// Instruction references per data reference; instruction references
+    /// never miss and are charged as processor compute cycles.
+    pub instr_per_data: f64,
+    /// Probability that a data reference targets the shared region.
+    pub shared_frac: f64,
+    /// Probability that a private reference is a write.
+    pub private_write_frac: f64,
+    /// Probability that a private reference targets the cold pool.
+    pub private_cold_frac: f64,
+    /// Blocks in the per-processor private hot pool (should fit in cache).
+    pub private_hot_blocks: u64,
+    /// Blocks in the per-processor private cold pool (should dwarf the
+    /// cache).
+    pub private_cold_blocks: u64,
+    /// Weight of the read-only pool among shared references.
+    pub shared_read_only_frac: f64,
+    /// Weight of the streaming pool among shared references: blocks read
+    /// once and never revisited (grid sweeps). Every streaming reference is
+    /// a cold miss, making this the direct shared-miss-rate knob.
+    pub shared_stream_frac: f64,
+    /// Weight of the migratory pool among shared references.
+    pub shared_migratory_frac: f64,
+    /// Weight of the producer-consumer pool among shared references
+    /// (the three weights are normalised internally).
+    pub shared_prodcons_frac: f64,
+    /// Blocks in the shared read-only pool.
+    pub read_only_blocks: u64,
+    /// Blocks in the shared migratory pool.
+    pub migratory_blocks: u64,
+    /// Blocks in the shared producer-consumer pool.
+    pub prodcons_blocks: u64,
+    /// References per migratory ownership episode (the inverse of the
+    /// migratory miss rate).
+    pub migratory_run_len: u64,
+    /// Probability that a reference inside a migratory episode (after the
+    /// leading read) is a write.
+    pub migratory_write_frac: f64,
+    /// Probability that a producer-consumer reference is the node writing
+    /// one of its own blocks (otherwise it reads a random block).
+    pub prodcons_producer_frac: f64,
+    /// Consecutive references a node makes to the same producer-consumer
+    /// block (temporal locality of grid points); the inverse of the
+    /// producer-consumer miss/upgrade rate.
+    pub prodcons_burst: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small, fast, deliberately share-heavy workload used by unit tests
+    /// and examples.
+    #[must_use]
+    pub fn demo(procs: usize) -> Self {
+        Self {
+            name: format!("demo.{procs}"),
+            procs,
+            data_refs_per_proc: 20_000,
+            warmup_refs_per_proc: 4_000,
+            instr_per_data: 2.0,
+            shared_frac: 0.4,
+            private_write_frac: 0.2,
+            private_cold_frac: 0.01,
+            private_hot_blocks: 256,
+            private_cold_blocks: 1 << 16,
+            shared_read_only_frac: 0.25,
+            shared_stream_frac: 0.05,
+            shared_migratory_frac: 0.5,
+            shared_prodcons_frac: 0.2,
+            read_only_blocks: 512,
+            migratory_blocks: 256,
+            prodcons_blocks: 128,
+            migratory_run_len: 8,
+            migratory_write_frac: 0.5,
+            prodcons_producer_frac: 0.3,
+            prodcons_burst: 4,
+            seed: 0xD0_D0,
+        }
+    }
+
+    /// Returns a copy with a different measured-reference budget (warmup is
+    /// scaled proportionally, minimum 1000).
+    #[must_use]
+    pub fn with_refs(mut self, data_refs_per_proc: u64) -> Self {
+        let ratio = self.warmup_refs_per_proc as f64 / self.data_refs_per_proc.max(1) as f64;
+        self.data_refs_per_proc = data_refs_per_proc;
+        self.warmup_refs_per_proc = ((data_refs_per_proc as f64 * ratio) as u64).max(1_000);
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Normalised weights of the (read-only, streaming, migratory,
+    /// producer-consumer) pools.
+    #[must_use]
+    pub fn pool_weights(&self) -> [f64; 4] {
+        let total = self.shared_read_only_frac
+            + self.shared_stream_frac
+            + self.shared_migratory_frac
+            + self.shared_prodcons_frac;
+        if total <= 0.0 {
+            [0.0; 4]
+        } else {
+            [
+                self.shared_read_only_frac / total,
+                self.shared_stream_frac / total,
+                self.shared_migratory_frac / total,
+                self.shared_prodcons_frac / total,
+            ]
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.procs < 2 {
+            return Err(ConfigError::new("procs", "need at least 2 processors"));
+        }
+        if self.data_refs_per_proc == 0 {
+            return Err(ConfigError::new("data_refs_per_proc", "must be non-zero"));
+        }
+        for (field, value) in [
+            ("instr_per_data", self.instr_per_data),
+            ("shared_frac", self.shared_frac),
+            ("private_write_frac", self.private_write_frac),
+            ("private_cold_frac", self.private_cold_frac),
+            ("shared_read_only_frac", self.shared_read_only_frac),
+            ("shared_stream_frac", self.shared_stream_frac),
+            ("shared_migratory_frac", self.shared_migratory_frac),
+            ("shared_prodcons_frac", self.shared_prodcons_frac),
+            ("migratory_write_frac", self.migratory_write_frac),
+            ("prodcons_producer_frac", self.prodcons_producer_frac),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::new(field, "must be finite and non-negative"));
+            }
+        }
+        for (field, value) in [
+            ("shared_frac", self.shared_frac),
+            ("private_write_frac", self.private_write_frac),
+            ("private_cold_frac", self.private_cold_frac),
+            ("migratory_write_frac", self.migratory_write_frac),
+            ("prodcons_producer_frac", self.prodcons_producer_frac),
+        ] {
+            if value > 1.0 {
+                return Err(ConfigError::new(field, "must not exceed 1"));
+            }
+        }
+        if self.shared_frac > 0.0 && self.pool_weights() == [0.0; 4] {
+            return Err(ConfigError::new(
+                "shared_*_frac",
+                "shared references requested but all pool weights are zero",
+            ));
+        }
+        if self.private_hot_blocks == 0 || self.private_cold_blocks == 0 {
+            return Err(ConfigError::new("private_*_blocks", "pools must be non-empty"));
+        }
+        let w = self.pool_weights();
+        if w[0] > 0.0 && self.read_only_blocks == 0 {
+            return Err(ConfigError::new("read_only_blocks", "pool used but empty"));
+        }
+        if w[2] > 0.0 && self.migratory_blocks == 0 {
+            return Err(ConfigError::new("migratory_blocks", "pool used but empty"));
+        }
+        if w[3] > 0.0 && self.prodcons_blocks < self.procs as u64 {
+            return Err(ConfigError::new(
+                "prodcons_blocks",
+                "need at least one block per producer",
+            ));
+        }
+        if self.migratory_run_len == 0 {
+            return Err(ConfigError::new("migratory_run_len", "must be non-zero"));
+        }
+        if self.prodcons_burst == 0 {
+            return Err(ConfigError::new("prodcons_burst", "must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_is_valid() {
+        WorkloadSpec::demo(4).validate().unwrap();
+    }
+
+    #[test]
+    fn weights_normalise() {
+        let spec = WorkloadSpec { shared_read_only_frac: 2.0, ..WorkloadSpec::demo(4) };
+        let w = spec.pool_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1]);
+    }
+
+    #[test]
+    fn with_refs_scales_warmup() {
+        let spec = WorkloadSpec::demo(4).with_refs(200_000);
+        assert_eq!(spec.data_refs_per_proc, 200_000);
+        assert_eq!(spec.warmup_refs_per_proc, 40_000);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let ok = WorkloadSpec::demo(4);
+        assert!(WorkloadSpec { procs: 1, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { shared_frac: 1.5, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { shared_frac: -0.1, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { migratory_run_len: 0, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { prodcons_blocks: 1, ..ok.clone() }.validate().is_err());
+        assert!(
+            WorkloadSpec {
+                shared_read_only_frac: 0.0,
+                shared_stream_frac: 0.0,
+                shared_migratory_frac: 0.0,
+                shared_prodcons_frac: 0.0,
+                ..ok
+            }
+            .validate()
+            .is_err()
+        );
+    }
+}

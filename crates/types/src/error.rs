@@ -1,0 +1,66 @@
+use core::fmt;
+use std::error::Error;
+
+/// Error returned when a simulation configuration is internally inconsistent
+/// (zero nodes, non-power-of-two block size, and so on).
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_types::ConfigError;
+///
+/// let e = ConfigError::new("nodes", "must be at least 2");
+/// assert_eq!(e.to_string(), "invalid config field `nodes`: must be at least 2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates a new configuration error for `field` with a human-readable
+    /// `reason`.
+    #[must_use]
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self { field: field.into(), reason: reason.into() }
+    }
+
+    /// Name of the offending configuration field.
+    #[must_use]
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Why the field is invalid.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = ConfigError::new("block_size", "must be a power of two");
+        assert_eq!(e.field(), "block_size");
+        assert_eq!(e.reason(), "must be a power of two");
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

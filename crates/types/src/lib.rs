@@ -1,0 +1,48 @@
+//! Shared vocabulary types for the `ringsim` simulator family.
+//!
+//! This crate defines the small, dependency-free building blocks used by
+//! every other crate in the workspace:
+//!
+//! * [`NodeId`] — identity of a processing element on the ring or bus,
+//! * [`Addr`] / [`BlockAddr`] / [`PageAddr`] — physical addresses at byte,
+//!   cache-block and page granularity,
+//! * [`Time`] — simulated time in integer picoseconds,
+//! * [`AccessKind`] / [`MemRef`] — memory-reference vocabulary shared by the
+//!   trace generator and the simulators,
+//! * [`rng`] — a small deterministic PRNG ([`rng::Xoshiro256`]) so that every
+//!   simulation is exactly reproducible across platforms,
+//! * [`stats`] — counters, running means and histograms used for metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use ringsim_types::{Addr, BlockAddr, NodeId, Time};
+//!
+//! let addr = Addr::new(0x1234);
+//! let block = addr.block(16);
+//! assert_eq!(block, BlockAddr::new(0x123));
+//! assert!(!block.is_even());
+//!
+//! let t = Time::from_ns(140);
+//! assert_eq!(t.as_ps(), 140_000);
+//! assert_eq!(NodeId::new(3).index(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod error;
+mod events;
+mod ids;
+mod mem;
+pub mod rng;
+pub mod stats;
+mod time;
+
+pub use addr::{Addr, BlockAddr, PageAddr};
+pub use error::ConfigError;
+pub use events::CoherenceEvents;
+pub use ids::NodeId;
+pub use mem::{AccessKind, MemRef, Region};
+pub use time::Time;

@@ -1,0 +1,130 @@
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, NodeId};
+
+/// Whether a memory reference reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// Whether an address belongs to a processor-private region or to the shared
+/// region of the address space.
+///
+/// The trace generator knows this statically (it allocates the regions); the
+/// simulators use it for accounting (Table 2 separates private from shared
+/// references) and for page placement (private pages are local to their
+/// owner, shared pages are distributed pseudo-randomly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Data private to one processor.
+    Private,
+    /// Data potentially accessed by several processors.
+    Shared,
+}
+
+impl Region {
+    /// `true` for [`Region::Shared`].
+    #[must_use]
+    pub const fn is_shared(self) -> bool {
+        matches!(self, Region::Shared)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Region::Private => "private",
+            Region::Shared => "shared",
+        })
+    }
+}
+
+/// One data memory reference issued by a processor.
+///
+/// Instruction fetches are not represented individually: the paper assumes
+/// instruction references never miss, so the simulators charge instruction
+/// time as whole processor cycles between data references (see
+/// `ringsim-trace`).
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_types::{AccessKind, Addr, MemRef, NodeId, Region};
+///
+/// let r = MemRef {
+///     node: NodeId::new(2),
+///     addr: Addr::new(0x4000),
+///     kind: AccessKind::Write,
+///     region: Region::Shared,
+/// };
+/// assert!(r.kind.is_write());
+/// assert!(r.region.is_shared());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Issuing processor.
+    pub node: NodeId,
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Private or shared region.
+    pub region: Region,
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} ({})", self.node, self.kind, self.addr, self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn region_predicates() {
+        assert!(Region::Shared.is_shared());
+        assert!(!Region::Private.is_shared());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = MemRef {
+            node: NodeId::new(1),
+            addr: Addr::new(0x10),
+            kind: AccessKind::Read,
+            region: Region::Private,
+        };
+        assert_eq!(r.to_string(), "P1 R 0x10 (private)");
+    }
+}

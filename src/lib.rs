@@ -1,0 +1,68 @@
+//! # ringsim — cache-coherent slotted-ring multiprocessor simulation
+//!
+//! A Rust reproduction of Barroso & Dubois, *"The Performance of
+//! Cache-Coherent Ring-based Multiprocessors"*, ISCA 1993: timed simulators
+//! for snooping and full-map-directory coherence on a unidirectional
+//! slotted ring, a split-transaction snooping bus baseline, synthetic
+//! workloads calibrated to the paper's traces, and the hybrid analytical
+//! models used to sweep the design space.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ringsim::core::{RingSystem, SystemConfig};
+//! use ringsim::proto::ProtocolKind;
+//! use ringsim::trace::{Workload, WorkloadSpec};
+//!
+//! let cfg = ringsim::core::SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8);
+//! let workload = Workload::new(WorkloadSpec::demo(8).with_refs(2_000)).unwrap();
+//! let report = RingSystem::new(cfg, workload).unwrap().run();
+//! assert!(report.proc_util > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared vocabulary types (`ringsim-types`).
+pub mod types {
+    pub use ringsim_types::*;
+}
+
+/// Synthetic workloads and trace characterisation (`ringsim-trace`).
+pub mod trace {
+    pub use ringsim_trace::*;
+}
+
+/// The coherent cache model (`ringsim-cache`).
+pub mod cache {
+    pub use ringsim_cache::*;
+}
+
+/// The slotted-ring interconnect (`ringsim-ring`).
+pub mod ring {
+    pub use ringsim_ring::*;
+}
+
+/// The split-transaction bus (`ringsim-bus`).
+pub mod bus {
+    pub use ringsim_bus::*;
+}
+
+/// Coherence protocol building blocks (`ringsim-proto`).
+pub mod proto {
+    pub use ringsim_proto::*;
+}
+
+/// The timed system simulators (`ringsim-core`).
+pub mod core {
+    pub use ringsim_core::*;
+}
+
+/// The analytical models (`ringsim-analytic`).
+pub mod analytic {
+    pub use ringsim_analytic::*;
+}

@@ -1,0 +1,327 @@
+//! `ringsim` — command-line front end to the simulators and models.
+//!
+//! ```text
+//! ringsim list
+//! ringsim characterize --benchmark mp3d --procs 16 [--refs N]
+//! ringsim sim   --benchmark mp3d --procs 16 --network ring500 \
+//!               [--protocol snooping|directory] [--mips M] [--refs N]
+//! ringsim model --benchmark mp3d --procs 16 --network bus100 [--mips M]
+//! ```
+//!
+//! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
+//! (64-bit split-transaction buses).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+use ringsim::analytic::{BusModel, ModelInput, RingModel};
+use ringsim::bus::BusConfig;
+use ringsim::core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim::proto::ProtocolKind;
+use ringsim::ring::RingConfig;
+use ringsim::trace::{characterize, Benchmark};
+use ringsim::types::Time;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "list" => list(),
+        "characterize" => characterize_cmd(rest),
+        "sim" => sim_cmd(rest),
+        "model" => model_cmd(rest),
+        "sweep" => sweep_cmd(rest),
+        "record" => record_cmd(rest),
+        "replay" => replay_cmd(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: ringsim <command> [options]
+
+commands:
+  list                      the paper's benchmark configurations
+  characterize              Table 2-style workload characteristics
+  sim                       run a timed system simulation
+  model                     evaluate the analytical model
+  sweep                     model sweep over processor cycle 1-20 ns (figure series)
+  record                    capture a benchmark trace to a file (--out <path>)
+  replay                    simulate a recorded trace (--trace <path>)
+
+options:
+  --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
+  --procs <n>               processor count (per the paper's sizes)
+  --network <net>           ring500 | ring250 | bus50 | bus100 (default ring500)
+  --protocol <p>            snooping | directory (rings only; default snooping)
+  --mips <m>                processor speed in MIPS (default 50)
+  --refs <n>                measured references per processor (default 20000)";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`").into());
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn benchmark_of(flags: &HashMap<String, String>) -> Result<(Benchmark, usize), Box<dyn Error>> {
+    let name = flags.get("benchmark").ok_or("--benchmark is required")?;
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name.to_lowercase())
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `ringsim list`)"))?;
+    let procs = match flags.get("procs") {
+        Some(p) => p.parse::<usize>()?,
+        None => bench.paper_sizes()[0],
+    };
+    Ok((bench, procs))
+}
+
+fn mips_of(flags: &HashMap<String, String>) -> Result<u64, Box<dyn Error>> {
+    Ok(flags.get("mips").map_or(Ok(50), |m| m.parse::<u64>())?)
+}
+
+fn refs_of(flags: &HashMap<String, String>) -> Result<u64, Box<dyn Error>> {
+    Ok(flags.get("refs").map_or(Ok(20_000), |m| m.parse::<u64>())?)
+}
+
+fn protocol_of(flags: &HashMap<String, String>) -> Result<ProtocolKind, Box<dyn Error>> {
+    match flags.get("protocol").map(String::as_str) {
+        None | Some("snooping") => Ok(ProtocolKind::Snooping),
+        Some("directory") => Ok(ProtocolKind::Directory),
+        Some(other) => Err(format!("unknown protocol `{other}`").into()),
+    }
+}
+
+fn list() -> CliResult {
+    println!("benchmark     paper sizes");
+    for b in Benchmark::ALL {
+        println!("{:<12}  {:?}", b.name(), b.paper_sizes());
+    }
+    Ok(())
+}
+
+fn characterize_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let (bench, procs) = benchmark_of(&flags)?;
+    let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
+    let ch = characterize(&spec)?;
+    let e = ch.events;
+    println!("{} on {procs} processors ({} data refs measured)", spec.name, e.data_refs());
+    println!("  total miss rate   : {:6.2} %", 100.0 * e.total_miss_rate());
+    println!("  shared miss rate  : {:6.2} %", 100.0 * e.shared_miss_rate());
+    println!("  private miss rate : {:6.2} %", 100.0 * e.private_miss_rate());
+    println!("  shared refs       : {:6.1} %", 100.0 * e.shared_refs() as f64 / e.data_refs() as f64);
+    println!("  shared writes     : {:6.1} %", 100.0 * e.shared_write_frac());
+    println!("  dirty-miss frac   : {:6.1} %", 100.0 * e.dirty_miss_frac());
+    let total = e.remote_misses().max(1) as f64;
+    println!(
+        "  fig5 classes      : {:4.1}% 1-cycle clean, {:4.1}% 1-cycle dirty, {:4.1}% 2-cycle",
+        100.0 * e.fig5_one_cycle_clean() as f64 / total,
+        100.0 * e.fig5_one_cycle_dirty() as f64 / total,
+        100.0 * e.fig5_two_cycle() as f64 / total,
+    );
+    Ok(())
+}
+
+fn sim_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let (bench, procs) = benchmark_of(&flags)?;
+    let mips = mips_of(&flags)?;
+    let proc_cycle = Time::from_ps(1_000_000 / mips);
+    let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
+    let workload = ringsim::trace::Workload::new(spec)?;
+    let network = flags.get("network").map_or("ring500", String::as_str);
+    let report = match network {
+        "ring500" | "ring250" => {
+            let protocol = protocol_of(&flags)?;
+            let mut cfg = if network == "ring500" {
+                SystemConfig::ring_500mhz(protocol, procs)
+            } else {
+                SystemConfig::ring_250mhz(protocol, procs)
+            };
+            cfg = cfg.with_proc_cycle(proc_cycle);
+            RingSystem::new(cfg, workload)?.run()
+        }
+        "bus50" | "bus100" => {
+            let cfg = if network == "bus100" {
+                BusSystemConfig::bus_100mhz(procs)
+            } else {
+                BusSystemConfig::bus_50mhz(procs)
+            }
+            .with_proc_cycle(proc_cycle);
+            BusSystem::new(cfg, workload)?.run()
+        }
+        other => return Err(format!("unknown network `{other}`").into()),
+    };
+    println!("{} on {network}, {procs} processors at {mips} MIPS", bench.name());
+    println!("  protocol              : {}", report.protocol);
+    println!("  simulated time        : {}", report.sim_end);
+    println!("  processor utilisation : {:5.1} %", 100.0 * report.proc_util);
+    println!("  network utilisation   : {:5.1} %", 100.0 * report.ring_util);
+    println!("  mean miss latency     : {:5.0} ns", report.miss_latency_ns());
+    if let (Some(p50), Some(p95)) =
+        (report.miss_latency_percentile(0.5), report.miss_latency_percentile(0.95))
+    {
+        println!("  miss latency p50/p95  : {:5.0} / {:.0} ns", p50, p95);
+    }
+    println!("  mean upgrade latency  : {:5.0} ns", report.upgrade_latency.mean());
+    println!("  misses / upgrades     : {} / {}", report.events.misses(), report.events.upgrades());
+    Ok(())
+}
+
+fn record_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let (bench, procs) = benchmark_of(&flags)?;
+    let out = flags.get("out").ok_or("--out <path> is required")?;
+    let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
+    let trace = ringsim::trace::RecordedTrace::capture(&spec)?;
+    trace.save(out)?;
+    println!(
+        "recorded {} references ({} per processor) to {out}",
+        trace.total_refs(),
+        trace.total_refs() / procs as u64
+    );
+    Ok(())
+}
+
+fn replay_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let path = flags.get("trace").ok_or("--trace <path> is required")?;
+    let trace = ringsim::trace::RecordedTrace::load(path)?;
+    let procs = trace.procs();
+    let mips = mips_of(&flags)?;
+    let proc_cycle = Time::from_ps(1_000_000 / mips);
+    let network = flags.get("network").map_or("ring500", String::as_str);
+    let report = match network {
+        "ring500" | "ring250" => {
+            let protocol = protocol_of(&flags)?;
+            let cfg = if network == "ring500" {
+                SystemConfig::ring_500mhz(protocol, procs)
+            } else {
+                SystemConfig::ring_250mhz(protocol, procs)
+            }
+            .with_proc_cycle(proc_cycle);
+            RingSystem::new(cfg, trace.workload())?.run()
+        }
+        "bus50" | "bus100" => {
+            let cfg = if network == "bus100" {
+                BusSystemConfig::bus_100mhz(procs)
+            } else {
+                BusSystemConfig::bus_50mhz(procs)
+            }
+            .with_proc_cycle(proc_cycle);
+            BusSystem::new(cfg, trace.workload())?.run()
+        }
+        other => return Err(format!("unknown network `{other}`").into()),
+    };
+    println!("replayed {path} on {network} ({procs} processors at {mips} MIPS)");
+    println!("  protocol              : {}", report.protocol);
+    println!("  processor utilisation : {:5.1} %", 100.0 * report.proc_util);
+    println!("  network utilisation   : {:5.1} %", 100.0 * report.ring_util);
+    println!("  mean miss latency     : {:5.0} ns", report.miss_latency_ns());
+    Ok(())
+}
+
+fn sweep_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let (bench, procs) = benchmark_of(&flags)?;
+    let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
+    let ch = characterize(&spec)?;
+    let input = ModelInput::from_characteristics(&ch);
+    let network = flags.get("network").map_or("ring500", String::as_str);
+    println!("# {} on {network}, {procs} processors — model sweep", bench.name());
+    println!("# proc_cycle_ns proc_util_pct net_util_pct miss_latency_ns");
+    let points: Vec<(u64, f64, f64, f64)> = match network {
+        "ring500" | "ring250" => {
+            let protocol = protocol_of(&flags)?;
+            let ring = if network == "ring500" {
+                RingConfig::standard_500mhz(procs)
+            } else {
+                RingConfig::standard_250mhz(procs)
+            };
+            RingModel::new(ring, protocol)
+                .sweep(&input, 1, 20)
+                .into_iter()
+                .map(|(t, o)| (t.as_ps() / 1000, o.proc_util, o.net_util, o.miss_latency_ns))
+                .collect()
+        }
+        "bus50" | "bus100" => {
+            let bus = if network == "bus100" {
+                BusConfig::bus_100mhz(procs)
+            } else {
+                BusConfig::bus_50mhz(procs)
+            };
+            BusModel::new(bus)
+                .sweep(&input, 1, 20)
+                .into_iter()
+                .map(|(t, o)| (t.as_ps() / 1000, o.proc_util, o.net_util, o.miss_latency_ns))
+                .collect()
+        }
+        other => return Err(format!("unknown network `{other}`").into()),
+    };
+    for (ns, u, n, l) in points {
+        println!("{ns:2} {:6.2} {:6.2} {l:8.1}", 100.0 * u, 100.0 * n);
+    }
+    Ok(())
+}
+
+fn model_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let (bench, procs) = benchmark_of(&flags)?;
+    let mips = mips_of(&flags)?;
+    let proc_cycle = Time::from_ps(1_000_000 / mips);
+    let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
+    let ch = characterize(&spec)?;
+    let input = ModelInput::from_characteristics(&ch);
+    let network = flags.get("network").map_or("ring500", String::as_str);
+    let out = match network {
+        "ring500" | "ring250" => {
+            let protocol = protocol_of(&flags)?;
+            let ring = if network == "ring500" {
+                RingConfig::standard_500mhz(procs)
+            } else {
+                RingConfig::standard_250mhz(procs)
+            };
+            RingModel::new(ring, protocol).evaluate(&input, proc_cycle)
+        }
+        "bus50" | "bus100" => {
+            let bus = if network == "bus100" {
+                BusConfig::bus_100mhz(procs)
+            } else {
+                BusConfig::bus_50mhz(procs)
+            };
+            BusModel::new(bus).evaluate(&input, proc_cycle)
+        }
+        other => return Err(format!("unknown network `{other}`").into()),
+    };
+    println!("analytical model: {} on {network}, {procs} processors at {mips} MIPS", bench.name());
+    println!("  processor utilisation : {:5.1} %", 100.0 * out.proc_util);
+    println!("  network utilisation   : {:5.1} %", 100.0 * out.net_util);
+    println!("  mean miss latency     : {:5.0} ns", out.miss_latency_ns);
+    println!("  converged             : {} ({} iterations)", out.converged, out.iterations);
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Reproducibility: every simulator and model is a pure function of its
+//! configuration and seed.
+
+use ringsim::analytic::{ModelInput, RingModel};
+use ringsim::core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim::proto::ProtocolKind;
+use ringsim::ring::RingConfig;
+use ringsim::trace::{characterize, Workload, WorkloadSpec};
+use ringsim::types::Time;
+
+fn spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec::demo(6).with_refs(3_000).with_seed(seed)
+}
+
+#[test]
+fn ring_sim_is_deterministic() {
+    for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        let run = || {
+            let cfg = SystemConfig::ring_500mhz(protocol, 6);
+            RingSystem::new(cfg, Workload::new(spec(1)).unwrap()).unwrap().run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.miss_latency, b.miss_latency);
+        assert_eq!(a.retries, b.retries);
+    }
+}
+
+#[test]
+fn bus_sim_is_deterministic() {
+    let run = || {
+        let cfg = BusSystemConfig::bus_100mhz(6);
+        BusSystem::new(cfg, Workload::new(spec(2)).unwrap()).unwrap().run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.sim_end, b.sim_end);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let run = |seed| {
+        let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 6);
+        RingSystem::new(cfg, Workload::new(spec(seed)).unwrap()).unwrap().run()
+    };
+    let a = run(10);
+    let b = run(11);
+    assert_ne!(a.events, b.events);
+    // ... but the statistics are close (same distribution).
+    let rel = (a.events.total_miss_rate() - b.events.total_miss_rate()).abs()
+        / a.events.total_miss_rate();
+    assert!(rel < 0.25, "seeds changed the distribution itself: {rel}");
+}
+
+#[test]
+fn characterisation_is_deterministic() {
+    let a = characterize(&spec(3)).unwrap();
+    let b = characterize(&spec(3)).unwrap();
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn models_are_pure_functions() {
+    let ch = characterize(&spec(4)).unwrap();
+    let input = ModelInput::from_characteristics(&ch);
+    let model = RingModel::new(RingConfig::standard_500mhz(6), ProtocolKind::Snooping);
+    let a = model.evaluate(&input, Time::from_ns(7));
+    let b = model.evaluate(&input, Time::from_ns(7));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,161 @@
+//! End-to-end integration: workload generation → timed simulation → metrics,
+//! across protocols and interconnects.
+
+use ringsim::core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim::proto::ProtocolKind;
+use ringsim::trace::{characterize, Benchmark, Workload, WorkloadSpec};
+use ringsim::types::Time;
+
+fn demo_workload(procs: usize, refs: u64) -> Workload {
+    Workload::new(WorkloadSpec::demo(procs).with_refs(refs)).unwrap()
+}
+
+#[test]
+fn ring_snooping_full_pipeline() {
+    let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8);
+    let mut sys = RingSystem::new(cfg, demo_workload(8, 4_000)).unwrap();
+    let report = sys.run();
+    assert_eq!(report.events.data_refs(), 8 * 4_000);
+    assert!(report.proc_util > 0.2 && report.proc_util < 1.0);
+    assert!(report.ring_util > 0.0 && report.ring_util < 0.9);
+    assert!(report.miss_latency_ns() >= 140.0);
+    assert_eq!(report.per_node.len(), 8);
+    sys.check_coherence().unwrap();
+}
+
+#[test]
+fn ring_directory_full_pipeline() {
+    let cfg = SystemConfig::ring_500mhz(ProtocolKind::Directory, 8);
+    let mut sys = RingSystem::new(cfg, demo_workload(8, 4_000)).unwrap();
+    let report = sys.run();
+    assert_eq!(report.events.data_refs(), 8 * 4_000);
+    assert!(report.miss_latency_ns() >= 140.0);
+    // Directory mode populates the Figure 5 classes.
+    let (c1, d1, c2) = report.fig5_percentages();
+    assert!((c1 + d1 + c2 - 100.0).abs() < 1e-9);
+    sys.check_coherence().unwrap();
+}
+
+#[test]
+fn bus_full_pipeline() {
+    let cfg = BusSystemConfig::bus_100mhz(8);
+    let report = BusSystem::new(cfg, demo_workload(8, 4_000)).unwrap().run();
+    assert_eq!(report.events.data_refs(), 8 * 4_000);
+    assert!(report.ring_util > 0.0 && report.ring_util <= 1.0);
+    assert!(report.miss_latency_ns() >= 140.0);
+}
+
+#[test]
+fn timed_sims_agree_with_untimed_interpreter_on_rates() {
+    // The timed simulators and the untimed interpreter consume the same
+    // per-node streams, so their miss rates must agree closely (small
+    // differences come from interleaving-dependent coherence races).
+    let spec = WorkloadSpec::demo(8).with_refs(6_000);
+    let ch = characterize(&spec).unwrap();
+    let interp_rate = ch.events.total_miss_rate();
+
+    for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        let cfg = SystemConfig::ring_500mhz(protocol, 8);
+        let report =
+            RingSystem::new(cfg, Workload::new(spec.clone()).unwrap()).unwrap().run();
+        let sim_rate = report.events.total_miss_rate();
+        let rel = (sim_rate - interp_rate).abs() / interp_rate;
+        assert!(
+            rel < 0.12,
+            "{protocol}: sim rate {sim_rate:.4} vs interp {interp_rate:.4} ({rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn snooping_beats_directory_on_migratory_demo() {
+    // The demo workload is migratory-heavy, so the paper's main result
+    // should hold: snooping gives better processor utilisation.
+    let run = |p| {
+        let cfg = SystemConfig::ring_500mhz(p, 8).with_proc_cycle(Time::from_ns(10));
+        RingSystem::new(cfg, demo_workload(8, 5_000)).unwrap().run()
+    };
+    let snoop = run(ProtocolKind::Snooping);
+    let dir = run(ProtocolKind::Directory);
+    assert!(
+        snoop.proc_util > dir.proc_util,
+        "snooping {} <= directory {}",
+        snoop.proc_util,
+        dir.proc_util
+    );
+    assert!(snoop.miss_latency_ns() < dir.miss_latency_ns());
+    // But snooping always loads the ring more.
+    assert!(snoop.ring_util > dir.ring_util);
+}
+
+#[test]
+fn ring_outperforms_saturating_bus_with_fast_processors() {
+    let spec = WorkloadSpec::demo(16).with_refs(4_000);
+    let proc = Time::from_ns(2); // 500 MIPS
+    let ring_cfg =
+        SystemConfig::ring_500mhz(ProtocolKind::Snooping, 16).with_proc_cycle(proc);
+    let ring = RingSystem::new(ring_cfg, Workload::new(spec.clone()).unwrap()).unwrap().run();
+    let bus_cfg = BusSystemConfig::bus_50mhz(16).with_proc_cycle(proc);
+    let bus = BusSystem::new(bus_cfg, Workload::new(spec).unwrap()).unwrap().run();
+    assert!(ring.proc_util > bus.proc_util);
+    assert!(bus.ring_util > 0.85, "bus should be near saturation: {}", bus.ring_util);
+}
+
+#[test]
+fn paper_benchmarks_run_on_their_paper_sizes() {
+    for (bench, procs) in Benchmark::paper_configs() {
+        // Keep the 64-proc runs tiny: this is a smoke test.
+        let refs = if procs >= 64 { 800 } else { 1_500 };
+        let spec = bench.spec(procs).unwrap().with_refs(refs);
+        let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, procs);
+        let report = RingSystem::new(cfg, Workload::new(spec).unwrap()).unwrap().run();
+        assert!(report.proc_util > 0.0, "{bench:?}.{procs}");
+    }
+}
+
+#[test]
+fn class_latencies_are_ordered_sensibly() {
+    // Local < clean-remote <= dirty for the snooping ring; the directory
+    // additionally pays for dirty forwarding.
+    let spec = WorkloadSpec::demo(8).with_refs(6_000);
+    for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        let cfg = SystemConfig::ring_500mhz(protocol, 8);
+        let report = RingSystem::new(cfg, Workload::new(spec.clone()).unwrap()).unwrap().run();
+        let c = report.class_latencies;
+        assert!(c.local.count() > 0 && c.clean_remote.count() > 0 && c.dirty.count() > 0);
+        assert!(
+            c.local.mean() < c.clean_remote.mean(),
+            "{protocol}: local {} !< clean remote {}",
+            c.local.mean(),
+            c.clean_remote.mean()
+        );
+        assert!(
+            c.dirty.mean() >= c.clean_remote.mean() - 20.0,
+            "{protocol}: dirty {} much cheaper than clean {}",
+            c.dirty.mean(),
+            c.clean_remote.mean()
+        );
+        // Local misses are pure memory accesses: exactly around 140 ns.
+        assert!((c.local.mean() - 140.0).abs() < 30.0, "{protocol}: local {}", c.local.mean());
+    }
+}
+
+#[test]
+fn directory_dirty_misses_cost_more_than_snooping_dirty_misses() {
+    // The heart of the paper's protocol comparison, at class granularity:
+    // dirty misses take up to two traversals under the directory but always
+    // exactly one under snooping.
+    let spec = WorkloadSpec::demo(8).with_refs(6_000);
+    let run = |p| {
+        let cfg = SystemConfig::ring_500mhz(p, 8);
+        RingSystem::new(cfg, Workload::new(spec.clone()).unwrap()).unwrap().run()
+    };
+    let snoop = run(ProtocolKind::Snooping).class_latencies;
+    let dir = run(ProtocolKind::Directory).class_latencies;
+    assert!(
+        dir.dirty.mean() > snoop.dirty.mean() + 30.0,
+        "directory dirty {} should exceed snooping dirty {}",
+        dir.dirty.mean(),
+        snoop.dirty.mean()
+    );
+}

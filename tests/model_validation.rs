@@ -1,0 +1,77 @@
+//! The paper's hybrid-methodology contract: the analytical models must
+//! agree with the timed simulators (the paper claims 15% on latencies and
+//! 5% on utilisations; we hold the same bands with margin for the small
+//! test workloads).
+
+use ringsim::analytic::{BusModel, ModelInput, RingModel};
+use ringsim::bus::BusConfig;
+use ringsim::core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim::proto::ProtocolKind;
+use ringsim::ring::RingConfig;
+use ringsim::trace::{Workload, WorkloadSpec};
+use ringsim::types::Time;
+
+const PROC: Time = Time::from_ns(20); // 50 MIPS, like the paper's base point
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::demo(8).with_refs(8_000)
+}
+
+#[test]
+fn ring_models_match_ring_sims() {
+    for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        let cfg = SystemConfig::ring_500mhz(protocol, 8).with_proc_cycle(PROC);
+        let sim = RingSystem::new(cfg, Workload::new(spec()).unwrap()).unwrap().run();
+        let input = ModelInput::from_report(&sim, spec().instr_per_data);
+        let model = RingModel::new(RingConfig::standard_500mhz(8), protocol);
+        let out = model.evaluate(&input, PROC);
+        assert!(out.converged);
+
+        let util_err = (out.proc_util - sim.proc_util).abs();
+        assert!(util_err < 0.05, "{protocol}: util sim {} vs model {}", sim.proc_util, out.proc_util);
+
+        let lat_err = (out.miss_latency_ns - sim.miss_latency_ns()).abs() / sim.miss_latency_ns();
+        assert!(
+            lat_err < 0.15,
+            "{protocol}: latency sim {} vs model {}",
+            sim.miss_latency_ns(),
+            out.miss_latency_ns
+        );
+
+        let net_err = (out.net_util - sim.ring_util).abs();
+        assert!(net_err < 0.05, "{protocol}: net sim {} vs model {}", sim.ring_util, out.net_util);
+    }
+}
+
+#[test]
+fn bus_model_matches_bus_sim() {
+    let cfg = BusSystemConfig::bus_100mhz(8).with_proc_cycle(PROC);
+    let sim = BusSystem::new(cfg, Workload::new(spec()).unwrap()).unwrap().run();
+    let input = ModelInput::from_report(&sim, spec().instr_per_data);
+    let out = BusModel::new(BusConfig::bus_100mhz(8)).evaluate(&input, PROC);
+    assert!(out.converged);
+    assert!((out.proc_util - sim.proc_util).abs() < 0.05);
+    let lat_err = (out.miss_latency_ns - sim.miss_latency_ns()).abs() / sim.miss_latency_ns();
+    assert!(lat_err < 0.20, "latency sim {} vs model {}", sim.miss_latency_ns(), out.miss_latency_ns);
+}
+
+#[test]
+fn model_tracks_sim_across_processor_speeds() {
+    // Relative ordering along the Figure 3 sweep must agree between the
+    // two halves of the methodology.
+    let base_cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8);
+    let slow_sim = RingSystem::new(base_cfg.with_proc_cycle(Time::from_ns(20)), Workload::new(spec()).unwrap())
+        .unwrap()
+        .run();
+    let fast_sim = RingSystem::new(base_cfg.with_proc_cycle(Time::from_ns(4)), Workload::new(spec()).unwrap())
+        .unwrap()
+        .run();
+    let input = ModelInput::from_report(&slow_sim, spec().instr_per_data);
+    let model = RingModel::new(RingConfig::standard_500mhz(8), ProtocolKind::Snooping);
+    let slow = model.evaluate(&input, Time::from_ns(20));
+    let fast = model.evaluate(&input, Time::from_ns(4));
+    assert!(slow.proc_util > fast.proc_util);
+    assert!(slow_sim.proc_util > fast_sim.proc_util);
+    assert!(fast.net_util > slow.net_util);
+    assert!(fast_sim.ring_util > slow_sim.ring_util);
+}
