@@ -84,20 +84,88 @@ impl BusModel {
                 let remote_clean = w + req + mem + w + resp;
                 let dirty = w + req + sup + w + resp;
                 vec![
-                    Class { freq: fr.private_miss + fr.read_clean_local, latency_ns: local_miss, bus_ns_addr: req, bus_ns_data: 0.0, grants: 1.0, is_miss: true, is_write: false },
-                    Class { freq: fr.write_nosharers_local + fr.write_sharers_local, latency_ns: local_miss, bus_ns_addr: req, bus_ns_data: 0.0, grants: 1.0, is_miss: true, is_write: true },
-                    Class { freq: fr.read_clean_remote, latency_ns: remote_clean, bus_ns_addr: req, bus_ns_data: resp, grants: 2.0, is_miss: true, is_write: false },
-                    Class { freq: fr.write_nosharers_remote + fr.write_sharers_remote, latency_ns: remote_clean, bus_ns_addr: req, bus_ns_data: resp, grants: 2.0, is_miss: true, is_write: true },
-                    Class { freq: fr.read_dirty_1 + fr.read_dirty_2, latency_ns: dirty, bus_ns_addr: req, bus_ns_data: resp, grants: 2.0, is_miss: true, is_write: false },
-                    Class { freq: fr.write_dirty_1 + fr.write_dirty_2, latency_ns: dirty, bus_ns_addr: req, bus_ns_data: resp, grants: 2.0, is_miss: true, is_write: true },
-                    Class { freq: fr.upgrade_nosharers_local + fr.upgrade_nosharers_remote + fr.upgrade_sharers_local + fr.upgrade_sharers_remote, latency_ns: w + inv, bus_ns_addr: inv, bus_ns_data: 0.0, grants: 1.0, is_miss: false, is_write: true },
-                    Class { freq: fr.writeback_remote, latency_ns: 0.0, bus_ns_addr: 0.0, bus_ns_data: resp, grants: 1.0, is_miss: false, is_write: true },
+                    Class {
+                        freq: fr.private_miss + fr.read_clean_local,
+                        latency_ns: local_miss,
+                        bus_ns_addr: req,
+                        bus_ns_data: 0.0,
+                        grants: 1.0,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.write_nosharers_local + fr.write_sharers_local,
+                        latency_ns: local_miss,
+                        bus_ns_addr: req,
+                        bus_ns_data: 0.0,
+                        grants: 1.0,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.read_clean_remote,
+                        latency_ns: remote_clean,
+                        bus_ns_addr: req,
+                        bus_ns_data: resp,
+                        grants: 2.0,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.write_nosharers_remote + fr.write_sharers_remote,
+                        latency_ns: remote_clean,
+                        bus_ns_addr: req,
+                        bus_ns_data: resp,
+                        grants: 2.0,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.read_dirty_1 + fr.read_dirty_2,
+                        latency_ns: dirty,
+                        bus_ns_addr: req,
+                        bus_ns_data: resp,
+                        grants: 2.0,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.write_dirty_1 + fr.write_dirty_2,
+                        latency_ns: dirty,
+                        bus_ns_addr: req,
+                        bus_ns_data: resp,
+                        grants: 2.0,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.upgrade_nosharers_local
+                            + fr.upgrade_nosharers_remote
+                            + fr.upgrade_sharers_local
+                            + fr.upgrade_sharers_remote,
+                        latency_ns: w + inv,
+                        bus_ns_addr: inv,
+                        bus_ns_data: 0.0,
+                        grants: 1.0,
+                        is_miss: false,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.writeback_remote,
+                        latency_ns: 0.0,
+                        bus_ns_addr: 0.0,
+                        bus_ns_data: resp,
+                        grants: 1.0,
+                        is_miss: false,
+                        is_write: true,
+                    },
                 ]
             };
             // Mean grant length from the zero-wait class mix (independent
             // of w).
             let base = classes(0.0);
-            let total_bus: f64 = base.iter().map(|c| c.freq * (c.bus_ns_addr + c.bus_ns_data)).sum();
+            let total_bus: f64 =
+                base.iter().map(|c| c.freq * (c.bus_ns_addr + c.bus_ns_data)).sum();
             let total_grants: f64 = base.iter().map(|c| c.freq * c.grants).sum();
             let xbar = if total_grants > 0.0 { total_bus / total_grants } else { 0.0 };
             let w = rho / (1.0 - rho) * xbar;
@@ -118,12 +186,9 @@ impl BusModel {
             let rho_new = addr_demand + data_demand;
 
             let miss_f: f64 = classes.iter().filter(|c| c.is_miss).map(|c| c.freq).sum();
-            let miss_lat = classes
-                .iter()
-                .filter(|c| c.is_miss)
-                .map(|c| c.freq * c.latency_ns)
-                .sum::<f64>()
-                / miss_f.max(1e-30);
+            let miss_lat =
+                classes.iter().filter(|c| c.is_miss).map(|c| c.freq * c.latency_ns).sum::<f64>()
+                    / miss_f.max(1e-30);
             let upg_f = fr.upgrade_total();
             let upg_lat = if upg_f > 0.0 { w + inv } else { 0.0 };
 
@@ -132,8 +197,18 @@ impl BusModel {
                 ModelOutput {
                     proc_util,
                     net_util: rho,
-                    probe_util: rho * if addr_demand + data_demand > 0.0 { addr_demand / (addr_demand + data_demand) } else { 0.0 },
-                    block_util: rho * if addr_demand + data_demand > 0.0 { data_demand / (addr_demand + data_demand) } else { 0.0 },
+                    probe_util: rho
+                        * if addr_demand + data_demand > 0.0 {
+                            addr_demand / (addr_demand + data_demand)
+                        } else {
+                            0.0
+                        },
+                    block_util: rho
+                        * if addr_demand + data_demand > 0.0 {
+                            data_demand / (addr_demand + data_demand)
+                        } else {
+                            0.0
+                        },
                     miss_latency_ns: miss_lat,
                     upgrade_latency_ns: upg_lat,
                     iterations: 0,
@@ -143,15 +218,19 @@ impl BusModel {
         })
     }
 
+    /// Evaluates a single sweep point at a whole-nanosecond processor
+    /// cycle — the point-granular entry the parallel sweep engine fans out
+    /// over.
+    #[must_use]
+    pub fn sweep_point(&self, input: &ModelInput, ns: u64) -> (Time, ModelOutput) {
+        let t = Time::from_ns(ns);
+        (t, self.evaluate(input, t))
+    }
+
     /// Sweeps the processor cycle (inclusive, whole nanoseconds).
     #[must_use]
     pub fn sweep(&self, input: &ModelInput, from_ns: u64, to_ns: u64) -> Vec<(Time, ModelOutput)> {
-        (from_ns..=to_ns)
-            .map(|ns| {
-                let t = Time::from_ns(ns);
-                (t, self.evaluate(input, t))
-            })
-            .collect()
+        (from_ns..=to_ns).map(|ns| self.sweep_point(input, ns)).collect()
     }
 }
 
@@ -202,8 +281,10 @@ mod tests {
 
     #[test]
     fn faster_bus_clock_helps() {
-        let slow = BusModel::new(BusConfig::bus_50mhz(16)).evaluate(&busy_input(16), Time::from_ns(5));
-        let fast = BusModel::new(BusConfig::bus_100mhz(16)).evaluate(&busy_input(16), Time::from_ns(5));
+        let slow =
+            BusModel::new(BusConfig::bus_50mhz(16)).evaluate(&busy_input(16), Time::from_ns(5));
+        let fast =
+            BusModel::new(BusConfig::bus_100mhz(16)).evaluate(&busy_input(16), Time::from_ns(5));
         assert!(fast.proc_util > slow.proc_util);
         assert!(fast.miss_latency_ns < slow.miss_latency_ns);
     }

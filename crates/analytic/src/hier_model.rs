@@ -114,9 +114,8 @@ impl HierRingModel {
                 0.0
             }
         };
-        let f_upgrade = fr.upgrade_nosharers_remote
-            + fr.upgrade_sharers_remote
-            + fr.upgrade_sharers_local;
+        let f_upgrade =
+            fr.upgrade_nosharers_remote + fr.upgrade_sharers_remote + fr.upgrade_sharers_local;
         let f_wb = fr.writeback_remote;
 
         fixed_point(|[r_lp, r_lb, r_gp, r_gb]: [f64; 4]| {
@@ -188,15 +187,19 @@ impl HierRingModel {
         })
     }
 
+    /// Evaluates a single sweep point at a whole-nanosecond processor
+    /// cycle — the point-granular entry the parallel sweep engine fans out
+    /// over.
+    #[must_use]
+    pub fn sweep_point(&self, input: &ModelInput, ns: u64) -> (Time, ModelOutput) {
+        let t = Time::from_ns(ns);
+        (t, self.evaluate(input, t))
+    }
+
     /// Sweeps the processor cycle (inclusive, whole nanoseconds).
     #[must_use]
     pub fn sweep(&self, input: &ModelInput, from_ns: u64, to_ns: u64) -> Vec<(Time, ModelOutput)> {
-        (from_ns..=to_ns)
-            .map(|ns| {
-                let t = Time::from_ns(ns);
-                (t, self.evaluate(input, t))
-            })
-            .collect()
+        (from_ns..=to_ns).map(|ns| self.sweep_point(input, ns)).collect()
     }
 }
 
@@ -267,9 +270,7 @@ mod tests {
         // With low locality and fast processors, the global ring loads up
         // much more than the local rings.
         let h = RingHierarchy::new(8, 8).unwrap();
-        let out = HierRingModel::new(h)
-            .with_locality(0.1)
-            .evaluate(&input64(), Time::from_ns(2));
+        let out = HierRingModel::new(h).with_locality(0.1).evaluate(&input64(), Time::from_ns(2));
         assert!(
             out.block_util > out.probe_util,
             "global {} <= local {}",

@@ -116,11 +116,7 @@ impl ModelInput {
     /// alongside (it comes from the workload spec).
     #[must_use]
     pub fn from_report(report: &SimReport, instr_per_data: f64) -> Self {
-        Self {
-            procs: report.nodes,
-            instr_per_data,
-            freqs: ClassFreqs::from_events(&report.events),
-        }
+        Self { procs: report.nodes, instr_per_data, freqs: ClassFreqs::from_events(&report.events) }
     }
 }
 

@@ -87,7 +87,8 @@ impl RingModel {
         let tc = self.ring.clock_period.as_ns_f64();
         let s = layout.stages() as f64;
         let f_stages = layout.frame_stages() as f64;
-        let n_probe = (layout.slot_count() - layout.slots_of_kind(ringsim_ring::SlotKind::Block)) as f64;
+        let n_probe =
+            (layout.slot_count() - layout.slots_of_kind(ringsim_ring::SlotKind::Block)) as f64;
         let n_block = layout.slots_of_kind(ringsim_ring::SlotKind::Block) as f64;
         // Slots of a matching parity pass a node every `spacing` cycles.
         let ppf = self.ring.probe_slots_per_frame as f64;
@@ -117,33 +118,201 @@ impl RingModel {
                 ProtocolKind::Snooping => {
                     let probe_round = w_p + ring_round;
                     vec![
-                        Class { freq: fr.private_miss, latency_ns: mem, probe_cycles: 0.0, block_cycles: 0.0, is_miss: true, is_write: false },
-                        Class { freq: fr.read_clean_local, latency_ns: mem, probe_cycles: 0.0, block_cycles: 0.0, is_miss: true, is_write: false },
-                        Class { freq: fr.read_clean_remote, latency_ns: probe_round + mem + w_b, probe_cycles: s, block_cycles: half, is_miss: true, is_write: false },
-                        Class { freq: fr.read_dirty_1 + fr.read_dirty_2, latency_ns: probe_round + sup + w_b, probe_cycles: s, block_cycles: half + half, is_miss: true, is_write: false },
-                        Class { freq: fr.write_nosharers_local + fr.write_sharers_local, latency_ns: w_p + ring_round.max(mem), probe_cycles: s, block_cycles: 0.0, is_miss: true, is_write: true },
-                        Class { freq: fr.write_nosharers_remote + fr.write_sharers_remote, latency_ns: probe_round + mem + w_b, probe_cycles: s, block_cycles: half, is_miss: true, is_write: true },
-                        Class { freq: fr.write_dirty_1 + fr.write_dirty_2, latency_ns: probe_round + sup + w_b, probe_cycles: s, block_cycles: half, is_miss: true, is_write: true },
-                        Class { freq: fr.upgrade_nosharers_local + fr.upgrade_sharers_local, latency_ns: w_p + ring_round, probe_cycles: s, block_cycles: 0.0, is_miss: false, is_write: true },
-                        Class { freq: fr.upgrade_nosharers_remote + fr.upgrade_sharers_remote, latency_ns: w_p + ring_round + f_stages * tc, probe_cycles: s, block_cycles: 0.0, is_miss: false, is_write: true },
-                        Class { freq: fr.writeback_remote, latency_ns: 0.0, probe_cycles: 0.0, block_cycles: half, is_miss: false, is_write: true },
+                        Class {
+                            freq: fr.private_miss,
+                            latency_ns: mem,
+                            probe_cycles: 0.0,
+                            block_cycles: 0.0,
+                            is_miss: true,
+                            is_write: false,
+                        },
+                        Class {
+                            freq: fr.read_clean_local,
+                            latency_ns: mem,
+                            probe_cycles: 0.0,
+                            block_cycles: 0.0,
+                            is_miss: true,
+                            is_write: false,
+                        },
+                        Class {
+                            freq: fr.read_clean_remote,
+                            latency_ns: probe_round + mem + w_b,
+                            probe_cycles: s,
+                            block_cycles: half,
+                            is_miss: true,
+                            is_write: false,
+                        },
+                        Class {
+                            freq: fr.read_dirty_1 + fr.read_dirty_2,
+                            latency_ns: probe_round + sup + w_b,
+                            probe_cycles: s,
+                            block_cycles: half + half,
+                            is_miss: true,
+                            is_write: false,
+                        },
+                        Class {
+                            freq: fr.write_nosharers_local + fr.write_sharers_local,
+                            latency_ns: w_p + ring_round.max(mem),
+                            probe_cycles: s,
+                            block_cycles: 0.0,
+                            is_miss: true,
+                            is_write: true,
+                        },
+                        Class {
+                            freq: fr.write_nosharers_remote + fr.write_sharers_remote,
+                            latency_ns: probe_round + mem + w_b,
+                            probe_cycles: s,
+                            block_cycles: half,
+                            is_miss: true,
+                            is_write: true,
+                        },
+                        Class {
+                            freq: fr.write_dirty_1 + fr.write_dirty_2,
+                            latency_ns: probe_round + sup + w_b,
+                            probe_cycles: s,
+                            block_cycles: half,
+                            is_miss: true,
+                            is_write: true,
+                        },
+                        Class {
+                            freq: fr.upgrade_nosharers_local + fr.upgrade_sharers_local,
+                            latency_ns: w_p + ring_round,
+                            probe_cycles: s,
+                            block_cycles: 0.0,
+                            is_miss: false,
+                            is_write: true,
+                        },
+                        Class {
+                            freq: fr.upgrade_nosharers_remote + fr.upgrade_sharers_remote,
+                            latency_ns: w_p + ring_round + f_stages * tc,
+                            probe_cycles: s,
+                            block_cycles: 0.0,
+                            is_miss: false,
+                            is_write: true,
+                        },
+                        Class {
+                            freq: fr.writeback_remote,
+                            latency_ns: 0.0,
+                            probe_cycles: 0.0,
+                            block_cycles: half,
+                            is_miss: false,
+                            is_write: true,
+                        },
                     ]
                 }
                 ProtocolKind::Directory => vec![
-                    Class { freq: fr.private_miss, latency_ns: mem, probe_cycles: 0.0, block_cycles: 0.0, is_miss: true, is_write: false },
-                    Class { freq: fr.read_clean_local, latency_ns: mem, probe_cycles: 0.0, block_cycles: 0.0, is_miss: true, is_write: false },
-                    Class { freq: fr.read_clean_remote, latency_ns: w_p + w_b + ring_round + mem, probe_cycles: half, block_cycles: half, is_miss: true, is_write: false },
-                    Class { freq: fr.read_dirty_1 + fr.write_dirty_1, latency_ns: 2.0 * w_p + w_b + ring_round + mem + sup, probe_cycles: s, block_cycles: half + half, is_miss: true, is_write: false },
-                    Class { freq: fr.read_dirty_2 + fr.write_dirty_2, latency_ns: 2.0 * w_p + w_b + 2.0 * ring_round + mem + sup, probe_cycles: 1.5 * s, block_cycles: half + half, is_miss: true, is_write: false },
-                    Class { freq: fr.write_nosharers_local, latency_ns: mem, probe_cycles: 0.0, block_cycles: 0.0, is_miss: true, is_write: true },
-                    Class { freq: fr.write_nosharers_remote, latency_ns: w_p + w_b + ring_round + mem, probe_cycles: half, block_cycles: half, is_miss: true, is_write: true },
-                    Class { freq: fr.write_sharers_local, latency_ns: mem + w_p + ring_round, probe_cycles: s, block_cycles: 0.0, is_miss: true, is_write: true },
-                    Class { freq: fr.write_sharers_remote, latency_ns: 2.0 * w_p + w_b + 2.0 * ring_round + mem, probe_cycles: 1.5 * s, block_cycles: half, is_miss: true, is_write: true },
-                    Class { freq: fr.upgrade_nosharers_local, latency_ns: mem, probe_cycles: 0.0, block_cycles: 0.0, is_miss: false, is_write: true },
-                    Class { freq: fr.upgrade_nosharers_remote, latency_ns: 2.0 * w_p + ring_round + mem, probe_cycles: s, block_cycles: 0.0, is_miss: false, is_write: true },
-                    Class { freq: fr.upgrade_sharers_local, latency_ns: mem + w_p + ring_round, probe_cycles: s, block_cycles: 0.0, is_miss: false, is_write: true },
-                    Class { freq: fr.upgrade_sharers_remote, latency_ns: 3.0 * w_p + 2.0 * ring_round + mem, probe_cycles: 2.0 * s, block_cycles: 0.0, is_miss: false, is_write: true },
-                    Class { freq: fr.writeback_remote, latency_ns: 0.0, probe_cycles: 0.0, block_cycles: half, is_miss: false, is_write: true },
+                    Class {
+                        freq: fr.private_miss,
+                        latency_ns: mem,
+                        probe_cycles: 0.0,
+                        block_cycles: 0.0,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.read_clean_local,
+                        latency_ns: mem,
+                        probe_cycles: 0.0,
+                        block_cycles: 0.0,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.read_clean_remote,
+                        latency_ns: w_p + w_b + ring_round + mem,
+                        probe_cycles: half,
+                        block_cycles: half,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.read_dirty_1 + fr.write_dirty_1,
+                        latency_ns: 2.0 * w_p + w_b + ring_round + mem + sup,
+                        probe_cycles: s,
+                        block_cycles: half + half,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.read_dirty_2 + fr.write_dirty_2,
+                        latency_ns: 2.0 * w_p + w_b + 2.0 * ring_round + mem + sup,
+                        probe_cycles: 1.5 * s,
+                        block_cycles: half + half,
+                        is_miss: true,
+                        is_write: false,
+                    },
+                    Class {
+                        freq: fr.write_nosharers_local,
+                        latency_ns: mem,
+                        probe_cycles: 0.0,
+                        block_cycles: 0.0,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.write_nosharers_remote,
+                        latency_ns: w_p + w_b + ring_round + mem,
+                        probe_cycles: half,
+                        block_cycles: half,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.write_sharers_local,
+                        latency_ns: mem + w_p + ring_round,
+                        probe_cycles: s,
+                        block_cycles: 0.0,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.write_sharers_remote,
+                        latency_ns: 2.0 * w_p + w_b + 2.0 * ring_round + mem,
+                        probe_cycles: 1.5 * s,
+                        block_cycles: half,
+                        is_miss: true,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.upgrade_nosharers_local,
+                        latency_ns: mem,
+                        probe_cycles: 0.0,
+                        block_cycles: 0.0,
+                        is_miss: false,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.upgrade_nosharers_remote,
+                        latency_ns: 2.0 * w_p + ring_round + mem,
+                        probe_cycles: s,
+                        block_cycles: 0.0,
+                        is_miss: false,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.upgrade_sharers_local,
+                        latency_ns: mem + w_p + ring_round,
+                        probe_cycles: s,
+                        block_cycles: 0.0,
+                        is_miss: false,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.upgrade_sharers_remote,
+                        latency_ns: 3.0 * w_p + 2.0 * ring_round + mem,
+                        probe_cycles: 2.0 * s,
+                        block_cycles: 0.0,
+                        is_miss: false,
+                        is_write: true,
+                    },
+                    Class {
+                        freq: fr.writeback_remote,
+                        latency_ns: 0.0,
+                        probe_cycles: 0.0,
+                        block_cycles: half,
+                        is_miss: false,
+                        is_write: true,
+                    },
                 ],
             };
 
@@ -169,17 +338,11 @@ impl RingModel {
             let rho_b_new = block_demand * tc / n_block;
 
             let miss_f: f64 = classes.iter().filter(|c| c.is_miss).map(|c| c.freq).sum();
-            let miss_lat: f64 = classes
-                .iter()
-                .filter(|c| c.is_miss)
-                .map(|c| c.freq * c.latency_ns)
-                .sum::<f64>()
-                / miss_f.max(1e-30);
-            let upg_f: f64 = classes
-                .iter()
-                .filter(|c| !c.is_miss && c.latency_ns > 0.0)
-                .map(|c| c.freq)
-                .sum();
+            let miss_lat: f64 =
+                classes.iter().filter(|c| c.is_miss).map(|c| c.freq * c.latency_ns).sum::<f64>()
+                    / miss_f.max(1e-30);
+            let upg_f: f64 =
+                classes.iter().filter(|c| !c.is_miss && c.latency_ns > 0.0).map(|c| c.freq).sum();
             let upg_lat: f64 = classes
                 .iter()
                 .filter(|c| !c.is_miss && c.latency_ns > 0.0)
@@ -205,16 +368,20 @@ impl RingModel {
         out
     }
 
+    /// Evaluates a single sweep point at a whole-nanosecond processor
+    /// cycle — the point-granular entry the parallel sweep engine fans out
+    /// over.
+    #[must_use]
+    pub fn sweep_point(&self, input: &ModelInput, ns: u64) -> (Time, ModelOutput) {
+        let t = Time::from_ns(ns);
+        (t, self.evaluate(input, t))
+    }
+
     /// Sweeps the processor cycle from `from` to `to` (inclusive, in whole
     /// nanoseconds) — the x-axis of Figures 3, 4 and 6.
     #[must_use]
     pub fn sweep(&self, input: &ModelInput, from_ns: u64, to_ns: u64) -> Vec<(Time, ModelOutput)> {
-        (from_ns..=to_ns)
-            .map(|ns| {
-                let t = Time::from_ns(ns);
-                (t, self.evaluate(input, t))
-            })
-            .collect()
+        (from_ns..=to_ns).map(|ns| self.sweep_point(input, ns)).collect()
     }
 }
 

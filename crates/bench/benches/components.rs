@@ -37,7 +37,8 @@ fn bench_ring(c: &mut Criterion) {
     let mut g = c.benchmark_group("slot_ring");
     for nodes in [8usize, 64] {
         g.bench_function(format!("advance_{nodes}_nodes"), |b| {
-            let mut ring: SlotRing<u64> = SlotRing::new(RingConfig::standard_500mhz(nodes)).unwrap();
+            let mut ring: SlotRing<u64> =
+                SlotRing::new(RingConfig::standard_500mhz(nodes)).unwrap();
             // Put some traffic on it.
             let mut tag = 0u64;
             b.iter(|| {

@@ -20,8 +20,7 @@ fn bench_table1_kernel(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.bench_function("traversal_accounting_16p", |b| {
         b.iter(|| {
-            let mut w =
-                Workload::new(Benchmark::Mp3d.spec(16).unwrap().with_refs(2_000)).unwrap();
+            let mut w = Workload::new(Benchmark::Mp3d.spec(16).unwrap().with_refs(2_000)).unwrap();
             let layout = RingConfig::standard_500mhz(16).layout().unwrap();
             let space = w.space();
             let mut full =
@@ -44,9 +43,7 @@ fn bench_table2_kernel(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2");
     g.bench_function("characterize_mp3d16", |b| {
         b.iter(|| {
-            black_box(
-                characterize(&Benchmark::Mp3d.spec(16).unwrap().with_refs(4_000)).unwrap(),
-            )
+            black_box(characterize(&Benchmark::Mp3d.spec(16).unwrap().with_refs(4_000)).unwrap())
         });
     });
     g.finish();

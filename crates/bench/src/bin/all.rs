@@ -1,38 +1,11 @@
-//! Runs every experiment in sequence, writing all tables and figures into
-//! `results/`.
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    use ringsim_bench::experiments as ex;
-    ex::table1::run(refs);
-    println!();
-    ex::table2::run(refs);
-    println!();
-    ex::table3::run();
-    println!();
-    ex::table4::run(refs);
-    println!();
-    ex::fig3::run(refs);
-    println!();
-    ex::fig4::run(refs);
-    println!();
-    ex::fig5::run(refs);
-    println!();
-    ex::fig6::run(refs);
-    println!();
-    ex::validate::run(refs.min(40_000));
-    println!();
-    ex::ablation::run(refs.min(40_000));
-    println!();
-    ex::future_work::run(refs);
-    println!();
-    ex::block_sweep::run(refs);
-    println!();
-    ex::hierarchy::run(refs);
-    println!();
-    ex::wide_ring::run(refs);
-    println!();
-    ex::ring_access::run(300);
+//! Runs every registered experiment in sequence, writing all tables and
+//! figures into `results/` (plus `.meta.json` wall-time twins).
+//!
+//! ```text
+//! all [--list] [--only a,b] [--jobs N] [--refs N] [--out DIR]
+//! ```
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_all()
 }

@@ -1,8 +1,8 @@
-//! Runs the `block_sweep` experiment. See `ringsim_bench::experiments`.
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    ringsim_bench::experiments::block_sweep::run(refs);
+//! Regenerates the `block_sweep` experiment (see
+//! `ringsim_bench::experiments::block_sweep`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("block_sweep")
 }

@@ -1,8 +1,8 @@
-//! Regenerates the paper's fig3 output. See `ringsim_bench::experiments`.
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    ringsim_bench::experiments::fig3::run(refs);
+//! Regenerates the `fig3` experiment (see
+//! `ringsim_bench::experiments::fig3`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("fig3")
 }

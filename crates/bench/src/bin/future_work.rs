@@ -1,8 +1,8 @@
-//! Runs the `future_work` experiment. See `ringsim_bench::experiments`.
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    ringsim_bench::experiments::future_work::run(refs);
+//! Regenerates the `future_work` experiment (see
+//! `ringsim_bench::experiments::future_work`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("future_work")
 }

@@ -1,8 +1,8 @@
-//! Runs the hierarchical-ring extension experiment.
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    ringsim_bench::experiments::hierarchy::run(refs);
+//! Regenerates the `hierarchy` experiment (see
+//! `ringsim_bench::experiments::hierarchy`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("hierarchy")
 }

@@ -1,8 +1,8 @@
-//! Runs the slotted vs register-insertion access-control experiment.
-fn main() {
-    let txns = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
-    ringsim_bench::experiments::ring_access::run(txns);
+//! Regenerates the `ring_access` experiment (see
+//! `ringsim_bench::experiments::ring_access`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("ring_access")
 }

@@ -1,8 +1,8 @@
-//! Regenerates the paper's table2 output. See `ringsim_bench::experiments`.
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    ringsim_bench::experiments::table2::run(refs);
+//! Regenerates the `table2` experiment (see
+//! `ringsim_bench::experiments::table2`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("table2")
 }

@@ -1,4 +1,8 @@
-//! Regenerates the paper's Table 3 (pure geometry).
-fn main() {
-    ringsim_bench::experiments::table3::run();
+//! Regenerates the `table3` experiment (see
+//! `ringsim_bench::experiments::table3`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("table3")
 }

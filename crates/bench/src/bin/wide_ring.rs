@@ -1,8 +1,8 @@
-//! Runs the 64-bit-ring experiment (the paper's unshown figure).
-fn main() {
-    let refs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(ringsim_bench::EXPERIMENT_REFS);
-    ringsim_bench::experiments::wide_ring::run(refs);
+//! Regenerates the `wide_ring` experiment (see
+//! `ringsim_bench::experiments::wide_ring`). Accepts `--jobs N`, `--refs N`
+//! and `--out DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ringsim_bench::cli::run_single("wide_ring")
 }

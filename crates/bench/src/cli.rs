@@ -1,0 +1,219 @@
+//! Shared command-line driver for the experiment binaries.
+//!
+//! Every per-experiment binary and the `all` driver accept the same flags:
+//!
+//! ```text
+//! --jobs <n>    worker threads per experiment (default: available cores)
+//! --refs <n>    references per processor (default: 60000; bare number works too)
+//! --out <dir>   output directory (default: results/)
+//! --list        list experiments and exit            (all only)
+//! --only <a,b>  run a comma-separated subset         (all only)
+//! ```
+//!
+//! Artifacts are byte-identical for any `--jobs` value; the wall-time
+//! metrics land in `<out>/<name>.meta.json` twins instead.
+
+use std::process::ExitCode;
+
+use ringsim_sweep::{default_jobs, run_experiment, Experiment, SweepConfig};
+
+use crate::experiments;
+use crate::EXPERIMENT_REFS;
+
+/// Parsed experiment-driver options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Worker threads per experiment.
+    pub jobs: usize,
+    /// References per processor.
+    pub refs: u64,
+    /// Output directory.
+    pub out_dir: String,
+    /// List experiments instead of running them.
+    pub list: bool,
+    /// Restrict to these experiment names (empty = all).
+    pub only: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            jobs: default_jobs(),
+            refs: EXPERIMENT_REFS,
+            out_dir: "results".to_owned(),
+            list: false,
+            only: Vec::new(),
+        }
+    }
+}
+
+/// Parses driver flags from `std::env::args` form (without the program
+/// name). A bare number is accepted as the reference budget for backwards
+/// compatibility with the original positional argument.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or malformed values.
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse::<usize>().map_err(|_| format!("bad --jobs `{v}`"))?.max(1);
+            }
+            "--refs" => {
+                let v = it.next().ok_or("--refs needs a value")?;
+                opts.refs = v.parse().map_err(|_| format!("bad --refs `{v}`"))?;
+            }
+            "--out" => {
+                opts.out_dir = it.next().ok_or("--out needs a value")?.clone();
+            }
+            "--list" => opts.list = true,
+            "--only" => {
+                let v = it.next().ok_or("--only needs a value")?;
+                opts.only.extend(v.split(',').map(str::to_owned));
+            }
+            other => {
+                // Backwards compatibility: a bare number is a refs budget.
+                if let Ok(refs) = other.parse::<u64>() {
+                    opts.refs = refs;
+                } else {
+                    return Err(format!(
+                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b)"
+                    ));
+                }
+            }
+        }
+    }
+    if opts.refs == 0 {
+        return Err("--refs must be non-zero (the workloads reject empty reference budgets)".into());
+    }
+    Ok(opts)
+}
+
+fn sweep_config(opts: &Options) -> SweepConfig {
+    SweepConfig::new(opts.refs).jobs(opts.jobs).out_dir(&opts.out_dir)
+}
+
+/// Entry point for a single-experiment binary: parses args, runs the named
+/// experiment, prints the throughput summary.
+#[must_use]
+pub fn run_single(name: &str) -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(exp) = experiments::find(name) else {
+        eprintln!("error: unknown experiment `{name}`");
+        return ExitCode::FAILURE;
+    };
+    run_one(exp, &opts);
+    ExitCode::SUCCESS
+}
+
+fn run_one(exp: &'static dyn Experiment, opts: &Options) {
+    let report = run_experiment(exp, &sweep_config(opts));
+    eprintln!(
+        "{}: {} points in {:.0} ms on {} thread{} ({:.1} points/s), meta in {}/{}.meta.json",
+        exp.name(),
+        report.meta.points,
+        report.meta.total_wall_ms,
+        opts.jobs,
+        if opts.jobs == 1 { "" } else { "s" },
+        report.meta.points_per_sec,
+        opts.out_dir,
+        exp.name(),
+    );
+}
+
+/// Entry point for the `all` driver: `--list`, `--only`, and the shared
+/// flags.
+#[must_use]
+pub fn run_all() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_with(&args)
+}
+
+/// Driver body shared by the `all` binary and the `ringsim experiments`
+/// subcommand: parses `args` (already stripped of the program/subcommand
+/// name) and runs the selection.
+#[must_use]
+pub fn run_with(args: &[String]) -> ExitCode {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.list {
+        println!("{:<12}  description", "experiment");
+        for e in experiments::ALL {
+            println!("{:<12}  {}", e.name(), e.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&'static dyn Experiment> = if opts.only.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        let mut sel = Vec::new();
+        for name in &opts.only {
+            match experiments::find(name) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("error: unknown experiment `{name}` (see --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+    for (i, exp) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        run_one(*exp, &opts);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = parse(&args(&[])).unwrap();
+        assert_eq!(o.refs, EXPERIMENT_REFS);
+        assert!(!o.list);
+        let o =
+            parse(&args(&["--jobs", "4", "--refs", "1000", "--out", "tmp", "--only", "fig3,fig4"]))
+                .unwrap();
+        assert_eq!((o.jobs, o.refs, o.out_dir.as_str()), (4, 1000, "tmp"));
+        assert_eq!(o.only, vec!["fig3", "fig4"]);
+    }
+
+    #[test]
+    fn parse_accepts_bare_refs_for_backwards_compat() {
+        assert_eq!(parse(&args(&["30000"])).unwrap().refs, 30_000);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(parse(&args(&["--bogus"])).is_err());
+        assert!(parse(&args(&["--jobs"])).is_err());
+        assert!(parse(&args(&["--jobs", "x"])).is_err());
+        assert!(parse(&args(&["--refs", "0"])).is_err());
+        assert!(parse(&args(&["0"])).is_err());
+    }
+}

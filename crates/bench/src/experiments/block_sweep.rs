@@ -12,10 +12,11 @@ use serde::Serialize;
 use ringsim_analytic::RingModel;
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
+use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_trace::Benchmark;
 use ringsim_types::Time;
 
-use crate::{benchmark_input, write_json};
+use crate::benchmark_input;
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -30,42 +31,62 @@ struct Row {
 
 /// Sweeps the cache-block / block-slot size for a 16-processor snooping
 /// ring at 200 MIPS.
-pub fn run(refs_per_proc: u64) {
-    let procs = 16;
-    let (_, input) = benchmark_input(Benchmark::Mp3d, procs, refs_per_proc).expect("paper config");
-    let t = Time::from_ns(5);
-    println!("Block-size sweep: mp3d.16 event mix, snooping, 500 MHz 32-bit ring, 200 MIPS");
-    println!("{:-<88}", "");
-    println!(
-        "{:>6} | {:>6} {:>10} {:>7} | {:>10} {:>10} {:>14}",
-        "block", "frame", "snoop(ns)", "stages", "proc util%", "ring util%", "miss lat (ns)"
-    );
-    let mut rows = Vec::new();
-    for block in [16u64, 32, 64, 128] {
-        let ring = RingConfig { block_bytes: block, ..RingConfig::standard_500mhz(procs) };
-        let layout = ring.layout().expect("valid");
-        let out = RingModel::new(ring, ProtocolKind::Snooping).evaluate(&input, t);
-        let row = Row {
-            block_bytes: block,
-            frame_stages: ring.frame_stages(),
-            snoop_interarrival_ns: ring.snoop_interarrival().as_ns_f64(),
-            ring_stages: layout.stages(),
-            proc_util: out.proc_util,
-            ring_util: out.net_util,
-            miss_latency_ns: out.miss_latency_ns,
-        };
-        println!(
-            "{:>4} B | {:>6} {:>10.0} {:>7} | {:>10.1} {:>10.1} {:>14.0}",
-            row.block_bytes,
-            row.frame_stages,
-            row.snoop_interarrival_ns,
-            row.ring_stages,
-            100.0 * row.proc_util,
-            100.0 * row.ring_util,
-            row.miss_latency_ns,
-        );
-        rows.push(row);
+pub struct BlockSweep;
+
+impl Experiment for BlockSweep {
+    fn name(&self) -> &'static str {
+        "block_sweep"
     }
-    println!("(fixed event mix: isolates the interconnect cost of bigger blocks)");
-    write_json("block_sweep", &rows);
+
+    fn description(&self) -> &'static str {
+        "cache-block size vs frame geometry on a 16-proc snooping ring"
+    }
+
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+        let procs = 16;
+        // Shared characterisation: pure function of the spec, computed once.
+        let (_, input) =
+            benchmark_input(Benchmark::Mp3d, procs, ctx.refs_per_proc()).expect("paper config");
+        let t = Time::from_ns(5);
+        let blocks = [16u64, 32, 64, 128];
+        let rows = ctx.map(
+            &blocks,
+            |&block| SweepPoint::new().bench("mp3d").procs(procs).detail(format!("block={block}")),
+            |_pctx, &block| {
+                let ring = RingConfig { block_bytes: block, ..RingConfig::standard_500mhz(procs) };
+                let layout = ring.layout().expect("valid");
+                let out = RingModel::new(ring, ProtocolKind::Snooping).evaluate(&input, t);
+                Row {
+                    block_bytes: block,
+                    frame_stages: ring.frame_stages(),
+                    snoop_interarrival_ns: ring.snoop_interarrival().as_ns_f64(),
+                    ring_stages: layout.stages(),
+                    proc_util: out.proc_util,
+                    ring_util: out.net_util,
+                    miss_latency_ns: out.miss_latency_ns,
+                }
+            },
+        );
+        println!("Block-size sweep: mp3d.16 event mix, snooping, 500 MHz 32-bit ring, 200 MIPS");
+        println!("{:-<88}", "");
+        println!(
+            "{:>6} | {:>6} {:>10} {:>7} | {:>10} {:>10} {:>14}",
+            "block", "frame", "snoop(ns)", "stages", "proc util%", "ring util%", "miss lat (ns)"
+        );
+        for row in &rows {
+            println!(
+                "{:>4} B | {:>6} {:>10.0} {:>7} | {:>10.1} {:>10.1} {:>14.0}",
+                row.block_bytes,
+                row.frame_stages,
+                row.snoop_interarrival_ns,
+                row.ring_stages,
+                100.0 * row.proc_util,
+                100.0 * row.ring_util,
+                row.miss_latency_ns,
+            );
+        }
+        println!("(fixed event mix: isolates the interconnect cost of bigger blocks)");
+        ctx.write_json("block_sweep", &rows);
+        ctx.artifacts()
+    }
 }

@@ -4,12 +4,13 @@
 
 use serde::Serialize;
 
-use ringsim_analytic::{ModelOutput, RingModel};
+use ringsim_analytic::RingModel;
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
+use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_trace::Benchmark;
 
-use crate::{benchmark_input, write_dat, write_json};
+use crate::benchmark_input;
 
 /// One full curve for one (benchmark, procs, protocol) combination.
 #[derive(Debug, Serialize)]
@@ -36,10 +37,9 @@ pub fn curves_for(
         .into_iter()
         .map(|protocol| {
             let model = RingModel::new(ring, protocol);
-            let points = model
-                .sweep(&input, 1, 20)
-                .into_iter()
-                .map(|(t, o): (_, ModelOutput)| {
+            let points = (1..=20)
+                .map(|ns| {
+                    let (t, o) = model.sweep_point(&input, ns);
                     (t.as_ps() / 1000, o.proc_util, o.net_util, o.miss_latency_ns)
                 })
                 .collect();
@@ -54,14 +54,14 @@ pub fn curves_for(
 }
 
 /// Writes each curve as a gnuplot-ready `.dat` series.
-pub fn write_curve_dats(prefix: &str, curves: &[Curve]) {
+pub fn write_curve_dats(ctx: &SweepCtx, prefix: &str, curves: &[Curve]) {
     for c in curves {
         let rows: Vec<Vec<f64>> = c
             .points
             .iter()
             .map(|&(ns, u, r, l)| vec![ns as f64, 100.0 * u, 100.0 * r, l])
             .collect();
-        write_dat(
+        ctx.write_dat(
             &format!("{prefix}_{}_{}p_{}", c.bench, c.procs, c.protocol),
             "proc_cycle_ns proc_util_pct ring_util_pct miss_latency_ns",
             &rows,
@@ -75,7 +75,12 @@ pub fn print_curves(title: &str, curves: &[Curve]) {
     println!("{:-<98}", "");
     println!(
         "{:<12} {:>4} {:<10} | {:>22} | {:>22} | {:>26}",
-        "bench", "P", "protocol", "proc util % @2/5/10/20ns", "ring util % @2/5/10/20", "miss latency ns @2/5/10/20"
+        "bench",
+        "P",
+        "protocol",
+        "proc util % @2/5/10/20ns",
+        "ring util % @2/5/10/20",
+        "miss latency ns @2/5/10/20"
     );
     for c in curves {
         let pick = |ns: u64| c.points.iter().find(|p| p.0 == ns).expect("sweep point");
@@ -92,23 +97,46 @@ pub fn print_curves(title: &str, curves: &[Curve]) {
     }
 }
 
+/// Runs the Figure 3 sweep (one parallel point per benchmark/size pair).
+pub fn sweep_configs(ctx: &SweepCtx, configs: &[(Benchmark, usize)]) -> Vec<Curve> {
+    ctx.map(
+        configs,
+        |&(bench, procs)| SweepPoint::new().bench(bench.name()).procs(procs),
+        |pctx, &(bench, procs)| {
+            curves_for(bench, procs, RingConfig::standard_500mhz(procs), pctx.refs_per_proc)
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Regenerates Figure 3.
-pub fn run(refs_per_proc: u64) {
-    let mut all = Vec::new();
-    for bench in [Benchmark::Mp3d, Benchmark::Water, Benchmark::Cholesky] {
-        for &procs in bench.paper_sizes() {
-            all.extend(curves_for(
-                bench,
-                procs,
-                RingConfig::standard_500mhz(procs),
-                refs_per_proc,
-            ));
-        }
+pub struct Fig3;
+
+impl Experiment for Fig3 {
+    fn name(&self) -> &'static str {
+        "fig3"
     }
-    print_curves(
-        "Figure 3: snooping vs directory, 500 MHz 32-bit rings (SPLASH, 8/16/32 procs)",
-        &all,
-    );
-    write_curve_dats("fig3", &all);
-    write_json("fig3", &all);
+
+    fn description(&self) -> &'static str {
+        "snooping vs directory on 500 MHz rings, SPLASH at 8/16/32 procs (Figure 3)"
+    }
+
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+        let mut configs = Vec::new();
+        for bench in [Benchmark::Mp3d, Benchmark::Water, Benchmark::Cholesky] {
+            for &procs in bench.paper_sizes() {
+                configs.push((bench, procs));
+            }
+        }
+        let all = sweep_configs(ctx, &configs);
+        print_curves(
+            "Figure 3: snooping vs directory, 500 MHz 32-bit rings (SPLASH, 8/16/32 procs)",
+            &all,
+        );
+        write_curve_dats(ctx, "fig3", &all);
+        ctx.write_json("fig3", &all);
+        ctx.artifacts()
+    }
 }

@@ -1,22 +1,32 @@
 //! Figure 4: snooping vs directory on 500 MHz 32-bit rings for the
 //! 64-processor benchmarks (FFT, WEATHER, SIMPLE).
 
-use ringsim_ring::RingConfig;
+use ringsim_sweep::{Artifact, Experiment, SweepCtx};
 use ringsim_trace::Benchmark;
 
-use crate::experiments::fig3::{curves_for, print_curves, write_curve_dats};
-use crate::write_json;
+use crate::experiments::fig3::{print_curves, sweep_configs, write_curve_dats};
 
 /// Regenerates Figure 4.
-pub fn run(refs_per_proc: u64) {
-    let mut all = Vec::new();
-    for bench in [Benchmark::Fft, Benchmark::Weather, Benchmark::Simple] {
-        all.extend(curves_for(bench, 64, RingConfig::standard_500mhz(64), refs_per_proc));
+pub struct Fig4;
+
+impl Experiment for Fig4 {
+    fn name(&self) -> &'static str {
+        "fig4"
     }
-    print_curves(
-        "Figure 4: snooping vs directory, 500 MHz 32-bit rings (FFT/WEATHER/SIMPLE, 64 procs)",
-        &all,
-    );
-    write_curve_dats("fig4", &all);
-    write_json("fig4", &all);
+
+    fn description(&self) -> &'static str {
+        "snooping vs directory on 500 MHz rings, FFT/WEATHER/SIMPLE at 64 procs (Figure 4)"
+    }
+
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+        let configs = [(Benchmark::Fft, 64), (Benchmark::Weather, 64), (Benchmark::Simple, 64)];
+        let all = sweep_configs(ctx, &configs);
+        print_curves(
+            "Figure 4: snooping vs directory, 500 MHz 32-bit rings (FFT/WEATHER/SIMPLE, 64 procs)",
+            &all,
+        );
+        write_curve_dats(ctx, "fig4", &all);
+        ctx.write_json("fig4", &all);
+        ctx.artifacts()
+    }
 }

@@ -4,9 +4,10 @@
 
 use serde::Serialize;
 
+use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_trace::Benchmark;
 
-use crate::{benchmark_input, write_json};
+use crate::benchmark_input;
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -18,45 +19,64 @@ struct Row {
 }
 
 /// Regenerates Figure 5.
-pub fn run(refs_per_proc: u64) {
-    println!("Figure 5: directory-protocol remote-miss class breakdown (%)");
-    println!("{:-<72}", "");
-    println!(
-        "{:<12} {:>4} | {:>14} {:>14} {:>10} | bar",
-        "bench", "P", "1-cycle clean", "1-cycle dirty", "2-cycle"
-    );
-    let mut rows = Vec::new();
-    for (bench, procs) in Benchmark::paper_configs() {
-        let (ch, _) = benchmark_input(bench, procs, refs_per_proc).expect("paper config");
-        let e = ch.events;
-        let c1 = e.fig5_one_cycle_clean() as f64;
-        let d1 = e.fig5_one_cycle_dirty() as f64;
-        let c2 = e.fig5_two_cycle() as f64;
-        let total = (c1 + d1 + c2).max(1.0);
-        let row = Row {
-            bench: bench.name().to_owned(),
-            procs,
-            one_cycle_clean_pct: 100.0 * c1 / total,
-            one_cycle_dirty_pct: 100.0 * d1 / total,
-            two_cycle_pct: 100.0 * c2 / total,
-        };
-        let bar_len = 40usize;
-        let n1 = (row.one_cycle_clean_pct / 100.0 * bar_len as f64).round() as usize;
-        let n2 = (row.one_cycle_dirty_pct / 100.0 * bar_len as f64).round() as usize;
-        let n3 = bar_len.saturating_sub(n1 + n2);
-        println!(
-            "{:<12} {:>4} | {:>13.1}% {:>13.1}% {:>9.1}% | {}{}{}",
-            row.bench,
-            procs,
-            row.one_cycle_clean_pct,
-            row.one_cycle_dirty_pct,
-            row.two_cycle_pct,
-            "#".repeat(n1),
-            "+".repeat(n2),
-            ".".repeat(n3),
-        );
-        rows.push(row);
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn name(&self) -> &'static str {
+        "fig5"
     }
-    println!("(# = 1-cycle clean, + = 1-cycle dirty, . = 2-cycle)");
-    write_json("fig5", &rows);
+
+    fn description(&self) -> &'static str {
+        "directory-protocol remote-miss class breakdown (Figure 5)"
+    }
+
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+        let configs: Vec<(Benchmark, usize)> = Benchmark::paper_configs().collect();
+        let rows = ctx.map(
+            &configs,
+            |&(bench, procs)| SweepPoint::new().bench(bench.name()).procs(procs),
+            |pctx, &(bench, procs)| {
+                let (ch, _) =
+                    benchmark_input(bench, procs, pctx.refs_per_proc).expect("paper config");
+                let e = ch.events;
+                let c1 = e.fig5_one_cycle_clean() as f64;
+                let d1 = e.fig5_one_cycle_dirty() as f64;
+                let c2 = e.fig5_two_cycle() as f64;
+                let total = (c1 + d1 + c2).max(1.0);
+                Row {
+                    bench: bench.name().to_owned(),
+                    procs,
+                    one_cycle_clean_pct: 100.0 * c1 / total,
+                    one_cycle_dirty_pct: 100.0 * d1 / total,
+                    two_cycle_pct: 100.0 * c2 / total,
+                }
+            },
+        );
+        println!("Figure 5: directory-protocol remote-miss class breakdown (%)");
+        println!("{:-<72}", "");
+        println!(
+            "{:<12} {:>4} | {:>14} {:>14} {:>10} | bar",
+            "bench", "P", "1-cycle clean", "1-cycle dirty", "2-cycle"
+        );
+        for row in &rows {
+            let bar_len = 40usize;
+            let n1 = (row.one_cycle_clean_pct / 100.0 * bar_len as f64).round() as usize;
+            let n2 = (row.one_cycle_dirty_pct / 100.0 * bar_len as f64).round() as usize;
+            let n3 = bar_len.saturating_sub(n1 + n2);
+            println!(
+                "{:<12} {:>4} | {:>13.1}% {:>13.1}% {:>9.1}% | {}{}{}",
+                row.bench,
+                row.procs,
+                row.one_cycle_clean_pct,
+                row.one_cycle_dirty_pct,
+                row.two_cycle_pct,
+                "#".repeat(n1),
+                "+".repeat(n2),
+                ".".repeat(n3),
+            );
+        }
+        println!("(# = 1-cycle clean, + = 1-cycle dirty, . = 2-cycle)");
+        ctx.write_json("fig5", &rows);
+        ctx.artifacts()
+    }
 }

@@ -1,20 +1,66 @@
-//! One runner per paper table/figure, plus validation and ablations.
+//! One [`Experiment`] per paper table/figure, plus validation and
+//! ablations, all registered in [`ALL`].
 //!
-//! Every runner prints a human-readable table and writes a JSON twin into
-//! `results/`. The `all` binary chains them.
+//! Every experiment prints a human-readable table and writes JSON (and for
+//! the figure sweeps, gnuplot `.dat`) artifacts through its
+//! [`ringsim_sweep::SweepCtx`]; the `all` binary drives the registry.
+
+use ringsim_sweep::Experiment;
 
 pub mod ablation;
 pub mod block_sweep;
 pub mod fig3;
-pub mod future_work;
-pub mod hierarchy;
-pub mod ring_access;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod future_work;
+pub mod hierarchy;
+pub mod ring_access;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod validate;
 pub mod wide_ring;
+
+/// Every experiment, in the order the `all` driver runs them.
+pub static ALL: [&dyn Experiment; 15] = [
+    &table1::Table1,
+    &table2::Table2,
+    &table3::Table3,
+    &table4::Table4,
+    &fig3::Fig3,
+    &fig4::Fig4,
+    &fig5::Fig5,
+    &fig6::Fig6,
+    &validate::Validate,
+    &ablation::Ablation,
+    &future_work::FutureWork,
+    &block_sweep::BlockSweep,
+    &hierarchy::Hierarchy,
+    &wide_ring::WideRing,
+    &ring_access::RingAccess,
+];
+
+/// Looks an experiment up by registry name.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    ALL.into_iter().find(|e| e.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+        for e in ALL {
+            assert!(find(e.name()).is_some());
+            assert!(!e.description().is_empty());
+        }
+    }
+}

@@ -5,8 +5,7 @@
 use serde::Serialize;
 
 use ringsim_ring::RingConfig;
-
-use crate::write_json;
+use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 
 /// Paper values in nanoseconds, indexed `[block][width]` for blocks
 /// 16/32/64/128 bytes and widths 16/32/64 bits.
@@ -21,31 +20,66 @@ struct Cell {
 }
 
 /// Regenerates Table 3.
-pub fn run() {
-    println!("Table 3: snooping rate (ns) — probe inter-arrival per directory bank, 500 MHz links");
-    println!("{:-<60}", "");
-    println!("{:<12} | {:>10} {:>10} {:>10}", "block size", "16-bit", "32-bit", "64-bit");
-    let mut cells = Vec::new();
-    let mut exact = true;
-    for (bi, block) in [16u64, 32, 64, 128].into_iter().enumerate() {
-        let mut row = format!("{:<12} |", format!("{block} bytes"));
-        for (wi, link_bytes) in [2u64, 4, 8].into_iter().enumerate() {
-            let cfg = RingConfig {
-                block_bytes: block,
-                link_bytes,
-                ..RingConfig::standard_500mhz(16)
-            };
-            let ns = cfg.snoop_interarrival().as_ns_f64();
-            let paper = PAPER[bi][wi];
-            exact &= (ns - paper as f64).abs() < 1e-9;
-            row.push_str(&format!(" {ns:>10.0}"));
-            cells.push(Cell { block_bytes: block, link_bits: link_bytes * 8, measured_ns: ns, paper_ns: paper });
-        }
-        println!("{row}");
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn name(&self) -> &'static str {
+        "table3"
     }
-    println!(
-        "{}",
-        if exact { "all 12 entries match the paper exactly" } else { "MISMATCH with paper values!" }
-    );
-    write_json("table3", &cells);
+
+    fn description(&self) -> &'static str {
+        "snooping rate per directory bank across ring widths and block sizes (Table 3)"
+    }
+
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+        let mut points = Vec::new();
+        for (bi, block) in [16u64, 32, 64, 128].into_iter().enumerate() {
+            for (wi, link_bytes) in [2u64, 4, 8].into_iter().enumerate() {
+                points.push((block, link_bytes, PAPER[bi][wi]));
+            }
+        }
+        let cells = ctx.map(
+            &points,
+            |&(block, link_bytes, _)| {
+                SweepPoint::new().detail(format!("block={block}|link_bytes={link_bytes}"))
+            },
+            |_pctx, &(block, link_bytes, paper)| {
+                let cfg = RingConfig {
+                    block_bytes: block,
+                    link_bytes,
+                    ..RingConfig::standard_500mhz(16)
+                };
+                Cell {
+                    block_bytes: block,
+                    link_bits: link_bytes * 8,
+                    measured_ns: cfg.snoop_interarrival().as_ns_f64(),
+                    paper_ns: paper,
+                }
+            },
+        );
+        println!(
+            "Table 3: snooping rate (ns) — probe inter-arrival per directory bank, 500 MHz links"
+        );
+        println!("{:-<60}", "");
+        println!("{:<12} | {:>10} {:>10} {:>10}", "block size", "16-bit", "32-bit", "64-bit");
+        let mut exact = true;
+        for chunk in cells.chunks(3) {
+            let mut row = format!("{:<12} |", format!("{} bytes", chunk[0].block_bytes));
+            for cell in chunk {
+                exact &= (cell.measured_ns - cell.paper_ns as f64).abs() < 1e-9;
+                row.push_str(&format!(" {:>10.0}", cell.measured_ns));
+            }
+            println!("{row}");
+        }
+        println!(
+            "{}",
+            if exact {
+                "all 12 entries match the paper exactly"
+            } else {
+                "MISMATCH with paper values!"
+            }
+        );
+        ctx.write_json("table3", &cells);
+        ctx.artifacts()
+    }
 }

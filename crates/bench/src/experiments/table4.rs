@@ -7,10 +7,11 @@ use serde::Serialize;
 use ringsim_analytic::match_bus_clock;
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
+use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_trace::Benchmark;
 use ringsim_types::Time;
 
-use crate::{benchmark_input, write_json};
+use crate::benchmark_input;
 
 /// Paper values: `[(bench, procs, [250 MHz: 100/200/400 MIPS], [500 MHz: ...])]`.
 fn paper() -> Vec<(&'static str, usize, [f64; 3], [f64; 3])> {
@@ -41,62 +42,91 @@ struct Row {
 }
 
 /// Regenerates Table 4.
-pub fn run(refs_per_proc: u64) {
-    println!("Table 4: bus clock cycle (ns) to match slotted-ring performance (snooping)");
-    println!("{:-<96}", "");
-    println!(
-        "{:<14} | {:>28} | {:>28}",
-        "benchmark", "250 MHz ring (100/200/400)", "500 MHz ring (100/200/400)"
-    );
-    let mut rows = Vec::new();
-    for (name, procs, paper250, paper500) in paper() {
-        let bench = Benchmark::ALL
-            .into_iter()
-            .find(|b| b.name() == name)
-            .expect("benchmark exists");
-        let (_, input) = benchmark_input(bench, procs, refs_per_proc).expect("paper config");
-        let mut line = format!("{:<14} |", format!("{name} {procs}"));
-        for (mhz, papers) in [(250u64, paper250), (500u64, paper500)] {
-            let ring = if mhz == 250 {
-                RingConfig::standard_250mhz(procs)
-            } else {
-                RingConfig::standard_500mhz(procs)
-            };
-            let mut cell = String::new();
-            for (mi, mips) in [100u64, 200, 400].into_iter().enumerate() {
-                let m = match_bus_clock(
-                    &input,
-                    ring,
-                    ProtocolKind::Snooping,
-                    Time::from_ps(1_000_000 / mips),
-                );
-                let ns = m.bus_period.as_ns_f64();
-                cell.push_str(&format!(" {ns:>4.1}"));
-                rows.push(Row {
-                    bench: name.to_owned(),
-                    procs,
-                    ring_mhz: mhz,
-                    mips,
-                    matched_bus_ns: ns,
-                    paper_bus_ns: papers[mi],
-                    ring_proc_util: m.ring_proc_util,
-                    bus_net_util: m.bus_net_util,
-                    ring_net_util: m.ring_net_util,
-                });
-            }
-            let p = format!(" (paper {:>4.1}/{:>4.1}/{:>4.1})", papers[0], papers[1], papers[2]);
-            line.push_str(&cell);
-            line.push_str(&p);
-            line.push_str(" |");
-        }
-        println!("{line}");
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn name(&self) -> &'static str {
+        "table4"
     }
-    // Paper's headline observation: matching buses run far hotter than the
-    // rings they match.
-    let hotter = rows.iter().filter(|r| r.bus_net_util > r.ring_net_util).count();
-    println!(
-        "bus utilisation exceeds ring utilisation in {hotter}/{} matched configurations",
-        rows.len()
-    );
-    write_json("table4", &rows);
+
+    fn description(&self) -> &'static str {
+        "bus clock needed to match slotted-ring processor utilisation (Table 4)"
+    }
+
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+        let cases = paper();
+        // One point per (benchmark, procs); each computes all six cells so
+        // the expensive characterisation runs once per point.
+        let per_case = ctx.map(
+            &cases,
+            |&(name, procs, _, _)| SweepPoint::new().bench(name).procs(procs),
+            |pctx, &(name, procs, paper250, paper500)| {
+                let bench = Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.name() == name)
+                    .expect("benchmark exists");
+                let (_, input) =
+                    benchmark_input(bench, procs, pctx.refs_per_proc).expect("paper config");
+                let mut rows = Vec::new();
+                for (mhz, papers) in [(250u64, paper250), (500u64, paper500)] {
+                    let ring = if mhz == 250 {
+                        RingConfig::standard_250mhz(procs)
+                    } else {
+                        RingConfig::standard_500mhz(procs)
+                    };
+                    for (mi, mips) in [100u64, 200, 400].into_iter().enumerate() {
+                        let m = match_bus_clock(
+                            &input,
+                            ring,
+                            ProtocolKind::Snooping,
+                            Time::from_ps(1_000_000 / mips),
+                        );
+                        rows.push(Row {
+                            bench: name.to_owned(),
+                            procs,
+                            ring_mhz: mhz,
+                            mips,
+                            matched_bus_ns: m.bus_period.as_ns_f64(),
+                            paper_bus_ns: papers[mi],
+                            ring_proc_util: m.ring_proc_util,
+                            bus_net_util: m.bus_net_util,
+                            ring_net_util: m.ring_net_util,
+                        });
+                    }
+                }
+                rows
+            },
+        );
+        println!("Table 4: bus clock cycle (ns) to match slotted-ring performance (snooping)");
+        println!("{:-<96}", "");
+        println!(
+            "{:<14} | {:>28} | {:>28}",
+            "benchmark", "250 MHz ring (100/200/400)", "500 MHz ring (100/200/400)"
+        );
+        for (case_rows, (name, procs, paper250, paper500)) in per_case.iter().zip(cases) {
+            let mut line = format!("{:<14} |", format!("{name} {procs}"));
+            for (mhz, papers) in [(250u64, paper250), (500u64, paper500)] {
+                let mut cell = String::new();
+                for r in case_rows.iter().filter(|r| r.ring_mhz == mhz) {
+                    cell.push_str(&format!(" {:>4.1}", r.matched_bus_ns));
+                }
+                let p =
+                    format!(" (paper {:>4.1}/{:>4.1}/{:>4.1})", papers[0], papers[1], papers[2]);
+                line.push_str(&cell);
+                line.push_str(&p);
+                line.push_str(" |");
+            }
+            println!("{line}");
+        }
+        let rows: Vec<Row> = per_case.into_iter().flatten().collect();
+        // Paper's headline observation: matching buses run far hotter than
+        // the rings they match.
+        let hotter = rows.iter().filter(|r| r.bus_net_util > r.ring_net_util).count();
+        println!(
+            "bus utilisation exceeds ring utilisation in {hotter}/{} matched configurations",
+            rows.len()
+        );
+        ctx.write_json("table4", &rows);
+        ctx.artifacts()
+    }
 }

@@ -1,15 +1,18 @@
 //! Shared plumbing for the experiment binaries that regenerate every table
 //! and figure of the paper.
 //!
-//! Each binary (`table1` … `table4`, `fig3` … `fig6`, `validate`,
-//! `ablation`) prints a formatted text table to stdout and writes the same
-//! data as JSON into `results/` so the numbers can be diffed or re-plotted.
-//! Run them with `cargo run --release -p ringsim-bench --bin <name>`; the
-//! `all` binary runs the lot.
+//! Each experiment implements [`ringsim_sweep::Experiment`] and is listed
+//! in [`experiments::ALL`]; it prints a formatted text table to stdout and
+//! writes the same data as JSON (plus `.dat` series for the figures) into
+//! `results/`, with a `<name>.meta.json` wall-time twin. Run one with
+//! `cargo run --release -p ringsim-bench --bin <name> [-- --jobs N]`; the
+//! `all` binary drives the whole registry (`--list`, `--only a,b`,
+//! `--jobs N`). Artifacts are byte-identical for any `--jobs` value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 
 use std::fs;
@@ -91,6 +94,10 @@ pub fn results_dir() -> PathBuf {
 
 /// Writes `value` as pretty JSON into `results/<name>.json`.
 ///
+/// Legacy helper: experiments now write through
+/// [`ringsim_sweep::SweepCtx::write_json`], which also records the artifact
+/// and honours `--out`; this remains for ad-hoc scripts.
+///
 /// # Panics
 ///
 /// Panics if serialisation or the write fails (experiment binaries want a
@@ -132,6 +139,9 @@ pub fn pct(x: f64) -> String {
 
 /// Writes a gnuplot-ready data file into `results/<name>.dat`: a commented
 /// header line followed by whitespace-separated columns.
+///
+/// Legacy helper: experiments now write through
+/// [`ringsim_sweep::SweepCtx::write_dat`]; this remains for ad-hoc scripts.
 ///
 /// # Panics
 ///

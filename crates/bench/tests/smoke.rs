@@ -1,90 +1,113 @@
-//! Smoke tests: every experiment runner completes on a tiny budget and
-//! leaves its JSON artefact behind. Guards the harness against bit-rot.
+//! Smoke tests: every registered experiment completes on a tiny budget and
+//! leaves its artifacts plus a `.meta.json` twin behind. Guards the harness
+//! against bit-rot.
 
-use ringsim_bench::experiments as ex;
-use ringsim_bench::results_dir;
+use std::path::PathBuf;
+
+use ringsim_bench::experiments;
+use ringsim_sweep::{run_experiment, SweepConfig};
 
 const TINY: u64 = 2_000;
 
-fn json_exists(name: &str) -> bool {
-    results_dir().join(format!("{name}.json")).exists()
+fn smoke(name: &str) {
+    let exp = experiments::find(name).expect("registered experiment");
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("smoke-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = SweepConfig::new(TINY).jobs(2).out_dir(&dir);
+    let report = run_experiment(exp, &cfg);
+    assert!(!report.artifacts.is_empty(), "{name} wrote no artifacts");
+    for a in &report.artifacts {
+        assert!(a.path.is_file(), "{name}: missing artifact {}", a.path.display());
+    }
+    assert!(dir.join(format!("{name}.meta.json")).is_file(), "{name}: missing meta twin");
+    assert!(report.meta.points > 0, "{name} ran no sweep points");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_covers_fifteen_experiments() {
+    assert_eq!(experiments::ALL.len(), 15);
 }
 
 #[test]
 fn table1_runs() {
-    ex::table1::run(TINY);
-    assert!(json_exists("table1"));
+    smoke("table1");
 }
 
 #[test]
 fn table2_runs() {
-    ex::table2::run(TINY);
-    assert!(json_exists("table2"));
+    smoke("table2");
 }
 
 #[test]
 fn table3_runs() {
-    ex::table3::run();
-    assert!(json_exists("table3"));
+    smoke("table3");
 }
 
 #[test]
 fn table4_runs() {
-    ex::table4::run(TINY);
-    assert!(json_exists("table4"));
+    smoke("table4");
 }
 
 #[test]
 fn fig3_runs() {
-    ex::fig3::run(TINY);
-    assert!(json_exists("fig3"));
-    assert!(results_dir().join("fig3_mp3d_8p_snooping.dat").exists());
+    let exp = experiments::find("fig3").unwrap();
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("smoke-fig3-dats");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = run_experiment(exp, &SweepConfig::new(TINY).jobs(2).out_dir(&dir));
+    assert!(dir.join("fig3.json").is_file());
+    assert!(dir.join("fig3_mp3d_8p_snooping.dat").is_file());
+    // One JSON plus one .dat per (bench, procs, protocol) curve.
+    assert_eq!(report.artifacts.len(), 1 + 18);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig4_runs() {
+    smoke("fig4");
 }
 
 #[test]
 fn fig5_runs() {
-    ex::fig5::run(TINY);
-    assert!(json_exists("fig5"));
+    smoke("fig5");
 }
 
 #[test]
 fn fig6_runs() {
-    ex::fig6::run(TINY);
-    assert!(json_exists("fig6"));
+    smoke("fig6");
 }
 
 #[test]
 fn validate_runs() {
-    ex::validate::run(TINY);
-    assert!(json_exists("validate"));
+    smoke("validate");
 }
 
 #[test]
 fn ablation_runs() {
-    ex::ablation::run(TINY);
-    assert!(json_exists("ablation"));
+    smoke("ablation");
 }
 
 #[test]
 fn future_work_runs() {
-    ex::future_work::run(TINY);
-    assert!(json_exists("future_work"));
+    smoke("future_work");
 }
 
 #[test]
 fn block_sweep_runs() {
-    ex::block_sweep::run(TINY);
-    assert!(json_exists("block_sweep"));
+    smoke("block_sweep");
 }
 
 #[test]
 fn hierarchy_runs() {
-    ex::hierarchy::run(TINY);
-    assert!(json_exists("hierarchy"));
+    smoke("hierarchy");
 }
 
 #[test]
 fn wide_ring_runs() {
-    ex::wide_ring::run(TINY);
-    assert!(json_exists("wide_ring"));
+    smoke("wide_ring");
+}
+
+#[test]
+fn ring_access_runs() {
+    smoke("ring_access");
 }

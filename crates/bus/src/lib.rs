@@ -285,9 +285,9 @@ mod tests {
         assert!(BusConfig::bus_50mhz(8).validate().is_ok());
         assert!(BusConfig { nodes: 1, ..BusConfig::bus_50mhz(8) }.validate().is_err());
         assert!(BusConfig { width_bytes: 3, ..BusConfig::bus_50mhz(8) }.validate().is_err());
-        assert!(
-            BusConfig { clock_period: Time::ZERO, ..BusConfig::bus_50mhz(8) }.validate().is_err()
-        );
+        assert!(BusConfig { clock_period: Time::ZERO, ..BusConfig::bus_50mhz(8) }
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -129,11 +129,7 @@ fn make_nodes(cfg: &AccessNetConfig) -> Vec<LoopNode> {
 
 /// Node behaviour shared by both simulators: think, then issue a probe to a
 /// uniformly random *other* node.
-fn step_think(
-    nodes: &mut [LoopNode],
-    cfg: &AccessNetConfig,
-    now: Time,
-) {
+fn step_think(nodes: &mut [LoopNode], cfg: &AccessNetConfig, now: Time) {
     for (i, node) in nodes.iter_mut().enumerate() {
         if let Phase::Thinking { until } = node.phase {
             if until <= now {
@@ -165,7 +161,13 @@ fn step_think(
     }
 }
 
-fn complete(nodes: &mut [LoopNode], latency: &mut RunningMean, cfg: &AccessNetConfig, i: usize, now: Time) {
+fn complete(
+    nodes: &mut [LoopNode],
+    latency: &mut RunningMean,
+    cfg: &AccessNetConfig,
+    i: usize,
+    now: Time,
+) {
     let node = &mut nodes[i];
     debug_assert_eq!(node.phase, Phase::Waiting);
     latency.push_time_ns(now.saturating_sub(node.started));
@@ -293,9 +295,14 @@ struct Flit {
 enum OutState {
     Idle,
     /// Forwarding a pass-through message arriving from upstream.
-    Through { remaining: u32 },
+    Through {
+        remaining: u32,
+    },
     /// Draining the bypass FIFO or sending an own message.
-    Sending { from_fifo: bool, remaining: u32 },
+    Sending {
+        from_fifo: bool,
+        remaining: u32,
+    },
 }
 
 /// The register-insertion ring (SCI-style access control).

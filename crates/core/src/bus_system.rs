@@ -16,9 +16,7 @@ use ringsim_bus::{Bus, BusConfig, PhaseKind};
 use ringsim_cache::{AccessClass, Cache, CacheConfig, LineState};
 use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
 use ringsim_types::stats::{Histogram, RunningMean};
-use ringsim_types::{
-    AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time,
-};
+use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
 use crate::report::{ClassLatencies, NodeSummary, SimReport};
 
@@ -411,8 +409,7 @@ impl BusSystem {
             // The line was invalidated while we waited for the bus: the
             // address phase we just completed doubles as the request phase
             // of a write miss.
-            self.nodes[i].txn =
-                Some(Txn { kind: TxnKind::Write, served: Served::Pending, ..t });
+            self.nodes[i].txn = Some(Txn { kind: TxnKind::Write, served: Served::Pending, ..t });
             self.request_done(i);
         }
     }
@@ -528,7 +525,11 @@ impl BusSystem {
             if vstate.is_dirty() {
                 // Write-back: one response-phase transfer after completion.
                 if vhome != me {
-                    self.bus.acquire_kind(completion, self.cfg.bus.response_cycles(), PhaseKind::Data);
+                    self.bus.acquire_kind(
+                        completion,
+                        self.cfg.bus.response_cycles(),
+                        PhaseKind::Data,
+                    );
                 }
                 if measuring {
                     if vhome == me {
@@ -604,8 +605,7 @@ impl BusSystem {
             .collect();
         let proc_util = per_node.iter().map(|n| n.util).sum::<f64>() / per_node.len().max(1) as f64;
         let stats = self.bus.stats();
-        let (base, start) =
-            self.snapshot.unwrap_or((ringsim_bus::BusStats::default(), Time::ZERO));
+        let (base, start) = self.snapshot.unwrap_or((ringsim_bus::BusStats::default(), Time::ZERO));
         let window = sim_end.saturating_sub(start);
         let busy = stats.busy.saturating_sub(base.busy);
         let addr_busy = stats.address_busy.saturating_sub(base.address_busy);

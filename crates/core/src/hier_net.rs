@@ -97,7 +97,9 @@ pub struct HierNetReport {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    Thinking { until: Time },
+    Thinking {
+        until: Time,
+    },
     /// Waiting to insert the initial probe / waiting for the reply.
     Waiting,
     Done,
@@ -285,11 +287,19 @@ impl HierNetSim {
                 if self.debug {
                     for (i, n) in self.nodes.iter().enumerate() {
                         if n.phase != Phase::Done {
-                            eprintln!("node {i}: {:?} issued {} out_q {}", n.phase, n.issued, n.out_q.len());
+                            eprintln!(
+                                "node {i}: {:?} issued {} out_q {}",
+                                n.phase,
+                                n.issued,
+                                n.out_q.len()
+                            );
                         }
                     }
                     for (r, iri) in self.iris.iter().enumerate() {
-                        eprintln!("iri {r}: to_global {:?} to_local {:?}", iri.to_global, iri.to_local);
+                        eprintln!(
+                            "iri {r}: to_global {:?} to_local {:?}",
+                            iri.to_global, iri.to_local
+                        );
                     }
                     for (r, ring) in self.locals.iter().enumerate() {
                         eprintln!("local ring {r}: in_flight {}", ring.in_flight());
@@ -431,9 +441,8 @@ impl HierNetSim {
                             // origin ring (+1 so 0 means "untagged") and
                             // forward a copy to the global ring.
                             let mut copy = msg;
-                            copy.block = BlockAddr::new(
-                                msg.block.raw() | ((ring_idx as u64 + 1) << 48),
-                            );
+                            copy.block =
+                                BlockAddr::new(msg.block.raw() | ((ring_idx as u64 + 1) << 48));
                             self.iris[ring_idx].to_global.push_back(copy);
                         }
                         if msg.src == iri_pos {

@@ -40,7 +40,7 @@ mod ring_system;
 
 pub use access_net::{AccessNetConfig, AccessNetReport, InsertionNetSim, SlottedNetSim};
 pub use bus_system::{BusSystem, BusSystemConfig};
-pub use config::SystemConfig;
+pub use config::{SystemConfig, SystemConfigBuilder};
 pub use engine::EventQueue;
 pub use hier_net::{HierNetConfig, HierNetReport, HierNetSim};
 pub use report::{ClassLatencies, NodeSummary, SimReport};

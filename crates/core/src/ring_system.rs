@@ -29,9 +29,7 @@ use ringsim_proto::{Directory, HomeMemory, MsgClass, MsgKind, ProtocolKind, Ring
 use ringsim_ring::{SlotId, SlotKind, SlotRing};
 use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
 use ringsim_types::stats::{Histogram, RunningMean};
-use ringsim_types::{
-    AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time,
-};
+use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
 use crate::config::SystemConfig;
 use crate::report::{ClassLatencies, NodeSummary, SimReport};
@@ -568,15 +566,14 @@ impl RingSystem {
             MsgKind::SnoopRead | MsgKind::SnoopWrite | MsgKind::SnoopUpgrade => {
                 self.snoop_probe(i, slot, msg);
             }
-            MsgKind::DirInval
-                if msg.requester != me => {
-                    let was = self.nodes[i].cache.snoop_invalidate(msg.block);
-                    if was.is_valid() {
-                        // Presence bits are updated wholesale when the
-                        // multicast returns to the home.
-                    }
-                    self.poison_pending_read(i, msg.block);
+            MsgKind::DirInval if msg.requester != me => {
+                let was = self.nodes[i].cache.snoop_invalidate(msg.block);
+                if was.is_valid() {
+                    // Presence bits are updated wholesale when the
+                    // multicast returns to the home.
                 }
+                self.poison_pending_read(i, msg.block);
+            }
             _ => {}
         }
     }
@@ -663,22 +660,21 @@ impl RingSystem {
                     self.nodes[i].cache.snoop_invalidate(block);
                     self.credit_invalidation(msg.requester, block);
                 }
-                if me == home
-                    && !self.mem.is_dirty(block) {
-                        if let Some(m) = self.ring.peek_mut(slot) {
-                            m.acked = true;
-                        }
-                        let data = RingMessage::for_requester(
-                            MsgKind::BlockData,
-                            block,
-                            me,
-                            msg.requester,
-                            msg.requester,
-                        );
-                        self.schedule(now + mem, Event::Send { node: i, msg: data });
-                        self.mem.set_dirty(block);
+                if me == home && !self.mem.is_dirty(block) {
+                    if let Some(m) = self.ring.peek_mut(slot) {
+                        m.acked = true;
                     }
-                    // If already dirty the (old or pending) owner responds.
+                    let data = RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        me,
+                        msg.requester,
+                        msg.requester,
+                    );
+                    self.schedule(now + mem, Event::Send { node: i, msg: data });
+                    self.mem.set_dirty(block);
+                }
+                // If already dirty the (old or pending) owner responds.
             }
             MsgKind::SnoopUpgrade => {
                 if state == LineState::Rs {
@@ -715,10 +711,7 @@ impl RingSystem {
                 self.home_receive(msg, now);
             }
             MsgKind::DirFwdRead | MsgKind::DirFwdWrite => {
-                let pending = self.nodes[i]
-                    .txn
-                    .as_ref()
-                    .is_some_and(|t| t.block == msg.block);
+                let pending = self.nodes[i].txn.as_ref().is_some_and(|t| t.block == msg.block);
                 if pending {
                     self.nodes[i].pending_fwds.push(msg);
                 } else {
@@ -935,14 +928,13 @@ impl RingSystem {
                 if t.kind != TxnKind::Upgrade {
                     ev.private_misses += 1;
                 }
-                if t.kind == TxnKind::Upgrade
-                    && t.invalidated == 0 {
-                        if local {
-                            ev.upgrade_nosharers_local += 1;
-                        } else {
-                            ev.upgrade_nosharers_remote += 1;
-                        }
+                if t.kind == TxnKind::Upgrade && t.invalidated == 0 {
+                    if local {
+                        ev.upgrade_nosharers_local += 1;
+                    } else {
+                        ev.upgrade_nosharers_remote += 1;
                     }
+                }
                 return;
             }
             Region::Shared => {}
@@ -1065,10 +1057,7 @@ impl RingSystem {
     }
 
     fn requester_region(&self, req: &RingMessage) -> Region {
-        self.nodes[req.requester.index()]
-            .txn
-            .as_ref()
-            .map_or(Region::Shared, |t| t.region)
+        self.nodes[req.requester.index()].txn.as_ref().map_or(Region::Shared, |t| t.region)
     }
 
     /// The home is about to multicast an invalidation: it also invalidates
@@ -1137,8 +1126,13 @@ impl RingSystem {
                     }
                 }
                 self.dir.add_sharer(block, requester);
-                let data =
-                    RingMessage::for_requester(MsgKind::BlockData, block, home, requester, requester);
+                let data = RingMessage::for_requester(
+                    MsgKind::BlockData,
+                    block,
+                    home,
+                    requester,
+                    requester,
+                );
                 self.schedule(now, Event::Send { node: home.index(), msg: data });
                 self.unlock_and_drain(block, now);
             }
@@ -1258,7 +1252,8 @@ impl RingSystem {
             self.schedule(now, Event::Send { node: home.index(), msg: inval });
         } else {
             self.dir.set_owner(block, requester);
-            let ack = RingMessage::for_requester(MsgKind::DirAck, block, home, requester, requester);
+            let ack =
+                RingMessage::for_requester(MsgKind::DirAck, block, home, requester, requester);
             self.schedule(now, Event::Send { node: home.index(), msg: ack });
             self.unlock_and_drain(block, now);
         }
@@ -1336,14 +1331,9 @@ impl RingSystem {
             }
             _ => unreachable!("serve_forward on non-forward"),
         };
-        let data = RingMessage::for_requester(
-            MsgKind::BlockData,
-            block,
-            me,
-            fwd.requester,
-            fwd.requester,
-        )
-        .with_from_dirty(true);
+        let data =
+            RingMessage::for_requester(MsgKind::BlockData, block, me, fwd.requester, fwd.requester)
+                .with_from_dirty(true);
         let update = RingMessage::new(MsgKind::MemUpdate, block, me, home).with_retained(retained);
         let at = now + self.cfg.supply_latency;
         self.schedule(at, Event::Send { node: i, msg: data });
@@ -1456,10 +1446,7 @@ impl RingSystem {
                 let stale: Vec<_> = rs
                     .iter()
                     .filter(|r| {
-                        self.nodes[r.index()]
-                            .txn
-                            .as_ref()
-                            .is_none_or(|t| t.block.raw() != raw)
+                        self.nodes[r.index()].txn.as_ref().is_none_or(|t| t.block.raw() != raw)
                     })
                     .collect();
                 if !stale.is_empty() {
@@ -1501,7 +1488,11 @@ mod tests {
         assert!(report.proc_util > 0.0 && report.proc_util <= 1.0);
         assert!(report.ring_util > 0.0 && report.ring_util < 1.0);
         assert!(report.miss_latency.count() > 0);
-        assert!(report.miss_latency.mean() > 100.0, "miss latency {} ns", report.miss_latency.mean());
+        assert!(
+            report.miss_latency.mean() > 100.0,
+            "miss latency {} ns",
+            report.miss_latency.mean()
+        );
         sys.check_coherence().unwrap();
     }
 

@@ -147,7 +147,16 @@ impl RingMessage {
     /// Creates a message with `requester == src` and all flags clear.
     #[must_use]
     pub fn new(kind: MsgKind, block: BlockAddr, src: NodeId, dst: NodeId) -> Self {
-        Self { kind, block, src, dst, requester: src, acked: false, from_dirty: false, retained: false }
+        Self {
+            kind,
+            block,
+            src,
+            dst,
+            requester: src,
+            acked: false,
+            from_dirty: false,
+            retained: false,
+        }
     }
 
     /// Creates a message on behalf of another node (forwards and replies).

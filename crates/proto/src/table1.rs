@@ -126,7 +126,13 @@ impl<H: Fn(BlockAddr) -> NodeId> FullMapAccountant<H> {
         let caches = (0..layout.nodes())
             .map(|_| Cache::new(CacheConfig::paper_default()))
             .collect::<Result<_, _>>()?;
-        Ok(Self { layout, home_of, caches, entries: HashMap::new(), report: TraversalReport::default() })
+        Ok(Self {
+            layout,
+            home_of,
+            caches,
+            entries: HashMap::new(),
+            report: TraversalReport::default(),
+        })
     }
 
     /// The accumulated distributions.
@@ -266,7 +272,13 @@ impl<H: Fn(BlockAddr) -> NodeId> LinkedListAccountant<H> {
         let caches = (0..layout.nodes())
             .map(|_| Cache::new(CacheConfig::paper_default()))
             .collect::<Result<_, _>>()?;
-        Ok(Self { layout, home_of, caches, entries: HashMap::new(), report: TraversalReport::default() })
+        Ok(Self {
+            layout,
+            home_of,
+            caches,
+            entries: HashMap::new(),
+            report: TraversalReport::default(),
+        })
     }
 
     /// The accumulated distributions.
@@ -476,7 +488,8 @@ mod tests {
         let space = w.space();
         let mut full = FullMapAccountant::new(layout(16), move |b| space.home_of_block(b)).unwrap();
         let space2 = w.space();
-        let mut ll = LinkedListAccountant::new(layout(16), move |b| space2.home_of_block(b)).unwrap();
+        let mut ll =
+            LinkedListAccountant::new(layout(16), move |b| space2.home_of_block(b)).unwrap();
         for r in w.round_robin(4_000) {
             full.process(r);
             ll.process(r);

@@ -212,11 +212,7 @@ mod tests {
                 link_bytes: link,
                 ..RingConfig::standard_500mhz(16)
             };
-            assert_eq!(
-                cfg.snoop_interarrival(),
-                Time::from_ns(ns),
-                "block={block} link={link}"
-            );
+            assert_eq!(cfg.snoop_interarrival(), Time::from_ns(ns), "block={block} link={link}");
         }
     }
 

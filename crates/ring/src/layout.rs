@@ -104,7 +104,8 @@ impl RingLayout {
 
         let probe_stages = cfg.probe_stages();
         let block_stages = cfg.block_slot_stages();
-        let mut slots = Vec::with_capacity(frames * (cfg.probe_slots_per_frame + cfg.block_slots_per_frame));
+        let mut slots =
+            Vec::with_capacity(frames * (cfg.probe_slots_per_frame + cfg.block_slots_per_frame));
         for f in 0..frames {
             let mut cursor = f * frame_stages;
             for p in 0..cfg.probe_slots_per_frame {
@@ -119,7 +120,11 @@ impl RingLayout {
                 cursor += probe_stages;
             }
             for _ in 0..cfg.block_slots_per_frame {
-                slots.push(SlotSpec { kind: SlotKind::Block, start_stage: cursor, stages: block_stages });
+                slots.push(SlotSpec {
+                    kind: SlotKind::Block,
+                    start_stage: cursor,
+                    stages: block_stages,
+                });
                 cursor += block_stages;
             }
         }

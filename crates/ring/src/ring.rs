@@ -300,7 +300,11 @@ mod tests {
 
     /// Runs the ring until a slot satisfying `want` arrives at `node`,
     /// returning the slot id. Panics after a full revolution without one.
-    fn wait_for(r: &mut SlotRing<u32>, node: NodeId, want: impl Fn(&SlotRing<u32>, SlotId) -> bool) -> SlotId {
+    fn wait_for(
+        r: &mut SlotRing<u32>,
+        node: NodeId,
+        want: impl Fn(&SlotRing<u32>, SlotId) -> bool,
+    ) -> SlotId {
         for _ in 0..=r.layout().stages() {
             if let Some(id) = r.arrival(node) {
                 if want(r, id) {
@@ -317,7 +321,8 @@ mod tests {
         let mut r = ring();
         let src = NodeId::new(1);
         let dst = NodeId::new(5);
-        let id = wait_for(&mut r, src, |r, id| r.kind_of(id) == SlotKind::Block && r.peek(id).is_none());
+        let id =
+            wait_for(&mut r, src, |r, id| r.kind_of(id) == SlotKind::Block && r.peek(id).is_none());
         r.try_insert(id, src, 42).unwrap();
         let sent_at = r.cycle();
         // The message reaches dst exactly stage_distance(src,dst) cycles later.
@@ -417,7 +422,8 @@ mod tests {
     fn utilization_accounting() {
         let mut r = ring();
         let src = NodeId::new(0);
-        let id = wait_for(&mut r, src, |r, id| r.kind_of(id) == SlotKind::Block && r.peek(id).is_none());
+        let id =
+            wait_for(&mut r, src, |r, id| r.kind_of(id) == SlotKind::Block && r.peek(id).is_none());
         let warmup = r.stats().cycles;
         r.try_insert(id, src, 1).unwrap();
         for _ in 0..100 {

@@ -1,0 +1,368 @@
+//! Deterministic parallel sweep engine and the unified `Experiment` API.
+//!
+//! Every paper artifact (tables, figures, validation runs) is produced by a
+//! type implementing [`Experiment`]. An experiment receives a [`SweepCtx`]
+//! and fans its sweep points out through [`SweepCtx::map`], which runs them
+//! on a thread pool (`--jobs N`) while guaranteeing the **determinism
+//! contract**:
+//!
+//! * each point's RNG seed is a pure function of
+//!   `(experiment, bench, procs, protocol, cycle, detail)` — see
+//!   [`SweepPoint::seed`] — never of thread ids or schedule order;
+//! * results are re-assembled in submission order before anything is
+//!   written, so `results/*.json` and `results/*.dat` artifacts are
+//!   **byte-identical** for any `--jobs` value;
+//! * wall-clock measurements (which *are* schedule-dependent) are kept out
+//!   of the artifacts and written to a `results/<name>.meta.json` twin
+//!   instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod point;
+
+pub use point::SweepPoint;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// How the engine runs an experiment: thread budget, per-processor
+/// reference budget, and where artifacts land.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Maximum worker threads for [`SweepCtx::map`]; `1` forces the serial
+    /// path.
+    pub jobs: usize,
+    /// Per-processor synthetic-reference budget handed to experiments.
+    pub refs_per_proc: u64,
+    /// Directory artifacts and meta twins are written into.
+    pub out_dir: PathBuf,
+}
+
+impl SweepConfig {
+    /// A config with `jobs` = available parallelism, the default reference
+    /// budget, and `results/` as the output directory.
+    #[must_use]
+    pub fn new(refs_per_proc: u64) -> Self {
+        Self { jobs: default_jobs(), refs_per_proc, out_dir: PathBuf::from("results") }
+    }
+
+    /// Overrides the thread budget (clamped to at least 1).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Overrides the output directory.
+    #[must_use]
+    pub fn out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = dir.into();
+        self
+    }
+}
+
+/// The default `--jobs` value: the machine's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Per-point context handed to the work closure of [`SweepCtx::map`].
+#[derive(Debug, Clone)]
+pub struct PointCtx {
+    /// Name of the owning experiment.
+    pub experiment: String,
+    /// Canonical point label (see [`SweepPoint::label`]).
+    pub label: String,
+    /// Stable per-point RNG seed (see [`SweepPoint::seed`]).
+    pub seed: u64,
+    /// Per-processor reference budget for this run.
+    pub refs_per_proc: u64,
+    /// Index of this point in the submitted slice.
+    pub index: usize,
+}
+
+/// Wall-time record for one completed sweep point; lands in the meta twin,
+/// never in artifacts.
+#[derive(Debug, Clone, Serialize)]
+pub struct PointStat {
+    /// Canonical point label.
+    pub label: String,
+    /// The seed the point ran with.
+    pub seed: u64,
+    /// Wall time of the point's work closure in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// What kind of file an [`Artifact`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ArtifactKind {
+    /// Pretty-printed JSON (`.json`).
+    Json,
+    /// Gnuplot-ready whitespace table (`.dat`).
+    Dat,
+}
+
+/// One file an experiment produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct Artifact {
+    /// Stem the experiment chose (`fig3`, `table2`, ...).
+    pub name: String,
+    /// File format.
+    pub kind: ArtifactKind,
+    /// Where it was written.
+    pub path: PathBuf,
+}
+
+/// A named, self-describing paper experiment.
+///
+/// Implementations compute their sweep through [`SweepCtx::map`] (so points
+/// parallelise), then print any human-readable table serially and write
+/// artifacts via [`SweepCtx::write_json`] / [`SweepCtx::write_dat`].
+pub trait Experiment: Sync {
+    /// Stable registry name (`table1`, `fig4`, `ring_access`, ...).
+    fn name(&self) -> &'static str;
+    /// One-line description shown by `--list`.
+    fn description(&self) -> &'static str;
+    /// Runs the experiment, returning the artifacts it wrote (typically
+    /// `ctx.artifacts()`).
+    fn run(&self, ctx: &SweepCtx) -> Vec<Artifact>;
+}
+
+/// The engine-side context an [`Experiment`] runs against: owns the config,
+/// accumulates point statistics across `map` calls, and records artifacts.
+pub struct SweepCtx {
+    experiment: &'static str,
+    cfg: SweepConfig,
+    stats: Mutex<Vec<PointStat>>,
+    artifacts: Mutex<Vec<Artifact>>,
+}
+
+impl SweepCtx {
+    /// Builds a context for `experiment` and ensures the output directory
+    /// exists.
+    #[must_use]
+    pub fn new(experiment: &'static str, cfg: SweepConfig) -> Self {
+        let _ = fs::create_dir_all(&cfg.out_dir);
+        Self { experiment, cfg, stats: Mutex::new(Vec::new()), artifacts: Mutex::new(Vec::new()) }
+    }
+
+    /// The owning experiment's registry name.
+    #[must_use]
+    pub fn experiment(&self) -> &'static str {
+        self.experiment
+    }
+
+    /// The thread budget this context runs with.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.cfg.jobs
+    }
+
+    /// Per-processor reference budget experiments should size their
+    /// workloads by.
+    #[must_use]
+    pub fn refs_per_proc(&self) -> u64 {
+        self.cfg.refs_per_proc
+    }
+
+    /// The directory artifacts are written into.
+    #[must_use]
+    pub fn out_dir(&self) -> &Path {
+        &self.cfg.out_dir
+    }
+
+    /// Runs `work` over `points` on up to [`jobs`](Self::jobs) threads and
+    /// returns the results **in submission order**.
+    ///
+    /// `key` names each point; from it the engine derives the stable seed
+    /// exposed as [`PointCtx::seed`]. The closure must not print or write
+    /// files — compute rows here, render them serially afterwards.
+    pub fn map<P, R>(
+        &self,
+        points: &[P],
+        key: impl Fn(&P) -> SweepPoint + Sync,
+        work: impl Fn(&PointCtx, &P) -> R + Sync,
+    ) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+    {
+        let (results, stats) = engine::run_points(
+            self.experiment,
+            self.cfg.jobs,
+            self.cfg.refs_per_proc,
+            points,
+            key,
+            work,
+        );
+        self.stats.lock().expect("stats lock").extend(stats);
+        results
+    }
+
+    /// Writes `value` as pretty JSON into `<out_dir>/<name>.json` and
+    /// records the artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation or the write fails (experiments want a loud
+    /// failure).
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
+        let path = self.cfg.out_dir.join(format!("{name}.json"));
+        let data = serde_json::to_string_pretty(value).expect("serialisable result");
+        fs::write(&path, data).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+        self.record(name, ArtifactKind::Json, path);
+    }
+
+    /// Writes a gnuplot-ready data file into `<out_dir>/<name>.dat` (a `#`
+    /// header line, then whitespace-separated columns) and records the
+    /// artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write fails.
+    pub fn write_dat(&self, name: &str, header: &str, rows: &[Vec<f64>]) {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(rows.len() * 32 + header.len() + 3);
+        out.push_str("# ");
+        out.push_str(header);
+        out.push('\n');
+        for row in rows {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{v:.6}");
+            }
+            out.push('\n');
+        }
+        let path = self.cfg.out_dir.join(format!("{name}.dat"));
+        fs::write(&path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+        self.record(name, ArtifactKind::Dat, path);
+    }
+
+    /// The artifacts recorded so far (the conventional `Experiment::run`
+    /// return value).
+    #[must_use]
+    pub fn artifacts(&self) -> Vec<Artifact> {
+        self.artifacts.lock().expect("artifact lock").clone()
+    }
+
+    fn record(&self, name: &str, kind: ArtifactKind, path: PathBuf) {
+        self.artifacts.lock().expect("artifact lock").push(Artifact {
+            name: name.to_owned(),
+            kind,
+            path,
+        });
+    }
+
+    fn take_stats(&self) -> Vec<PointStat> {
+        std::mem::take(&mut self.stats.lock().expect("stats lock"))
+    }
+}
+
+/// The meta twin written next to an experiment's artifacts: run shape plus
+/// all schedule-dependent timings, kept out of the artifacts themselves.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeta {
+    /// Experiment registry name.
+    pub experiment: String,
+    /// Thread budget the run used.
+    pub jobs: usize,
+    /// Per-processor reference budget the run used.
+    pub refs_per_proc: u64,
+    /// Number of sweep points executed.
+    pub points: usize,
+    /// End-to-end wall time of `Experiment::run` in milliseconds.
+    pub total_wall_ms: f64,
+    /// Sweep points completed per wall-clock second.
+    pub points_per_sec: f64,
+    /// Artifact stems the run produced.
+    pub artifacts: Vec<String>,
+    /// Per-point labels, seeds and wall times.
+    pub point_stats: Vec<PointStat>,
+}
+
+/// Outcome of [`run_experiment`]: the artifacts plus the meta twin.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Artifacts the experiment wrote.
+    pub artifacts: Vec<Artifact>,
+    /// The meta twin (also written to `<out_dir>/<name>.meta.json`).
+    pub meta: RunMeta,
+}
+
+/// Runs `exp` under `cfg`, writes the `<name>.meta.json` twin, and returns
+/// the report.
+///
+/// # Panics
+///
+/// Panics if the meta twin cannot be written.
+pub fn run_experiment(exp: &dyn Experiment, cfg: &SweepConfig) -> RunReport {
+    let ctx = SweepCtx::new(exp.name(), cfg.clone());
+    let start = Instant::now();
+    let artifacts = exp.run(&ctx);
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let point_stats = ctx.take_stats();
+    let meta = RunMeta {
+        experiment: exp.name().to_owned(),
+        jobs: cfg.jobs,
+        refs_per_proc: cfg.refs_per_proc,
+        points: point_stats.len(),
+        total_wall_ms,
+        points_per_sec: if total_wall_ms > 0.0 {
+            point_stats.len() as f64 / (total_wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        artifacts: artifacts.iter().map(|a| a.name.clone()).collect(),
+        point_stats,
+    };
+    let path = cfg.out_dir.join(format!("{}.meta.json", exp.name()));
+    let data = serde_json::to_string_pretty(&meta).expect("serialisable meta");
+    fs::write(&path, data).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    RunReport { artifacts, meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+
+    impl Experiment for Doubler {
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+        fn description(&self) -> &'static str {
+            "doubles numbers"
+        }
+        fn run(&self, ctx: &SweepCtx) -> Vec<Artifact> {
+            let points: Vec<u64> = (0..10).collect();
+            let doubled =
+                ctx.map(&points, |p| SweepPoint::new().detail(p.to_string()), |_c, p| p * 2);
+            ctx.write_json("doubler", &doubled);
+            ctx.artifacts()
+        }
+    }
+
+    #[test]
+    fn harness_writes_artifact_and_meta_twin() {
+        let dir = std::env::temp_dir().join(format!("ringsim-sweep-test-{}", std::process::id()));
+        let cfg = SweepConfig::new(0).jobs(4).out_dir(&dir);
+        let report = run_experiment(&Doubler, &cfg);
+        assert_eq!(report.artifacts.len(), 1);
+        assert_eq!(report.meta.points, 10);
+        assert!(dir.join("doubler.json").is_file());
+        assert!(dir.join("doubler.meta.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

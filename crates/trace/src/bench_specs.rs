@@ -55,8 +55,14 @@ pub enum Benchmark {
 
 impl Benchmark {
     /// All six benchmarks.
-    pub const ALL: [Benchmark; 6] =
-        [Benchmark::Mp3d, Benchmark::Water, Benchmark::Cholesky, Benchmark::Fft, Benchmark::Weather, Benchmark::Simple];
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Mp3d,
+        Benchmark::Water,
+        Benchmark::Cholesky,
+        Benchmark::Fft,
+        Benchmark::Weather,
+        Benchmark::Simple,
+    ];
 
     /// Lower-case name as used in result tables.
     #[must_use]
@@ -98,18 +104,198 @@ impl Benchmark {
         //   shared write frac ~ mig*wf*(run-1)/run + pc*pf
         let k = match (self, procs) {
             //                          ipd   shf    pw    cold    (ro,   st,   mig,  pc)   run wf    pf    burst
-            (Benchmark::Mp3d, 8) => Knobs { ipd: 2.00, shared: 0.34, pw: 0.22, cold: 0.0014, ro: 0.20, st: 0.03, mig: 0.62, pc: 0.15, run: 12, wf: 0.48, pf: 0.40, burst: 5, migs: 24, pcs: 12 },
-            (Benchmark::Mp3d, 16) => Knobs { ipd: 2.09, shared: 0.36, pw: 0.22, cold: 0.0018, ro: 0.20, st: 0.03, mig: 0.62, pc: 0.15, run: 9, wf: 0.44, pf: 0.40, burst: 5, migs: 24, pcs: 12 },
-            (Benchmark::Mp3d, 32) => Knobs { ipd: 2.41, shared: 0.45, pw: 0.22, cold: 0.0090, ro: 0.15, st: 0.17, mig: 0.55, pc: 0.13, run: 4, wf: 0.40, pf: 0.35, burst: 5, migs: 24, pcs: 12 },
-            (Benchmark::Water, 8) => Knobs { ipd: 2.34, shared: 0.136, pw: 0.18, cold: 0.00024, ro: 0.52, st: 0.003, mig: 0.42, pc: 0.05, run: 70, wf: 0.14, pf: 0.30, burst: 10, migs: 6, pcs: 3 },
-            (Benchmark::Water, 16) => Knobs { ipd: 2.39, shared: 0.159, pw: 0.18, cold: 0.00033, ro: 0.52, st: 0.003, mig: 0.42, pc: 0.05, run: 56, wf: 0.14, pf: 0.30, burst: 10, migs: 6, pcs: 3 },
-            (Benchmark::Water, 32) => Knobs { ipd: 2.42, shared: 0.175, pw: 0.18, cold: 0.00068, ro: 0.51, st: 0.006, mig: 0.42, pc: 0.05, run: 24, wf: 0.14, pf: 0.30, burst: 10, migs: 8, pcs: 3 },
-            (Benchmark::Cholesky, 8) => Knobs { ipd: 2.15, shared: 0.234, pw: 0.21, cold: 0.0050, ro: 0.47, st: 0.06, mig: 0.12, pc: 0.35, run: 12, wf: 0.32, pf: 0.30, burst: 8, migs: 8, pcs: 16 },
-            (Benchmark::Cholesky, 16) => Knobs { ipd: 2.39, shared: 0.289, pw: 0.20, cold: 0.0090, ro: 0.42, st: 0.13, mig: 0.10, pc: 0.35, run: 12, wf: 0.33, pf: 0.17, burst: 7, migs: 8, pcs: 16 },
-            (Benchmark::Cholesky, 32) => Knobs { ipd: 2.75, shared: 0.394, pw: 0.18, cold: 0.0210, ro: 0.26, st: 0.38, mig: 0.06, pc: 0.30, run: 10, wf: 0.47, pf: 0.08, burst: 5, migs: 8, pcs: 16 },
-            (Benchmark::Fft, 64) => Knobs { ipd: 0.72, shared: 0.239, pw: 0.27, cold: 0.0073, ro: 0.10, st: 0.06, mig: 0.70, pc: 0.14, run: 4, wf: 0.82, pf: 0.50, burst: 5, migs: 24, pcs: 12 },
-            (Benchmark::Weather, 64) => Knobs { ipd: 0.87, shared: 0.161, pw: 0.16, cold: 0.0031, ro: 0.26, st: 0.26, mig: 0.06, pc: 0.42, run: 10, wf: 0.40, pf: 0.40, burst: 7, migs: 8, pcs: 16 },
-            (Benchmark::Simple, 64) => Knobs { ipd: 0.83, shared: 0.291, pw: 0.35, cold: 0.0032, ro: 0.21, st: 0.50, mig: 0.05, pc: 0.24, run: 8, wf: 0.60, pf: 0.35, burst: 6, migs: 8, pcs: 16 },
+            (Benchmark::Mp3d, 8) => Knobs {
+                ipd: 2.00,
+                shared: 0.34,
+                pw: 0.22,
+                cold: 0.0014,
+                ro: 0.20,
+                st: 0.03,
+                mig: 0.62,
+                pc: 0.15,
+                run: 12,
+                wf: 0.48,
+                pf: 0.40,
+                burst: 5,
+                migs: 24,
+                pcs: 12,
+            },
+            (Benchmark::Mp3d, 16) => Knobs {
+                ipd: 2.09,
+                shared: 0.36,
+                pw: 0.22,
+                cold: 0.0018,
+                ro: 0.20,
+                st: 0.03,
+                mig: 0.62,
+                pc: 0.15,
+                run: 9,
+                wf: 0.44,
+                pf: 0.40,
+                burst: 5,
+                migs: 24,
+                pcs: 12,
+            },
+            (Benchmark::Mp3d, 32) => Knobs {
+                ipd: 2.41,
+                shared: 0.45,
+                pw: 0.22,
+                cold: 0.0090,
+                ro: 0.15,
+                st: 0.17,
+                mig: 0.55,
+                pc: 0.13,
+                run: 4,
+                wf: 0.40,
+                pf: 0.35,
+                burst: 5,
+                migs: 24,
+                pcs: 12,
+            },
+            (Benchmark::Water, 8) => Knobs {
+                ipd: 2.34,
+                shared: 0.136,
+                pw: 0.18,
+                cold: 0.00024,
+                ro: 0.52,
+                st: 0.003,
+                mig: 0.42,
+                pc: 0.05,
+                run: 70,
+                wf: 0.14,
+                pf: 0.30,
+                burst: 10,
+                migs: 6,
+                pcs: 3,
+            },
+            (Benchmark::Water, 16) => Knobs {
+                ipd: 2.39,
+                shared: 0.159,
+                pw: 0.18,
+                cold: 0.00033,
+                ro: 0.52,
+                st: 0.003,
+                mig: 0.42,
+                pc: 0.05,
+                run: 56,
+                wf: 0.14,
+                pf: 0.30,
+                burst: 10,
+                migs: 6,
+                pcs: 3,
+            },
+            (Benchmark::Water, 32) => Knobs {
+                ipd: 2.42,
+                shared: 0.175,
+                pw: 0.18,
+                cold: 0.00068,
+                ro: 0.51,
+                st: 0.006,
+                mig: 0.42,
+                pc: 0.05,
+                run: 24,
+                wf: 0.14,
+                pf: 0.30,
+                burst: 10,
+                migs: 8,
+                pcs: 3,
+            },
+            (Benchmark::Cholesky, 8) => Knobs {
+                ipd: 2.15,
+                shared: 0.234,
+                pw: 0.21,
+                cold: 0.0050,
+                ro: 0.47,
+                st: 0.06,
+                mig: 0.12,
+                pc: 0.35,
+                run: 12,
+                wf: 0.32,
+                pf: 0.30,
+                burst: 8,
+                migs: 8,
+                pcs: 16,
+            },
+            (Benchmark::Cholesky, 16) => Knobs {
+                ipd: 2.39,
+                shared: 0.289,
+                pw: 0.20,
+                cold: 0.0090,
+                ro: 0.42,
+                st: 0.13,
+                mig: 0.10,
+                pc: 0.35,
+                run: 12,
+                wf: 0.33,
+                pf: 0.17,
+                burst: 7,
+                migs: 8,
+                pcs: 16,
+            },
+            (Benchmark::Cholesky, 32) => Knobs {
+                ipd: 2.75,
+                shared: 0.394,
+                pw: 0.18,
+                cold: 0.0210,
+                ro: 0.26,
+                st: 0.38,
+                mig: 0.06,
+                pc: 0.30,
+                run: 10,
+                wf: 0.47,
+                pf: 0.08,
+                burst: 5,
+                migs: 8,
+                pcs: 16,
+            },
+            (Benchmark::Fft, 64) => Knobs {
+                ipd: 0.72,
+                shared: 0.239,
+                pw: 0.27,
+                cold: 0.0073,
+                ro: 0.10,
+                st: 0.06,
+                mig: 0.70,
+                pc: 0.14,
+                run: 4,
+                wf: 0.82,
+                pf: 0.50,
+                burst: 5,
+                migs: 24,
+                pcs: 12,
+            },
+            (Benchmark::Weather, 64) => Knobs {
+                ipd: 0.87,
+                shared: 0.161,
+                pw: 0.16,
+                cold: 0.0031,
+                ro: 0.26,
+                st: 0.26,
+                mig: 0.06,
+                pc: 0.42,
+                run: 10,
+                wf: 0.40,
+                pf: 0.40,
+                burst: 7,
+                migs: 8,
+                pcs: 16,
+            },
+            (Benchmark::Simple, 64) => Knobs {
+                ipd: 0.83,
+                shared: 0.291,
+                pw: 0.35,
+                cold: 0.0032,
+                ro: 0.21,
+                st: 0.50,
+                mig: 0.05,
+                pc: 0.24,
+                run: 8,
+                wf: 0.60,
+                pf: 0.35,
+                burst: 6,
+                migs: 8,
+                pcs: 16,
+            },
             _ => unreachable!("paper_sizes checked above"),
         };
         Ok(k.build(self.name(), procs))
@@ -117,9 +303,7 @@ impl Benchmark {
 
     /// The twelve (benchmark, processor-count) configurations of Table 2.
     pub fn paper_configs() -> impl Iterator<Item = (Benchmark, usize)> {
-        Benchmark::ALL
-            .into_iter()
-            .flat_map(|b| b.paper_sizes().iter().map(move |&p| (b, p)))
+        Benchmark::ALL.into_iter().flat_map(|b| b.paper_sizes().iter().map(move |&p| (b, p)))
     }
 }
 
@@ -185,7 +369,8 @@ impl Knobs {
     fn build(self, name: &str, procs: usize) -> WorkloadSpec {
         // Slow-churning pools (long migratory episodes) need a longer
         // warmup to cover their working set before measurement starts.
-        let warmup = if self.run >= 20 { 2 * DEFAULT_WARMUP_PER_PROC } else { DEFAULT_WARMUP_PER_PROC };
+        let warmup =
+            if self.run >= 20 { 2 * DEFAULT_WARMUP_PER_PROC } else { DEFAULT_WARMUP_PER_PROC };
         WorkloadSpec {
             warmup_refs_per_proc: warmup,
             instr_per_data: self.ipd,

@@ -88,7 +88,10 @@ impl RecordedTrace {
         per_proc: u64,
     ) -> Result<Self, ringsim_types::ConfigError> {
         if per_proc == 0 {
-            return Err(ringsim_types::ConfigError::new("per_proc", "must capture at least one reference"));
+            return Err(ringsim_types::ConfigError::new(
+                "per_proc",
+                "must capture at least one reference",
+            ));
         }
         let mut workload = Workload::new(spec.clone())?;
         let per_node = workload

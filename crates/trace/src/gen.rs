@@ -170,7 +170,11 @@ impl NodeStream {
         }
     }
 
-    pub(crate) fn replay(node: NodeId, instr_per_data: f64, refs: std::sync::Arc<[MemRef]>) -> Self {
+    pub(crate) fn replay(
+        node: NodeId,
+        instr_per_data: f64,
+        refs: std::sync::Arc<[MemRef]>,
+    ) -> Self {
         assert!(!refs.is_empty(), "replay stream needs at least one reference");
         Self { node, instr_per_data, inner: StreamInner::Replay { refs, cursor: 0 }, emitted: 0 }
     }
@@ -349,10 +353,7 @@ mod tests {
         let spec = WorkloadSpec { shared_frac: 0.4, ..WorkloadSpec::demo(4) };
         let mut w = Workload::new(spec).unwrap();
         let n = 40_000;
-        let shared = w
-            .round_robin(n / 4)
-            .filter(|r| r.region == Region::Shared)
-            .count();
+        let shared = w.round_robin(n / 4).filter(|r| r.region == Region::Shared).count();
         let frac = shared as f64 / n as f64;
         assert!((0.37..0.43).contains(&frac), "shared frac = {frac}");
     }

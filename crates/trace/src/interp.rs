@@ -1,9 +1,7 @@
 use std::collections::HashMap;
 
 use ringsim_cache::{AccessClass, Cache, CacheConfig, LineState};
-use ringsim_types::{
-    AccessKind, BlockAddr, CoherenceEvents, ConfigError, MemRef, NodeId, Region,
-};
+use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, MemRef, NodeId, Region};
 
 use crate::space::{AddressSpace, BLOCK_BYTES};
 use crate::{Workload, WorkloadSpec};
@@ -79,7 +77,13 @@ impl RefInterpreter {
             return Err(ConfigError::new("nodes", "must be between 1 and 64"));
         }
         let caches = (0..nodes).map(|_| Cache::new(cache)).collect::<Result<_, _>>()?;
-        Ok(Self { caches, space, blocks: HashMap::new(), events: CoherenceEvents::default(), counting: true })
+        Ok(Self {
+            caches,
+            space,
+            blocks: HashMap::new(),
+            events: CoherenceEvents::default(),
+            counting: true,
+        })
     }
 
     /// Enables or disables event counting (used to exclude warmup).
@@ -471,7 +475,9 @@ mod tests {
         let e = interp.events();
         // Writers find reader copies: multi-sharer invalidations dominate.
         assert!(
-            e.upgrade_sharers_local + e.upgrade_sharers_remote + e.write_sharers_local
+            e.upgrade_sharers_local
+                + e.upgrade_sharers_remote
+                + e.write_sharers_local
                 + e.write_sharers_remote
                 > 0
         );

@@ -39,4 +39,4 @@ pub use file::RecordedTrace;
 pub use gen::{NodeStream, Workload};
 pub use interp::{characterize, Characteristics, RefInterpreter};
 pub use space::{AddressSpace, BLOCK_BYTES, PAGE_BYTES};
-pub use spec::WorkloadSpec;
+pub use spec::{WorkloadSpec, WorkloadSpecBuilder};

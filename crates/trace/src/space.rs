@@ -79,7 +79,9 @@ impl AddressSpace {
     }
 
     fn compose(region: u64, sub: u64, block_index: u64) -> Addr {
-        Addr::new((region << REGION_SHIFT) | (sub << PRIVATE_NODE_SHIFT) | (block_index * BLOCK_BYTES))
+        Addr::new(
+            (region << REGION_SHIFT) | (sub << PRIVATE_NODE_SHIFT) | (block_index * BLOCK_BYTES),
+        )
     }
 
     /// Address of block `index` of `node`'s private pool. Indices below the
@@ -123,8 +125,9 @@ impl AddressSpace {
     /// uses — so the streaming sweep evicts only itself.
     #[must_use]
     pub fn stream_addr(self, node: NodeId, counter: u64) -> Addr {
-        let idx =
-            (counter / STREAM_LINE_SPAN) * CACHE_LINES + STREAM_LINE_BASE + counter % STREAM_LINE_SPAN;
+        let idx = (counter / STREAM_LINE_SPAN) * CACHE_LINES
+            + STREAM_LINE_BASE
+            + counter % STREAM_LINE_SPAN;
         Self::compose(REGION_STREAM, node.index() as u64, idx)
     }
 
@@ -143,9 +146,7 @@ impl AddressSpace {
     pub fn region_of(self, addr: Addr) -> Region {
         match addr.raw() >> REGION_SHIFT {
             REGION_PRIVATE => Region::Private,
-            REGION_READ_ONLY | REGION_MIGRATORY | REGION_PRODCONS | REGION_STREAM => {
-                Region::Shared
-            }
+            REGION_READ_ONLY | REGION_MIGRATORY | REGION_PRODCONS | REGION_STREAM => Region::Shared,
             other => panic!("address {addr} in unknown region {other}"),
         }
     }
@@ -155,9 +156,7 @@ impl AddressSpace {
     #[must_use]
     pub fn home_of(self, addr: Addr) -> NodeId {
         match self.region_of(addr) {
-            Region::Private => {
-                NodeId::new(((addr.raw() >> PRIVATE_NODE_SHIFT) & 0xfff) as usize)
-            }
+            Region::Private => NodeId::new(((addr.raw() >> PRIVATE_NODE_SHIFT) & 0xfff) as usize),
             Region::Shared => self.home_of_page(addr.page(PAGE_BYTES)),
         }
     }

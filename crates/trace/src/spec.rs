@@ -84,8 +84,37 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Starts a [`WorkloadSpecBuilder`] seeded with the [`demo`] defaults
+    /// for `procs` processors; override only the knobs that matter and call
+    /// [`build`](WorkloadSpecBuilder::build) to validate.
+    ///
+    /// [`demo`]: WorkloadSpec::demo
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ringsim_trace::WorkloadSpec;
+    ///
+    /// let spec = WorkloadSpec::builder(8)
+    ///     .name("my-particles.8")
+    ///     .shared_frac(0.4)
+    ///     .pool_mix(0.15, 0.05, 0.70, 0.10) // migratory-heavy
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec.procs, 8);
+    /// ```
+    #[must_use]
+    pub fn builder(procs: usize) -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder { spec: Self::demo(procs) }
+    }
+
     /// A small, fast, deliberately share-heavy workload used by unit tests
     /// and examples.
+    ///
+    /// Positional construction (`WorkloadSpec { .. }` struct literals over
+    /// these defaults) is kept for backwards compatibility; prefer
+    /// [`WorkloadSpec::builder`], which validates at `build()`.
     #[must_use]
     pub fn demo(procs: usize) -> Self {
         Self {
@@ -222,6 +251,133 @@ impl WorkloadSpec {
     }
 }
 
+/// Builder for [`WorkloadSpec`], started by [`WorkloadSpec::builder`].
+///
+/// Setters override the [`WorkloadSpec::demo`] defaults one knob at a time;
+/// nothing is checked until [`build`](Self::build), which runs
+/// [`WorkloadSpec::validate`] and surfaces the first offending field as a
+/// [`ConfigError`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpecBuilder {
+    spec: WorkloadSpec,
+}
+
+impl WorkloadSpecBuilder {
+    /// Sets the human-readable workload name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Sets the measured-reference budget, scaling warmup proportionally
+    /// (same rule as [`WorkloadSpec::with_refs`]).
+    #[must_use]
+    pub fn refs(mut self, data_refs_per_proc: u64) -> Self {
+        self.spec = self.spec.with_refs(data_refs_per_proc);
+        self
+    }
+
+    /// Sets the warmup reference budget directly.
+    #[must_use]
+    pub fn warmup_refs(mut self, warmup_refs_per_proc: u64) -> Self {
+        self.spec.warmup_refs_per_proc = warmup_refs_per_proc;
+        self
+    }
+
+    /// Sets the instruction references per data reference.
+    #[must_use]
+    pub fn instr_per_data(mut self, instr_per_data: f64) -> Self {
+        self.spec.instr_per_data = instr_per_data;
+        self
+    }
+
+    /// Sets the probability that a data reference targets the shared
+    /// region.
+    #[must_use]
+    pub fn shared_frac(mut self, shared_frac: f64) -> Self {
+        self.spec.shared_frac = shared_frac;
+        self
+    }
+
+    /// Sets the private write probability.
+    #[must_use]
+    pub fn private_write_frac(mut self, frac: f64) -> Self {
+        self.spec.private_write_frac = frac;
+        self
+    }
+
+    /// Sets the private cold-pool probability (the private miss-rate knob).
+    #[must_use]
+    pub fn private_cold_frac(mut self, frac: f64) -> Self {
+        self.spec.private_cold_frac = frac;
+        self
+    }
+
+    /// Sets the private hot/cold pool sizes, in blocks.
+    #[must_use]
+    pub fn private_pools(mut self, hot_blocks: u64, cold_blocks: u64) -> Self {
+        self.spec.private_hot_blocks = hot_blocks;
+        self.spec.private_cold_blocks = cold_blocks;
+        self
+    }
+
+    /// Sets the four sharing-pool weights at once: read-only, streaming,
+    /// migratory, producer-consumer (normalised internally).
+    #[must_use]
+    pub fn pool_mix(mut self, read_only: f64, stream: f64, migratory: f64, prodcons: f64) -> Self {
+        self.spec.shared_read_only_frac = read_only;
+        self.spec.shared_stream_frac = stream;
+        self.spec.shared_migratory_frac = migratory;
+        self.spec.shared_prodcons_frac = prodcons;
+        self
+    }
+
+    /// Sets the shared pool sizes, in blocks: read-only, migratory,
+    /// producer-consumer.
+    #[must_use]
+    pub fn pool_blocks(mut self, read_only: u64, migratory: u64, prodcons: u64) -> Self {
+        self.spec.read_only_blocks = read_only;
+        self.spec.migratory_blocks = migratory;
+        self.spec.prodcons_blocks = prodcons;
+        self
+    }
+
+    /// Sets the migratory episode length and in-episode write probability.
+    #[must_use]
+    pub fn migratory(mut self, run_len: u64, write_frac: f64) -> Self {
+        self.spec.migratory_run_len = run_len;
+        self.spec.migratory_write_frac = write_frac;
+        self
+    }
+
+    /// Sets the producer-consumer producer probability and burst length.
+    #[must_use]
+    pub fn prodcons(mut self, producer_frac: f64, burst: u64) -> Self {
+        self.spec.prodcons_producer_frac = producer_frac;
+        self.spec.prodcons_burst = burst;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Validates the assembled spec and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by
+    /// [`WorkloadSpec::validate`].
+    pub fn build(self) -> Result<WorkloadSpec, ConfigError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +403,28 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_demo_and_validates_at_build() {
+        assert_eq!(WorkloadSpec::builder(4).build().unwrap(), WorkloadSpec::demo(4));
+        let spec = WorkloadSpec::builder(8)
+            .name("custom.8")
+            .refs(40_000)
+            .shared_frac(0.5)
+            .pool_mix(0.1, 0.1, 0.6, 0.2)
+            .migratory(6, 0.6)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "custom.8");
+        assert_eq!(spec.data_refs_per_proc, 40_000);
+        assert_eq!(spec.warmup_refs_per_proc, 8_000);
+        assert_eq!(spec.migratory_run_len, 6);
+        // Invalid knobs survive the setters and are caught at build().
+        assert!(WorkloadSpec::builder(1).build().is_err());
+        assert!(WorkloadSpec::builder(4).shared_frac(1.5).build().is_err());
+        assert!(WorkloadSpec::builder(4).pool_mix(0.0, 0.0, 0.0, 0.0).build().is_err());
+    }
+
+    #[test]
     fn validation_rejects_bad_fields() {
         let ok = WorkloadSpec::demo(4);
         assert!(WorkloadSpec { procs: 1, ..ok.clone() }.validate().is_err());
@@ -254,16 +432,14 @@ mod tests {
         assert!(WorkloadSpec { shared_frac: -0.1, ..ok.clone() }.validate().is_err());
         assert!(WorkloadSpec { migratory_run_len: 0, ..ok.clone() }.validate().is_err());
         assert!(WorkloadSpec { prodcons_blocks: 1, ..ok.clone() }.validate().is_err());
-        assert!(
-            WorkloadSpec {
-                shared_read_only_frac: 0.0,
-                shared_stream_frac: 0.0,
-                shared_migratory_frac: 0.0,
-                shared_prodcons_frac: 0.0,
-                ..ok
-            }
-            .validate()
-            .is_err()
-        );
+        assert!(WorkloadSpec {
+            shared_read_only_frac: 0.0,
+            shared_stream_frac: 0.0,
+            shared_migratory_frac: 0.0,
+            shared_prodcons_frac: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.block(16).raw(), 0x1fe);
 /// assert_eq!(a.page(4096).raw(), 0x1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -87,7 +89,9 @@ impl From<u64> for Addr {
 /// assert!(BlockAddr::new(4).is_even());
 /// assert!(!BlockAddr::new(5).is_even());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BlockAddr(u64);
 
 impl BlockAddr {
@@ -151,7 +155,9 @@ impl From<u64> for BlockAddr {
 
 /// A page-aligned address. Pages are the unit of home-node placement: the
 /// paper allocates shared pages pseudo-randomly among the nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PageAddr(u64);
 
 impl PageAddr {

@@ -309,10 +309,7 @@ mod tests {
         let remote = e.fig5_one_cycle_clean() + e.fig5_one_cycle_dirty() + e.fig5_two_cycle();
         assert_eq!(remote, e.remote_misses());
         // Every shared miss is either local-clean or in a Figure 5 class.
-        assert_eq!(
-            e.shared_misses(),
-            remote + e.read_clean_local + e.write_nosharers_local
-        );
+        assert_eq!(e.shared_misses(), remote + e.read_clean_local + e.write_nosharers_local);
     }
 
     #[test]

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(n.successor(8), NodeId::new(6));
 /// assert_eq!(NodeId::new(7).successor(8), NodeId::new(0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(u16);
 
 impl NodeId {

@@ -10,31 +10,20 @@ use ringsim::trace::{characterize, Workload, WorkloadSpec};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A migratory-heavy workload: think of a particle simulation where each
     // record is updated by whichever processor owns the particle's cell.
-    let spec = WorkloadSpec {
-        name: "my-particles.8".into(),
-        procs: 8,
-        data_refs_per_proc: 20_000,
-        warmup_refs_per_proc: 5_000,
-        instr_per_data: 1.5,
-        shared_frac: 0.40,
-        private_write_frac: 0.25,
-        private_cold_frac: 0.002,
-        private_hot_blocks: 1024,
-        private_cold_blocks: 1 << 18,
-        shared_read_only_frac: 0.15,
-        shared_stream_frac: 0.05,
-        shared_migratory_frac: 0.70,
-        shared_prodcons_frac: 0.10,
-        read_only_blocks: 192,
-        migratory_blocks: 192,
-        prodcons_blocks: 96,
-        migratory_run_len: 6,
-        migratory_write_frac: 0.6,
-        prodcons_producer_frac: 0.3,
-        prodcons_burst: 4,
-        seed: 7,
-    };
-    spec.validate()?;
+    // The builder starts from the demo defaults and validates at build().
+    let spec = WorkloadSpec::builder(8)
+        .name("my-particles.8")
+        .warmup_refs(5_000)
+        .instr_per_data(1.5)
+        .shared_frac(0.40)
+        .private_write_frac(0.25)
+        .private_cold_frac(0.002)
+        .private_pools(1024, 1 << 18)
+        .pool_mix(0.15, 0.05, 0.70, 0.10) // read-only, stream, migratory, prod-cons
+        .pool_blocks(192, 192, 96)
+        .migratory(6, 0.6)
+        .seed(7)
+        .build()?;
 
     // 1. Characterise it (untimed, instantaneous coherence).
     let ch = characterize(&spec)?;
@@ -48,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Simulate it on both ring protocols.
     println!();
     for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
-        let cfg = SystemConfig::ring_500mhz(protocol, spec.procs);
+        let cfg = SystemConfig::builder(protocol, spec.procs).build()?;
         let report = RingSystem::new(cfg, Workload::new(spec.clone())?)?.run();
         println!(
             "{:<10}: proc util {:5.1} %, miss latency {:4.0} ns",

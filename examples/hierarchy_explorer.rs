@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 instr_per_data: 0.0,
                 freqs: ClassFreqs { read_clean_remote: 1.0, ..ClassFreqs::default() },
             };
-            let model = HierRingModel::new(hier.clone()).with_locality(locality).evaluate(&input, think);
+            let model =
+                HierRingModel::new(hier.clone()).with_locality(locality).evaluate(&input, think);
             println!(
                 "{:<9} {:>8.0}% | {:>9.0} / {:>9.0} | {:>9.1} / {:>9.1}",
                 format!("{rings}x{per}"),

@@ -11,12 +11,12 @@ use ringsim::types::Time;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8-processor, 500 MHz slotted ring with the snooping protocol and
     // 100 MIPS processors.
-    let cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8)
-        .with_proc_cycle(Time::from_ns(10));
+    let cfg =
+        SystemConfig::builder(ProtocolKind::Snooping, 8).proc_cycle(Time::from_ns(10)).build()?;
 
     // A small synthetic workload with a healthy amount of read-write
     // sharing.
-    let workload = Workload::new(WorkloadSpec::demo(8).with_refs(20_000))?;
+    let workload = Workload::new(WorkloadSpec::builder(8).refs(20_000).build()?)?;
 
     let report = RingSystem::new(cfg, workload)?.run();
 

@@ -13,11 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. capture the trace (as CacheMire captured SPLASH runs in 1993).
     let spec = Benchmark::Mp3d.spec(8)?.with_refs(15_000);
     let trace = RecordedTrace::capture(&spec)?;
-    println!(
-        "captured {} references across {} processors",
-        trace.total_refs(),
-        trace.procs()
-    );
+    println!("captured {} references across {} processors", trace.total_refs(), trace.procs());
 
     // 2. persist and reload — the replay is bit-identical.
     let path = std::env::temp_dir().join("mp3d8.rstrace");
@@ -35,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{:-<66}", "");
     for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
-        let cfg = SystemConfig::ring_500mhz(protocol, 8).with_proc_cycle(proc);
+        let cfg = SystemConfig::builder(protocol, 8).proc_cycle(proc).build()?;
         let r = RingSystem::new(cfg, trace.workload())?.run();
         println!(
             "{:<26} | {:>10.1} {:>10.1} {:>14.0}",

@@ -66,3 +66,9 @@ pub mod core {
 pub mod analytic {
     pub use ringsim_analytic::*;
 }
+
+/// The deterministic parallel sweep engine and `Experiment` API
+/// (`ringsim-sweep`).
+pub mod sweep {
+    pub use ringsim_sweep::*;
+}

@@ -6,6 +6,7 @@
 //! ringsim sim   --benchmark mp3d --procs 16 --network ring500 \
 //!               [--protocol snooping|directory] [--mips M] [--refs N]
 //! ringsim model --benchmark mp3d --procs 16 --network bus100 [--mips M]
+//! ringsim experiments [--list] [--only fig3,fig4] [--jobs N] [--refs N] [--out DIR]
 //! ```
 //!
 //! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
@@ -31,6 +32,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // The experiment driver manages its own exit status.
+    if cmd == "experiments" {
+        return ringsim_bench::cli::run_with(rest);
+    }
     let result = match cmd.as_str() {
         "list" => list(),
         "characterize" => characterize_cmd(rest),
@@ -65,6 +70,8 @@ commands:
   sweep                     model sweep over processor cycle 1-20 ns (figure series)
   record                    capture a benchmark trace to a file (--out <path>)
   replay                    simulate a recorded trace (--trace <path>)
+  experiments               run the paper-artifact suite
+                            (--list | --only a,b) (--jobs N) (--refs N) (--out DIR)
 
 options:
   --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
@@ -134,7 +141,10 @@ fn characterize_cmd(args: &[String]) -> CliResult {
     println!("  total miss rate   : {:6.2} %", 100.0 * e.total_miss_rate());
     println!("  shared miss rate  : {:6.2} %", 100.0 * e.shared_miss_rate());
     println!("  private miss rate : {:6.2} %", 100.0 * e.private_miss_rate());
-    println!("  shared refs       : {:6.1} %", 100.0 * e.shared_refs() as f64 / e.data_refs() as f64);
+    println!(
+        "  shared refs       : {:6.1} %",
+        100.0 * e.shared_refs() as f64 / e.data_refs() as f64
+    );
     println!("  shared writes     : {:6.1} %", 100.0 * e.shared_write_frac());
     println!("  dirty-miss frac   : {:6.1} %", 100.0 * e.dirty_miss_frac());
     let total = e.remote_misses().max(1) as f64;

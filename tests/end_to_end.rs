@@ -56,8 +56,7 @@ fn timed_sims_agree_with_untimed_interpreter_on_rates() {
 
     for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
         let cfg = SystemConfig::ring_500mhz(protocol, 8);
-        let report =
-            RingSystem::new(cfg, Workload::new(spec.clone()).unwrap()).unwrap().run();
+        let report = RingSystem::new(cfg, Workload::new(spec.clone()).unwrap()).unwrap().run();
         let sim_rate = report.events.total_miss_rate();
         let rel = (sim_rate - interp_rate).abs() / interp_rate;
         assert!(
@@ -92,8 +91,7 @@ fn snooping_beats_directory_on_migratory_demo() {
 fn ring_outperforms_saturating_bus_with_fast_processors() {
     let spec = WorkloadSpec::demo(16).with_refs(4_000);
     let proc = Time::from_ns(2); // 500 MIPS
-    let ring_cfg =
-        SystemConfig::ring_500mhz(ProtocolKind::Snooping, 16).with_proc_cycle(proc);
+    let ring_cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 16).with_proc_cycle(proc);
     let ring = RingSystem::new(ring_cfg, Workload::new(spec.clone()).unwrap()).unwrap().run();
     let bus_cfg = BusSystemConfig::bus_50mhz(16).with_proc_cycle(proc);
     let bus = BusSystem::new(bus_cfg, Workload::new(spec).unwrap()).unwrap().run();

@@ -28,7 +28,12 @@ fn ring_models_match_ring_sims() {
         assert!(out.converged);
 
         let util_err = (out.proc_util - sim.proc_util).abs();
-        assert!(util_err < 0.05, "{protocol}: util sim {} vs model {}", sim.proc_util, out.proc_util);
+        assert!(
+            util_err < 0.05,
+            "{protocol}: util sim {} vs model {}",
+            sim.proc_util,
+            out.proc_util
+        );
 
         let lat_err = (out.miss_latency_ns - sim.miss_latency_ns()).abs() / sim.miss_latency_ns();
         assert!(
@@ -52,7 +57,12 @@ fn bus_model_matches_bus_sim() {
     assert!(out.converged);
     assert!((out.proc_util - sim.proc_util).abs() < 0.05);
     let lat_err = (out.miss_latency_ns - sim.miss_latency_ns()).abs() / sim.miss_latency_ns();
-    assert!(lat_err < 0.20, "latency sim {} vs model {}", sim.miss_latency_ns(), out.miss_latency_ns);
+    assert!(
+        lat_err < 0.20,
+        "latency sim {} vs model {}",
+        sim.miss_latency_ns(),
+        out.miss_latency_ns
+    );
 }
 
 #[test]
@@ -60,12 +70,16 @@ fn model_tracks_sim_across_processor_speeds() {
     // Relative ordering along the Figure 3 sweep must agree between the
     // two halves of the methodology.
     let base_cfg = SystemConfig::ring_500mhz(ProtocolKind::Snooping, 8);
-    let slow_sim = RingSystem::new(base_cfg.with_proc_cycle(Time::from_ns(20)), Workload::new(spec()).unwrap())
-        .unwrap()
-        .run();
-    let fast_sim = RingSystem::new(base_cfg.with_proc_cycle(Time::from_ns(4)), Workload::new(spec()).unwrap())
-        .unwrap()
-        .run();
+    let slow_sim = RingSystem::new(
+        base_cfg.with_proc_cycle(Time::from_ns(20)),
+        Workload::new(spec()).unwrap(),
+    )
+    .unwrap()
+    .run();
+    let fast_sim =
+        RingSystem::new(base_cfg.with_proc_cycle(Time::from_ns(4)), Workload::new(spec()).unwrap())
+            .unwrap()
+            .run();
     let input = ModelInput::from_report(&slow_sim, spec().instr_per_data);
     let model = RingModel::new(RingConfig::standard_500mhz(8), ProtocolKind::Snooping);
     let slow = model.evaluate(&input, Time::from_ns(20));

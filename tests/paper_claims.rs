@@ -25,10 +25,10 @@ fn snooping_beats_directory_on_mp3d() {
         let input = input_for(Benchmark::Mp3d, procs);
         let ring = RingConfig::standard_500mhz(procs);
         for ns in [5u64, 10, 20] {
-            let s = RingModel::new(ring, ProtocolKind::Snooping)
-                .evaluate(&input, Time::from_ns(ns));
-            let d = RingModel::new(ring, ProtocolKind::Directory)
-                .evaluate(&input, Time::from_ns(ns));
+            let s =
+                RingModel::new(ring, ProtocolKind::Snooping).evaluate(&input, Time::from_ns(ns));
+            let d =
+                RingModel::new(ring, ProtocolKind::Directory).evaluate(&input, Time::from_ns(ns));
             assert!(
                 s.proc_util > d.proc_util,
                 "mp3d.{procs} at {ns} ns: snooping {} <= directory {}",
@@ -181,10 +181,7 @@ fn matched_buses_run_hotter_than_rings() {
                 m.bus_net_util,
                 m.ring_net_util
             );
-            assert!(
-                (m.bus_proc_util - m.ring_proc_util).abs() < 0.01,
-                "match quality degraded"
-            );
+            assert!((m.bus_proc_util - m.ring_proc_util).abs() < 0.01, "match quality degraded");
         }
     }
 }
@@ -236,8 +233,10 @@ fn write_tolerance_is_self_defeating_on_saturated_bus() {
     let bus_base = bus.evaluate(&input, fast);
     let bus_tol = bus.with_write_tolerance(true).evaluate(&input, fast);
     let bus_gain = bus_tol.proc_util - bus_base.proc_util;
-    assert!(ring_gain > 4.0 * bus_gain.max(0.0) || bus_gain <= 0.0,
-        "ring gain {ring_gain} should dwarf bus gain {bus_gain}");
+    assert!(
+        ring_gain > 4.0 * bus_gain.max(0.0) || bus_gain <= 0.0,
+        "ring gain {ring_gain} should dwarf bus gain {bus_gain}"
+    );
     let bus_penalty = bus_tol.miss_latency_ns / bus_base.miss_latency_ns;
     assert!(bus_penalty > 1.2, "saturated bus read latency should inflate: {bus_penalty}");
 }

@@ -146,10 +146,7 @@ fn upgrade_invalidates_sharers() {
     let trace = scripted(vec![p0, p1, vec![], vec![]]);
     for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
         let (e, sys) = run_ring(protocol, &trace);
-        assert_eq!(
-            e.upgrade_sharers_remote, 1,
-            "{protocol}: upgrade must see P1's copy ({e:#?})"
-        );
+        assert_eq!(e.upgrade_sharers_remote, 1, "{protocol}: upgrade must see P1's copy ({e:#?})");
         assert!(e.invalidated_copies >= 1, "{protocol}");
         assert_eq!(sys.cache_state(0, b), LineState::We, "{protocol}");
         assert_eq!(sys.cache_state(1, b), LineState::Inv, "{protocol}");
@@ -231,9 +228,7 @@ fn racing_upgrades_leave_one_owner() {
     let trace = scripted(vec![p0, p1, vec![], vec![]]);
     for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
         let (e, sys) = run_ring(protocol, &trace);
-        let owners = (0..PROCS)
-            .filter(|&n| sys.cache_state(n, b) == LineState::We)
-            .count();
+        let owners = (0..PROCS).filter(|&n| sys.cache_state(n, b) == LineState::We).count();
         assert_eq!(owners, 1, "{protocol}: exactly one writer must survive ({e:#?})");
         assert_eq!(
             e.upgrades() + e.shared_write_misses(),
@@ -253,9 +248,8 @@ fn write_miss_invalidates_all_readers() {
     let home = 3;
     let b_idx = 600;
     let b = block_of(shared_ref(0, home, b_idx, AccessKind::Read));
-    let readers: Vec<Vec<MemRef>> = (0..3)
-        .map(|n| vec![shared_ref(n, home, b_idx, AccessKind::Read)])
-        .collect();
+    let readers: Vec<Vec<MemRef>> =
+        (0..3).map(|n| vec![shared_ref(n, home, b_idx, AccessKind::Read)]).collect();
     let mut p3 = vec![pad(3); 80];
     p3.push(shared_ref(3, home, b_idx, AccessKind::Write));
     let mut per_node = readers;

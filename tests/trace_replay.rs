@@ -26,11 +26,11 @@ fn replay_equals_synthetic_in_the_simulator() {
     // The budgets differ slightly (replay_spec uses its own warmup split),
     // so compare the physics rather than raw counts: same reference streams
     // must give the same miss rate and very similar latencies.
-    let rel =
-        (synth.events.total_miss_rate() - replayed.events.total_miss_rate()).abs()
-            / synth.events.total_miss_rate();
+    let rel = (synth.events.total_miss_rate() - replayed.events.total_miss_rate()).abs()
+        / synth.events.total_miss_rate();
     assert!(rel < 0.1, "replay miss rate diverged: {rel}");
-    let lat = (synth.miss_latency_ns() - replayed.miss_latency_ns()).abs() / synth.miss_latency_ns();
+    let lat =
+        (synth.miss_latency_ns() - replayed.miss_latency_ns()).abs() / synth.miss_latency_ns();
     assert!(lat < 0.1, "replay latency diverged: {lat}");
 }
 
@@ -38,18 +38,14 @@ fn replay_equals_synthetic_in_the_simulator() {
 fn one_trace_many_architectures() {
     let t = trace();
     // The same recording drives a snooping ring, a directory ring and a bus.
-    let ring_snoop = RingSystem::new(
-        SystemConfig::ring_500mhz(ProtocolKind::Snooping, 4),
-        t.workload(),
-    )
-    .unwrap()
-    .run();
-    let ring_dir = RingSystem::new(
-        SystemConfig::ring_500mhz(ProtocolKind::Directory, 4),
-        t.workload(),
-    )
-    .unwrap()
-    .run();
+    let ring_snoop =
+        RingSystem::new(SystemConfig::ring_500mhz(ProtocolKind::Snooping, 4), t.workload())
+            .unwrap()
+            .run();
+    let ring_dir =
+        RingSystem::new(SystemConfig::ring_500mhz(ProtocolKind::Directory, 4), t.workload())
+            .unwrap()
+            .run();
     let bus = BusSystem::new(BusSystemConfig::bus_100mhz(4), t.workload()).unwrap().run();
 
     // All three consumed the same references.
@@ -73,12 +69,10 @@ fn trace_roundtrips_through_disk_into_simulation() {
     let a = RingSystem::new(SystemConfig::ring_500mhz(ProtocolKind::Snooping, 4), t.workload())
         .unwrap()
         .run();
-    let b = RingSystem::new(
-        SystemConfig::ring_500mhz(ProtocolKind::Snooping, 4),
-        loaded.workload(),
-    )
-    .unwrap()
-    .run();
+    let b =
+        RingSystem::new(SystemConfig::ring_500mhz(ProtocolKind::Snooping, 4), loaded.workload())
+            .unwrap()
+            .run();
     assert_eq!(a.events, b.events);
     assert_eq!(a.sim_end, b.sim_end);
 }

@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`: the API subset ringsim's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros),
+//! backed by a plain wall-clock timing loop that prints mean ns/iter.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export matching criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's timing loop is
+    /// calibrated per sample rather than per wall-clock budget.
+    #[must_use]
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { samples: self.samples }
+    }
+}
+
+/// A named collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Times `f` and prints the per-iteration mean.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher { iters: 0, elapsed_ns: 0.0, samples: self.samples };
+        f(&mut b);
+        let per_iter = if b.iters == 0 { 0.0 } else { b.elapsed_ns / b.iters as f64 };
+        println!("  {name:<40} {per_iter:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, accumulating wall time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup + calibration: find an iteration count that runs ~10ms.
+        let start = Instant::now();
+        std_black_box(f());
+        let one = start.elapsed().as_nanos().max(1) as u64;
+        let per_sample = (10_000_000 / one).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(f());
+            }
+            self.elapsed_ns += start.elapsed().as_nanos() as f64;
+            self.iters += per_sample;
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

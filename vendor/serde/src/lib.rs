@@ -1,0 +1,225 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the small serde surface `ringsim` actually uses: a `Serialize`
+//! trait rendering into a [`Value`] tree (consumed by the vendored
+//! `serde_json`), a `Deserialize` marker, and the two derive macros.
+//!
+//! The derive macros (in `serde_derive`) support named structs, tuple
+//! structs and unit-variant enums — exactly the shapes in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-like value tree; the intermediate form all serialisation flows
+/// through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a serialisation tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait so `T: Deserialize` bounds compile; deserialisation is not
+/// exercised anywhere in the workspace.
+pub trait Deserialize {}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+impl Serialize for std::path::Path {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+/// Map keys rendered as JSON object keys (serde_json stringifies integer
+/// keys the same way).
+pub trait SerializeKey {
+    /// The key as an object-key string.
+    fn key_string(&self) -> String;
+}
+macro_rules! impl_key {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn key_string(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+impl_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, String, bool, char);
+impl SerializeKey for &str {
+    fn key_string(&self) -> String {
+        (*self).to_owned()
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output regardless of hasher state: sort the keys.
+        let mut entries: Vec<_> =
+            self.iter().map(|(k, v)| (k.key_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.key_string(), v.to_value())).collect())
+    }
+}
+impl<T: Serialize + Ord> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u64.to_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u64, 2.5f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::Float(2.5)])])
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in. No `syn`/`quote` (crates.io is unreachable in
+//! this build environment), so the input token stream is parsed directly.
+//!
+//! Supported shapes — the ones used across the `ringsim` workspace:
+//!
+//! * structs with named fields (serialised as objects),
+//! * tuple structs (newtypes serialise as the inner value, larger tuples as
+//!   arrays),
+//! * enums whose variants are all unit variants (serialised as the variant
+//!   name, matching serde's externally-tagged default),
+//! * one generic type parameter layer (each parameter gains a
+//!   `serde::Serialize` bound, like serde's derive).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the parser extracted from the type definition.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (the vendored trait) for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let (impl_generics, ty_generics) = generics_of(&p.generics, true);
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        p.name
+    )
+    .parse()
+    .expect("serde_derive emitted invalid Rust")
+}
+
+/// Derives the `serde::Deserialize` marker (no deserialisation logic is
+/// exercised in this workspace).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let (impl_generics, ty_generics) = generics_of(&p.generics, false);
+    format!("impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{}}", p.name)
+        .parse()
+        .expect("serde_derive emitted invalid Rust")
+}
+
+/// Renders `<T: serde::Serialize, ...>` / `<T, ...>` pairs.
+fn generics_of(params: &[String], bound: bool) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g: Vec<String> = params
+        .iter()
+        .map(|p| if bound { format!("{p}: ::serde::Serialize") } else { p.clone() })
+        .collect();
+    (format!("<{}>", impl_g.join(", ")), format!("<{}>", params.join(", ")))
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    // Skip anything (e.g. a where-clause) up to the body or a `;`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(split_top_level(g.stream()).len())
+            }
+            _ => panic!("serde_derive: unit structs are not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(unit_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: malformed enum"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Parsed { name, generics, shape }
+}
+
+/// Skips leading `#[...]` attributes, doc comments and visibility tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` after the type name, returning the parameter names
+/// (lifetimes and const params are not needed in this workspace).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*i) else { return params };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_param = false,
+            TokenTree::Ident(id) if expect_param && depth == 1 => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Splits a group's tokens at top-level commas (tracking `<...>` nesting so
+/// generic arguments do not split fields).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts field names from a named-struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Extracts variant names from an enum body, rejecting payload variants.
+fn unit_variants(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            if chunk.len() > i + 1 {
+                panic!("serde_derive: only unit enum variants are supported (variant `{name}`)");
+            }
+            name
+        })
+        .collect()
+}

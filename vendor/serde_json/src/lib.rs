@@ -1,0 +1,173 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde::Value`
+//! tree as JSON text. Output matches serde_json's conventions (2-space
+//! pretty indentation, `1.0`-style floats, non-finite floats as `null`).
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialisation error (the vendored pipeline is infallible, but the public
+/// signatures keep serde_json's `Result` shape).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty JSON with 2-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, it, d| {
+                write_value(o, it, indent, d);
+            })
+        }
+        Value::Object(entries) => {
+            write_seq(out, entries.iter(), indent, depth, ('{', '}'), |o, (k, val), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, indent, d);
+            });
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+/// serde_json convention: integral floats keep a trailing `.0`, non-finite
+/// values become `null`.
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_style() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Float(1.0), Value::Float(0.25)])),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&Wrap(v)).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    1.0,\n    0.25\n  ]\n}");
+    }
+
+    #[test]
+    fn compact_and_escapes() {
+        struct S;
+        impl Serialize for S {
+            fn to_value(&self) -> Value {
+                Value::Str("a\"b\\c\nd".into())
+            }
+        }
+        assert_eq!(to_string(&S).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        struct S;
+        impl Serialize for S {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::NAN)
+            }
+        }
+        assert_eq!(to_string(&S).unwrap(), "null");
+    }
+}
