@@ -33,6 +33,8 @@ pub struct Options {
     pub list: bool,
     /// Restrict to these experiment names (empty = all).
     pub only: Vec<String>,
+    /// Force the runtime coherence sanitizer on (release builds included).
+    pub sanitize: bool,
 }
 
 impl Default for Options {
@@ -43,6 +45,7 @@ impl Default for Options {
             out_dir: "results".to_owned(),
             list: false,
             only: Vec::new(),
+            sanitize: false,
         }
     }
 }
@@ -71,6 +74,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 opts.out_dir = it.next().ok_or("--out needs a value")?.clone();
             }
             "--list" => opts.list = true,
+            "--sanitize" => opts.sanitize = true,
             "--only" => {
                 let v = it.next().ok_or("--only needs a value")?;
                 opts.only.extend(v.split(',').map(str::to_owned));
@@ -81,7 +85,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     opts.refs = refs;
                 } else {
                     return Err(format!(
-                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b)"
+                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b, --sanitize)"
                     ));
                 }
             }
@@ -109,6 +113,9 @@ pub fn run_single(name: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.sanitize {
+        ringsim_core::set_sanitize_mode(ringsim_core::SanitizeMode::On);
+    }
     let Some(exp) = experiments::find(name) else {
         eprintln!("error: unknown experiment `{name}`");
         return ExitCode::FAILURE;
@@ -152,6 +159,9 @@ pub fn run_with(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.sanitize {
+        ringsim_core::set_sanitize_mode(ringsim_core::SanitizeMode::On);
+    }
     if opts.list {
         println!("{:<12}  description", "experiment");
         for e in experiments::ALL {

@@ -1,0 +1,322 @@
+//! Breadth-first exhaustive exploration with invariant checking,
+//! deadlock detection, and quiescence-reachability (livelock) analysis.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ringsim_cache::LineState;
+use ringsim_proto::{invariants, ProtocolKind};
+use ringsim_types::BlockAddr;
+
+use crate::model::{Model, State};
+use crate::{CheckConfig, CheckReport, Violation};
+
+/// Per-state bookkeeping: BFS spanning tree for counterexample traces.
+struct Meta {
+    parent: u32,
+    label: Box<str>,
+}
+
+/// Evaluates the shared invariants on one state. Shallow (per-block)
+/// checks run on every reachable state; the strict directory–cache
+/// agreement check runs whenever a block is quiescent.
+fn check_state(model: &Model, s: &State) -> Result<(), String> {
+    for b in 0..model.blocks {
+        let block = BlockAddr::new(b as u64);
+        let states: Vec<LineState> =
+            (0..model.nodes).map(|i| s.caches[i].state_of(block)).collect();
+        let conflicting: Vec<bool> = (0..model.nodes)
+            .map(|i| s.txns[i].as_ref().is_some_and(|t| t.block == block))
+            .collect();
+        invariants::check_swmr(&states, &conflicting).map_err(|e| format!("{block}: {e}"))?;
+        match model.protocol {
+            ProtocolKind::Snooping => {
+                let dirty = s.mem.is_dirty(block);
+                invariants::check_we_implies_dirty(&states, dirty)
+                    .map_err(|e| format!("{block}: {e}"))?;
+                let wb_pending: Vec<bool> = (0..model.nodes)
+                    .map(|i| {
+                        s.net.iter().any(|m| {
+                            m.kind == ringsim_proto::MsgKind::WriteBack
+                                && m.block == block
+                                && m.src.index() == i
+                        })
+                    })
+                    .collect();
+                invariants::check_dirty_data_reachable(&states, &conflicting, &wb_pending, dirty)
+                    .map_err(|e| format!("{block}: {e}"))?;
+            }
+            ProtocolKind::Directory => {
+                let entry = s.dir.entry(block);
+                // The owner pointer is stale while a MemUpdate or WriteBack
+                // from the (old) owner travels to — or queues at — the home;
+                // those messages account for the dirty data meanwhile.
+                let wb_pending: Vec<bool> = (0..model.nodes)
+                    .map(|i| {
+                        s.wb_buffer[i][b]
+                            || s.net.iter().chain(s.queue[b].iter()).any(|m| {
+                                matches!(
+                                    m.kind,
+                                    ringsim_proto::MsgKind::MemUpdate
+                                        | ringsim_proto::MsgKind::WriteBack
+                                ) && m.block == block
+                                    && m.src.index() == i
+                            })
+                    })
+                    .collect();
+                invariants::check_dirty_data_reachable(
+                    &states,
+                    &conflicting,
+                    &wb_pending,
+                    entry.owner.is_some(),
+                )
+                .map_err(|e| format!("{block}: {e}"))?;
+                if model.block_quiescent(s, block) {
+                    invariants::check_dir_agreement(&states, &entry)
+                        .map_err(|e| format!("{block}: {e}"))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn trace_to(metas: &[Meta], id: u32) -> Vec<String> {
+    let mut steps = Vec::new();
+    let mut cur = id;
+    while cur != 0 {
+        steps.push(metas[cur as usize].label.to_string());
+        cur = metas[cur as usize].parent;
+    }
+    steps.push("initial state (all caches invalid, memory clean)".to_owned());
+    steps.reverse();
+    steps
+}
+
+fn violation(metas: &[Meta], model: &Model, s: &State, id: u32, message: String) -> Violation {
+    let mut trace = trace_to(metas, id);
+    trace.push("resulting state:".to_owned());
+    trace.extend(model.render(s));
+    Violation { message, trace }
+}
+
+/// Runs the exhaustive exploration for one configuration.
+pub(crate) fn run(cfg: &CheckConfig) -> CheckReport {
+    let model = Model::new(cfg.protocol, cfg.nodes, cfg.blocks, cfg.fault, cfg.evictions);
+    let mut report = CheckReport {
+        protocol: cfg.protocol,
+        nodes: cfg.nodes,
+        blocks: cfg.blocks,
+        fault: cfg.fault,
+        states: 0,
+        transitions: 0,
+        quiescent_states: 0,
+        depth: 0,
+        complete: true,
+        livelock_checked: false,
+        violation: None,
+    };
+
+    let init = model.initial();
+    let init_enc: Rc<[u8]> = model.encode(&init).into();
+    let mut ids: HashMap<Rc<[u8]>, u32> = HashMap::new();
+    let mut encodings: Vec<Rc<[u8]>> = Vec::new();
+    let mut metas: Vec<Meta> = Vec::new();
+    let mut quiescent: Vec<bool> = Vec::new();
+    let mut succs: Vec<Vec<u32>> = Vec::new();
+    let mut frontier: VecDeque<(u32, usize)> = VecDeque::new();
+
+    ids.insert(Rc::clone(&init_enc), 0);
+    encodings.push(init_enc);
+    metas.push(Meta { parent: 0, label: "initial".into() });
+    quiescent.push(model.is_quiescent(&init));
+    succs.push(Vec::new());
+    frontier.push_back((0, 0));
+
+    if let Err(e) = check_state(&model, &init) {
+        report.states = 1;
+        report.violation = Some(violation(&metas, &model, &init, 0, e));
+        return report;
+    }
+
+    while let Some((id, depth)) = frontier.pop_front() {
+        report.depth = report.depth.max(depth);
+        let s = model.decode(&encodings[id as usize]);
+        let moves = model.enumerate(&s);
+        let has_progress = moves.iter().any(|m| m.is_progress());
+        if !has_progress && !quiescent[id as usize] {
+            report.states = encodings.len();
+            report.violation = Some(violation(
+                &metas,
+                &model,
+                &s,
+                id,
+                "deadlock: outstanding work but no protocol step can run".to_owned(),
+            ));
+            return report;
+        }
+        for mv in moves {
+            let mut next = s.clone();
+            let label = model.apply(&mut next, mv);
+            report.transitions += 1;
+            let enc = model.encode(&next);
+            let next_id = if let Some(&existing) = ids.get(enc.as_slice()) {
+                existing
+            } else {
+                let new_id = encodings.len() as u32;
+                let enc: Rc<[u8]> = enc.into();
+                ids.insert(Rc::clone(&enc), new_id);
+                encodings.push(enc);
+                metas.push(Meta { parent: id, label: label.into_boxed_str() });
+                quiescent.push(model.is_quiescent(&next));
+                succs.push(Vec::new());
+                if let Err(e) = check_state(&model, &next) {
+                    report.states = encodings.len();
+                    report.violation = Some(violation(&metas, &model, &next, new_id, e));
+                    return report;
+                }
+                if encodings.len() <= cfg.max_states {
+                    frontier.push_back((new_id, depth + 1));
+                } else {
+                    report.complete = false;
+                }
+                new_id
+            };
+            succs[id as usize].push(next_id);
+        }
+    }
+
+    report.states = encodings.len();
+    report.quiescent_states = quiescent.iter().filter(|&&q| q).count();
+
+    // Livelock: a state from which no quiescent state is reachable. Only
+    // meaningful when the whole graph was expanded.
+    if report.complete && cfg.check_liveness {
+        report.livelock_checked = true;
+        let n = encodings.len();
+        // Predecessor CSR from the successor lists.
+        let mut deg = vec![0u32; n];
+        for outs in &succs {
+            for &t in outs {
+                deg[t as usize] += 1;
+            }
+        }
+        let mut start = vec![0usize; n + 1];
+        for i in 0..n {
+            start[i + 1] = start[i] + deg[i] as usize;
+        }
+        let mut fill = start.clone();
+        let mut preds = vec![0u32; start[n]];
+        for (from, outs) in succs.iter().enumerate() {
+            for &t in outs {
+                preds[fill[t as usize]] = from as u32;
+                fill[t as usize] += 1;
+            }
+        }
+        let mut reaches = vec![false; n];
+        let mut work: VecDeque<u32> = (0..n as u32).filter(|&i| quiescent[i as usize]).collect();
+        for &q in &work {
+            reaches[q as usize] = true;
+        }
+        while let Some(t) = work.pop_front() {
+            for &p in &preds[start[t as usize]..start[t as usize + 1]] {
+                if !reaches[p as usize] {
+                    reaches[p as usize] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+        if let Some(stuck) = (0..n as u32).find(|&i| !reaches[i as usize]) {
+            let s = model.decode(&encodings[stuck as usize]);
+            report.violation = Some(violation(
+                &metas,
+                &model,
+                &s,
+                stuck,
+                "livelock: no quiescent state is reachable from here".to_owned(),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fault;
+
+    fn cfg(protocol: ProtocolKind, nodes: usize, blocks: usize) -> CheckConfig {
+        CheckConfig::new(protocol, nodes, blocks)
+    }
+
+    #[test]
+    fn tiny_snooping_is_clean() {
+        let report = run(&cfg(ProtocolKind::Snooping, 2, 1));
+        assert!(report.complete);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.states > 10);
+        assert!(report.quiescent_states > 1);
+        assert!(report.livelock_checked);
+    }
+
+    #[test]
+    fn tiny_directory_is_clean() {
+        let report = run(&cfg(ProtocolKind::Directory, 2, 1));
+        assert!(report.complete);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.states > 10);
+    }
+
+    #[test]
+    fn decode_roundtrips_along_a_walk() {
+        for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+            let model = Model::new(protocol, 3, 2, Fault::None, true);
+            let mut s = model.initial();
+            // A deterministic zig-zag walk: always take the move at a
+            // rotating index, re-encoding at every step.
+            for step in 0..200 {
+                let moves = model.enumerate(&s);
+                if moves.is_empty() {
+                    break;
+                }
+                let mv = moves[step % moves.len()];
+                model.apply(&mut s, mv);
+                let enc = model.encode(&s);
+                let back = model.decode(&enc);
+                assert_eq!(model.encode(&back), enc, "{protocol} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_invalidate_mutation_is_caught() {
+        for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+            let mut c = cfg(protocol, 2, 1);
+            c.fault = Fault::SkipInvalidate;
+            let report = run(&c);
+            let v = report.violation.expect("mutation must be caught");
+            assert!(v.message.contains("SWMR"), "{protocol}: {}", v.message);
+            assert!(v.trace.len() > 2, "trace should narrate the steps");
+        }
+    }
+
+    #[test]
+    fn forget_owner_mutation_is_caught() {
+        for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+            let mut c = cfg(protocol, 2, 1);
+            c.fault = Fault::ForgetOwner;
+            let report = run(&c);
+            assert!(report.violation.is_some(), "{protocol}: mutation must be caught");
+        }
+    }
+
+    #[test]
+    fn parked_forward_deadlock_is_caught() {
+        let mut c = cfg(ProtocolKind::Directory, 2, 1);
+        c.fault = Fault::ParkBusyForwards;
+        let report = run(&c);
+        let v = report.violation.expect("seed forward-parking bug must be caught");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+    }
+}

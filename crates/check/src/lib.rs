@@ -1,0 +1,262 @@
+//! Murphi-style exhaustive model checker for ringsim's coherence protocols.
+//!
+//! For small configurations (2–4 nodes, 1–2 blocks) the checker enumerates
+//! *every* reachable protocol state by breadth-first search over an abstract
+//! machine ([`mod@model`]'s docs explain the abstractions and why they are
+//! sound). The machine is built from the same [`ringsim_cache::Cache`],
+//! [`ringsim_proto::Directory`] and [`ringsim_proto::HomeMemory`] objects the
+//! timed simulators use, and every transition consults the shared tables in
+//! [`ringsim_proto::transitions`] — so the states explored here are the
+//! states the simulator can actually produce, not a re-implementation.
+//!
+//! On every reachable state the checker evaluates the shared
+//! [`ringsim_proto::invariants`]:
+//!
+//! * **SWMR** — at most one writable copy, no readers alongside it,
+//! * **dirty-data reachability** — a dirty block always has a live owner,
+//!   an in-flight write-back, or an in-progress transaction accounting
+//!   for it,
+//! * **directory–cache agreement** — at quiescence the presence bits and
+//!   owner pointer match the caches exactly,
+//! * **deadlock freedom** — every non-quiescent state has an enabled
+//!   protocol step, and (optionally) **livelock freedom** — every state can
+//!   reach a quiescent one.
+//!
+//! A violation is reported as a shortest-path counterexample: the BFS
+//! spanning tree gives the sequence of scheduler steps from the initial
+//! state, followed by a rendering of the offending state.
+//!
+//! Mutation testing is built in: [`Fault`] reinstates known-bad behaviours
+//! (skipping an invalidation, forgetting the owner pointer, parking
+//! forwards behind a buffered write-back) so the test suite can prove the
+//! checker *would* catch each class of bug.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+use ringsim_proto::ProtocolKind;
+use ringsim_types::ConfigError;
+
+mod explore;
+mod model;
+
+/// A deliberately injected protocol bug, for mutation-testing the checker.
+///
+/// Each fault reinstates a concrete wrong behaviour; `explore` must flag a
+/// violation under every fault, proving the invariants have teeth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault: the protocols as shipped.
+    #[default]
+    None,
+    /// The highest-numbered node ignores invalidations, so a stale reader
+    /// survives a write — a SWMR violation.
+    SkipInvalidate,
+    /// The home never records the new owner (directory) / never sets the
+    /// dirty bit (snooping), so dirty data becomes unaccounted for.
+    ForgetOwner,
+    /// Directory forwards park behind *any* transaction of the target node,
+    /// even when the target's write-back buffer could serve them — the
+    /// deadlock this checker found in the seed `RingSystem::deliver`.
+    ParkBusyForwards,
+}
+
+impl Fault {
+    /// All faults, including [`Fault::None`].
+    pub const ALL: [Fault; 4] =
+        [Fault::None, Fault::SkipInvalidate, Fault::ForgetOwner, Fault::ParkBusyForwards];
+
+    /// The CLI spelling of this fault.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::SkipInvalidate => "skip-invalidate",
+            Fault::ForgetOwner => "forget-owner",
+            Fault::ParkBusyForwards => "park-busy-forwards",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Fault {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Fault::ALL.into_iter().find(|f| f.name() == s).ok_or_else(|| {
+            ConfigError::new(
+                "fault",
+                "must be one of none, skip-invalidate, forget-owner, park-busy-forwards",
+            )
+        })
+    }
+}
+
+/// One model-checking run: a protocol, a tiny configuration, and options.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Which protocol's transition tables to drive.
+    pub protocol: ProtocolKind,
+    /// Ring size; exhaustive exploration is feasible up to about 4.
+    pub nodes: usize,
+    /// Distinct cache blocks in play (homes assigned round-robin).
+    pub blocks: usize,
+    /// Injected bug, if any (mutation testing).
+    pub fault: Fault,
+    /// Cap on stored states; exploration past the cap marks the report
+    /// incomplete instead of aborting.
+    pub max_states: usize,
+    /// Also prove every state can reach quiescence (reverse reachability
+    /// over the full graph; requires a complete exploration).
+    pub check_liveness: bool,
+    /// Include explicit eviction moves (conflict-miss stand-ins).
+    pub evictions: bool,
+}
+
+impl CheckConfig {
+    /// A configuration with the defaults used by `ringsim check`.
+    pub fn new(protocol: ProtocolKind, nodes: usize, blocks: usize) -> Self {
+        CheckConfig {
+            protocol,
+            nodes,
+            blocks,
+            fault: Fault::None,
+            max_states: 4_000_000,
+            check_liveness: true,
+            evictions: true,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if !(2..=8).contains(&self.nodes) {
+            return Err(ConfigError::new("nodes", "exhaustive checking needs 2..=8 nodes"));
+        }
+        if !(1..=4).contains(&self.blocks) {
+            return Err(ConfigError::new("blocks", "exhaustive checking needs 1..=4 blocks"));
+        }
+        if self.max_states == 0 {
+            return Err(ConfigError::new("max_states", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// A counterexample: what went wrong and how to get there.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant that failed, with block and node detail.
+    pub message: String,
+    /// Human-readable shortest path from the initial state, ending with a
+    /// rendering of the offending state.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.message)?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}. {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Protocol checked.
+    pub protocol: ProtocolKind,
+    /// Nodes in the configuration.
+    pub nodes: usize,
+    /// Blocks in the configuration.
+    pub blocks: usize,
+    /// Injected fault, if any.
+    pub fault: Fault,
+    /// Distinct reachable states discovered.
+    pub states: usize,
+    /// Transitions (edges) taken, including duplicates into known states.
+    pub transitions: u64,
+    /// States with no outstanding transactions or in-flight messages.
+    pub quiescent_states: usize,
+    /// Longest shortest-path distance from the initial state.
+    pub depth: usize,
+    /// Whether the whole graph fit under `max_states`.
+    pub complete: bool,
+    /// Whether the quiescence-reachability (livelock) pass ran.
+    pub livelock_checked: bool,
+    /// The first invariant violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl CheckReport {
+    /// True when the exploration finished with no violation.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}n/{}b: {} states, {} transitions, {} quiescent, depth {}{}{}",
+            self.protocol,
+            self.nodes,
+            self.blocks,
+            self.states,
+            self.transitions,
+            self.quiescent_states,
+            self.depth,
+            if self.complete { "" } else { " (truncated)" },
+            if self.livelock_checked { ", livelock-free" } else { "" },
+        )?;
+        if self.fault != Fault::None {
+            write!(f, " [fault: {}]", self.fault)?;
+        }
+        match &self.violation {
+            None => write!(f, " — OK"),
+            Some(v) => write!(f, " — FAILED: {}", v.message),
+        }
+    }
+}
+
+/// Exhaustively explores the configuration and checks every invariant.
+///
+/// Returns `Err` only for nonsensical configurations; a protocol bug is
+/// reported inside the [`CheckReport`] as a [`Violation`].
+pub fn explore(cfg: &CheckConfig) -> Result<CheckReport, ConfigError> {
+    cfg.validate()?;
+    Ok(explore::run(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_names_round_trip() {
+        for f in Fault::ALL {
+            assert_eq!(f.name().parse::<Fault>().unwrap(), f);
+        }
+        assert!("bogus".parse::<Fault>().is_err());
+    }
+
+    #[test]
+    fn config_bounds_are_enforced() {
+        let mut c = CheckConfig::new(ProtocolKind::Snooping, 1, 1);
+        assert!(explore(&c).is_err());
+        c.nodes = 2;
+        c.blocks = 0;
+        assert!(explore(&c).is_err());
+        c.blocks = 1;
+        c.max_states = 0;
+        assert!(explore(&c).is_err());
+    }
+}

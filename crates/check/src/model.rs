@@ -1,0 +1,1300 @@
+//! The abstract protocol machine explored by the checker.
+//!
+//! The *state* is built from the very objects the timed simulator uses —
+//! [`Cache`], [`Directory`], [`HomeMemory`], [`RingMessage`] — and every
+//! transition consults the shared tables in [`ringsim_proto::transitions`].
+//! What the model abstracts away is *time*: slot rotation, latencies and
+//! retry backoffs are replaced by a nondeterministic scheduler that explores
+//! every ordering of the remaining atomic steps (issuing a reference,
+//! circulating a snoop probe, delivering one network message, ...).
+//!
+//! Abstractions, and why they are sound:
+//!
+//! * **Atomic probe circulation.** A snooping probe (and the directory's
+//!   multicast invalidation) visits all nodes in one step. Per-node effects
+//!   are independent, and a reference issued "mid-circulation" at node `j`
+//!   is indistinguishable from one issued just before or just after the
+//!   probe's visit to `j`, both of which the scheduler explores as separate
+//!   interleavings.
+//! * **Folded home access.** The directory home's lock acquisition and its
+//!   subsequent memory/directory access are one step: the entry is locked
+//!   for the whole window, so no same-block event can interleave.
+//! * **Per-class FIFO network.** Messages with the same source,
+//!   destination, slot class, and block arrive in insertion order (slots of
+//!   one class preserve order on the ring); everything else reorders
+//!   freely.
+//! * **No conflict misses.** Caches are sized so every model block maps to
+//!   its own line; replacements are modelled by explicit eviction steps,
+//!   which drive the same victim/write-back code paths that
+//!   `fill`-displacement does in the simulator.
+
+use std::collections::VecDeque;
+
+use ringsim_cache::{Cache, CacheConfig, LineState};
+use ringsim_proto::transitions::{self, DirAction, DirRequest, HomeSnoopAction, SnoopAction};
+use ringsim_proto::{Directory, HomeMemory, MsgKind, ProtocolKind, RingMessage};
+use ringsim_types::{BlockAddr, NodeId};
+
+use crate::Fault;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxnKind {
+    Read,
+    Write,
+    Upgrade,
+}
+
+impl TxnKind {
+    fn name(self) -> &'static str {
+        match self {
+            TxnKind::Read => "read miss",
+            TxnKind::Write => "write miss",
+            TxnKind::Upgrade => "upgrade",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Snooping: the probe is ready to circulate (first attempt or retry).
+    NeedProbe,
+    /// Snooping: a local clean read completing from the home's own memory.
+    WaitLocal,
+    /// Waiting for a remote reply (snooping data, or any directory reply).
+    WaitRemote,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Txn {
+    pub block: BlockAddr,
+    pub kind: TxnKind,
+    pub phase: Phase,
+    pub poisoned: bool,
+    pub self_owner: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage {
+    AwaitInval,
+    AwaitUpdate,
+}
+
+/// Mirror of the simulator's `HomeTxn`: the locked request's context while
+/// the home waits for its multicast or memory update to return.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Active {
+    pub req: RingMessage,
+    pub stage: Stage,
+    pub converted: bool,
+}
+
+/// One reachable protocol state.
+#[derive(Debug, Clone)]
+pub(crate) struct State {
+    pub caches: Vec<Cache>,
+    pub mem: HomeMemory,
+    pub dir: Directory,
+    pub txns: Vec<Option<Txn>>,
+    /// Directory mode: dirty-victim write-back in flight, per `[node][block]`.
+    pub wb_buffer: Vec<Vec<bool>>,
+    /// In-flight messages, insertion-ordered (FIFO within a class lane).
+    pub net: Vec<RingMessage>,
+    /// Per-block locked home transaction, mirror of `home_txns`.
+    pub active: Vec<Option<Active>>,
+    /// Per-block pending queue at the home, mirror of `home_pending`.
+    pub queue: Vec<VecDeque<RingMessage>>,
+    /// Forwards parked behind the target's own fill, per node.
+    pub pending_fwds: Vec<Vec<RingMessage>>,
+}
+
+/// One scheduler step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Move {
+    /// A processor issues a read (`write == false`) or write reference.
+    Issue { node: usize, block: usize, write: bool },
+    /// A cache replaces a valid line (conflict miss stand-in).
+    Evict { node: usize, block: usize },
+    /// A snooping local clean read completes from the home's own memory.
+    LocalComplete { node: usize },
+    /// A snooping probe circulates the full ring and returns.
+    Circulate { node: usize },
+    /// The `index`-th in-flight message arrives at its destination.
+    Deliver { index: usize },
+}
+
+impl Move {
+    /// Issue and Evict inject new work; everything else makes progress on
+    /// outstanding work. Deadlock is judged on progress moves only.
+    pub(crate) fn is_progress(self) -> bool {
+        !matches!(self, Move::Issue { .. } | Move::Evict { .. })
+    }
+}
+
+/// The model: configuration plus the transition functions.
+#[derive(Debug, Clone)]
+pub(crate) struct Model {
+    pub protocol: ProtocolKind,
+    pub nodes: usize,
+    pub blocks: usize,
+    pub fault: Fault,
+    pub evictions: bool,
+}
+
+fn kind_code(k: MsgKind) -> u8 {
+    match k {
+        MsgKind::SnoopRead => 0,
+        MsgKind::SnoopWrite => 1,
+        MsgKind::SnoopUpgrade => 2,
+        MsgKind::DirRead => 3,
+        MsgKind::DirWrite => 4,
+        MsgKind::DirUpgrade => 5,
+        MsgKind::DirFwdRead => 6,
+        MsgKind::DirFwdWrite => 7,
+        MsgKind::DirInval => 8,
+        MsgKind::DirAck => 9,
+        MsgKind::BlockData => 10,
+        MsgKind::WriteBack => 11,
+        MsgKind::MemUpdate => 12,
+    }
+}
+
+fn code_kind(c: u8) -> MsgKind {
+    match c {
+        0 => MsgKind::SnoopRead,
+        1 => MsgKind::SnoopWrite,
+        2 => MsgKind::SnoopUpgrade,
+        3 => MsgKind::DirRead,
+        4 => MsgKind::DirWrite,
+        5 => MsgKind::DirUpgrade,
+        6 => MsgKind::DirFwdRead,
+        7 => MsgKind::DirFwdWrite,
+        8 => MsgKind::DirInval,
+        9 => MsgKind::DirAck,
+        10 => MsgKind::BlockData,
+        11 => MsgKind::WriteBack,
+        12 => MsgKind::MemUpdate,
+        _ => panic!("invalid message-kind code {c}"),
+    }
+}
+
+fn state_code(s: LineState) -> u8 {
+    match s {
+        LineState::Inv => 0,
+        LineState::Rs => 1,
+        LineState::We => 2,
+    }
+}
+
+fn code_state(c: u8) -> LineState {
+    match c {
+        0 => LineState::Inv,
+        1 => LineState::Rs,
+        2 => LineState::We,
+        _ => panic!("invalid line-state code {c}"),
+    }
+}
+
+/// The lane a message travels in: messages in the same lane stay FIFO.
+fn lane(m: &RingMessage) -> (u8, u64, u16, u16) {
+    let class = match m.class() {
+        ringsim_proto::MsgClass::Probe => 0u8,
+        ringsim_proto::MsgClass::Block => 1u8,
+    };
+    (class, m.block.raw(), m.src.index() as u16, m.dst.index() as u16)
+}
+
+fn encode_msg(out: &mut Vec<u8>, m: &RingMessage) {
+    out.push(kind_code(m.kind));
+    out.push(m.block.raw() as u8);
+    out.push(m.src.index() as u8);
+    out.push(m.dst.index() as u8);
+    out.push(m.requester.index() as u8);
+    out.push(u8::from(m.retained) | (u8::from(m.from_dirty) << 1));
+}
+
+fn decode_msg(bytes: &[u8], pos: &mut usize) -> RingMessage {
+    let take = |pos: &mut usize| {
+        let b = bytes[*pos];
+        *pos += 1;
+        b
+    };
+    let kind = code_kind(take(pos));
+    let block = BlockAddr::new(u64::from(take(pos)));
+    let src = NodeId::new(take(pos) as usize);
+    let dst = NodeId::new(take(pos) as usize);
+    let requester = NodeId::new(take(pos) as usize);
+    let flags = take(pos);
+    RingMessage::for_requester(kind, block, src, dst, requester)
+        .with_retained(flags & 1 != 0)
+        .with_from_dirty(flags & 2 != 0)
+}
+
+impl Model {
+    pub(crate) fn new(
+        protocol: ProtocolKind,
+        nodes: usize,
+        blocks: usize,
+        fault: Fault,
+        evictions: bool,
+    ) -> Self {
+        Self { protocol, nodes, blocks, fault, evictions }
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        // Every model block gets its own line: replacement is modelled by
+        // explicit Evict moves, not by accidental conflicts.
+        CacheConfig { size_bytes: 16 * (self.blocks as u64).next_power_of_two(), block_bytes: 16 }
+    }
+
+    pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
+        NodeId::new(block.raw() as usize % self.nodes)
+    }
+
+    pub(crate) fn initial(&self) -> State {
+        State {
+            caches: (0..self.nodes)
+                .map(|_| Cache::new(self.cache_config()).expect("valid model cache"))
+                .collect(),
+            mem: HomeMemory::new(),
+            dir: Directory::new(self.nodes),
+            txns: vec![None; self.nodes],
+            wb_buffer: vec![vec![false; self.blocks]; self.nodes],
+            net: Vec::new(),
+            active: vec![None; self.blocks],
+            queue: vec![VecDeque::new(); self.blocks],
+            pending_fwds: vec![Vec::new(); self.nodes],
+        }
+    }
+
+    pub(crate) fn is_quiescent(&self, s: &State) -> bool {
+        s.txns.iter().all(Option::is_none)
+            && s.net.is_empty()
+            && s.active.iter().all(Option::is_none)
+            && s.queue.iter().all(VecDeque::is_empty)
+            && s.wb_buffer.iter().flatten().all(|&b| !b)
+            && s.pending_fwds.iter().all(Vec::is_empty)
+    }
+
+    /// Whether nothing at all is outstanding for `block` — the precondition
+    /// for the strict directory–cache agreement check.
+    pub(crate) fn block_quiescent(&self, s: &State, block: BlockAddr) -> bool {
+        let b = block.raw() as usize;
+        s.txns.iter().all(|t| t.as_ref().is_none_or(|t| t.block != block))
+            && s.net.iter().all(|m| m.block != block)
+            && s.active[b].is_none()
+            && s.queue[b].is_empty()
+            && s.wb_buffer.iter().all(|w| !w[b])
+            && s.pending_fwds.iter().flatten().all(|m| m.block != block)
+    }
+
+    // ------------------------------------------------------------ moves
+
+    pub(crate) fn enumerate(&self, s: &State) -> Vec<Move> {
+        let mut moves = Vec::new();
+        for i in 0..self.nodes {
+            match &s.txns[i] {
+                None => {
+                    for b in 0..self.blocks {
+                        match s.caches[i].state_of(BlockAddr::new(b as u64)) {
+                            LineState::Inv => {
+                                moves.push(Move::Issue { node: i, block: b, write: false });
+                                moves.push(Move::Issue { node: i, block: b, write: true });
+                            }
+                            LineState::Rs => {
+                                moves.push(Move::Issue { node: i, block: b, write: true });
+                            }
+                            LineState::We => {}
+                        }
+                    }
+                }
+                Some(t) => match t.phase {
+                    Phase::NeedProbe => moves.push(Move::Circulate { node: i }),
+                    Phase::WaitLocal => moves.push(Move::LocalComplete { node: i }),
+                    Phase::WaitRemote => {}
+                },
+            }
+            if self.evictions {
+                for b in 0..self.blocks {
+                    let block = BlockAddr::new(b as u64);
+                    let busy = s.txns[i].as_ref().is_some_and(|t| t.block == block);
+                    // One write-back buffer entry per block, as in real
+                    // hardware: a dirty line cannot be evicted again while a
+                    // previous WriteBack from this node is still in flight.
+                    // Without this bound stale write-backs (reclaimed by the
+                    // evictor's own re-miss) pile up without limit and the
+                    // state space is infinite.
+                    let wb_in_flight = s.caches[i].state_of(block).is_dirty()
+                        && (s.wb_buffer[i][b]
+                            || s.net
+                                .iter()
+                                .chain(s.queue[b].iter())
+                                .chain(s.pending_fwds.iter().flatten())
+                                .any(|m| {
+                                    m.kind == MsgKind::WriteBack
+                                        && m.block == block
+                                        && m.src.index() == i
+                                }));
+                    if !busy && !wb_in_flight && s.caches[i].state_of(block).is_valid() {
+                        moves.push(Move::Evict { node: i, block: b });
+                    }
+                }
+            }
+        }
+        for (k, m) in s.net.iter().enumerate() {
+            let key = lane(m);
+            if s.net[..k].iter().all(|e| lane(e) != key) {
+                moves.push(Move::Deliver { index: k });
+            }
+        }
+        moves
+    }
+
+    /// Applies `mv` and returns a human-readable description of the step.
+    pub(crate) fn apply(&self, s: &mut State, mv: Move) -> String {
+        match mv {
+            Move::Issue { node, block, write } => self.do_issue(s, node, block, write),
+            Move::Evict { node, block } => self.do_evict(s, node, block),
+            Move::LocalComplete { node } => self.do_local_complete(s, node),
+            Move::Circulate { node } => self.do_circulate(s, node),
+            Move::Deliver { index } => {
+                let msg = s.net.remove(index);
+                self.deliver(s, msg)
+            }
+        }
+    }
+
+    // ---------------------------------------------------- gated mutators
+
+    /// A coherence invalidation observed at node `j` — the hook the
+    /// `SkipInvalidate` mutation disables for the highest-index node.
+    fn invalidate_at(&self, s: &mut State, j: usize, block: BlockAddr) {
+        if self.fault == Fault::SkipInvalidate && j == self.nodes - 1 {
+            return;
+        }
+        s.caches[j].snoop_invalidate(block);
+    }
+
+    /// Directory ownership grant — disabled wholesale by `ForgetOwner`.
+    fn set_owner(&self, s: &mut State, block: BlockAddr, node: NodeId) {
+        if self.fault == Fault::ForgetOwner {
+            return;
+        }
+        s.dir.set_owner(block, node);
+    }
+
+    /// Snooping home claims the dirty bit — disabled by `ForgetOwner`.
+    fn claim_dirty(&self, s: &mut State, block: BlockAddr) {
+        if self.fault == Fault::ForgetOwner {
+            return;
+        }
+        s.mem.set_dirty(block);
+    }
+
+    fn poison_pending_read(&self, s: &mut State, j: usize, block: BlockAddr) {
+        if let Some(t) = &mut s.txns[j] {
+            if t.block == block && t.kind == TxnKind::Read {
+                t.poisoned = true;
+            }
+        }
+    }
+
+    fn unpoison(&self, s: &mut State, requester: NodeId, block: BlockAddr) {
+        if let Some(t) = &mut s.txns[requester.index()] {
+            if t.block == block {
+                t.poisoned = false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------ basic moves
+
+    fn do_issue(&self, s: &mut State, i: usize, b: usize, write: bool) -> String {
+        let block = BlockAddr::new(b as u64);
+        let me = NodeId::new(i);
+        let home = self.home_of(block);
+        let kind = match (s.caches[i].state_of(block), write) {
+            (LineState::Inv, false) => TxnKind::Read,
+            (LineState::Inv, true) => TxnKind::Write,
+            (LineState::Rs, true) => TxnKind::Upgrade,
+            (state, _) => unreachable!("issue on a hitting access ({state:?})"),
+        };
+        let mut txn =
+            Txn { block, kind, phase: Phase::WaitRemote, poisoned: false, self_owner: false };
+        let label = format!("P{i} issues a {} on {block}", kind.name());
+        match self.protocol {
+            ProtocolKind::Snooping => {
+                let local_clean = home == me && !s.mem.is_dirty(block);
+                match kind {
+                    TxnKind::Read if local_clean => txn.phase = Phase::WaitLocal,
+                    TxnKind::Read => txn.phase = Phase::NeedProbe,
+                    TxnKind::Write | TxnKind::Upgrade => {
+                        if local_clean {
+                            txn.self_owner = true;
+                            s.mem.set_dirty(block);
+                        }
+                        txn.phase = Phase::NeedProbe;
+                    }
+                }
+                s.txns[i] = Some(txn);
+                label
+            }
+            ProtocolKind::Directory => {
+                let mk = match kind {
+                    TxnKind::Read => MsgKind::DirRead,
+                    TxnKind::Write => MsgKind::DirWrite,
+                    TxnKind::Upgrade => MsgKind::DirUpgrade,
+                };
+                s.txns[i] = Some(txn);
+                let req = RingMessage::new(mk, block, me, home);
+                if home == me {
+                    let outcome = self.home_receive(s, req);
+                    format!("{label} ({outcome} at its own home)")
+                } else {
+                    s.net.push(req);
+                    label
+                }
+            }
+        }
+    }
+
+    fn do_evict(&self, s: &mut State, i: usize, b: usize) -> String {
+        let block = BlockAddr::new(b as u64);
+        let state = s.caches[i].evict(block);
+        let dirty = state.is_dirty();
+        self.handle_victim(s, i, block, state);
+        format!("P{i} evicts {block} ({})", if dirty { "dirty" } else { "clean" })
+    }
+
+    /// Victim handling shared by Evict and `fill` displacement — mirrors
+    /// `RingSystem::fill`.
+    fn handle_victim(&self, s: &mut State, i: usize, victim: BlockAddr, vstate: LineState) {
+        let me = NodeId::new(i);
+        let vhome = self.home_of(victim);
+        match self.protocol {
+            ProtocolKind::Snooping => {
+                if vstate.is_dirty() {
+                    if vhome == me {
+                        s.mem.clear_dirty(victim);
+                    } else {
+                        s.net.push(RingMessage::new(MsgKind::WriteBack, victim, me, vhome));
+                    }
+                }
+            }
+            ProtocolKind::Directory => {
+                if vstate.is_dirty() {
+                    s.wb_buffer[i][victim.raw() as usize] = true;
+                    let wb = RingMessage::new(MsgKind::WriteBack, victim, me, vhome);
+                    if vhome == me {
+                        self.home_receive(s, wb);
+                    } else {
+                        s.net.push(wb);
+                    }
+                } else if vstate.is_valid() {
+                    // Zero-cost replacement hint, as in the simulator.
+                    s.dir.remove_sharer(victim, me);
+                }
+            }
+        }
+    }
+
+    fn fill(&self, s: &mut State, i: usize, block: BlockAddr, state: LineState) {
+        if let Some((victim, vstate)) = s.caches[i].fill(block, state) {
+            self.handle_victim(s, i, victim, vstate);
+        }
+    }
+
+    fn do_local_complete(&self, s: &mut State, i: usize) -> String {
+        let t = s.txns[i].expect("local completion without txn");
+        debug_assert_eq!(t.phase, Phase::WaitLocal);
+        if !t.poisoned {
+            self.fill(s, i, t.block, LineState::Rs);
+        }
+        self.finish_txn(s, i);
+        format!(
+            "P{i} completes its local clean read of {}{}",
+            t.block,
+            if t.poisoned { " (poisoned, uncached)" } else { "" }
+        )
+    }
+
+    // --------------------------------------------------- snooping probes
+
+    fn do_circulate(&self, s: &mut State, i: usize) -> String {
+        let t = s.txns[i].expect("circulate without txn");
+        debug_assert_eq!(t.phase, Phase::NeedProbe);
+        let block = t.block;
+        let me = NodeId::new(i);
+        let home = self.home_of(block);
+        // A retry goes back through `issue_txn` in the simulator, which
+        // re-samples the local-clean condition — without this a home-node
+        // requester whose probe nobody can acknowledge would retry forever
+        // (its own write-back clears the dirty bit between attempts).
+        if home == me && !s.mem.is_dirty(block) {
+            match t.kind {
+                TxnKind::Read => {
+                    if let Some(u) = &mut s.txns[i] {
+                        u.phase = Phase::WaitLocal;
+                    }
+                    return format!(
+                        "P{i}'s retried read of {block} re-issues on the local clean path"
+                    );
+                }
+                TxnKind::Write | TxnKind::Upgrade => {
+                    if let Some(u) = &mut s.txns[i] {
+                        u.self_owner = true;
+                    }
+                    s.mem.set_dirty(block);
+                }
+            }
+        }
+        let t = s.txns[i].expect("circulate without txn");
+        let probe = match t.kind {
+            TxnKind::Read => MsgKind::SnoopRead,
+            TxnKind::Write => MsgKind::SnoopWrite,
+            TxnKind::Upgrade => MsgKind::SnoopUpgrade,
+        };
+        let mut acked = t.self_owner;
+        for step in 1..self.nodes {
+            let j = (i + step) % self.nodes;
+            // A node with its own transaction in flight on this block does
+            // not participate (home side included); a passing write still
+            // poisons its pending read.
+            if let Some(u) = &s.txns[j] {
+                if u.block == block {
+                    if probe != MsgKind::SnoopRead {
+                        self.poison_pending_read(s, j, block);
+                    }
+                    continue;
+                }
+            }
+            let state = s.caches[j].state_of(block);
+            let data =
+                RingMessage::for_requester(MsgKind::BlockData, block, NodeId::new(j), me, me);
+            match transitions::snooper_action(state, probe) {
+                SnoopAction::SupplyDowngrade => {
+                    s.caches[j].snoop_downgrade(block);
+                    acked = true;
+                    s.net.push(data.with_from_dirty(true));
+                    // The write-back stays in flight even when the owner is
+                    // the home: the dirty bit keeps arbitrating Silent until
+                    // the WriteBack lands, exactly as in the simulator.
+                    let wb = RingMessage::new(MsgKind::WriteBack, block, NodeId::new(j), home);
+                    s.net.push(wb);
+                }
+                SnoopAction::SupplyInvalidate => {
+                    s.caches[j].snoop_invalidate(block);
+                    acked = true;
+                    s.net.push(data.with_from_dirty(true));
+                }
+                SnoopAction::Invalidate => self.invalidate_at(s, j, block),
+                SnoopAction::Ignore => {}
+            }
+            if j == home.index() {
+                match transitions::home_snoop_action(s.mem.is_dirty(block), probe) {
+                    HomeSnoopAction::Supply => {
+                        acked = true;
+                        s.net.push(data.with_from_dirty(false));
+                    }
+                    HomeSnoopAction::SupplyClaim => {
+                        acked = true;
+                        s.net.push(data.with_from_dirty(false));
+                        self.claim_dirty(s, block);
+                    }
+                    HomeSnoopAction::AckClaim => {
+                        acked = true;
+                        self.claim_dirty(s, block);
+                    }
+                    HomeSnoopAction::Silent => {}
+                }
+            }
+        }
+        // probe_returned
+        if !acked {
+            let converts = t.kind == TxnKind::Upgrade;
+            if converts {
+                // The requester's line is stale: drop it and retry as a
+                // write miss.
+                if let Some(u) = &mut s.txns[i] {
+                    u.kind = TxnKind::Write;
+                }
+                s.caches[i].snoop_invalidate(block);
+            }
+            return format!(
+                "P{i}'s {probe} probe for {block} circulates unacknowledged ({})",
+                if converts { "upgrade converts to a write miss" } else { "will retry" }
+            );
+        }
+        match t.kind {
+            TxnKind::Upgrade => {
+                if !s.caches[i].promote(block) {
+                    // Only fault injection can remove the line mid-upgrade;
+                    // fill so the invariant layer reports the damage.
+                    self.fill(s, i, block, LineState::We);
+                }
+                self.finish_txn(s, i);
+                format!("P{i}'s upgrade probe for {block} circulates; copies invalidated, line promoted")
+            }
+            TxnKind::Write if t.self_owner => {
+                self.fill(s, i, block, LineState::We);
+                self.finish_txn(s, i);
+                format!("P{i}'s write probe for {block} circulates; local memory supplies")
+            }
+            TxnKind::Read | TxnKind::Write => {
+                if let Some(u) = &mut s.txns[i] {
+                    u.phase = Phase::WaitRemote;
+                }
+                format!("P{i}'s {probe} probe for {block} circulates, acknowledged")
+            }
+        }
+    }
+
+    // ------------------------------------------------------- deliveries
+
+    /// Routes a message that reached its destination — mirror of
+    /// `RingSystem::deliver`.
+    fn deliver(&self, s: &mut State, msg: RingMessage) -> String {
+        match msg.kind {
+            MsgKind::SnoopRead | MsgKind::SnoopWrite | MsgKind::SnoopUpgrade => {
+                unreachable!("snoop probes circulate atomically, never via the network")
+            }
+            MsgKind::DirRead | MsgKind::DirWrite | MsgKind::DirUpgrade => {
+                let outcome = self.home_receive(s, msg);
+                format!("{msg} arrives ({outcome})")
+            }
+            MsgKind::DirFwdRead | MsgKind::DirFwdWrite => self.forward_arrived(s, msg),
+            MsgKind::DirInval => self.inval_circulates(s, msg),
+            MsgKind::DirAck => self.ack_received(s, msg),
+            MsgKind::BlockData => self.data_received(s, msg),
+            MsgKind::WriteBack => match self.protocol {
+                ProtocolKind::Snooping => {
+                    s.mem.clear_dirty(msg.block);
+                    format!("{msg} arrives; memory clean again")
+                }
+                ProtocolKind::Directory => {
+                    let outcome = self.home_receive(s, msg);
+                    format!("{msg} arrives ({outcome})")
+                }
+            },
+            MsgKind::MemUpdate => self.update_received(s, msg),
+        }
+    }
+
+    /// Sends a reply; local replies (home == requester) deliver immediately,
+    /// as the simulator's `enqueue_msg` does.
+    fn emit(&self, s: &mut State, msg: RingMessage) {
+        if msg.dst == msg.src && !msg.kind.returns_to_source() {
+            self.deliver(s, msg);
+        } else {
+            s.net.push(msg);
+        }
+    }
+
+    fn data_received(&self, s: &mut State, msg: RingMessage) -> String {
+        let i = msg.dst.index();
+        let Some(t) = s.txns[i] else {
+            return format!("{msg} arrives (stale, dropped)");
+        };
+        if t.block != msg.block {
+            return format!("{msg} arrives (stale, dropped)");
+        }
+        let note = match t.kind {
+            TxnKind::Read => {
+                if t.poisoned {
+                    "poisoned read completes uncached"
+                } else {
+                    self.fill(s, i, t.block, LineState::Rs);
+                    "read fills read-shared"
+                }
+            }
+            TxnKind::Write | TxnKind::Upgrade => {
+                self.fill(s, i, t.block, LineState::We);
+                "write fills write-exclusive"
+            }
+        };
+        self.finish_txn(s, i);
+        format!("{msg} arrives; {note}")
+    }
+
+    fn ack_received(&self, s: &mut State, msg: RingMessage) -> String {
+        let i = msg.dst.index();
+        let Some(t) = s.txns[i] else {
+            return format!("{msg} arrives (stale, dropped)");
+        };
+        if t.block != msg.block {
+            return format!("{msg} arrives (stale, dropped)");
+        }
+        if !s.caches[i].promote(t.block) {
+            // Only reachable under fault injection (see do_circulate).
+            self.fill(s, i, t.block, LineState::We);
+        }
+        self.finish_txn(s, i);
+        format!("{msg} arrives; line promoted")
+    }
+
+    fn finish_txn(&self, s: &mut State, i: usize) {
+        let t = s.txns[i].take().expect("finishing absent txn");
+        let fwds = std::mem::take(&mut s.pending_fwds[i]);
+        for fwd in fwds {
+            if fwd.block == t.block {
+                self.serve_forward(s, i, fwd);
+            } else {
+                s.pending_fwds[i].push(fwd);
+            }
+        }
+    }
+
+    // ------------------------------------------------ directory home side
+
+    fn home_receive(&self, s: &mut State, msg: RingMessage) -> &'static str {
+        debug_assert_eq!(self.protocol, ProtocolKind::Directory);
+        let block = msg.block;
+        if s.dir.try_lock(block) {
+            self.home_act(s, msg);
+            "served"
+        } else {
+            s.queue[block.raw() as usize].push_back(msg);
+            "queued behind the busy entry"
+        }
+    }
+
+    fn unlock_and_drain(&self, s: &mut State, block: BlockAddr) {
+        s.dir.unlock(block);
+        s.active[block.raw() as usize] = None;
+        if let Some(next) = s.queue[block.raw() as usize].pop_front() {
+            self.home_receive(s, next);
+        }
+    }
+
+    fn home_act(&self, s: &mut State, req: RingMessage) {
+        let block = req.block;
+        match req.kind {
+            MsgKind::WriteBack => {
+                // The buffer entry is the liveness token: a write-back whose
+                // entry was reclaimed by the evictor's own re-miss is stale
+                // and must not touch the directory (see `RingSystem`).
+                let evictor = req.src;
+                let live = s.wb_buffer[evictor.index()][block.raw() as usize];
+                s.wb_buffer[evictor.index()][block.raw() as usize] = false;
+                let entry = s.dir.entry(block);
+                if live && entry.owner == Some(evictor) {
+                    s.dir.remove_sharer(block, evictor);
+                }
+                self.unlock_and_drain(s, block);
+            }
+            MsgKind::DirRead => {
+                self.unpoison(s, req.requester, block);
+                self.home_read(s, req);
+            }
+            MsgKind::DirWrite => {
+                self.unpoison(s, req.requester, block);
+                self.home_write(s, req, false);
+            }
+            MsgKind::DirUpgrade => {
+                self.unpoison(s, req.requester, block);
+                let entry = s.dir.entry(block);
+                if transitions::upgrade_must_convert(&entry, req.requester) {
+                    self.home_write(s, req, true);
+                } else {
+                    self.home_upgrade(s, req);
+                }
+            }
+            _ => unreachable!("home_act on non-request {:?}", req.kind),
+        }
+    }
+
+    fn reclaim_own_writeback(&self, s: &mut State, block: BlockAddr, requester: NodeId) {
+        let entry = s.dir.entry(block);
+        if transitions::must_reclaim_writeback(&entry, requester) {
+            debug_assert!(
+                self.fault != Fault::None || s.wb_buffer[requester.index()][block.raw() as usize],
+                "directory owner misses without a write-back in flight"
+            );
+            s.dir.remove_sharer(block, requester);
+            s.wb_buffer[requester.index()][block.raw() as usize] = false;
+        }
+    }
+
+    fn home_self_invalidate(
+        &self,
+        s: &mut State,
+        home: NodeId,
+        requester: NodeId,
+        block: BlockAddr,
+    ) {
+        if home != requester {
+            self.invalidate_at(s, home.index(), block);
+            self.poison_pending_read(s, home.index(), block);
+        }
+    }
+
+    fn home_read(&self, s: &mut State, req: RingMessage) {
+        let block = req.block;
+        let home = req.dst;
+        let requester = req.requester;
+        self.reclaim_own_writeback(s, block, requester);
+        let entry = s.dir.entry(block);
+        match transitions::dir_action(&entry, requester, DirRequest::Read) {
+            DirAction::ForwardRead { owner } => {
+                // Presence recorded at grant time, as in the simulator: the
+                // requester can fill and evict before the MemUpdate returns.
+                s.dir.add_sharer(block, requester);
+                s.active[block.raw() as usize] =
+                    Some(Active { req, stage: Stage::AwaitUpdate, converted: false });
+                self.emit(
+                    s,
+                    RingMessage::for_requester(MsgKind::DirFwdRead, block, home, owner, requester),
+                );
+            }
+            DirAction::GrantData => {
+                s.dir.add_sharer(block, requester);
+                self.emit(
+                    s,
+                    RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        home,
+                        requester,
+                        requester,
+                    ),
+                );
+                self.unlock_and_drain(s, block);
+            }
+            DirAction::ForwardWrite { .. } | DirAction::InvalidateSharers | DirAction::GrantAck => {
+                unreachable!("read request dispatched to a write action")
+            }
+        }
+    }
+
+    fn home_write(&self, s: &mut State, req: RingMessage, converted: bool) {
+        let block = req.block;
+        let home = req.dst;
+        let requester = req.requester;
+        self.reclaim_own_writeback(s, block, requester);
+        let entry = s.dir.entry(block);
+        match transitions::dir_action(&entry, requester, DirRequest::Write) {
+            DirAction::ForwardWrite { owner } => {
+                s.active[block.raw() as usize] =
+                    Some(Active { req, stage: Stage::AwaitUpdate, converted });
+                self.emit(
+                    s,
+                    RingMessage::for_requester(MsgKind::DirFwdWrite, block, home, owner, requester),
+                );
+            }
+            DirAction::InvalidateSharers => {
+                self.home_self_invalidate(s, home, requester, block);
+                s.active[block.raw() as usize] =
+                    Some(Active { req, stage: Stage::AwaitInval, converted });
+                s.net.push(RingMessage::for_requester(
+                    MsgKind::DirInval,
+                    block,
+                    home,
+                    home,
+                    requester,
+                ));
+            }
+            DirAction::GrantData => {
+                self.set_owner(s, block, requester);
+                self.emit(
+                    s,
+                    RingMessage::for_requester(
+                        MsgKind::BlockData,
+                        block,
+                        home,
+                        requester,
+                        requester,
+                    ),
+                );
+                self.unlock_and_drain(s, block);
+            }
+            DirAction::ForwardRead { .. } | DirAction::GrantAck => {
+                unreachable!("write request dispatched to a read/upgrade action")
+            }
+        }
+    }
+
+    fn home_upgrade(&self, s: &mut State, req: RingMessage) {
+        let block = req.block;
+        let home = req.dst;
+        let requester = req.requester;
+        let entry = s.dir.entry(block);
+        match transitions::dir_action(&entry, requester, DirRequest::Upgrade) {
+            DirAction::InvalidateSharers => {
+                self.home_self_invalidate(s, home, requester, block);
+                s.active[block.raw() as usize] =
+                    Some(Active { req, stage: Stage::AwaitInval, converted: false });
+                s.net.push(RingMessage::for_requester(
+                    MsgKind::DirInval,
+                    block,
+                    home,
+                    home,
+                    requester,
+                ));
+            }
+            DirAction::GrantAck => {
+                self.set_owner(s, block, requester);
+                self.emit(
+                    s,
+                    RingMessage::for_requester(MsgKind::DirAck, block, home, requester, requester),
+                );
+                self.unlock_and_drain(s, block);
+            }
+            DirAction::ForwardRead { .. }
+            | DirAction::ForwardWrite { .. }
+            | DirAction::GrantData => {
+                unreachable!("well-formed upgrade dispatched to a miss action")
+            }
+        }
+    }
+
+    /// The multicast invalidation circulates the full ring and returns to
+    /// the home — atomic, like snoop probes (see module docs).
+    fn inval_circulates(&self, s: &mut State, msg: RingMessage) -> String {
+        let block = msg.block;
+        let home = msg.src;
+        for j in 0..self.nodes {
+            if j == msg.requester.index() || j == home.index() {
+                continue; // requester is exempt; the home invalidated at send
+            }
+            match transitions::snooper_action(s.caches[j].state_of(block), MsgKind::DirInval) {
+                SnoopAction::Invalidate => self.invalidate_at(s, j, block),
+                SnoopAction::Ignore => {}
+                SnoopAction::SupplyInvalidate | SnoopAction::SupplyDowngrade => {
+                    unreachable!("multicast invalidation never asks a cache for data")
+                }
+            }
+            self.poison_pending_read(s, j, block);
+        }
+        // inval_returned
+        let act = s.active[block.raw() as usize].expect("inval context");
+        debug_assert_eq!(act.stage, Stage::AwaitInval);
+        let requester = act.req.requester;
+        self.set_owner(s, block, requester);
+        let reply_kind = match act.req.kind {
+            MsgKind::DirUpgrade if !act.converted => MsgKind::DirAck,
+            _ => MsgKind::BlockData,
+        };
+        self.emit(s, RingMessage::for_requester(reply_kind, block, home, requester, requester));
+        self.unlock_and_drain(s, block);
+        format!("{msg} circulates and returns; sharers invalidated, {requester} becomes owner")
+    }
+
+    fn forward_arrived(&self, s: &mut State, msg: RingMessage) -> String {
+        let d = msg.dst.index();
+        let has_txn = s.txns[d].as_ref().is_some_and(|t| t.block == msg.block);
+        let buffered = s.wb_buffer[d][msg.block.raw() as usize];
+        // A forward can always be served from the write-back buffer, even
+        // while the target's own re-miss on the block is in flight — parking
+        // it would deadlock the home against the target's queued request
+        // (found by this checker; `ParkBusyForwards` reinstates the bug).
+        let park = match self.fault {
+            Fault::ParkBusyForwards => has_txn,
+            Fault::None | Fault::SkipInvalidate | Fault::ForgetOwner => has_txn && !buffered,
+        };
+        if park {
+            s.pending_fwds[d].push(msg);
+            format!("{msg} arrives; parked behind the target's own fill")
+        } else {
+            self.serve_forward(s, d, msg);
+            format!("{msg} arrives and is served")
+        }
+    }
+
+    fn serve_forward(&self, s: &mut State, d: usize, fwd: RingMessage) {
+        let block = fwd.block;
+        let home = fwd.src;
+        let me = NodeId::new(d);
+        let state = s.caches[d].state_of(block);
+        debug_assert!(
+            state == LineState::We || s.wb_buffer[d][block.raw() as usize],
+            "forward to a node without the data: {fwd} (state {state:?})"
+        );
+        if state != LineState::We {
+            // Serving from the write-back buffer consumes the entry, killing
+            // the still-circulating WriteBack (see `RingSystem`).
+            s.wb_buffer[d][block.raw() as usize] = false;
+        }
+        let retained = match fwd.kind {
+            MsgKind::DirFwdRead => {
+                if state == LineState::We {
+                    s.caches[d].snoop_downgrade(block);
+                    true
+                } else {
+                    false
+                }
+            }
+            MsgKind::DirFwdWrite => {
+                if state == LineState::We {
+                    s.caches[d].snoop_invalidate(block);
+                }
+                false
+            }
+            _ => unreachable!("serve_forward on non-forward"),
+        };
+        self.emit(
+            s,
+            RingMessage::for_requester(MsgKind::BlockData, block, me, fwd.requester, fwd.requester)
+                .with_from_dirty(true),
+        );
+        self.emit(s, RingMessage::new(MsgKind::MemUpdate, block, me, home).with_retained(retained));
+    }
+
+    fn update_received(&self, s: &mut State, msg: RingMessage) -> String {
+        let block = msg.block;
+        let act = s.active[block.raw() as usize].expect("update context");
+        debug_assert_eq!(act.stage, Stage::AwaitUpdate);
+        let requester = act.req.requester;
+        let d = msg.src;
+        match act.req.kind {
+            MsgKind::DirRead => {
+                // The requester's presence bit was set at forward time.
+                s.dir.clear_owner(block);
+                if !msg.retained {
+                    s.dir.remove_sharer(block, d);
+                }
+            }
+            _ => self.set_owner(s, block, requester),
+        }
+        self.unlock_and_drain(s, block);
+        format!("{msg} arrives; directory refreshed, entry unlocked")
+    }
+
+    // --------------------------------------------------------- encoding
+
+    /// Canonical byte encoding of a state (scheduler-order independent).
+    pub(crate) fn encode(&self, s: &State) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * self.nodes + 8 * self.blocks + 8 * s.net.len());
+        for cache in &s.caches {
+            for b in 0..self.blocks {
+                out.push(state_code(cache.state_of(BlockAddr::new(b as u64))));
+            }
+        }
+        for b in 0..self.blocks {
+            let block = BlockAddr::new(b as u64);
+            out.push(u8::from(s.mem.is_dirty(block)));
+            let entry = s.dir.entry(block);
+            out.push(entry.sharers as u8);
+            out.push(entry.owner.map_or(0xFF, |o| o.index() as u8));
+            out.push(u8::from(s.dir.is_locked(block)));
+        }
+        for t in &s.txns {
+            match t {
+                None => out.push(0xFF),
+                Some(t) => {
+                    let kind = match t.kind {
+                        TxnKind::Read => 0u8,
+                        TxnKind::Write => 1,
+                        TxnKind::Upgrade => 2,
+                    };
+                    let phase = match t.phase {
+                        Phase::NeedProbe => 0u8,
+                        Phase::WaitLocal => 1,
+                        Phase::WaitRemote => 2,
+                    };
+                    out.push(
+                        kind | (phase << 2)
+                            | (u8::from(t.poisoned) << 4)
+                            | (u8::from(t.self_owner) << 5),
+                    );
+                    out.push(t.block.raw() as u8);
+                }
+            }
+        }
+        for wb in &s.wb_buffer {
+            let mut bits = 0u8;
+            for (b, &set) in wb.iter().enumerate() {
+                bits |= u8::from(set) << b;
+            }
+            out.push(bits);
+        }
+        for act in &s.active {
+            match act {
+                None => out.push(0xFF),
+                Some(a) => {
+                    let stage = match a.stage {
+                        Stage::AwaitInval => 0u8,
+                        Stage::AwaitUpdate => 1,
+                    };
+                    out.push(stage | (u8::from(a.converted) << 1));
+                    encode_msg(&mut out, &a.req);
+                }
+            }
+        }
+        for q in &s.queue {
+            out.push(q.len() as u8);
+            for m in q {
+                encode_msg(&mut out, m);
+            }
+        }
+        for fwds in &s.pending_fwds {
+            let mut sorted: Vec<&RingMessage> = fwds.iter().collect();
+            sorted.sort_by_key(|m| (m.block.raw(), kind_code(m.kind)));
+            out.push(sorted.len() as u8);
+            for m in sorted {
+                encode_msg(&mut out, m);
+            }
+        }
+        // Lanes are mutually unordered: stable-sort by lane, preserving FIFO
+        // order within each lane, so equivalent states encode identically.
+        let mut net: Vec<&RingMessage> = s.net.iter().collect();
+        net.sort_by_key(|m| lane(m));
+        out.push(net.len() as u8);
+        for m in net {
+            encode_msg(&mut out, m);
+        }
+        out
+    }
+
+    /// Rebuilds a state from its encoding (inverse of [`Model::encode`] up
+    /// to cache statistics, which the model never reads).
+    pub(crate) fn decode(&self, bytes: &[u8]) -> State {
+        let mut s = self.initial();
+        let mut pos = 0usize;
+        let take = |pos: &mut usize| {
+            let b = bytes[*pos];
+            *pos += 1;
+            b
+        };
+        for i in 0..self.nodes {
+            for b in 0..self.blocks {
+                let st = code_state(take(&mut pos));
+                if st.is_valid() {
+                    s.caches[i].fill(BlockAddr::new(b as u64), st);
+                }
+            }
+        }
+        for b in 0..self.blocks {
+            let block = BlockAddr::new(b as u64);
+            if take(&mut pos) != 0 {
+                s.mem.set_dirty(block);
+            }
+            let sharers = take(&mut pos);
+            let owner = take(&mut pos);
+            if owner != 0xFF {
+                s.dir.set_owner(block, NodeId::new(owner as usize));
+            }
+            for j in 0..self.nodes {
+                if sharers & (1 << j) != 0 && owner != j as u8 {
+                    s.dir.add_sharer(block, NodeId::new(j));
+                }
+            }
+            if take(&mut pos) != 0 {
+                let locked = s.dir.try_lock(block);
+                debug_assert!(locked);
+            }
+        }
+        for i in 0..self.nodes {
+            let flags = take(&mut pos);
+            if flags == 0xFF {
+                continue;
+            }
+            let block = BlockAddr::new(u64::from(take(&mut pos)));
+            s.txns[i] = Some(Txn {
+                block,
+                kind: match flags & 0b11 {
+                    0 => TxnKind::Read,
+                    1 => TxnKind::Write,
+                    _ => TxnKind::Upgrade,
+                },
+                phase: match (flags >> 2) & 0b11 {
+                    0 => Phase::NeedProbe,
+                    1 => Phase::WaitLocal,
+                    _ => Phase::WaitRemote,
+                },
+                poisoned: flags & (1 << 4) != 0,
+                self_owner: flags & (1 << 5) != 0,
+            });
+        }
+        for i in 0..self.nodes {
+            let bits = take(&mut pos);
+            for b in 0..self.blocks {
+                s.wb_buffer[i][b] = bits & (1 << b) != 0;
+            }
+        }
+        for b in 0..self.blocks {
+            let flags = take(&mut pos);
+            if flags == 0xFF {
+                continue;
+            }
+            let req = decode_msg(bytes, &mut pos);
+            s.active[b] = Some(Active {
+                req,
+                stage: if flags & 1 == 0 { Stage::AwaitInval } else { Stage::AwaitUpdate },
+                converted: flags & 2 != 0,
+            });
+        }
+        for b in 0..self.blocks {
+            let len = take(&mut pos);
+            for _ in 0..len {
+                s.queue[b].push_back(decode_msg(bytes, &mut pos));
+            }
+        }
+        for i in 0..self.nodes {
+            let len = take(&mut pos);
+            for _ in 0..len {
+                s.pending_fwds[i].push(decode_msg(bytes, &mut pos));
+            }
+        }
+        let len = take(&mut pos);
+        for _ in 0..len {
+            s.net.push(decode_msg(bytes, &mut pos));
+        }
+        debug_assert_eq!(pos, bytes.len(), "trailing bytes in state encoding");
+        s
+    }
+
+    /// Multi-line summary of a state, appended to counterexample traces.
+    pub(crate) fn render(&self, s: &State) -> Vec<String> {
+        let mut lines = Vec::new();
+        for b in 0..self.blocks {
+            let block = BlockAddr::new(b as u64);
+            let states: Vec<String> = (0..self.nodes)
+                .map(|i| format!("P{i}:{:?}", s.caches[i].state_of(block)))
+                .collect();
+            let home_side = match self.protocol {
+                ProtocolKind::Snooping => {
+                    format!("memory {}", if s.mem.is_dirty(block) { "dirty" } else { "clean" })
+                }
+                ProtocolKind::Directory => {
+                    let e = s.dir.entry(block);
+                    format!(
+                        "dir sharers {:#b} owner {} {}",
+                        e.sharers,
+                        e.owner.map_or_else(|| "-".to_owned(), |o| o.to_string()),
+                        if s.dir.is_locked(block) { "[locked]" } else { "" }
+                    )
+                }
+            };
+            lines.push(format!(
+                "  {block} @home {}: {} | {home_side}",
+                self.home_of(block),
+                states.join(" ")
+            ));
+        }
+        for (i, t) in s.txns.iter().enumerate() {
+            if let Some(t) = t {
+                lines.push(format!(
+                    "  P{i} txn: {} on {} ({:?}{}{})",
+                    t.kind.name(),
+                    t.block,
+                    t.phase,
+                    if t.poisoned { ", poisoned" } else { "" },
+                    if t.self_owner { ", self-owner" } else { "" },
+                ));
+            }
+        }
+        for m in &s.net {
+            lines.push(format!("  in flight: {m}"));
+        }
+        for (b, q) in s.queue.iter().enumerate() {
+            for m in q {
+                lines.push(format!("  queued at home of B{b:#x}: {m}"));
+            }
+        }
+        for (i, fwds) in s.pending_fwds.iter().enumerate() {
+            for m in fwds {
+                lines.push(format!("  parked at P{i}: {m}"));
+            }
+        }
+        lines
+    }
+}

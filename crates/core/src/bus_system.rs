@@ -19,6 +19,7 @@ use ringsim_types::stats::{Histogram, RunningMean};
 use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
 use crate::report::{ClassLatencies, NodeSummary, SimReport};
+use crate::sanitize;
 
 /// Configuration of a bus-based system.
 ///
@@ -338,7 +339,7 @@ impl BusSystem {
                 }
             }
             match class {
-                AccessClass::Hit => continue,
+                AccessClass::Hit => {}
                 AccessClass::Upgrade | AccessClass::Miss => {
                     let kind = match (class, r.kind) {
                         (AccessClass::Upgrade, _) => TxnKind::Upgrade,
@@ -545,6 +546,13 @@ impl BusSystem {
 
     fn complete(&mut self, i: usize) {
         let t = self.nodes[i].txn.take().expect("completing absent txn");
+        if sanitize::sanitize_enabled() {
+            // Snoop resolution is atomic at the serialisation point, so no
+            // transient carve-outs are needed: SWMR must hold outright.
+            let states: Vec<LineState> =
+                self.nodes.iter().map(|n| n.cache.state_of(t.block)).collect();
+            sanitize::check_swmr(t.block, &states, &vec![false; states.len()]);
+        }
         let node = &mut self.nodes[i];
         node.ready_at = node.ready_at.max(self.now);
         let latency = self.now.saturating_sub(t.start);

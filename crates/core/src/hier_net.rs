@@ -28,6 +28,8 @@ use ringsim_types::rng::Xoshiro256;
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{BlockAddr, ConfigError, NodeId, Time};
 
+use crate::sanitize;
+
 /// Configuration of a hierarchy network simulation.
 #[derive(Debug, Clone)]
 pub struct HierNetConfig {
@@ -411,6 +413,14 @@ impl HierNetSim {
                                         .max(0.1);
                                 node.phase =
                                     Phase::Thinking { until: now + Time::from_ns_f64(think) };
+                                if sanitize::sanitize_enabled() {
+                                    let issued: u64 = self.nodes.iter().map(|n| n.issued).sum();
+                                    sanitize::check_conservation(
+                                        "hier-net",
+                                        issued,
+                                        self.completed,
+                                    );
+                                }
                             }
                         }
                     }

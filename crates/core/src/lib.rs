@@ -37,6 +37,7 @@ mod engine;
 mod hier_net;
 mod report;
 mod ring_system;
+mod sanitize;
 
 pub use access_net::{AccessNetConfig, AccessNetReport, InsertionNetSim, SlottedNetSim};
 pub use bus_system::{BusSystem, BusSystemConfig};
@@ -45,3 +46,4 @@ pub use engine::EventQueue;
 pub use hier_net::{HierNetConfig, HierNetReport, HierNetSim};
 pub use report::{ClassLatencies, NodeSummary, SimReport};
 pub use ring_system::RingSystem;
+pub use sanitize::{sanitize_enabled, set_sanitize_mode, SanitizeMode};

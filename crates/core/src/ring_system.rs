@@ -25,6 +25,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use ringsim_cache::{AccessClass, Cache, LineState};
+use ringsim_proto::transitions::{self, DirAction, DirRequest, HomeSnoopAction, SnoopAction};
 use ringsim_proto::{Directory, HomeMemory, MsgClass, MsgKind, ProtocolKind, RingMessage};
 use ringsim_ring::{SlotId, SlotKind, SlotRing};
 use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
@@ -33,6 +34,7 @@ use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId,
 
 use crate::config::SystemConfig;
 use crate::report::{ClassLatencies, NodeSummary, SimReport};
+use crate::sanitize;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TxnKind {
@@ -351,7 +353,7 @@ impl RingSystem {
                 }
             }
             match class {
-                AccessClass::Hit => continue,
+                AccessClass::Hit => {}
                 AccessClass::Upgrade | AccessClass::Miss => {
                     let kind = match (class, r.kind) {
                         (AccessClass::Upgrade, _) => TxnKind::Upgrade,
@@ -567,10 +569,17 @@ impl RingSystem {
                 self.snoop_probe(i, slot, msg);
             }
             MsgKind::DirInval if msg.requester != me => {
-                let was = self.nodes[i].cache.snoop_invalidate(msg.block);
-                if was.is_valid() {
-                    // Presence bits are updated wholesale when the
-                    // multicast returns to the home.
+                let state = self.nodes[i].cache.state_of(msg.block);
+                match transitions::snooper_action(state, msg.kind) {
+                    SnoopAction::Invalidate => {
+                        // Presence bits are updated wholesale when the
+                        // multicast returns to the home.
+                        self.nodes[i].cache.snoop_invalidate(msg.block);
+                    }
+                    SnoopAction::Ignore => {}
+                    SnoopAction::SupplyInvalidate | SnoopAction::SupplyDowngrade => {
+                        unreachable!("multicast invalidation never asks a cache for data")
+                    }
                 }
                 self.poison_pending_read(i, msg.block);
             }
@@ -582,6 +591,19 @@ impl RingSystem {
         if let Some(t) = self.nodes[i].txn.as_mut() {
             if t.block == block && t.kind == TxnKind::Read {
                 t.poisoned = true;
+            }
+        }
+    }
+
+    /// The home is ordering `requester`'s transaction on `block` *now*: a
+    /// poison mark left by a multicast that completed before this
+    /// serialisation point is stale (the fill is ordered after that write
+    /// and may be cached). Only an invalidation arriving after this moment
+    /// may poison the fill.
+    fn unpoison(&mut self, requester: NodeId, block: BlockAddr) {
+        if let Some(t) = self.nodes[requester.index()].txn.as_mut() {
+            if t.block == block {
+                t.poisoned = false;
             }
         }
     }
@@ -606,89 +628,62 @@ impl RingSystem {
         let supply = self.cfg.supply_latency;
         let mem = self.cfg.mem_latency;
         let now = self.ring.now();
-        match msg.kind {
-            MsgKind::SnoopRead => {
-                if state == LineState::We {
-                    // Dirty owner: downgrade, ack, supply, refresh memory.
-                    self.nodes[i].cache.snoop_downgrade(block);
+        let data_reply =
+            RingMessage::for_requester(MsgKind::BlockData, block, me, msg.requester, msg.requester);
+        // Cache side: the pure table decides, this function adds timing.
+        match transitions::snooper_action(state, msg.kind) {
+            SnoopAction::SupplyDowngrade => {
+                // Dirty owner: downgrade, ack, supply, refresh memory.
+                self.nodes[i].cache.snoop_downgrade(block);
+                if let Some(m) = self.ring.peek_mut(slot) {
+                    m.acked = true;
+                }
+                let data = data_reply.with_from_dirty(true);
+                self.schedule(now + supply, Event::Send { node: i, msg: data });
+                let wb = RingMessage::new(MsgKind::WriteBack, block, me, home);
+                self.schedule(now + supply, Event::Send { node: i, msg: wb });
+            }
+            SnoopAction::SupplyInvalidate => {
+                // Dirty owner: supply and relinquish.
+                self.nodes[i].cache.snoop_invalidate(block);
+                if let Some(m) = self.ring.peek_mut(slot) {
+                    m.acked = true;
+                }
+                let data = data_reply.with_from_dirty(true);
+                self.schedule(now + supply, Event::Send { node: i, msg: data });
+            }
+            SnoopAction::Invalidate => {
+                self.nodes[i].cache.snoop_invalidate(block);
+                self.credit_invalidation(msg.requester, block);
+            }
+            SnoopAction::Ignore => {}
+        }
+        // Home side: the dirty bit arbitrates whether memory answers. If
+        // dirty, the (old or pending) owner responds instead.
+        if me == home {
+            match transitions::home_snoop_action(self.mem.is_dirty(block), msg.kind) {
+                HomeSnoopAction::Supply => {
                     if let Some(m) = self.ring.peek_mut(slot) {
                         m.acked = true;
                     }
-                    let data = RingMessage::for_requester(
-                        MsgKind::BlockData,
-                        block,
-                        me,
-                        msg.requester,
-                        msg.requester,
-                    )
-                    .with_from_dirty(true);
-                    self.schedule(now + supply, Event::Send { node: i, msg: data });
-                    let wb = RingMessage::new(MsgKind::WriteBack, block, me, home);
-                    self.schedule(now + supply, Event::Send { node: i, msg: wb });
-                } else if me == home && !self.mem.is_dirty(block) {
-                    if let Some(m) = self.ring.peek_mut(slot) {
-                        m.acked = true;
-                    }
-                    let data = RingMessage::for_requester(
-                        MsgKind::BlockData,
-                        block,
-                        me,
-                        msg.requester,
-                        msg.requester,
-                    );
                     let done = self.mem_done(i, now);
-                    self.schedule(done, Event::Send { node: i, msg: data });
+                    self.schedule(done, Event::Send { node: i, msg: data_reply });
                 }
-            }
-            MsgKind::SnoopWrite => {
-                if state == LineState::We {
-                    // Dirty owner: supply and relinquish.
-                    self.nodes[i].cache.snoop_invalidate(block);
+                HomeSnoopAction::SupplyClaim => {
                     if let Some(m) = self.ring.peek_mut(slot) {
                         m.acked = true;
                     }
-                    let data = RingMessage::for_requester(
-                        MsgKind::BlockData,
-                        block,
-                        me,
-                        msg.requester,
-                        msg.requester,
-                    )
-                    .with_from_dirty(true);
-                    self.schedule(now + supply, Event::Send { node: i, msg: data });
-                } else if state == LineState::Rs {
-                    self.nodes[i].cache.snoop_invalidate(block);
-                    self.credit_invalidation(msg.requester, block);
-                }
-                if me == home && !self.mem.is_dirty(block) {
-                    if let Some(m) = self.ring.peek_mut(slot) {
-                        m.acked = true;
-                    }
-                    let data = RingMessage::for_requester(
-                        MsgKind::BlockData,
-                        block,
-                        me,
-                        msg.requester,
-                        msg.requester,
-                    );
-                    self.schedule(now + mem, Event::Send { node: i, msg: data });
+                    self.schedule(now + mem, Event::Send { node: i, msg: data_reply });
                     self.mem.set_dirty(block);
                 }
-                // If already dirty the (old or pending) owner responds.
-            }
-            MsgKind::SnoopUpgrade => {
-                if state == LineState::Rs {
-                    self.nodes[i].cache.snoop_invalidate(block);
-                    self.credit_invalidation(msg.requester, block);
-                }
-                if me == home && !self.mem.is_dirty(block) {
+                HomeSnoopAction::AckClaim => {
                     if let Some(m) = self.ring.peek_mut(slot) {
                         m.acked = true;
                     }
                     self.mem.set_dirty(block);
                 }
+                HomeSnoopAction::Silent => {}
             }
-            _ => unreachable!("snoop_probe called on non-probe"),
         }
     }
 
@@ -711,7 +706,13 @@ impl RingSystem {
                 self.home_receive(msg, now);
             }
             MsgKind::DirFwdRead | MsgKind::DirFwdWrite => {
-                let pending = self.nodes[i].txn.as_ref().is_some_and(|t| t.block == msg.block);
+                // A forward can always be served from the write-back buffer,
+                // even while the target's own re-miss on the block is in
+                // flight — parking it would deadlock the home (which holds
+                // the lock for the forwarded requester) against the target's
+                // queued request.
+                let pending = self.nodes[i].txn.as_ref().is_some_and(|t| t.block == msg.block)
+                    && !self.nodes[i].wb_buffer.contains(&msg.block.raw());
                 if pending {
                     self.nodes[i].pending_fwds.push(msg);
                 } else {
@@ -882,6 +883,9 @@ impl RingSystem {
                 self.nodes[i].pending_fwds.push(fwd);
             }
         }
+        if sanitize::sanitize_enabled() {
+            self.sanitize_retired_block(t.block);
+        }
         let node = &mut self.nodes[i];
         node.ready_at = node.ready_at.max(done);
         self.last_progress_cycle = self.ring.cycle();
@@ -1026,26 +1030,37 @@ impl RingSystem {
         match req.kind {
             MsgKind::WriteBack => {
                 let evictor = req.src;
+                // The buffer entry is the liveness token for an in-flight
+                // write-back: `reclaim_own_writeback` clears it when the
+                // evictor's own re-miss overtakes the message, and the home
+                // must then drop the stale arrival — by the time it lands the
+                // block may already be granted back to the evictor, and
+                // clearing the entry would orphan that copy.
+                let live = self.nodes[evictor.index()].wb_buffer.remove(&block.raw());
                 let entry = self.dir.entry(block);
-                if entry.owner == Some(evictor) {
+                if live && entry.owner == Some(evictor) {
                     self.dir.remove_sharer(block, evictor);
                 }
-                // Model the home's acknowledgment: the evictor's write-back
-                // buffer entry is reclaimed at this instant.
-                self.nodes[evictor.index()].wb_buffer.remove(&block.raw());
                 self.unlock_and_drain(block, now);
             }
-            MsgKind::DirRead => self.home_read(req, now),
-            MsgKind::DirWrite => self.home_write(req, now, false),
+            MsgKind::DirRead => {
+                self.unpoison(req.requester, block);
+                self.home_read(req, now);
+            }
+            MsgKind::DirWrite => {
+                self.unpoison(req.requester, block);
+                self.home_write(req, now, false);
+            }
             MsgKind::DirUpgrade => {
+                self.unpoison(req.requester, block);
                 let entry = self.dir.entry(block);
-                if entry.has_sharer(req.requester) {
-                    debug_assert!(entry.owner.is_none(), "upgrader coexists with an owner");
-                    self.home_upgrade(req, now);
-                } else {
+                if transitions::upgrade_must_convert(&entry, req.requester) {
                     // The upgrader's line was invalidated while the request
                     // waited: serve it as a write miss instead.
-                    self.home_write(req, now, true)
+                    self.home_write(req, now, true);
+                } else {
+                    debug_assert!(entry.owner.is_none(), "upgrader coexists with an owner");
+                    self.home_upgrade(req, now);
                 }
             }
             _ => unreachable!("home_act on non-request {:?}", req.kind),
@@ -1076,7 +1091,7 @@ impl RingSystem {
     /// proceed against clean memory.
     fn reclaim_own_writeback(&mut self, block: BlockAddr, requester: NodeId) {
         let entry = self.dir.entry(block);
-        if entry.owner == Some(requester) {
+        if transitions::must_reclaim_writeback(&entry, requester) {
             debug_assert!(
                 self.nodes[requester.index()].wb_buffer.contains(&block.raw()),
                 "directory owner misses without a write-back in flight"
@@ -1095,8 +1110,8 @@ impl RingSystem {
         let measuring = self.measuring_requester(&req);
         let region = self.requester_region(&req);
         let local = home == requester;
-        match entry.owner {
-            Some(d) => {
+        match transitions::dir_action(&entry, requester, DirRequest::Read) {
+            DirAction::ForwardRead { owner: d } => {
                 debug_assert_ne!(d, requester, "requester misses on a block it owns");
                 if measuring {
                     if region == Region::Private {
@@ -1109,13 +1124,18 @@ impl RingSystem {
                 }
                 let fwd =
                     RingMessage::for_requester(MsgKind::DirFwdRead, block, home, d, requester);
+                // Record the requester now, not when the MemUpdate returns:
+                // the requester can fill (data comes straight from the owner)
+                // and evict again before the update reaches the home, and its
+                // replacement hint must find the presence bit to clear.
+                self.dir.add_sharer(block, requester);
                 self.home_txns.insert(
                     block.raw(),
                     HomeTxn { req, stage: Some(HomeStage::AwaitUpdate), converted: false },
                 );
                 self.schedule(now, Event::Send { node: home.index(), msg: fwd });
             }
-            None => {
+            DirAction::GrantData => {
                 if measuring {
                     if region == Region::Private {
                         self.events.private_misses += 1;
@@ -1136,6 +1156,9 @@ impl RingSystem {
                 self.schedule(now, Event::Send { node: home.index(), msg: data });
                 self.unlock_and_drain(block, now);
             }
+            DirAction::ForwardWrite { .. } | DirAction::InvalidateSharers | DirAction::GrantAck => {
+                unreachable!("read request dispatched to a write action")
+            }
         }
     }
 
@@ -1148,8 +1171,9 @@ impl RingSystem {
         let measuring = self.measuring_requester(&req);
         let region = self.requester_region(&req);
         let local = home == requester;
-        match entry.owner {
-            Some(d) => {
+        let others = entry.other_sharers(requester);
+        match transitions::dir_action(&entry, requester, DirRequest::Write) {
+            DirAction::ForwardWrite { owner: d } => {
                 debug_assert_ne!(d, requester);
                 if measuring {
                     if region == Region::Private {
@@ -1172,8 +1196,7 @@ impl RingSystem {
                 );
                 self.schedule(now, Event::Send { node: home.index(), msg: fwd });
             }
-            None => {
-                let others = entry.other_sharers(requester);
+            action @ (DirAction::InvalidateSharers | DirAction::GrantData) => {
                 if measuring {
                     if region == Region::Private {
                         if !converted_upgrade {
@@ -1189,7 +1212,7 @@ impl RingSystem {
                         self.events.invalidated_copies += others.count_ones() as u64;
                     }
                 }
-                if others != 0 {
+                if action == DirAction::InvalidateSharers {
                     self.home_self_invalidate(home, requester, block);
                     let inval =
                         RingMessage::for_requester(MsgKind::DirInval, block, home, home, requester);
@@ -1214,6 +1237,9 @@ impl RingSystem {
                     self.schedule(now, Event::Send { node: home.index(), msg: data });
                     self.unlock_and_drain(block, now);
                 }
+            }
+            DirAction::ForwardRead { .. } | DirAction::GrantAck => {
+                unreachable!("write request dispatched to a read/upgrade action")
             }
         }
     }
@@ -1242,20 +1268,29 @@ impl RingSystem {
                 self.events.upgrade_nosharers_remote += 1;
             }
         }
-        if others != 0 {
-            self.home_self_invalidate(home, requester, block);
-            let inval = RingMessage::for_requester(MsgKind::DirInval, block, home, home, requester);
-            self.home_txns.insert(
-                block.raw(),
-                HomeTxn { req, stage: Some(HomeStage::AwaitInval), converted: false },
-            );
-            self.schedule(now, Event::Send { node: home.index(), msg: inval });
-        } else {
-            self.dir.set_owner(block, requester);
-            let ack =
-                RingMessage::for_requester(MsgKind::DirAck, block, home, requester, requester);
-            self.schedule(now, Event::Send { node: home.index(), msg: ack });
-            self.unlock_and_drain(block, now);
+        match transitions::dir_action(&entry, requester, DirRequest::Upgrade) {
+            DirAction::InvalidateSharers => {
+                self.home_self_invalidate(home, requester, block);
+                let inval =
+                    RingMessage::for_requester(MsgKind::DirInval, block, home, home, requester);
+                self.home_txns.insert(
+                    block.raw(),
+                    HomeTxn { req, stage: Some(HomeStage::AwaitInval), converted: false },
+                );
+                self.schedule(now, Event::Send { node: home.index(), msg: inval });
+            }
+            DirAction::GrantAck => {
+                self.dir.set_owner(block, requester);
+                let ack =
+                    RingMessage::for_requester(MsgKind::DirAck, block, home, requester, requester);
+                self.schedule(now, Event::Send { node: home.index(), msg: ack });
+                self.unlock_and_drain(block, now);
+            }
+            DirAction::ForwardRead { .. }
+            | DirAction::ForwardWrite { .. }
+            | DirAction::GrantData => {
+                unreachable!("well-formed upgrade dispatched to a miss action")
+            }
         }
     }
 
@@ -1290,11 +1325,13 @@ impl RingSystem {
         let d = msg.src;
         match req.kind {
             MsgKind::DirRead => {
+                // The requester's presence bit was set when the forward was
+                // launched (see `home_read`); only the old owner's status
+                // needs settling here.
                 self.dir.clear_owner(block);
                 if !msg.retained {
                     self.dir.remove_sharer(block, d);
                 }
-                self.dir.add_sharer(block, requester);
             }
             _ => {
                 self.dir.set_owner(block, requester);
@@ -1314,6 +1351,14 @@ impl RingSystem {
             state == LineState::We || buffered,
             "forward to a node without the data: {fwd} (state {state:?})"
         );
+        if state != LineState::We {
+            // Serving from the write-back buffer hands the data over; the
+            // buffered entry — and with it the still-circulating WriteBack
+            // message — is consumed, or the stale arrival could clear a
+            // later re-grant of the block (its buffer bit is the liveness
+            // token the home checks).
+            self.nodes[i].wb_buffer.remove(&block.raw());
+        }
         let retained = match fwd.kind {
             MsgKind::DirFwdRead => {
                 if state == LineState::We {
@@ -1414,6 +1459,19 @@ impl RingSystem {
     #[must_use]
     pub fn events(&self) -> CoherenceEvents {
         self.events
+    }
+
+    /// Runtime sanitizer hook: re-checks the shared coherence invariants
+    /// for one block at a transaction-retire boundary. The carve-outs match
+    /// the `ringsim-check` model checker, so these hold at any instant.
+    fn sanitize_retired_block(&self, block: BlockAddr) {
+        let states: Vec<LineState> = self.nodes.iter().map(|n| n.cache.state_of(block)).collect();
+        let conflicting: Vec<bool> =
+            self.nodes.iter().map(|n| n.txn.as_ref().is_some_and(|t| t.block == block)).collect();
+        sanitize::check_swmr(block, &states, &conflicting);
+        if self.cfg.protocol == ProtocolKind::Snooping {
+            sanitize::check_we_implies_dirty(block, &states, self.mem.is_dirty(block));
+        }
     }
 
     /// Checks global single-writer / reader-consistency invariants over all

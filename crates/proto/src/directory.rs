@@ -18,22 +18,33 @@ pub struct DirEntry {
 }
 
 impl DirEntry {
+    /// Presence-bit mask for `node`, checked against the map width.
+    ///
+    /// A full-map entry has exactly 64 presence bits; shifting by a larger
+    /// index would silently wrap in release builds (`1u64 << 65 == 2`), so a
+    /// 65-node misconfiguration must fail loudly here instead.
+    #[must_use]
+    pub fn mask(node: NodeId) -> u64 {
+        debug_assert!(node.index() < 64, "{node} exceeds the 64-bit full-map presence mask");
+        1u64 << (node.index() % 64)
+    }
+
     /// Presence bit for `node`.
     #[must_use]
     pub fn has_sharer(&self, node: NodeId) -> bool {
-        self.sharers & (1 << node.index()) != 0
+        self.sharers & Self::mask(node) != 0
     }
 
     /// Whether any node other than `node` holds a copy.
     #[must_use]
     pub fn has_other_sharers(&self, node: NodeId) -> bool {
-        self.sharers & !(1 << node.index()) != 0
+        self.sharers & !Self::mask(node) != 0
     }
 
     /// Nodes holding a copy, excluding `node`.
     #[must_use]
     pub fn other_sharers(&self, node: NodeId) -> u64 {
-        self.sharers & !(1 << node.index())
+        self.sharers & !Self::mask(node)
     }
 
     /// Number of sharers.
@@ -104,14 +115,14 @@ impl Directory {
     pub fn add_sharer(&mut self, block: BlockAddr, node: NodeId) {
         assert!(node.index() < self.nodes, "{node} out of range");
         let e = self.entries.entry(block.raw()).or_default();
-        e.sharers |= 1 << node.index();
+        e.sharers |= DirEntry::mask(node);
     }
 
     /// Removes `node` from the presence bits; clears the owner if `node`
     /// owned the block. Returns the updated entry.
     pub fn remove_sharer(&mut self, block: BlockAddr, node: NodeId) -> DirEntry {
         let e = self.entries.entry(block.raw()).or_default();
-        e.sharers &= !(1 << node.index());
+        e.sharers &= !DirEntry::mask(node);
         if e.owner == Some(node) {
             e.owner = None;
         }
@@ -128,7 +139,7 @@ impl Directory {
         assert!(node.index() < self.nodes, "{node} out of range");
         let e = self.entries.entry(block.raw()).or_default();
         e.owner = Some(node);
-        e.sharers = 1 << node.index();
+        e.sharers = DirEntry::mask(node);
     }
 
     /// Clears the dirty state after a downgrade (`keep` nodes remain
@@ -239,6 +250,20 @@ mod tests {
     fn unlock_requires_lock() {
         let mut d = Directory::new(4);
         d.unlock(BlockAddr::new(1));
+    }
+
+    #[test]
+    fn mask_matches_bit_position() {
+        for i in [0usize, 1, 7, 63] {
+            assert_eq!(DirEntry::mask(NodeId::new(i)), 1u64 << i);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the 64-bit full-map presence mask")]
+    fn mask_rejects_out_of_range_node() {
+        let _ = DirEntry::mask(NodeId::new(64));
     }
 
     #[test]

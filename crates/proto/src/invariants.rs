@@ -1,0 +1,172 @@
+//! Pure coherence-invariant evaluators.
+//!
+//! The runtime sanitizer in `ringsim-core` and the exhaustive model checker
+//! in `ringsim-check` both judge protocol states with these functions, so
+//! "what counts as a violation" is defined exactly once.
+//!
+//! All evaluators take a per-node snapshot of one block:
+//!
+//! * `states[i]` — node `i`'s cache-line state for the block,
+//! * `conflicting[i]` — node `i` has a transaction in flight on the block
+//!   (such a node's stale copy is permitted transiently: the retry/convert
+//!   path drops it before the transaction completes).
+
+use ringsim_cache::LineState;
+
+use crate::DirEntry;
+
+/// Single-writer/multiple-reader: at most one `We` holder, and a `We`
+/// holder never coexists with a *settled* `Rs` copy elsewhere. Holds in
+/// every reachable state, not only at quiescence.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn check_swmr(states: &[LineState], conflicting: &[bool]) -> Result<(), String> {
+    let writers: Vec<usize> = (0..states.len()).filter(|&i| states[i] == LineState::We).collect();
+    if writers.len() > 1 {
+        return Err(format!("SWMR: {} write-exclusive holders {writers:?}", writers.len()));
+    }
+    if let Some(&w) = writers.first() {
+        let settled: Vec<usize> =
+            (0..states.len()).filter(|&i| states[i] == LineState::Rs && !conflicting[i]).collect();
+        if !settled.is_empty() {
+            return Err(format!(
+                "SWMR: writer P{w} coexists with settled read-shared copies at {settled:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Snooping memory agreement, safe side: a write-exclusive line always has
+/// the home's dirty bit set (the probe that created the owner set it).
+/// Holds in every reachable state.
+///
+/// # Errors
+///
+/// Returns a description of the violation.
+pub fn check_we_implies_dirty(states: &[LineState], dirty: bool) -> Result<(), String> {
+    if dirty {
+        return Ok(());
+    }
+    match states.iter().position(|&s| s == LineState::We) {
+        Some(w) => {
+            Err(format!("snooping: P{w} holds the block write-exclusive but memory is clean"))
+        }
+        None => Ok(()),
+    }
+}
+
+/// Dirty-owner liveness: a dirty block's data must remain reachable — some
+/// cache holds it `We`, or the owner's write-back / in-flight transaction
+/// will refresh the home. `wb_pending[i]` marks a dirty-victim write-back
+/// in flight from node `i`.
+///
+/// # Errors
+///
+/// Returns a description of the violation.
+pub fn check_dirty_data_reachable(
+    states: &[LineState],
+    conflicting: &[bool],
+    wb_pending: &[bool],
+    dirty: bool,
+) -> Result<(), String> {
+    if !dirty {
+        return Ok(());
+    }
+    let reachable =
+        (0..states.len()).any(|i| states[i] == LineState::We || conflicting[i] || wb_pending[i]);
+    if reachable {
+        Ok(())
+    } else {
+        Err("dirty block with no write-exclusive copy, write-back, or transaction in flight"
+            .to_owned())
+    }
+}
+
+/// Directory–cache agreement at (per-block) quiescence: the presence bits
+/// list exactly the caches holding the block, and the dirty bit points at
+/// the one write-exclusive holder. The caller must ensure the block is
+/// quiescent — entry unlocked, no transaction or write-back in flight.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement found.
+pub fn check_dir_agreement(states: &[LineState], entry: &DirEntry) -> Result<(), String> {
+    let mut cached = 0u64;
+    for (i, &s) in states.iter().enumerate() {
+        if s.is_valid() {
+            cached |= 1 << i;
+        }
+    }
+    if entry.sharers != cached {
+        return Err(format!(
+            "directory presence bits {:#b} disagree with cached copies {cached:#b}",
+            entry.sharers
+        ));
+    }
+    let we_holder = states.iter().position(|&s| s == LineState::We);
+    match (entry.owner, we_holder) {
+        (Some(o), Some(w)) if o.index() != w => {
+            Err(format!("directory owner {o} but P{w} holds the block write-exclusive"))
+        }
+        (Some(o), None) => Err(format!("directory owner {o} but no write-exclusive copy")),
+        (None, Some(w)) => Err(format!("no directory owner but P{w} is write-exclusive")),
+        (Some(_), Some(_)) | (None, None) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsim_types::NodeId;
+
+    const NONE: [bool; 4] = [false; 4];
+
+    #[test]
+    fn swmr_accepts_readers_and_single_writer() {
+        use LineState::{Inv, Rs, We};
+        assert!(check_swmr(&[Rs, Rs, Inv, Rs], &NONE).is_ok());
+        assert!(check_swmr(&[Inv, We, Inv, Inv], &NONE).is_ok());
+    }
+
+    #[test]
+    fn swmr_rejects_two_writers_and_settled_readers() {
+        use LineState::{Inv, Rs, We};
+        assert!(check_swmr(&[We, We, Inv, Inv], &NONE).is_err());
+        assert!(check_swmr(&[We, Rs, Inv, Inv], &NONE).is_err());
+        // ... but tolerates a reader whose conflicting transaction is still
+        // in flight (the retry path drops the stale copy).
+        assert!(check_swmr(&[We, Rs, Inv, Inv], &[false, true, false, false]).is_ok());
+    }
+
+    #[test]
+    fn we_implies_dirty() {
+        use LineState::{Inv, We};
+        assert!(check_we_implies_dirty(&[Inv, We], true).is_ok());
+        assert!(check_we_implies_dirty(&[Inv, We], false).is_err());
+        assert!(check_we_implies_dirty(&[Inv, Inv], false).is_ok());
+    }
+
+    #[test]
+    fn dirty_data_reachability() {
+        use LineState::{Inv, We};
+        assert!(check_dirty_data_reachable(&[Inv, We], &[false; 2], &[false; 2], true).is_ok());
+        assert!(check_dirty_data_reachable(&[Inv, Inv], &[false; 2], &[true, false], true).is_ok());
+        assert!(check_dirty_data_reachable(&[Inv, Inv], &[false; 2], &[false; 2], true).is_err());
+        assert!(check_dirty_data_reachable(&[Inv, Inv], &[false; 2], &[false; 2], false).is_ok());
+    }
+
+    #[test]
+    fn dir_agreement_mirrors_caches() {
+        use LineState::{Inv, Rs, We};
+        let mut entry = DirEntry { sharers: 0b0110, ..DirEntry::default() };
+        assert!(check_dir_agreement(&[Inv, Rs, Rs, Inv], &entry).is_ok());
+        assert!(check_dir_agreement(&[Inv, Rs, Inv, Inv], &entry).is_err());
+        entry.sharers = 0b0010;
+        entry.owner = Some(NodeId::new(1));
+        assert!(check_dir_agreement(&[Inv, We, Inv, Inv], &entry).is_ok());
+        assert!(check_dir_agreement(&[Inv, Rs, Inv, Inv], &entry).is_err());
+    }
+}

@@ -10,7 +10,11 @@
 //!   block, with a busy/pending queue used by the timed simulator to
 //!   serialise conflicting transactions (paper §3.2),
 //! * [`table1`] — untimed traversal accountants for the full-map and the
-//!   SCI-like linked-list directory, which regenerate Table 1.
+//!   SCI-like linked-list directory, which regenerate Table 1,
+//! * [`transitions`] — the pure transition tables consulted by both the
+//!   timed simulators and the `ringsim-check` model checker,
+//! * [`invariants`] — the coherence-invariant evaluators shared by the
+//!   runtime sanitizer and the model checker.
 //!
 //! The timed semantics (who waits for which slot when) live in
 //! `ringsim-core`; the untimed reference semantics live in
@@ -20,9 +24,11 @@
 #![warn(missing_docs)]
 
 mod directory;
+pub mod invariants;
 mod memory;
 mod msg;
 pub mod table1;
+pub mod transitions;
 
 pub use directory::{DirEntry, Directory};
 pub use memory::HomeMemory;

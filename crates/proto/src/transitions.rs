@@ -1,0 +1,324 @@
+//! Pure coherence transition tables.
+//!
+//! Both protocols' *decisions* — what a snooping cache does as a probe
+//! passes, what the home memory contributes, and how the full-map directory
+//! dispatches a request — live here as total functions over
+//! ([`LineState`], [`MsgKind`]) and [`DirEntry`]. The timed simulator in
+//! `ringsim-core` consults these tables and adds timing (slots, latencies,
+//! retries); the model checker in `ringsim-check` drives the very same
+//! tables through an abstract scheduler. A transition bug therefore cannot
+//! hide in one consumer: the checker exercises exactly the code the
+//! simulator runs.
+//!
+//! Every `match` in this module is intentionally total with **no wildcard
+//! arms** — `tests/lint_protocol_tables.rs` asserts this statically so a new
+//! `MsgKind` or `LineState` variant forces every table to be revisited.
+
+use ringsim_cache::LineState;
+use ringsim_types::NodeId;
+
+use crate::{DirEntry, MsgKind};
+
+/// What a snooping cache interface does to its own copy as a ring message
+/// passes by (paper §3.1, plus the directory's multicast invalidation).
+///
+/// The caller is responsible for the requester-side arbitration that is not
+/// a property of the line state: a node whose *own* transaction is in flight
+/// on the block does not participate at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopAction {
+    /// No local action.
+    Ignore,
+    /// Drop the read-shared copy (write/upgrade/invalidation passing a
+    /// sharer). The invalidation is counted against the requester.
+    Invalidate,
+    /// Dirty owner relinquishes: supply the block to the requester and
+    /// invalidate the local copy (write probe passing the owner).
+    SupplyInvalidate,
+    /// Dirty owner downgrades: supply the block, keep a read-shared copy,
+    /// and write the dirty data back to the home (read probe passing the
+    /// owner).
+    SupplyDowngrade,
+}
+
+/// The snooping cache-side transition table: action for a line in `state`
+/// as a message of kind `msg` passes the interface.
+///
+/// Total over every ([`LineState`], [`MsgKind`]) pair; unicast directory
+/// messages are never snooped and map to [`SnoopAction::Ignore`].
+#[must_use]
+pub fn snooper_action(state: LineState, msg: MsgKind) -> SnoopAction {
+    match msg {
+        MsgKind::SnoopRead => match state {
+            LineState::We => SnoopAction::SupplyDowngrade,
+            LineState::Rs | LineState::Inv => SnoopAction::Ignore,
+        },
+        MsgKind::SnoopWrite => match state {
+            LineState::We => SnoopAction::SupplyInvalidate,
+            LineState::Rs => SnoopAction::Invalidate,
+            LineState::Inv => SnoopAction::Ignore,
+        },
+        MsgKind::SnoopUpgrade => match state {
+            // The upgrader believes it holds the only other copy; a dirty
+            // third party is impossible (SWMR) — the home's dirty bit nacks
+            // the race instead.
+            LineState::We | LineState::Inv => SnoopAction::Ignore,
+            LineState::Rs => SnoopAction::Invalidate,
+        },
+        MsgKind::DirInval => match state {
+            LineState::We | LineState::Rs => SnoopAction::Invalidate,
+            LineState::Inv => SnoopAction::Ignore,
+        },
+        MsgKind::DirRead
+        | MsgKind::DirWrite
+        | MsgKind::DirUpgrade
+        | MsgKind::DirFwdRead
+        | MsgKind::DirFwdWrite
+        | MsgKind::DirAck
+        | MsgKind::BlockData
+        | MsgKind::WriteBack
+        | MsgKind::MemUpdate => SnoopAction::Ignore,
+    }
+}
+
+/// What the home node's memory contributes as a snooping probe passes it
+/// (paper §3.1: the dirty bit arbitrates who answers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeSnoopAction {
+    /// The block is dirty in some cache (or a write-back is in flight): the
+    /// memory stays silent and the requester retries if nobody supplied.
+    Silent,
+    /// Clean read: acknowledge and supply the block from memory.
+    Supply,
+    /// Clean write miss: acknowledge, supply, and set the dirty bit — the
+    /// requester becomes the owner.
+    SupplyClaim,
+    /// Clean upgrade: acknowledge and set the dirty bit; no data moves.
+    AckClaim,
+}
+
+/// The snooping home-side transition table: memory action for a probe of
+/// kind `msg` given the block's `dirty` bit. Total over every kind;
+/// non-probe messages contribute nothing.
+#[must_use]
+pub fn home_snoop_action(dirty: bool, msg: MsgKind) -> HomeSnoopAction {
+    match msg {
+        MsgKind::SnoopRead => {
+            if dirty {
+                HomeSnoopAction::Silent
+            } else {
+                HomeSnoopAction::Supply
+            }
+        }
+        MsgKind::SnoopWrite => {
+            if dirty {
+                HomeSnoopAction::Silent
+            } else {
+                HomeSnoopAction::SupplyClaim
+            }
+        }
+        MsgKind::SnoopUpgrade => {
+            if dirty {
+                HomeSnoopAction::Silent
+            } else {
+                HomeSnoopAction::AckClaim
+            }
+        }
+        MsgKind::DirRead
+        | MsgKind::DirWrite
+        | MsgKind::DirUpgrade
+        | MsgKind::DirFwdRead
+        | MsgKind::DirFwdWrite
+        | MsgKind::DirInval
+        | MsgKind::DirAck
+        | MsgKind::BlockData
+        | MsgKind::WriteBack
+        | MsgKind::MemUpdate => HomeSnoopAction::Silent,
+    }
+}
+
+/// A request at the directory home's serialisation point, after the
+/// busy/pending queue admitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirRequest {
+    /// Read miss ([`MsgKind::DirRead`]).
+    Read,
+    /// Write miss ([`MsgKind::DirWrite`]), including converted upgrades.
+    Write,
+    /// Upgrade of a still-valid read-shared line ([`MsgKind::DirUpgrade`]).
+    Upgrade,
+}
+
+impl DirRequest {
+    /// Maps a message kind to the request it carries, if any. Total over
+    /// [`MsgKind`] so new kinds must decide whether they are home requests.
+    #[must_use]
+    pub fn classify(kind: MsgKind) -> Option<DirRequest> {
+        match kind {
+            MsgKind::DirRead => Some(DirRequest::Read),
+            MsgKind::DirWrite => Some(DirRequest::Write),
+            MsgKind::DirUpgrade => Some(DirRequest::Upgrade),
+            MsgKind::SnoopRead
+            | MsgKind::SnoopWrite
+            | MsgKind::SnoopUpgrade
+            | MsgKind::DirFwdRead
+            | MsgKind::DirFwdWrite
+            | MsgKind::DirInval
+            | MsgKind::DirAck
+            | MsgKind::BlockData
+            | MsgKind::WriteBack
+            | MsgKind::MemUpdate => None,
+        }
+    }
+}
+
+/// How the directory home dispatches an admitted request (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirAction {
+    /// Forward a read miss to the dirty owner; the owner supplies and
+    /// downgrades, then refreshes memory and directory at the home.
+    ForwardRead {
+        /// Current write-exclusive holder.
+        owner: NodeId,
+    },
+    /// Forward a write miss to the dirty owner; the owner supplies and
+    /// invalidates its copy.
+    ForwardWrite {
+        /// Current write-exclusive holder.
+        owner: NodeId,
+    },
+    /// Multicast an invalidation to the other sharers before granting
+    /// ownership to the requester.
+    InvalidateSharers,
+    /// Reply immediately with the block (clean read, or write with no other
+    /// copies).
+    GrantData,
+    /// Acknowledge an upgrade without moving data (no other copies).
+    GrantAck,
+}
+
+/// `true` when the directory says the requester itself owns the block: its
+/// dirty-victim write-back is still in flight, and the home must reclaim it
+/// before serving the request against clean memory.
+#[must_use]
+pub fn must_reclaim_writeback(entry: &DirEntry, requester: NodeId) -> bool {
+    entry.owner == Some(requester)
+}
+
+/// `true` when an upgrade request must be demoted to a full write miss: the
+/// requester's read-shared line was invalidated while the request waited in
+/// the busy queue, so an ack without data would grant ownership of a block
+/// the requester no longer holds.
+#[must_use]
+pub fn upgrade_must_convert(entry: &DirEntry, requester: NodeId) -> bool {
+    !entry.has_sharer(requester)
+}
+
+/// The full-map directory dispatch table. `entry` is the state *after*
+/// [`must_reclaim_writeback`] handling, and `req` the request *after*
+/// [`upgrade_must_convert`] demotion.
+#[must_use]
+pub fn dir_action(entry: &DirEntry, requester: NodeId, req: DirRequest) -> DirAction {
+    match req {
+        DirRequest::Read => match entry.owner {
+            Some(owner) => DirAction::ForwardRead { owner },
+            None => DirAction::GrantData,
+        },
+        DirRequest::Write => match entry.owner {
+            Some(owner) => DirAction::ForwardWrite { owner },
+            None => {
+                if entry.has_other_sharers(requester) {
+                    DirAction::InvalidateSharers
+                } else {
+                    DirAction::GrantData
+                }
+            }
+        },
+        DirRequest::Upgrade => match entry.owner {
+            // Unreachable for a well-formed upgrade (the requester is a
+            // sharer, and an owner collapses the sharer set to itself), but
+            // the table stays total: the owner can always serve it as a
+            // write miss.
+            Some(owner) => DirAction::ForwardWrite { owner },
+            None => {
+                if entry.has_other_sharers(requester) {
+                    DirAction::InvalidateSharers
+                } else {
+                    DirAction::GrantAck
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snooper_table_matches_paper_protocol() {
+        assert_eq!(snooper_action(LineState::We, MsgKind::SnoopRead), SnoopAction::SupplyDowngrade);
+        assert_eq!(
+            snooper_action(LineState::We, MsgKind::SnoopWrite),
+            SnoopAction::SupplyInvalidate
+        );
+        assert_eq!(snooper_action(LineState::Rs, MsgKind::SnoopWrite), SnoopAction::Invalidate);
+        assert_eq!(snooper_action(LineState::Rs, MsgKind::SnoopUpgrade), SnoopAction::Invalidate);
+        assert_eq!(snooper_action(LineState::Inv, MsgKind::SnoopWrite), SnoopAction::Ignore);
+        assert_eq!(snooper_action(LineState::Rs, MsgKind::BlockData), SnoopAction::Ignore);
+    }
+
+    #[test]
+    fn home_table_claims_only_when_clean() {
+        assert_eq!(home_snoop_action(false, MsgKind::SnoopRead), HomeSnoopAction::Supply);
+        assert_eq!(home_snoop_action(false, MsgKind::SnoopWrite), HomeSnoopAction::SupplyClaim);
+        assert_eq!(home_snoop_action(false, MsgKind::SnoopUpgrade), HomeSnoopAction::AckClaim);
+        for kind in [MsgKind::SnoopRead, MsgKind::SnoopWrite, MsgKind::SnoopUpgrade] {
+            assert_eq!(home_snoop_action(true, kind), HomeSnoopAction::Silent);
+        }
+    }
+
+    #[test]
+    fn dir_table_forwards_to_owner() {
+        let requester = NodeId::new(0);
+        let owner = NodeId::new(2);
+        let entry = DirEntry { owner: Some(owner), sharers: DirEntry::mask(owner) };
+        assert_eq!(
+            dir_action(&entry, requester, DirRequest::Read),
+            DirAction::ForwardRead { owner }
+        );
+        assert_eq!(
+            dir_action(&entry, requester, DirRequest::Write),
+            DirAction::ForwardWrite { owner }
+        );
+    }
+
+    #[test]
+    fn dir_table_invalidates_other_sharers() {
+        let requester = NodeId::new(0);
+        let mut entry = DirEntry {
+            sharers: DirEntry::mask(requester) | DirEntry::mask(NodeId::new(3)),
+            ..DirEntry::default()
+        };
+        assert_eq!(dir_action(&entry, requester, DirRequest::Write), DirAction::InvalidateSharers);
+        assert_eq!(
+            dir_action(&entry, requester, DirRequest::Upgrade),
+            DirAction::InvalidateSharers
+        );
+        entry.sharers = DirEntry::mask(requester);
+        assert_eq!(dir_action(&entry, requester, DirRequest::Write), DirAction::GrantData);
+        assert_eq!(dir_action(&entry, requester, DirRequest::Upgrade), DirAction::GrantAck);
+    }
+
+    #[test]
+    fn reclaim_and_convert_predicates() {
+        let n = NodeId::new(1);
+        let mut entry = DirEntry::default();
+        assert!(!must_reclaim_writeback(&entry, n));
+        assert!(upgrade_must_convert(&entry, n));
+        entry.owner = Some(n);
+        entry.sharers = DirEntry::mask(n);
+        assert!(must_reclaim_writeback(&entry, n));
+        assert!(!upgrade_must_convert(&entry, n));
+    }
+}

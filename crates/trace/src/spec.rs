@@ -189,6 +189,11 @@ impl WorkloadSpec {
         if self.procs < 2 {
             return Err(ConfigError::new("procs", "need at least 2 processors"));
         }
+        if self.procs > 64 {
+            // The directory's presence bits are a u64 mask (`DirEntry::mask`),
+            // so node indices above 63 would silently alias.
+            return Err(ConfigError::new("procs", "at most 64 processors are supported"));
+        }
         if self.data_refs_per_proc == 0 {
             return Err(ConfigError::new("data_refs_per_proc", "must be non-zero"));
         }
@@ -428,6 +433,9 @@ mod tests {
     fn validation_rejects_bad_fields() {
         let ok = WorkloadSpec::demo(4);
         assert!(WorkloadSpec { procs: 1, ..ok.clone() }.validate().is_err());
+        // 64 is the presence-mask width; 65 would alias node indices.
+        assert!(WorkloadSpec::demo(64).validate().is_ok());
+        assert!(WorkloadSpec { procs: 65, ..WorkloadSpec::demo(64) }.validate().is_err());
         assert!(WorkloadSpec { shared_frac: 1.5, ..ok.clone() }.validate().is_err());
         assert!(WorkloadSpec { shared_frac: -0.1, ..ok.clone() }.validate().is_err());
         assert!(WorkloadSpec { migratory_run_len: 0, ..ok.clone() }.validate().is_err());

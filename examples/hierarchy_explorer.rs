@@ -11,7 +11,7 @@ use ringsim::types::Time;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let think = Time::from_ns(800);
     println!("64 processors as two-level ring hierarchies; one remote transaction per");
-    println!("{} of compute; columns are (simulated / modelled).", think);
+    println!("{think} of compute; columns are (simulated / modelled).");
     println!("{:-<78}", "");
     println!(
         "{:<9} {:>9} | {:>21} | {:>21}",

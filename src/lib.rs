@@ -57,6 +57,11 @@ pub mod proto {
     pub use ringsim_proto::*;
 }
 
+/// The exhaustive small-configuration model checker (`ringsim-check`).
+pub mod check {
+    pub use ringsim_check::*;
+}
+
 /// The timed system simulators (`ringsim-core`).
 pub mod core {
     pub use ringsim_core::*;

@@ -7,6 +7,7 @@
 //!               [--protocol snooping|directory] [--mips M] [--refs N]
 //! ringsim model --benchmark mp3d --procs 16 --network bus100 [--mips M]
 //! ringsim experiments [--list] [--only fig3,fig4] [--jobs N] [--refs N] [--out DIR]
+//! ringsim check [--all-protocols] [--nodes N] [--blocks B] [--inject FAULT]
 //! ```
 //!
 //! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         return ringsim_bench::cli::run_with(rest);
     }
     let result = match cmd.as_str() {
+        "check" => return check_cmd(rest),
         "list" => list(),
         "characterize" => characterize_cmd(rest),
         "sim" => sim_cmd(rest),
@@ -65,11 +67,15 @@ usage: ringsim <command> [options]
 commands:
   list                      the paper's benchmark configurations
   characterize              Table 2-style workload characteristics
-  sim                       run a timed system simulation
+  sim                       run a timed system simulation (--sanitize forces the
+                            runtime coherence sanitizer on in release builds)
   model                     evaluate the analytical model
   sweep                     model sweep over processor cycle 1-20 ns (figure series)
   record                    capture a benchmark trace to a file (--out <path>)
   replay                    simulate a recorded trace (--trace <path>)
+  check                     exhaustively model-check the coherence protocols
+                            (--all-protocols | --protocol p) (--nodes N) (--blocks B)
+                            (--inject none|skip-invalidate|forget-owner|park-busy-forwards)
   experiments               run the paper-artifact suite
                             (--list | --only a,b) (--jobs N) (--refs N) (--out DIR)
 
@@ -123,6 +129,73 @@ fn protocol_of(flags: &HashMap<String, String>) -> Result<ProtocolKind, Box<dyn 
     }
 }
 
+/// `ringsim check`: exhaustive state-space exploration of the coherence
+/// protocols on small configurations. Exits non-zero on any violation, with
+/// the shortest counterexample trace on stderr.
+fn check_cmd(args: &[String]) -> ExitCode {
+    match check_cmd_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_cmd_inner(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    use ringsim::check::{explore, CheckConfig, Fault};
+
+    // `--all-protocols` is a bare flag; everything else is `--key value`.
+    let mut all_protocols = false;
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`").into());
+        };
+        if name == "all-protocols" {
+            all_protocols = true;
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+
+    let protocols: Vec<ProtocolKind> = if all_protocols {
+        vec![ProtocolKind::Snooping, ProtocolKind::Directory]
+    } else {
+        vec![protocol_of(&flags)?]
+    };
+    let fault: Fault = flags.get("inject").map_or(Ok(Fault::None), |f| f.parse())?;
+    // Either one explicit configuration, or the standard small matrix.
+    let configs: Vec<(usize, usize)> = match (flags.get("nodes"), flags.get("blocks")) {
+        (None, None) => vec![(2, 1), (3, 1), (4, 2)],
+        (n, b) => {
+            let nodes = n.map_or(Ok(2), |v| v.parse::<usize>())?;
+            let blocks = b.map_or(Ok(1), |v| v.parse::<usize>())?;
+            vec![(nodes, blocks)]
+        }
+    };
+
+    let mut failed = false;
+    for protocol in &protocols {
+        for &(nodes, blocks) in &configs {
+            let mut cfg = CheckConfig::new(*protocol, nodes, blocks);
+            cfg.fault = fault;
+            if let Some(m) = flags.get("max-states") {
+                cfg.max_states = m.parse()?;
+            }
+            let report = explore(&cfg)?;
+            println!("{report}");
+            if let Some(v) = &report.violation {
+                failed = true;
+                eprintln!("{v}");
+            }
+        }
+    }
+    Ok(if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
 fn list() -> CliResult {
     println!("benchmark     paper sizes");
     for b in Benchmark::ALL {
@@ -158,7 +231,12 @@ fn characterize_cmd(args: &[String]) -> CliResult {
 }
 
 fn sim_cmd(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
+    // `--sanitize` is a bare flag; strip it before key-value parsing.
+    let (sanitize, args): (Vec<_>, Vec<_>) = args.iter().cloned().partition(|a| a == "--sanitize");
+    if !sanitize.is_empty() {
+        ringsim::core::set_sanitize_mode(ringsim::core::SanitizeMode::On);
+    }
+    let flags = parse_flags(&args)?;
     let (bench, procs) = benchmark_of(&flags)?;
     let mips = mips_of(&flags)?;
     let proc_cycle = Time::from_ps(1_000_000 / mips);
@@ -196,7 +274,7 @@ fn sim_cmd(args: &[String]) -> CliResult {
     if let (Some(p50), Some(p95)) =
         (report.miss_latency_percentile(0.5), report.miss_latency_percentile(0.95))
     {
-        println!("  miss latency p50/p95  : {:5.0} / {:.0} ns", p50, p95);
+        println!("  miss latency p50/p95  : {p50:5.0} / {p95:.0} ns");
     }
     println!("  mean upgrade latency  : {:5.0} ns", report.upgrade_latency.mean());
     println!("  misses / upgrades     : {} / {}", report.events.misses(), report.events.upgrades());
