@@ -3,11 +3,12 @@
 //! Every per-experiment binary and the `all` driver accept the same flags:
 //!
 //! ```text
-//! --jobs <n>    worker threads per experiment (default: available cores)
-//! --refs <n>    references per processor (default: 60000; bare number works too)
-//! --out <dir>   output directory (default: results/)
-//! --list        list experiments and exit            (all only)
-//! --only <a,b>  run a comma-separated subset         (all only)
+//! --jobs <n>      worker threads per experiment (default: available cores)
+//! --refs <n>      references per processor (default: 60000; bare number works too)
+//! --out <dir>     output directory (default: results/)
+//! --list          list experiments and exit            (all only)
+//! --only <a,b>    run a comma-separated subset         (all only)
+//! --metrics <p>   fold every run's latency histograms into one JSON file
 //! ```
 //!
 //! Artifacts are byte-identical for any `--jobs` value; the wall-time
@@ -35,6 +36,8 @@ pub struct Options {
     pub only: Vec<String>,
     /// Force the runtime coherence sanitizer on (release builds included).
     pub sanitize: bool,
+    /// Write merged per-class latency histograms here (off when `None`).
+    pub metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -46,6 +49,7 @@ impl Default for Options {
             list: false,
             only: Vec::new(),
             sanitize: false,
+            metrics: None,
         }
     }
 }
@@ -75,6 +79,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--list" => opts.list = true,
             "--sanitize" => opts.sanitize = true,
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a value")?.clone());
+            }
             "--only" => {
                 let v = it.next().ok_or("--only needs a value")?;
                 opts.only.extend(v.split(',').map(str::to_owned));
@@ -85,7 +92,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     opts.refs = refs;
                 } else {
                     return Err(format!(
-                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b, --sanitize)"
+                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b, --sanitize, --metrics PATH)"
                     ));
                 }
             }
@@ -99,6 +106,25 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
 
 fn sweep_config(opts: &Options) -> SweepConfig {
     SweepConfig::new(opts.refs).jobs(opts.jobs).out_dir(&opts.out_dir)
+}
+
+/// Drains the process-wide metrics sink into `opts.metrics` (no-op when the
+/// flag was not given). Returns `false` when the write failed.
+fn write_metrics(opts: &Options) -> bool {
+    let Some(path) = &opts.metrics else { return true };
+    let summary = ringsim_obs::take_global_metrics().unwrap_or_default();
+    let runs = summary.runs;
+    let file = ringsim_obs::MetricsFile { summary, timelines: Vec::new() };
+    match std::fs::write(path, file.to_json()) {
+        Ok(()) => {
+            eprintln!("metrics: {runs} run(s) folded into {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("error: writing {path}: {e}");
+            false
+        }
+    }
 }
 
 /// Entry point for a single-experiment binary: parses args, runs the named
@@ -116,12 +142,19 @@ pub fn run_single(name: &str) -> ExitCode {
     if opts.sanitize {
         ringsim_core::set_sanitize_mode(ringsim_core::SanitizeMode::On);
     }
+    if opts.metrics.is_some() {
+        ringsim_obs::set_global_metrics(true);
+    }
     let Some(exp) = experiments::find(name) else {
         eprintln!("error: unknown experiment `{name}`");
         return ExitCode::FAILURE;
     };
     run_one(exp, &opts);
-    ExitCode::SUCCESS
+    if write_metrics(&opts) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run_one(exp: &'static dyn Experiment, opts: &Options) {
@@ -162,6 +195,9 @@ pub fn run_with(args: &[String]) -> ExitCode {
     if opts.sanitize {
         ringsim_core::set_sanitize_mode(ringsim_core::SanitizeMode::On);
     }
+    if opts.metrics.is_some() {
+        ringsim_obs::set_global_metrics(true);
+    }
     if opts.list {
         println!("{:<12}  description", "experiment");
         for e in experiments::ALL {
@@ -190,7 +226,11 @@ pub fn run_with(args: &[String]) -> ExitCode {
         }
         run_one(*exp, &opts);
     }
-    ExitCode::SUCCESS
+    if write_metrics(&opts) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]

@@ -14,12 +14,16 @@ use std::collections::HashMap;
 
 use ringsim_bus::{Bus, BusConfig, PhaseKind};
 use ringsim_cache::{AccessClass, Cache, CacheConfig, LineState};
+use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
 use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
-use ringsim_types::stats::{Histogram, RunningMean};
+use ringsim_types::stats::RunningMean;
 use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
-use crate::report::{ClassLatencies, NodeSummary, SimReport};
+use crate::report::{ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
+
+/// Windowed-accumulator slot for bus arbitration wait (see [`Obs::acc_add`]).
+const ACC_ARB_WAIT: usize = 0;
 
 /// Configuration of a bus-based system.
 ///
@@ -156,7 +160,7 @@ struct BusNode {
     finish_at: Option<Time>,
     txn: Option<Txn>,
     misses: u64,
-    miss_lat: RunningMean,
+    miss_lat: LatencyHistogram,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,11 +208,15 @@ pub struct BusSystem {
     queue: crate::EventQueue<Event>,
     now: Time,
     miss_lat: RunningMean,
-    miss_hist: Histogram,
+    miss_hist: LatencyHistogram,
     upg_lat: RunningMean,
     class_lat: ClassLatencies,
     events: CoherenceEvents,
     snapshot: Option<(ringsim_bus::BusStats, Time)>,
+    // Telemetry (no-op unless `attach_obs` was called).
+    obs: Obs,
+    obs_bus_tl: usize,
+    obs_window: (ringsim_bus::BusStats, Time),
 }
 
 impl BusSystem {
@@ -247,7 +255,7 @@ impl BusSystem {
                     finish_at: None,
                     txn: None,
                     misses: 0,
-                    miss_lat: RunningMean::default(),
+                    miss_lat: LatencyHistogram::new(),
                 })
             })
             .collect::<Result<Vec<_>, ConfigError>>()?;
@@ -261,12 +269,32 @@ impl BusSystem {
             queue: crate::EventQueue::new(),
             now: Time::ZERO,
             miss_lat: RunningMean::default(),
-            miss_hist: Histogram::new(50.0, 80),
+            miss_hist: LatencyHistogram::new(),
             upg_lat: RunningMean::default(),
             class_lat: ClassLatencies::default(),
             events: CoherenceEvents::default(),
             snapshot: None,
+            obs: Obs::disabled(),
+            obs_bus_tl: usize::MAX,
+            obs_window: (ringsim_bus::BusStats::default(), Time::ZERO),
         })
+    }
+
+    /// Enables telemetry for this run: per-transaction trace events plus a
+    /// `"bus"` gauge timeline (busy fractions over the sampling window,
+    /// outstanding transactions, mean arbitration wait). Strictly
+    /// observational.
+    pub fn attach_obs(&mut self, cfg: ObsConfig) {
+        let mut obs = Obs::enabled(cfg, self.nodes.len());
+        self.obs_bus_tl = obs
+            .add_timeline("bus", &["busy", "addr_busy", "data_busy", "outstanding", "arb_wait_ns"]);
+        self.obs = obs;
+    }
+
+    /// Takes the telemetry recorder after a run; `None` unless
+    /// [`BusSystem::attach_obs`] was called.
+    pub fn take_obs(&mut self) -> Option<Recorder> {
+        std::mem::take(&mut self.obs).into_recorder()
     }
 
     fn schedule(&mut self, at: Time, ev: Event) {
@@ -293,8 +321,37 @@ impl BusSystem {
             if self.snapshot.is_none() && self.nodes.iter().all(|n| n.measuring) {
                 self.snapshot = Some((self.bus.stats(), self.now));
             }
+            if self.obs.sample_due(self.now) {
+                self.sample_gauges();
+            }
         }
         self.build_report()
+    }
+
+    /// Pushes one row onto the `"bus"` gauge timeline: busy fractions are
+    /// deltas over the window since the previous sample, not run-to-date.
+    fn sample_gauges(&mut self) {
+        let stats = self.bus.stats();
+        let (prev, since) = self.obs_window;
+        let window = self.now.saturating_sub(since);
+        let frac = |t: Time| {
+            if window.is_zero() {
+                0.0
+            } else {
+                (t.as_ps() as f64 / window.as_ps() as f64).min(1.0)
+            }
+        };
+        let outstanding = self.nodes.iter().filter(|n| n.txn.is_some()).count() as f64;
+        let arb_wait = self.obs.acc_take_mean(ACC_ARB_WAIT);
+        let values = vec![
+            frac(stats.busy.saturating_sub(prev.busy)),
+            frac(stats.address_busy.saturating_sub(prev.address_busy)),
+            frac(stats.data_busy.saturating_sub(prev.data_busy)),
+            outstanding,
+            arb_wait,
+        ];
+        self.obs.sample(self.obs_bus_tl, self.now, values);
+        self.obs_window = (stats, self.now);
     }
 
     fn step_processor(&mut self, i: usize) {
@@ -349,13 +406,21 @@ impl BusSystem {
                     let start = self.nodes[i].ready_at;
                     self.nodes[i].txn =
                         Some(Txn { block, kind, region: r.region, start, served: Served::Pending });
+                    let op = match kind {
+                        TxnKind::Read => "read",
+                        TxnKind::Write => "write",
+                        TxnKind::Upgrade => "upgrade",
+                    };
+                    self.obs.txn_begin(i, op, block.raw(), start);
                     // Arbitrate for the address phase.
                     let cycles = if kind == TxnKind::Upgrade {
                         self.cfg.bus.inval_cycles
                     } else {
                         self.cfg.bus.request_cycles
                     };
-                    let (_, end) = self.bus.acquire_kind(start, cycles, PhaseKind::Address);
+                    let (grant, end) = self.bus.acquire_kind(start, cycles, PhaseKind::Address);
+                    self.obs.acc_add(ACC_ARB_WAIT, grant.saturating_sub(start).as_ns_f64());
+                    self.obs.txn_mark(i, "arbitrate", grant);
                     let ev = if kind == TxnKind::Upgrade {
                         Event::UpgradeDone { node: i }
                     } else {
@@ -416,6 +481,7 @@ impl BusSystem {
     }
 
     fn request_done(&mut self, i: usize) {
+        self.obs.txn_mark(i, "request", self.now);
         let me = NodeId::new(i);
         let t = self.nodes[i].txn.expect("miss txn");
         let block = t.block;
@@ -559,18 +625,33 @@ impl BusSystem {
         if node.measuring {
             if t.kind == TxnKind::Upgrade {
                 self.upg_lat.push_time_ns(latency);
-                self.class_lat.upgrade.push_time_ns(latency);
+                self.class_lat.upgrade.record_time(latency);
+                self.obs.txn_end(i, "upgrade", "upgrade", self.now);
             } else {
                 self.miss_lat.push_time_ns(latency);
-                self.miss_hist.record(latency.as_ns_f64());
+                self.miss_hist.record_time(latency);
                 node.misses += 1;
-                node.miss_lat.push_time_ns(latency);
-                match t.served {
-                    Served::Local => self.class_lat.local.push_time_ns(latency),
-                    Served::Dirty => self.class_lat.dirty.push_time_ns(latency),
-                    _ => self.class_lat.clean_remote.push_time_ns(latency),
-                }
+                node.miss_lat.record_time(latency);
+                let class = match t.served {
+                    Served::Local => {
+                        self.class_lat.local.record_time(latency);
+                        "local"
+                    }
+                    Served::Dirty => {
+                        self.class_lat.dirty.record_time(latency);
+                        "dirty"
+                    }
+                    _ => {
+                        self.class_lat.clean_remote.record_time(latency);
+                        "clean_remote"
+                    }
+                };
+                self.obs.txn_end(i, "miss", class, self.now);
             }
+        } else {
+            // Warmup transactions are excluded from every metric, so drop
+            // them from the trace too: spans and histograms must agree.
+            self.obs.txn_abandon(i);
         }
         self.step_processor(i);
     }
@@ -586,32 +667,14 @@ impl BusSystem {
     }
 
     fn build_report(&mut self) -> SimReport {
-        let sim_end = self
-            .nodes
-            .iter()
-            .map(|n| n.finish_at.expect("all nodes finished"))
-            .max()
-            .unwrap_or(Time::ZERO);
-        let per_node: Vec<NodeSummary> = self
-            .nodes
-            .iter()
-            .map(|n| {
-                let finished = n.finish_at.expect("finished");
-                let window = finished.saturating_sub(n.measure_start);
-                let util = if window.is_zero() {
-                    0.0
-                } else {
-                    n.busy.as_ps() as f64 / window.as_ps() as f64
-                };
-                NodeSummary {
-                    util: util.min(1.0),
-                    misses: n.misses,
-                    mean_miss_latency_ns: n.miss_lat.mean(),
-                    finished_at: finished,
-                }
-            })
-            .collect();
-        let proc_util = per_node.iter().map(|n| n.util).sum::<f64>() / per_node.len().max(1) as f64;
+        let (per_node, proc_util, sim_end) =
+            crate::report::summarize_nodes(self.nodes.iter().map(|n| NodeMeasure {
+                finished_at: n.finish_at.expect("all nodes finished"),
+                measure_start: n.measure_start,
+                busy: n.busy,
+                misses: n.misses,
+                miss_lat: &n.miss_lat,
+            }));
         let stats = self.bus.stats();
         let (base, start) = self.snapshot.unwrap_or((ringsim_bus::BusStats::default(), Time::ZERO));
         let window = sim_end.saturating_sub(start);
@@ -625,7 +688,7 @@ impl BusSystem {
                 (t.as_ps() as f64 / window.as_ps() as f64).min(1.0)
             }
         };
-        SimReport {
+        let report = SimReport {
             protocol: "bus-snooping".into(),
             nodes: self.cfg.nodes(),
             proc_cycle: self.cfg.proc_cycle,
@@ -637,11 +700,15 @@ impl BusSystem {
             miss_latency: self.miss_lat,
             miss_histogram: self.miss_hist.clone(),
             upgrade_latency: self.upg_lat,
-            class_latencies: self.class_lat,
+            class_latencies: self.class_lat.clone(),
             events: self.events,
             retries: 0,
             per_node,
+        };
+        if ringsim_obs::global_metrics_enabled() {
+            ringsim_obs::global_record(&report.metrics_summary());
         }
+        report
     }
 }
 

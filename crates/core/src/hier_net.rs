@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
 use ringsim_proto::{MsgClass, MsgKind, RingMessage};
 use ringsim_ring::{RingConfig, RingHierarchy, SlotKind, SlotRing};
 use ringsim_types::rng::Xoshiro256;
@@ -87,6 +88,8 @@ impl HierNetConfig {
 pub struct HierNetReport {
     /// Mean end-to-end transaction latency (ns), issue to reply.
     pub latency: RunningMean,
+    /// Full latency distribution (log2 buckets) over the same samples.
+    pub latency_hist: LatencyHistogram,
     /// Combined slot utilisation of the local rings.
     pub local_util: f64,
     /// Slot utilisation of the global ring.
@@ -151,9 +154,12 @@ pub struct HierNetSim {
     iris: Vec<Iri>,
     nodes: Vec<NetNode>,
     latency: RunningMean,
+    latency_hist: LatencyHistogram,
     completed: u64,
     max_cycles: u64,
     debug: bool,
+    obs: Obs,
+    obs_hier_tl: usize,
 }
 
 impl HierNetSim {
@@ -191,10 +197,28 @@ impl HierNetSim {
             iris,
             nodes,
             latency: RunningMean::default(),
+            latency_hist: LatencyHistogram::new(),
             completed: 0,
             max_cycles: 500_000_000,
             debug: false,
+            obs: Obs::disabled(),
+            obs_hier_tl: usize::MAX,
         })
+    }
+
+    /// Enables telemetry for this run: per-transaction trace events plus a
+    /// `"hier"` gauge timeline (combined local-ring occupancy, global-ring
+    /// occupancy, total IRI queue depth). Strictly observational.
+    pub fn attach_obs(&mut self, cfg: ObsConfig) {
+        let mut obs = Obs::enabled(cfg, self.nodes.len());
+        self.obs_hier_tl = obs.add_timeline("hier", &["local_occ", "global_occ", "iri_queue"]);
+        self.obs = obs;
+    }
+
+    /// Takes the telemetry recorder after a run; `None` unless
+    /// [`HierNetSim::attach_obs`] was called.
+    pub fn take_obs(&mut self) -> Option<Recorder> {
+        std::mem::take(&mut self.obs).into_recorder()
     }
 
     /// Encodes routing into a message: requester in `requester`, the home
@@ -256,8 +280,10 @@ impl HierNetSim {
                         };
                         let probe =
                             Self::make_probe(NodeId::new(i % per_ring), home_ring, node.issued);
+                        let block = probe.block.raw();
                         node.out_q.push_back(probe);
                         node.phase = Phase::Waiting;
+                        self.obs.txn_begin(i, "probe", block, now);
                     }
                 }
             }
@@ -281,6 +307,22 @@ impl HierNetSim {
                 ring.advance();
             }
             self.global.advance();
+            if self.obs.sample_due(now) {
+                let (mut occ, mut cap) = (0.0, 0.0);
+                for r in &self.locals {
+                    occ += r.in_flight() as f64;
+                    cap += r.layout().slot_count() as f64;
+                }
+                let gcap = self.global.layout().slot_count() as f64;
+                let iri_q: usize =
+                    self.iris.iter().map(|i| i.to_global.len() + i.to_local.len()).sum();
+                let values = vec![
+                    if cap > 0.0 { occ / cap } else { 0.0 },
+                    if gcap > 0.0 { self.global.in_flight() as f64 / gcap } else { 0.0 },
+                    iri_q as f64,
+                ];
+                self.obs.sample(self.obs_hier_tl, now, values);
+            }
             cycle += 1;
             if self.nodes.iter().all(|n| n.phase == Phase::Done) {
                 break;
@@ -328,6 +370,7 @@ impl HierNetSim {
         };
         HierNetReport {
             latency: self.latency,
+            latency_hist: self.latency_hist.clone(),
             local_util,
             global_util: self.global.stats().slot_utilization(self.global.layout().slot_count()),
             completed: self.completed,
@@ -406,13 +449,17 @@ impl HierNetSim {
                             if is_final {
                                 let node = &mut self.nodes[global_node];
                                 debug_assert_eq!(node.phase, Phase::Waiting);
-                                self.latency.push_time_ns(now.saturating_sub(node.started));
+                                let lat = now.saturating_sub(node.started);
+                                self.latency.push_time_ns(lat);
+                                self.latency_hist.record_time(lat);
                                 self.completed += 1;
                                 let think =
                                     (node.rng.next_f64() * 2.0 * self.cfg.think_time.as_ns_f64())
                                         .max(0.1);
                                 node.phase =
                                     Phase::Thinking { until: now + Time::from_ns_f64(think) };
+                                let class = if origin_ring == 0 { "intra" } else { "inter" };
+                                self.obs.txn_end(global_node, "txn", class, now);
                                 if sanitize::sanitize_enabled() {
                                     let issued: u64 = self.nodes.iter().map(|n| n.issued).sum();
                                     sanitize::check_conservation(

@@ -44,6 +44,6 @@ pub use bus_system::{BusSystem, BusSystemConfig};
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use engine::EventQueue;
 pub use hier_net::{HierNetConfig, HierNetReport, HierNetSim};
-pub use report::{ClassLatencies, NodeSummary, SimReport};
+pub use report::{summarize_nodes, ClassLatencies, NodeMeasure, NodeSummary, SimReport};
 pub use ring_system::RingSystem;
 pub use sanitize::{sanitize_enabled, set_sanitize_mode, SanitizeMode};

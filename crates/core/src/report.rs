@@ -1,19 +1,24 @@
 use serde::{Deserialize, Serialize};
 
-use ringsim_types::stats::{Histogram, RunningMean};
+use ringsim_obs::{LatencyHistogram, MetricsSummary};
+use ringsim_types::stats::RunningMean;
 use ringsim_types::{CoherenceEvents, Time};
 
-/// Mean latencies by transaction class (the requester's view).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+/// Latency distributions by transaction class (the requester's view).
+///
+/// Each class is a full log2-bucketed [`LatencyHistogram`], so both the
+/// legacy means *and* percentiles come from the same accumulator, and
+/// sweep shards merge deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClassLatencies {
     /// Misses satisfied by the local memory bank (no interconnect).
-    pub local: RunningMean,
+    pub local: LatencyHistogram,
     /// Misses served clean by a remote home.
-    pub clean_remote: RunningMean,
+    pub clean_remote: LatencyHistogram,
     /// Misses served by a dirty cache.
-    pub dirty: RunningMean,
+    pub dirty: LatencyHistogram,
     /// Upgrade (invalidation) transactions.
-    pub upgrade: RunningMean,
+    pub upgrade: LatencyHistogram,
 }
 
 /// Per-node summary in a [`SimReport`].
@@ -25,8 +30,52 @@ pub struct NodeSummary {
     pub misses: u64,
     /// Mean miss latency in nanoseconds.
     pub mean_miss_latency_ns: f64,
+    /// 95th-percentile miss latency in nanoseconds (histogram upper edge).
+    pub p95_miss_latency_ns: f64,
     /// Time the node finished its reference budget.
     pub finished_at: Time,
+}
+
+/// One node's raw measurements, as handed to [`summarize_nodes`] by each
+/// interconnect simulator (they used to hand-assemble identical
+/// [`NodeSummary`] rows separately).
+#[derive(Debug, Clone)]
+pub struct NodeMeasure<'a> {
+    /// When the node finished its reference budget.
+    pub finished_at: Time,
+    /// Start of its measured (post-warmup) window.
+    pub measure_start: Time,
+    /// Busy (executing) time inside the measured window.
+    pub busy: Time,
+    /// Misses inside the measured window.
+    pub misses: u64,
+    /// Its miss-latency distribution.
+    pub miss_lat: &'a LatencyHistogram,
+}
+
+/// Builds the per-node rows, the mean processor utilisation, and the
+/// overall simulation end from raw per-node measurements. The single code
+/// path behind every simulator's report *and* the obs exporters.
+pub fn summarize_nodes<'a>(
+    measures: impl IntoIterator<Item = NodeMeasure<'a>>,
+) -> (Vec<NodeSummary>, f64, Time) {
+    let mut per_node = Vec::new();
+    let mut sim_end = Time::ZERO;
+    for m in measures {
+        sim_end = sim_end.max(m.finished_at);
+        let window = m.finished_at.saturating_sub(m.measure_start);
+        let util =
+            if window.is_zero() { 0.0 } else { m.busy.as_ps() as f64 / window.as_ps() as f64 };
+        per_node.push(NodeSummary {
+            util: util.min(1.0),
+            misses: m.misses,
+            mean_miss_latency_ns: m.miss_lat.mean(),
+            p95_miss_latency_ns: m.miss_lat.p95(),
+            finished_at: m.finished_at,
+        });
+    }
+    let proc_util = per_node.iter().map(|n| n.util).sum::<f64>() / per_node.len().max(1) as f64;
+    (per_node, proc_util, sim_end)
 }
 
 /// Results of one timed system simulation.
@@ -56,13 +105,13 @@ pub struct SimReport {
     pub probe_util: f64,
     /// Block-slot utilisation, 0–1.
     pub block_util: f64,
-    /// Mean miss latency (ns) over all misses.
+    /// Mean miss latency (ns) over all misses (exact, unrounded sums).
     pub miss_latency: RunningMean,
-    /// Miss-latency histogram (50 ns bins up to 4 µs + overflow).
-    pub miss_histogram: Histogram,
+    /// Miss-latency distribution (log2 buckets; p50/p95/p99 and merge).
+    pub miss_histogram: LatencyHistogram,
     /// Mean upgrade (invalidation) latency (ns).
     pub upgrade_latency: RunningMean,
-    /// Mean latency by transaction class.
+    /// Latency distribution by transaction class.
     pub class_latencies: ClassLatencies,
     /// Coherence event counts, summed over nodes (measured window only).
     pub events: CoherenceEvents,
@@ -95,10 +144,11 @@ impl SimReport {
         self.miss_latency.mean()
     }
 
-    /// Approximate miss-latency percentile in nanoseconds (upper bin edge).
+    /// Miss-latency percentile in nanoseconds, resolved to the upper edge
+    /// of the containing log2 bucket; `None` when no misses were recorded.
     #[must_use]
     pub fn miss_latency_percentile(&self, q: f64) -> Option<f64> {
-        self.miss_histogram.quantile(q)
+        (self.miss_histogram.count() > 0).then(|| self.miss_histogram.quantile(q))
     }
 
     /// Mean latency over misses *and* upgrades, weighted by count.
@@ -108,21 +158,27 @@ impl SimReport {
         all.merge(&self.upgrade_latency);
         all.mean()
     }
+
+    /// This run's per-class digest for the obs exporters / metrics sink.
+    #[must_use]
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            runs: 1,
+            miss: self.miss_histogram.clone(),
+            upgrade: self.class_latencies.upgrade.clone(),
+            local: self.class_latencies.local.clone(),
+            clean_remote: self.class_latencies.clean_remote.clone(),
+            dirty: self.class_latencies.dirty.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn fig5_percentages_sum_to_100() {
-        let events = CoherenceEvents {
-            read_clean_remote: 60,
-            read_dirty_1: 25,
-            read_dirty_2: 15,
-            ..CoherenceEvents::default()
-        };
-        let r = SimReport {
+    fn empty_report() -> SimReport {
+        SimReport {
             protocol: "directory".into(),
             nodes: 8,
             proc_cycle: Time::from_ns(20),
@@ -132,13 +188,24 @@ mod tests {
             probe_util: 0.1,
             block_util: 0.1,
             miss_latency: RunningMean::default(),
-            miss_histogram: Histogram::new(50.0, 80),
+            miss_histogram: LatencyHistogram::new(),
             upgrade_latency: RunningMean::default(),
             class_latencies: ClassLatencies::default(),
-            events,
+            events: CoherenceEvents::default(),
             retries: 0,
             per_node: vec![],
+        }
+    }
+
+    #[test]
+    fn fig5_percentages_sum_to_100() {
+        let events = CoherenceEvents {
+            read_clean_remote: 60,
+            read_dirty_1: 25,
+            read_dirty_2: 15,
+            ..CoherenceEvents::default()
         };
+        let r = SimReport { events, ..empty_report() };
         let (a, b, c) = r.fig5_percentages();
         assert!((a + b + c - 100.0).abs() < 1e-9);
         assert!((a - 60.0).abs() < 1e-9);
@@ -152,22 +219,74 @@ mod tests {
         upg.push(100.0);
         let r = SimReport {
             protocol: "snooping".into(),
-            nodes: 8,
-            proc_cycle: Time::from_ns(20),
-            sim_end: Time::from_us(1),
-            proc_util: 0.5,
-            ring_util: 0.1,
-            probe_util: 0.1,
-            block_util: 0.1,
             miss_latency: miss,
-            miss_histogram: Histogram::new(50.0, 80),
             upgrade_latency: upg,
-            class_latencies: ClassLatencies::default(),
-            events: CoherenceEvents::default(),
-            retries: 0,
-            per_node: vec![],
+            ..empty_report()
         };
         assert!((r.stall_latency_ns() - 200.0).abs() < 1e-9);
         assert!((r.miss_latency_ns() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_pinned_against_hand_computed_distribution() {
+        // Hand-computed distribution: 20 samples.
+        //   12 × 100 ns  → bucket [64, 128)    (upper edge 128)
+        //    6 × 700 ns  → bucket [512, 1024)  (upper edge 1024)
+        //    2 × 3000 ns → bucket [2048, 4096) (upper edge 4096)
+        //
+        // p50 rank = ceil(0.5·20) = 10 → 10th sample is a 100 ns one
+        //   → upper edge 128 ns.
+        // p95 rank = ceil(0.95·20) = 19 → 19th sample is a 3000 ns one
+        //   → upper edge 4096 ns.
+        let mut r = empty_report();
+        for _ in 0..12 {
+            r.miss_histogram.record(100.0);
+        }
+        for _ in 0..6 {
+            r.miss_histogram.record(700.0);
+        }
+        for _ in 0..2 {
+            r.miss_histogram.record(3000.0);
+        }
+        assert_eq!(r.miss_latency_percentile(0.5), Some(128.0));
+        assert_eq!(r.miss_latency_percentile(0.95), Some(4096.0));
+        // And the boundary just below p95's rank: ceil(0.90·20) = 18 → a
+        // 700 ns sample → 1024 ns.
+        assert_eq!(r.miss_latency_percentile(0.90), Some(1024.0));
+        // No samples → no percentile.
+        assert_eq!(empty_report().miss_latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn summarize_nodes_single_code_path() {
+        let mut h = LatencyHistogram::new();
+        h.record(100.0);
+        h.record(300.0);
+        let empty = LatencyHistogram::new();
+        let measures = vec![
+            NodeMeasure {
+                finished_at: Time::from_us(2),
+                measure_start: Time::from_us(1),
+                busy: Time::from_ns(250),
+                misses: 2,
+                miss_lat: &h,
+            },
+            NodeMeasure {
+                finished_at: Time::from_us(3),
+                measure_start: Time::from_us(1),
+                busy: Time::from_us(1),
+                misses: 0,
+                miss_lat: &empty,
+            },
+        ];
+        let (rows, proc_util, sim_end) = summarize_nodes(measures);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(sim_end, Time::from_us(3));
+        assert!((rows[0].util - 0.25).abs() < 1e-12);
+        assert!((rows[1].util - 0.5).abs() < 1e-12);
+        assert!((proc_util - 0.375).abs() < 1e-12);
+        assert_eq!(rows[0].mean_miss_latency_ns, 200.0);
+        assert_eq!(rows[0].p95_miss_latency_ns, 512.0);
+        assert_eq!(rows[1].misses, 0);
     }
 }

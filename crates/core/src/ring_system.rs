@@ -25,15 +25,16 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use ringsim_cache::{AccessClass, Cache, LineState};
+use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
 use ringsim_proto::transitions::{self, DirAction, DirRequest, HomeSnoopAction, SnoopAction};
 use ringsim_proto::{Directory, HomeMemory, MsgClass, MsgKind, ProtocolKind, RingMessage};
 use ringsim_ring::{SlotId, SlotKind, SlotRing};
 use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
-use ringsim_types::stats::{Histogram, RunningMean};
+use ringsim_types::stats::RunningMean;
 use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
 use crate::config::SystemConfig;
-use crate::report::{ClassLatencies, NodeSummary, SimReport};
+use crate::report::{ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +85,7 @@ struct Node {
     /// Forwards that arrived while this node's own fill was in flight.
     pending_fwds: Vec<RingMessage>,
     misses: u64,
-    miss_lat: RunningMean,
+    miss_lat: LatencyHistogram,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,12 +149,15 @@ pub struct RingSystem {
     queue: crate::EventQueue<Event>,
     // Metrics.
     miss_lat: RunningMean,
-    miss_hist: Histogram,
+    miss_hist: LatencyHistogram,
     upg_lat: RunningMean,
     class_lat: ClassLatencies,
     events: CoherenceEvents,
     retries: u64,
     snapshot: Option<(ringsim_ring::RingStats, Time)>,
+    // Telemetry (no-op unless `attach_obs` was called).
+    obs: Obs,
+    obs_ring_tl: usize,
     last_progress_cycle: u64,
     /// Per-home memory bank availability (used when
     /// `model_bank_contention` is on).
@@ -200,7 +204,7 @@ impl RingSystem {
                     wb_buffer: HashSet::new(),
                     pending_fwds: Vec::new(),
                     misses: 0,
-                    miss_lat: RunningMean::default(),
+                    miss_lat: LatencyHistogram::new(),
                 })
             })
             .collect::<Result<Vec<_>, ConfigError>>()?;
@@ -216,15 +220,36 @@ impl RingSystem {
             home_pending: HashMap::new(),
             queue: crate::EventQueue::new(),
             miss_lat: RunningMean::default(),
-            miss_hist: Histogram::new(50.0, 80),
+            miss_hist: LatencyHistogram::new(),
             upg_lat: RunningMean::default(),
             class_lat: ClassLatencies::default(),
             events: CoherenceEvents::default(),
             retries: 0,
             snapshot: None,
+            obs: Obs::disabled(),
+            obs_ring_tl: usize::MAX,
             last_progress_cycle: 0,
             bank_free_at: vec![Time::ZERO; n],
         })
+    }
+
+    /// Enables telemetry for this run: per-transaction trace events plus a
+    /// `"ring"` gauge timeline (slot/probe/block occupancy, home queue
+    /// depth, transmit queue depth). Recording is strictly observational —
+    /// it cannot change the simulation's results.
+    pub fn attach_obs(&mut self, cfg: ObsConfig) {
+        let mut obs = Obs::enabled(cfg, self.nodes.len());
+        self.obs_ring_tl = obs.add_timeline(
+            "ring",
+            &["slot_occ", "probe_occ", "block_occ", "home_queue", "tx_queue"],
+        );
+        self.obs = obs;
+    }
+
+    /// Takes the telemetry recorder (trace buffer + timelines) after a run;
+    /// `None` unless [`RingSystem::attach_obs`] was called.
+    pub fn take_obs(&mut self) -> Option<Recorder> {
+        std::mem::take(&mut self.obs).into_recorder()
     }
 
     fn schedule(&mut self, at: Time, ev: Event) {
@@ -272,7 +297,19 @@ impl RingSystem {
                     self.handle_slot(i, slot, now);
                 }
             }
-            // 4. termination / watchdog.
+            // 4. telemetry gauges (no-op unless attached).
+            if self.obs.sample_due(now) {
+                let values = vec![
+                    self.ring.in_flight() as f64 / self.ring.layout().slot_count().max(1) as f64,
+                    self.ring.in_flight_probe() as f64 / self.ring.probe_slots().max(1) as f64,
+                    self.ring.in_flight_block() as f64 / self.ring.block_slots().max(1) as f64,
+                    self.home_pending.values().map(VecDeque::len).sum::<usize>() as f64,
+                    self.nodes.iter().map(|n| n.probe_q.len() + n.block_q.len()).sum::<usize>()
+                        as f64,
+                ];
+                self.obs.sample(self.obs_ring_tl, now, values);
+            }
+            // 5. termination / watchdog.
             if self.nodes.iter().all(|n| n.finish_at.is_some()) {
                 break;
             }
@@ -373,6 +410,12 @@ impl RingSystem {
                         invalidated: 0,
                         retries: 0,
                     });
+                    let op = match kind {
+                        TxnKind::Read => "read",
+                        TxnKind::Write => "write",
+                        TxnKind::Upgrade => "upgrade",
+                    };
+                    self.obs.txn_begin(i, op, block.raw(), start);
                     self.issue_txn(i, now.max(start));
                     return;
                 }
@@ -739,6 +782,7 @@ impl RingSystem {
         let acked = msg.acked || t.self_owner;
         if !acked {
             self.retries += 1;
+            self.obs.instant(i, "retry", now);
             let convert = t.kind == TxnKind::Upgrade;
             {
                 let t = self.nodes[i].txn.as_mut().expect("txn");
@@ -756,6 +800,7 @@ impl RingSystem {
             self.schedule(now + backoff, Event::Retry { node: i });
             return;
         }
+        self.obs.txn_mark(i, "probe", now);
         match t.kind {
             TxnKind::Upgrade => {
                 // Ack observed in the following probe slot of the same type.
@@ -892,30 +937,40 @@ impl RingSystem {
         let latency = done.saturating_sub(t.start);
         if node.measuring {
             let is_upgrade_final = t.kind == TxnKind::Upgrade;
+            let class;
             if is_upgrade_final {
                 self.upg_lat.push_time_ns(latency);
-                self.class_lat.upgrade.push_time_ns(latency);
+                self.class_lat.upgrade.record_time(latency);
+                class = "upgrade";
             } else {
                 self.miss_lat.push_time_ns(latency);
-                self.miss_hist.record(latency.as_ns_f64());
+                self.miss_hist.record_time(latency);
                 node.misses += 1;
-                node.miss_lat.push_time_ns(latency);
+                node.miss_lat.record_time(latency);
                 // Class bucket from the requester's observations. A reply
                 // whose source is the requester itself came from the local
                 // home (directory mode serves local misses without the
                 // ring).
                 let me = NodeId::new(i);
                 if t.local_path || reply.is_some_and(|m| m.src == me && !m.from_dirty) {
-                    self.class_lat.local.push_time_ns(latency);
+                    self.class_lat.local.record_time(latency);
+                    class = "local";
                 } else if reply.is_some_and(|m| m.from_dirty) {
-                    self.class_lat.dirty.push_time_ns(latency);
+                    self.class_lat.dirty.record_time(latency);
+                    class = "dirty";
                 } else {
-                    self.class_lat.clean_remote.push_time_ns(latency);
+                    self.class_lat.clean_remote.record_time(latency);
+                    class = "clean_remote";
                 }
             }
+            self.obs.txn_end(i, if is_upgrade_final { "upgrade" } else { "miss" }, class, done);
             if self.cfg.protocol == ProtocolKind::Snooping {
                 self.classify_snooping(i, &t, reply);
             }
+        } else {
+            // Warmup transactions do not count toward any metric; keep the
+            // trace consistent with the histograms by dropping them too.
+            self.obs.txn_abandon(i);
         }
     }
 
@@ -1027,6 +1082,9 @@ impl RingSystem {
         let req = ht.req;
         let home = req.dst;
         debug_assert_eq!(home, self.home_of(block));
+        if matches!(req.kind, MsgKind::DirRead | MsgKind::DirWrite | MsgKind::DirUpgrade) {
+            self.obs.txn_mark(req.requester.index(), "home", now);
+        }
         match req.kind {
             MsgKind::WriteBack => {
                 let evictor = req.src;
@@ -1381,6 +1439,7 @@ impl RingSystem {
                 .with_from_dirty(true);
         let update = RingMessage::new(MsgKind::MemUpdate, block, me, home).with_retained(retained);
         let at = now + self.cfg.supply_latency;
+        self.obs.txn_mark(fwd.requester.index(), "forward", at);
         self.schedule(at, Event::Send { node: i, msg: data });
         self.schedule(at, Event::Send { node: i, msg: update });
     }
@@ -1388,32 +1447,14 @@ impl RingSystem {
     // ------------------------------------------------------------ report
 
     fn build_report(&mut self) -> SimReport {
-        let sim_end = self
-            .nodes
-            .iter()
-            .map(|n| n.finish_at.expect("all nodes finished"))
-            .max()
-            .unwrap_or(Time::ZERO);
-        let per_node: Vec<NodeSummary> = self
-            .nodes
-            .iter()
-            .map(|n| {
-                let finished = n.finish_at.expect("finished");
-                let window = finished.saturating_sub(n.measure_start);
-                let util = if window.is_zero() {
-                    0.0
-                } else {
-                    n.busy.as_ps() as f64 / window.as_ps() as f64
-                };
-                NodeSummary {
-                    util: util.min(1.0),
-                    misses: n.misses,
-                    mean_miss_latency_ns: n.miss_lat.mean(),
-                    finished_at: finished,
-                }
-            })
-            .collect();
-        let proc_util = per_node.iter().map(|n| n.util).sum::<f64>() / per_node.len().max(1) as f64;
+        let (per_node, proc_util, sim_end) =
+            crate::report::summarize_nodes(self.nodes.iter().map(|n| NodeMeasure {
+                finished_at: n.finish_at.expect("all nodes finished"),
+                measure_start: n.measure_start,
+                busy: n.busy,
+                misses: n.misses,
+                miss_lat: &n.miss_lat,
+            }));
         let total_stats = self.ring.stats();
         let (base, _) = self.snapshot.unwrap_or((ringsim_ring::RingStats::default(), Time::ZERO));
         let window = ringsim_ring::RingStats {
@@ -1424,7 +1465,7 @@ impl RingSystem {
             occupied_probe_cycles: total_stats.occupied_probe_cycles - base.occupied_probe_cycles,
             occupied_block_cycles: total_stats.occupied_block_cycles - base.occupied_block_cycles,
         };
-        SimReport {
+        let report = SimReport {
             protocol: self.cfg.protocol.name().to_owned(),
             nodes: self.cfg.nodes(),
             proc_cycle: self.cfg.proc_cycle,
@@ -1436,11 +1477,15 @@ impl RingSystem {
             miss_latency: self.miss_lat,
             miss_histogram: self.miss_hist.clone(),
             upgrade_latency: self.upg_lat,
-            class_latencies: self.class_lat,
+            class_latencies: self.class_lat.clone(),
             events: self.events,
             retries: self.retries,
             per_node,
+        };
+        if ringsim_obs::global_metrics_enabled() {
+            ringsim_obs::global_record(&report.metrics_summary());
         }
+        report
     }
 
     /// Coherence state of `block` in node `i`'s cache (inspection hook for

@@ -1,0 +1,210 @@
+//! Metrics summaries and exporters (JSON / CSV), plus the process-wide
+//! metrics sink the `experiments --metrics` path feeds.
+//!
+//! [`MetricsSummary`] is the per-run digest every simulator can produce:
+//! one [`LatencyHistogram`] per transaction class. Its merge is exactly
+//! order-independent (integer sums — see `hist`), which is what lets the
+//! parallel sweep engine fold worker shards in completion order and still
+//! write byte-identical `metrics.json` artifacts for any `--jobs N`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::{LatencyHistogram, BUCKETS};
+use crate::json::JsonValue;
+use crate::timeline::Timeline;
+
+/// Per-transaction-class latency digest of one or more runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Number of runs folded into this summary.
+    pub runs: u64,
+    /// All misses (every class combined).
+    pub miss: LatencyHistogram,
+    /// Write upgrades (ownership acquisition without a data transfer).
+    pub upgrade: LatencyHistogram,
+    /// Misses satisfied by the local cluster/home.
+    pub local: LatencyHistogram,
+    /// Misses served by a clean remote home.
+    pub clean_remote: LatencyHistogram,
+    /// Misses forwarded to a dirty remote cache.
+    pub dirty: LatencyHistogram,
+}
+
+impl MetricsSummary {
+    /// Folds another summary into this one (associative and commutative).
+    pub fn merge(&mut self, other: &Self) {
+        self.runs += other.runs;
+        self.miss.merge(&other.miss);
+        self.upgrade.merge(&other.upgrade);
+        self.local.merge(&other.local);
+        self.clean_remote.merge(&other.clean_remote);
+        self.dirty.merge(&other.dirty);
+    }
+
+    /// `(label, histogram)` pairs, for table/CSV rendering.
+    #[must_use]
+    pub fn classes(&self) -> [(&'static str, &LatencyHistogram); 5] {
+        [
+            ("miss", &self.miss),
+            ("upgrade", &self.upgrade),
+            ("local", &self.local),
+            ("clean_remote", &self.clean_remote),
+            ("dirty", &self.dirty),
+        ]
+    }
+
+    /// Renders per-class count / mean / percentiles as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("class,count,mean_ns,p50_ns,p95_ns,p99_ns,min_ns,max_ns\n");
+        for (name, h) in self.classes() {
+            out.push_str(&format!(
+                "{name},{},{:.3},{},{},{},{},{}\n",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.min().unwrap_or(0.0),
+                h.max().unwrap_or(0.0),
+            ));
+        }
+        out
+    }
+}
+
+/// The on-disk metrics document: a summary plus any gauge timelines.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsFile {
+    /// Per-class latency digest.
+    pub summary: MetricsSummary,
+    /// Gauge time series captured during the run(s).
+    pub timelines: Vec<Timeline>,
+}
+
+impl MetricsFile {
+    /// Serializes to pretty JSON (the `--metrics <path>` format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialization is infallible")
+    }
+}
+
+/// Rebuilds a histogram from its parsed JSON form (`ringsim stats` input).
+#[must_use]
+pub fn hist_from_json(v: &JsonValue) -> Option<LatencyHistogram> {
+    let count = v.get("count")?.as_u64()?;
+    let sum_ns = v.get("sum_ns")?.as_u64()?;
+    let min = v.get("min").and_then(JsonValue::as_f64);
+    let max = v.get("max").and_then(JsonValue::as_f64);
+    let buckets: Vec<u64> =
+        v.get("buckets")?.as_array()?.iter().map(JsonValue::as_u64).collect::<Option<_>>()?;
+    if buckets.len() != BUCKETS {
+        return None;
+    }
+    LatencyHistogram::from_parts(count, sum_ns, min, max, buckets)
+}
+
+// --- Process-wide metrics sink -------------------------------------------
+//
+// Mirrors the sanitizer's process-wide switch: `experiments --metrics`
+// flips it on, every simulator run then folds its summary into the sink,
+// and the CLI drains it once at the end. Merging is order-independent, so
+// parallel sweep workers racing on this mutex cannot perturb the output.
+
+static GLOBAL_ON: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<MetricsSummary>> = Mutex::new(None);
+
+/// Turns the process-wide metrics sink on or off (clearing it either way).
+pub fn set_global_metrics(on: bool) {
+    GLOBAL_ON.store(on, Ordering::Relaxed);
+    *SINK.lock().unwrap() = None;
+}
+
+/// Whether simulator runs should feed the process-wide sink.
+#[must_use]
+pub fn global_metrics_enabled() -> bool {
+    GLOBAL_ON.load(Ordering::Relaxed)
+}
+
+/// Folds one run's summary into the process-wide sink (no-op when off).
+pub fn global_record(summary: &MetricsSummary) {
+    if !global_metrics_enabled() {
+        return;
+    }
+    let mut sink = SINK.lock().unwrap();
+    match sink.as_mut() {
+        Some(acc) => acc.merge(summary),
+        None => *sink = Some(summary.clone()),
+    }
+}
+
+/// Drains the process-wide sink.
+#[must_use]
+pub fn take_global_metrics() -> Option<MetricsSummary> {
+    SINK.lock().unwrap().take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(seed: u64) -> MetricsSummary {
+        let mut s = MetricsSummary { runs: 1, ..Default::default() };
+        for i in 0..50 {
+            let ns = ((seed * 131 + i * 17) % 4000) as f64;
+            s.miss.record(ns);
+            if i % 3 == 0 {
+                s.dirty.record(ns);
+            } else {
+                s.clean_remote.record(ns);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let (a, b, c) = (sample_summary(1), sample_summary(2), sample_summary(3));
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba);
+        assert_eq!(abc.runs, 3);
+    }
+
+    #[test]
+    fn json_round_trip_through_parser() {
+        let file = MetricsFile { summary: sample_summary(9), timelines: Vec::new() };
+        let text = file.to_json();
+        let parsed = crate::json::parse(&text).unwrap();
+        let miss = parsed.get("summary").unwrap().get("miss").unwrap();
+        let rebuilt = hist_from_json(miss).unwrap();
+        assert_eq!(rebuilt, file.summary.miss);
+    }
+
+    #[test]
+    fn global_sink_folds_runs() {
+        set_global_metrics(true);
+        global_record(&sample_summary(4));
+        global_record(&sample_summary(5));
+        let got = take_global_metrics().unwrap();
+        assert_eq!(got.runs, 2);
+        set_global_metrics(false);
+        global_record(&sample_summary(6));
+        assert!(take_global_metrics().is_none());
+    }
+
+    #[test]
+    fn csv_has_all_classes() {
+        let csv = sample_summary(7).to_csv();
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.starts_with("class,count,mean_ns"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Windowed time-series gauges.
+//!
+//! A [`Timeline`] is a named set of gauge columns sampled at fixed
+//! simulated-time intervals: ring slot utilization, probe- vs data-slot
+//! occupancy, home-node queue depth, bus arbitration wait, and so on.
+//! Memory is bounded deterministically: when the row cap is reached the
+//! series is thinned by dropping every other retained row and the sampling
+//! stride doubles, so a run of any length keeps at most `cap` rows whose
+//! selection depends only on the sample sequence (never on wall time).
+
+use ringsim_types::Time;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of retained rows before the series is thinned 2:1.
+pub const DEFAULT_ROW_CAP: usize = 4096;
+
+/// One sample row: a timestamp plus one value per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineRow {
+    /// Simulated timestamp of the sample, in picoseconds.
+    pub ts_ps: u64,
+    /// Gauge values, one per [`Timeline::columns`] entry.
+    pub values: Vec<f64>,
+}
+
+/// A bounded, deterministically decimated time series of gauge samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Series name (e.g. `"ring"`, `"bus"`).
+    pub name: String,
+    /// Column names, in the order values are pushed.
+    pub columns: Vec<String>,
+    /// Retained rows, oldest first.
+    pub rows: Vec<TimelineRow>,
+    /// Current decimation stride: only every `stride`-th offered sample is
+    /// retained. Starts at 1 and doubles on each thinning pass.
+    pub stride: u64,
+    /// Total samples offered (including decimated-away ones).
+    pub offered: u64,
+    cap: usize,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with the default row cap.
+    #[must_use]
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Self::with_cap(name, columns, DEFAULT_ROW_CAP)
+    }
+
+    /// Creates an empty timeline with an explicit row cap (≥ 2).
+    #[must_use]
+    pub fn with_cap(name: &str, columns: &[&str], cap: usize) -> Self {
+        Self {
+            name: name.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+            stride: 1,
+            offered: 0,
+            cap: cap.max(2),
+        }
+    }
+
+    /// Offers one sample row. Decimation may discard it; retained rows keep
+    /// their original timestamps.
+    pub fn push(&mut self, ts: Time, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        let keep = self.offered.is_multiple_of(self.stride);
+        self.offered += 1;
+        if !keep {
+            return;
+        }
+        self.rows.push(TimelineRow { ts_ps: ts.as_ps(), values });
+        if self.rows.len() >= self.cap {
+            // Thin 2:1 (keep even indices) and halve the future rate.
+            let mut i = 0;
+            self.rows.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+
+    /// Renders the series as CSV (`ts_ns` first column, then gauges).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("ts_ns");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{}", row.ts_ps as f64 / 1e3));
+            for v in &row.values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_deterministic() {
+        let mut t = Timeline::with_cap("ring", &["util"], 8);
+        for i in 0..1000u64 {
+            t.push(Time::from_ns(i), vec![i as f64]);
+        }
+        assert!(t.rows.len() < 8);
+        assert_eq!(t.offered, 1000);
+        assert!(t.stride > 1);
+        // Retained rows are strictly increasing in time.
+        for w in t.rows.windows(2) {
+            assert!(w[0].ts_ps < w[1].ts_ps);
+        }
+        // Same input sequence → identical retained rows.
+        let mut u = Timeline::with_cap("ring", &["util"], 8);
+        for i in 0..1000u64 {
+            u.push(Time::from_ns(i), vec![i as f64]);
+        }
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Timeline::new("bus", &["busy", "wait"]);
+        t.push(Time::from_ns(10), vec![0.5, 2.0]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "ts_ns,busy,wait\n10,0.5,2\n");
+    }
+}

@@ -175,6 +175,20 @@ impl<M> SlotRing<M> {
         self.occupied_probe + self.occupied_block
     }
 
+    /// Probe messages currently circulating (instantaneous occupancy, for
+    /// utilization gauges).
+    #[must_use]
+    pub fn in_flight_probe(&self) -> usize {
+        self.occupied_probe
+    }
+
+    /// Block messages currently circulating (instantaneous occupancy, for
+    /// utilization gauges).
+    #[must_use]
+    pub fn in_flight_block(&self) -> usize {
+        self.occupied_block
+    }
+
     /// The kind of slot `id`.
     #[must_use]
     pub fn kind_of(&self, id: SlotId) -> SlotKind {

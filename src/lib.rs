@@ -67,6 +67,12 @@ pub mod core {
     pub use ringsim_core::*;
 }
 
+/// Observability: latency histograms, gauge timelines, Chrome-trace event
+/// recording (`ringsim-obs`).
+pub mod obs {
+    pub use ringsim_obs::*;
+}
+
 /// The analytical models (`ringsim-analytic`).
 pub mod analytic {
     pub use ringsim_analytic::*;

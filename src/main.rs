@@ -4,9 +4,12 @@
 //! ringsim list
 //! ringsim characterize --benchmark mp3d --procs 16 [--refs N]
 //! ringsim sim   --benchmark mp3d --procs 16 --network ring500 \
-//!               [--protocol snooping|directory] [--mips M] [--refs N]
+//!               [--protocol snooping|directory] [--mips M] [--refs N] \
+//!               [--trace-out t.json] [--metrics m.json]
 //! ringsim model --benchmark mp3d --procs 16 --network bus100 [--mips M]
 //! ringsim experiments [--list] [--only fig3,fig4] [--jobs N] [--refs N] [--out DIR]
+//!                     [--metrics m.json]
+//! ringsim stats [--trace t.json] [--metrics m.json] [--csv]
 //! ringsim check [--all-protocols] [--nodes N] [--blocks B] [--inject FAULT]
 //! ```
 //!
@@ -43,6 +46,7 @@ fn main() -> ExitCode {
         "characterize" => characterize_cmd(rest),
         "sim" => sim_cmd(rest),
         "model" => model_cmd(rest),
+        "stats" => stats_cmd(rest),
         "sweep" => sweep_cmd(rest),
         "record" => record_cmd(rest),
         "replay" => replay_cmd(rest),
@@ -68,8 +72,15 @@ commands:
   list                      the paper's benchmark configurations
   characterize              Table 2-style workload characteristics
   sim                       run a timed system simulation (--sanitize forces the
-                            runtime coherence sanitizer on in release builds)
+                            runtime coherence sanitizer on in release builds;
+                            --trace-out t.json captures a Chrome trace,
+                            --metrics m.json|m.csv exports latency histograms,
+                            --ring / --bus pick the default network variant)
   model                     evaluate the analytical model
+  stats                     inspect observability artifacts
+                            (--trace t.json validates and summarises a Chrome
+                            trace; --metrics m.json prints per-class latency
+                            tables, --csv for machine-readable output)
   sweep                     model sweep over processor cycle 1-20 ns (figure series)
   record                    capture a benchmark trace to a file (--out <path>)
   replay                    simulate a recorded trace (--trace <path>)
@@ -78,9 +89,11 @@ commands:
                             (--inject none|skip-invalidate|forget-owner|park-busy-forwards)
   experiments               run the paper-artifact suite
                             (--list | --only a,b) (--jobs N) (--refs N) (--out DIR)
+                            (--metrics m.json folds every run's histograms)
 
 options:
   --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
+                            (sim defaults to mp3d)
   --procs <n>               processor count (per the paper's sizes)
   --network <net>           ring500 | ring250 | bus50 | bus100 (default ring500)
   --protocol <p>            snooping | directory (rings only; default snooping)
@@ -231,19 +244,43 @@ fn characterize_cmd(args: &[String]) -> CliResult {
 }
 
 fn sim_cmd(args: &[String]) -> CliResult {
-    // `--sanitize` is a bare flag; strip it before key-value parsing.
-    let (sanitize, args): (Vec<_>, Vec<_>) = args.iter().cloned().partition(|a| a == "--sanitize");
-    if !sanitize.is_empty() {
+    // Bare flags (`--sanitize`, `--ring`, `--bus`) are stripped before
+    // key-value parsing.
+    let mut bare = Vec::new();
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_bare = matches!(a.as_str(), "--sanitize" | "--ring" | "--bus");
+            if is_bare {
+                bare.push(a.as_str().to_owned());
+            }
+            !is_bare
+        })
+        .cloned()
+        .collect();
+    if bare.iter().any(|a| a == "--sanitize") {
         ringsim::core::set_sanitize_mode(ringsim::core::SanitizeMode::On);
     }
-    let flags = parse_flags(&args)?;
+    let mut flags = parse_flags(&args)?;
+    // `sim` is the observability quick-start entry point, so it works bare:
+    // benchmark defaults to mp3d, `--ring` / `--bus` pick the default
+    // network variants.
+    flags.entry("benchmark".to_owned()).or_insert_with(|| "mp3d".to_owned());
+    if !flags.contains_key("network") {
+        if bare.iter().any(|a| a == "--bus") {
+            flags.insert("network".to_owned(), "bus100".to_owned());
+        } else if bare.iter().any(|a| a == "--ring") {
+            flags.insert("network".to_owned(), "ring500".to_owned());
+        }
+    }
     let (bench, procs) = benchmark_of(&flags)?;
     let mips = mips_of(&flags)?;
     let proc_cycle = Time::from_ps(1_000_000 / mips);
     let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
     let workload = ringsim::trace::Workload::new(spec)?;
     let network = flags.get("network").map_or("ring500", String::as_str);
-    let report = match network {
+    let want_obs = flags.contains_key("trace-out") || flags.contains_key("metrics");
+    let (report, recorder) = match network {
         "ring500" | "ring250" => {
             let protocol = protocol_of(&flags)?;
             let mut cfg = if network == "ring500" {
@@ -252,7 +289,12 @@ fn sim_cmd(args: &[String]) -> CliResult {
                 SystemConfig::ring_250mhz(protocol, procs)
             };
             cfg = cfg.with_proc_cycle(proc_cycle);
-            RingSystem::new(cfg, workload)?.run()
+            let mut sys = RingSystem::new(cfg, workload)?;
+            if want_obs {
+                sys.attach_obs(ringsim::obs::ObsConfig::default());
+            }
+            let report = sys.run();
+            (report, sys.take_obs())
         }
         "bus50" | "bus100" => {
             let cfg = if network == "bus100" {
@@ -261,7 +303,12 @@ fn sim_cmd(args: &[String]) -> CliResult {
                 BusSystemConfig::bus_50mhz(procs)
             }
             .with_proc_cycle(proc_cycle);
-            BusSystem::new(cfg, workload)?.run()
+            let mut sys = BusSystem::new(cfg, workload)?;
+            if want_obs {
+                sys.attach_obs(ringsim::obs::ObsConfig::default());
+            }
+            let report = sys.run();
+            (report, sys.take_obs())
         }
         other => return Err(format!("unknown network `{other}`").into()),
     };
@@ -278,6 +325,122 @@ fn sim_cmd(args: &[String]) -> CliResult {
     }
     println!("  mean upgrade latency  : {:5.0} ns", report.upgrade_latency.mean());
     println!("  misses / upgrades     : {} / {}", report.events.misses(), report.events.upgrades());
+    if let Some(path) = flags.get("trace-out") {
+        let rec = recorder.as_ref().expect("recorder attached when --trace-out given");
+        std::fs::write(path, rec.trace.to_chrome_json())?;
+        let dropped = if rec.trace.dropped() > 0 {
+            format!(", {} dropped", rec.trace.dropped())
+        } else {
+            String::new()
+        };
+        println!("  trace                 : {path} ({} events{dropped})", rec.trace.len());
+    }
+    if let Some(path) = flags.get("metrics") {
+        let summary = report.metrics_summary();
+        if path.ends_with(".csv") {
+            std::fs::write(path, summary.to_csv())?;
+        } else {
+            let timelines = recorder.map(|r| r.timelines).unwrap_or_default();
+            let file = ringsim::obs::MetricsFile { summary, timelines };
+            std::fs::write(path, file.to_json())?;
+        }
+        println!("  metrics               : {path}");
+    }
+    Ok(())
+}
+
+/// `ringsim stats`: offline inspection of observability artifacts.
+///
+/// `--trace <path>` parses a Chrome `trace_event` file, validates that every
+/// event has the required `ph`/`ts`/`pid` fields, and prints a summary;
+/// `--metrics <path>` rebuilds the per-class latency histograms and prints
+/// them as a table (or CSV with the bare `--csv` flag).
+fn stats_cmd(args: &[String]) -> CliResult {
+    use ringsim::obs::{hist_from_json, json, MetricsSummary};
+
+    let (csv, args): (Vec<_>, Vec<_>) = args.iter().cloned().partition(|a| a == "--csv");
+    let csv = !csv.is_empty();
+    let flags = parse_flags(&args)?;
+    if !flags.contains_key("trace") && !flags.contains_key("metrics") {
+        return Err("stats needs --trace <path> and/or --metrics <path>".into());
+    }
+    if let Some(path) = flags.get("trace") {
+        let text = std::fs::read_to_string(path)?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(json::JsonValue::as_array)
+            .ok_or_else(|| format!("{path}: missing `traceEvents` array"))?;
+        let mut spans = 0u64;
+        let mut instants = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            let ph = ev
+                .get("ph")
+                .and_then(json::JsonValue::as_str)
+                .ok_or_else(|| format!("{path}: event {i} missing `ph`"))?;
+            ev.get("ts")
+                .and_then(json::JsonValue::as_f64)
+                .ok_or_else(|| format!("{path}: event {i} missing numeric `ts`"))?;
+            ev.get("pid")
+                .and_then(json::JsonValue::as_u64)
+                .ok_or_else(|| format!("{path}: event {i} missing `pid`"))?;
+            match ph {
+                "X" => spans += 1,
+                "i" => instants += 1,
+                _ => {}
+            }
+        }
+        let dropped = doc.get("droppedEvents").and_then(json::JsonValue::as_u64).unwrap_or(0);
+        println!(
+            "{path}: valid Chrome trace — {} events ({spans} spans, {instants} instants, {dropped} dropped)",
+            events.len()
+        );
+    }
+    if let Some(path) = flags.get("metrics") {
+        let text = std::fs::read_to_string(path)?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let summary = doc.get("summary").unwrap_or(&doc);
+        let mut rebuilt = MetricsSummary {
+            runs: summary.get("runs").and_then(json::JsonValue::as_u64).unwrap_or(0),
+            ..Default::default()
+        };
+        for (name, slot) in [
+            ("miss", &mut rebuilt.miss),
+            ("upgrade", &mut rebuilt.upgrade),
+            ("local", &mut rebuilt.local),
+            ("clean_remote", &mut rebuilt.clean_remote),
+            ("dirty", &mut rebuilt.dirty),
+        ] {
+            let v = summary
+                .get(name)
+                .ok_or_else(|| format!("{path}: missing `summary.{name}` histogram"))?;
+            *slot =
+                hist_from_json(v).ok_or_else(|| format!("{path}: malformed `{name}` histogram"))?;
+        }
+        if csv {
+            print!("{}", rebuilt.to_csv());
+        } else {
+            println!("{path}: {} run(s)", rebuilt.runs);
+            println!(
+                "  {:<14} {:>9} {:>10} {:>9} {:>9} {:>9}",
+                "class", "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns"
+            );
+            for (name, h) in rebuilt.classes() {
+                if h.count() == 0 {
+                    continue;
+                }
+                println!(
+                    "  {:<14} {:>9} {:>10.1} {:>9.0} {:>9.0} {:>9.0}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99()
+                );
+            }
+        }
+    }
     Ok(())
 }
 

@@ -1,0 +1,71 @@
+//! Property tests for the observability latency histogram.
+//!
+//! The parallel sweep engine folds worker shards in completion order, so
+//! the artifact contract (byte-identical output for any `--jobs N`) rests
+//! on [`LatencyHistogram::merge`] being exactly associative and
+//! commutative, and on merged percentiles matching the whole-run
+//! percentiles for *any* split of the samples into shards.
+
+use proptest::prelude::*;
+
+use ringsim::obs::LatencyHistogram;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s as f64);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..5_000_000, 0..80),
+        b in prop::collection::vec(0u64..5_000_000, 0..80),
+        c in prop::collection::vec(0u64..5_000_000, 0..80),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // a ⊕ b == b ⊕ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn sharded_percentiles_match_whole_run(
+        samples in prop::collection::vec(0u64..5_000_000, 1..200),
+        shards in 1usize..9,
+    ) {
+        let whole = hist_of(&samples);
+        // Deal the samples round-robin into `shards` worker histograms and
+        // fold them back together, the way sweep workers do.
+        let mut parts = vec![LatencyHistogram::new(); shards];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(s as f64);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for q in [0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q), "q = {q}");
+        }
+        prop_assert_eq!(merged.mean(), whole.mean());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+}
