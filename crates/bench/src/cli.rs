@@ -8,11 +8,17 @@
 //! --out <dir>     output directory (default: results/)
 //! --list          list experiments and exit            (all only)
 //! --only <a,b>    run a comma-separated subset         (all only)
-//! --metrics <p>   fold every run's latency histograms into one JSON file
+//! --metrics <p>   fold every run's latency histograms and timelines into one JSON file
+//! --no-cache      recompute every point, ignoring cached results
+//! --cache-stats   print per-experiment cache hit/miss counts
 //! ```
 //!
 //! Artifacts are byte-identical for any `--jobs` value; the wall-time
-//! metrics land in `<out>/<name>.meta.json` twins instead.
+//! metrics land in `<out>/<name>.meta.json` twins instead. Point results
+//! are cached under `<out>/.cache/` keyed by everything they depend on, so
+//! a warm re-run re-executes zero points (see `ringsim-sweep`). `--metrics`
+//! and `--sanitize` force the cache off: both need every point to actually
+//! run.
 
 use std::process::ExitCode;
 
@@ -38,6 +44,10 @@ pub struct Options {
     pub sanitize: bool,
     /// Write merged per-class latency histograms here (off when `None`).
     pub metrics: Option<String>,
+    /// Ignore cached point results and recompute everything.
+    pub no_cache: bool,
+    /// Print cache hit/miss counts after each experiment.
+    pub cache_stats: bool,
 }
 
 impl Default for Options {
@@ -50,6 +60,8 @@ impl Default for Options {
             only: Vec::new(),
             sanitize: false,
             metrics: None,
+            no_cache: false,
+            cache_stats: false,
         }
     }
 }
@@ -79,6 +91,8 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--list" => opts.list = true,
             "--sanitize" => opts.sanitize = true,
+            "--no-cache" => opts.no_cache = true,
+            "--cache-stats" => opts.cache_stats = true,
             "--metrics" => {
                 opts.metrics = Some(it.next().ok_or("--metrics needs a value")?.clone());
             }
@@ -92,7 +106,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     opts.refs = refs;
                 } else {
                     return Err(format!(
-                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b, --sanitize, --metrics PATH)"
+                        "unknown argument `{other}` (try --jobs N, --refs N, --out DIR, --list, --only a,b, --sanitize, --metrics PATH, --no-cache, --cache-stats)"
                     ));
                 }
             }
@@ -104,8 +118,26 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Whether point caching is effective for this invocation: `--no-cache`
+/// turns it off explicitly, and `--metrics` / `--sanitize` imply it (cache
+/// hits skip the work closure, so the metrics sinks and the sanitizer would
+/// see nothing on a warm run).
+fn cache_enabled(opts: &Options) -> bool {
+    !opts.no_cache && opts.metrics.is_none() && !opts.sanitize
+}
+
 fn sweep_config(opts: &Options) -> SweepConfig {
-    SweepConfig::new(opts.refs).jobs(opts.jobs).out_dir(&opts.out_dir)
+    SweepConfig::new(opts.refs).jobs(opts.jobs).out_dir(&opts.out_dir).cache(cache_enabled(opts))
+}
+
+/// Explains an implied `--no-cache` once per invocation.
+fn note_cache_implication(opts: &Options) {
+    if !opts.no_cache && !cache_enabled(opts) {
+        eprintln!(
+            "note: point cache disabled ({} needs every point to run)",
+            if opts.metrics.is_some() { "--metrics" } else { "--sanitize" }
+        );
+    }
 }
 
 /// Drains the process-wide metrics sink into `opts.metrics` (no-op when the
@@ -114,7 +146,8 @@ fn write_metrics(opts: &Options) -> bool {
     let Some(path) = &opts.metrics else { return true };
     let summary = ringsim_obs::take_global_metrics().unwrap_or_default();
     let runs = summary.runs;
-    let file = ringsim_obs::MetricsFile { summary, timelines: Vec::new() };
+    let file =
+        ringsim_obs::MetricsFile { summary, timelines: ringsim_obs::take_global_timelines() };
     match std::fs::write(path, file.to_json()) {
         Ok(()) => {
             eprintln!("metrics: {runs} run(s) folded into {path}");
@@ -149,6 +182,7 @@ pub fn run_single(name: &str) -> ExitCode {
         eprintln!("error: unknown experiment `{name}`");
         return ExitCode::FAILURE;
     };
+    note_cache_implication(&opts);
     run_one(exp, &opts);
     if write_metrics(&opts) {
         ExitCode::SUCCESS
@@ -170,6 +204,14 @@ fn run_one(exp: &'static dyn Experiment, opts: &Options) {
         opts.out_dir,
         exp.name(),
     );
+    if opts.cache_stats {
+        println!(
+            "{}: cache: {} hit(s), {} miss(es)",
+            exp.name(),
+            report.meta.cache_hits,
+            report.meta.cache_misses
+        );
+    }
 }
 
 /// Entry point for the `all` driver: `--list`, `--only`, and the shared
@@ -205,6 +247,7 @@ pub fn run_with(args: &[String]) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    note_cache_implication(&opts);
     let selected: Vec<&'static dyn Experiment> = if opts.only.is_empty() {
         experiments::ALL.to_vec()
     } else {
@@ -256,6 +299,17 @@ mod tests {
     #[test]
     fn parse_accepts_bare_refs_for_backwards_compat() {
         assert_eq!(parse(&args(&["30000"])).unwrap().refs, 30_000);
+    }
+
+    #[test]
+    fn parse_cache_flags() {
+        let o = parse(&args(&[])).unwrap();
+        assert!(!o.no_cache && !o.cache_stats && cache_enabled(&o));
+        let o = parse(&args(&["--no-cache", "--cache-stats"])).unwrap();
+        assert!(o.no_cache && o.cache_stats && !cache_enabled(&o));
+        // Metrics and the sanitizer need every point to run.
+        assert!(!cache_enabled(&parse(&args(&["--metrics", "m.json"])).unwrap()));
+        assert!(!cache_enabled(&parse(&args(&["--sanitize"])).unwrap()));
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //!    no queueing; turning queueing on quantifies how much that assumption
 //!    flatters the results.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use ringsim_core::{RingSystem, SystemConfig};
+use ringsim_core::{run_sim, RingSystem, SystemConfig};
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
@@ -23,7 +23,7 @@ use ringsim_types::Time;
 /// stay tractable at the default budget.
 const MAX_REFS: u64 = 40_000;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct MixRow {
     probes_per_frame: usize,
     blocks_per_frame: usize,
@@ -33,7 +33,7 @@ struct MixRow {
     sim_end_us: f64,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct AblationResult {
     slot_mix: Vec<MixRow>,
     starvation_rule_on_util: f64,
@@ -101,7 +101,7 @@ impl Point {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct SimSummary {
     proc_util: f64,
     ring_util: f64,
@@ -109,10 +109,15 @@ struct SimSummary {
     sim_end_us: f64,
 }
 
-fn run_sim(cfg: SystemConfig, refs: u64) -> SimSummary {
+/// The ablation points need bespoke [`SystemConfig`]s (slot mixes, wide
+/// rings, bank queueing), so they construct the [`RingSystem`] directly but
+/// still run it through the shared [`run_sim`] driver so cross-cutting
+/// features (metrics sinks, obs) apply here too.
+fn simulate(cfg: SystemConfig, refs: u64) -> SimSummary {
     let spec = Benchmark::Mp3d.spec(16).expect("spec").with_refs(refs);
     let workload = Workload::new(spec).expect("workload");
-    let r = RingSystem::new(cfg, workload).expect("system").run();
+    let mut system = RingSystem::new(cfg, workload).expect("system");
+    let (r, _) = run_sim(&mut system, None);
     SimSummary {
         proc_util: r.proc_util,
         ring_util: r.ring_util,
@@ -147,7 +152,7 @@ impl Experiment for Ablation {
         let results = ctx.map(
             &points,
             |p| SweepPoint::new().bench("mp3d").procs(16).detail(p.label()),
-            |pctx, p| run_sim(p.config(), pctx.refs_per_proc.min(MAX_REFS)),
+            |pctx, p| simulate(p.config(), pctx.refs_per_proc.min(MAX_REFS)),
         );
 
         // 1. slot mix sweep.

@@ -7,7 +7,7 @@
 //! choice: larger blocks would also change miss rates; here we isolate the
 //! interconnect effect, which is the part the paper's §3.3 discusses).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::RingModel;
 use ringsim_proto::ProtocolKind;
@@ -18,7 +18,7 @@ use ringsim_types::Time;
 
 use crate::benchmark_input;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     block_bytes: u64,
     frame_stages: usize,

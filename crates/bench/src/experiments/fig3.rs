@@ -2,7 +2,7 @@
 //! utilisation, ring utilisation and miss latency as the processor cycle
 //! sweeps 1–20 ns, for MP3D/WATER/CHOLESKY at 8/16/32 processors.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::RingModel;
 use ringsim_proto::ProtocolKind;
@@ -13,7 +13,7 @@ use ringsim_trace::Benchmark;
 use crate::benchmark_input;
 
 /// One full curve for one (benchmark, procs, protocol) combination.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Curve {
     /// Benchmark name.
     pub bench: String,

@@ -2,14 +2,14 @@
 //! clean, 1-cycle dirty and 2-cycle classes, for all twelve benchmark
 //! configurations.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_trace::Benchmark;
 
 use crate::benchmark_input;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     bench: String,
     procs: usize,

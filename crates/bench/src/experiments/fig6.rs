@@ -3,7 +3,7 @@
 //! utilisation and miss latency over the 1–20 ns processor-cycle sweep, for
 //! MP3D and WATER at 8/16/32 processors.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::{BusModel, RingModel};
 use ringsim_bus::BusConfig;
@@ -15,7 +15,7 @@ use ringsim_trace::Benchmark;
 use crate::benchmark_input;
 
 /// One interconnect curve.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Curve {
     /// Benchmark name.
     pub bench: String,

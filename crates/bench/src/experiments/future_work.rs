@@ -9,7 +9,7 @@
 //! * "the ring would be able to accommodate the increase in the load
 //!   without significantly altering the expected latencies".
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::{BusModel, RingModel};
 use ringsim_bus::BusConfig;
@@ -21,9 +21,9 @@ use ringsim_types::Time;
 
 use crate::benchmark_input;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
-    network: &'static str,
+    network: String,
     mips: u64,
     base_util: f64,
     tolerant_util: f64,
@@ -82,7 +82,7 @@ impl Experiment for FutureWork {
                     (base.evaluate(&input, t), tol.evaluate(&input, t))
                 };
                 Row {
-                    network,
+                    network: network.to_owned(),
                     mips,
                     base_util: b.proc_util,
                     tolerant_util: w.proc_util,

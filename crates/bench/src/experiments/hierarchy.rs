@@ -2,7 +2,7 @@
 //! KSR1) against the flat 64-node slotted ring, across cluster shapes and
 //! home-placement locality.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::{HierRingModel, RingModel};
 use ringsim_proto::ProtocolKind;
@@ -13,7 +13,7 @@ use ringsim_types::Time;
 
 use crate::benchmark_input;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     topology: String,
     locality_pct: u32,

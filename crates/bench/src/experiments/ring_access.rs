@@ -3,13 +3,13 @@
 //! sizes. The paper *chose* the slotted ring on simplicity grounds and
 //! conjectured the performance trade-off; this experiment measures it.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_core::{AccessNetConfig, InsertionNetSim, SlottedNetSim};
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_types::Time;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     think_ns: u64,
     slotted_access_ns: f64,

@@ -2,7 +2,7 @@
 //! full-map versus linked-list directory, for the 16-processor SPLASH
 //! benchmarks.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_proto::table1::{FullMapAccountant, LinkedListAccountant, TraversalReport};
 use ringsim_ring::RingConfig;
@@ -29,9 +29,9 @@ fn paper_values(bench: Benchmark) -> [(Pcts, Pcts); 2] {
     }
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
-    bench: &'static str,
+    bench: String,
     full: TraversalReport,
     linked_list: TraversalReport,
 }
@@ -52,7 +52,7 @@ fn run_bench(bench: Benchmark, refs_per_proc: u64) -> Row {
         full.process(r);
         llist.process(r);
     }
-    Row { bench: bench.name(), full: full.report(), linked_list: llist.report() }
+    Row { bench: bench.name().to_owned(), full: full.report(), linked_list: llist.report() }
 }
 
 /// Regenerates Table 1.

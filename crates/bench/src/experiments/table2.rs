@@ -2,7 +2,7 @@
 //! paper's published values (this doubles as the calibration report for the
 //! trace substitution documented in DESIGN.md).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 use ringsim_trace::Benchmark;
@@ -10,7 +10,7 @@ use ringsim_types::CoherenceEvents;
 
 use crate::{benchmark_input, paper_table2, PaperTable2Row};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     bench: String,
     procs: usize,
@@ -45,10 +45,11 @@ impl Experiment for Table2 {
                 let (ch, _) =
                     benchmark_input(bench, procs, pctx.refs_per_proc).expect("paper config");
                 let e = ch.events;
-                let p = *paper
+                let p = paper
                     .iter()
                     .find(|r| r.bench == bench.name() && r.procs == procs)
-                    .expect("paper row");
+                    .expect("paper row")
+                    .clone();
                 Row {
                     bench: bench.name().to_owned(),
                     procs,
@@ -80,7 +81,7 @@ impl Experiment for Table2 {
             "paper"
         );
         for row in &rows {
-            let p = row.paper;
+            let p = &row.paper;
             println!(
                 "{:<12} {:>4} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>8.1} {:>8.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1}",
                 row.bench,

@@ -2,7 +2,7 @@
 //! dual-directory bank for 500 MHz links, across ring widths and block
 //! sizes. Pure geometry; reproduced exactly.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_ring::RingConfig;
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
@@ -11,7 +11,7 @@ use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
 /// 16/32/64/128 bytes and widths 16/32/64 bits.
 const PAPER: [[u64; 3]; 4] = [[40, 20, 10], [56, 28, 14], [88, 44, 22], [152, 76, 38]];
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Cell {
     block_bytes: u64,
     link_bits: u64,

@@ -2,7 +2,7 @@
 //! match the processor utilisation of 32-bit slotted rings at 250 and
 //! 500 MHz, for 100/200/400 MIPS processors.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::match_bus_clock;
 use ringsim_proto::ProtocolKind;
@@ -28,7 +28,7 @@ fn paper() -> Vec<(&'static str, usize, [f64; 3], [f64; 3])> {
     ]
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     bench: String,
     procs: usize,

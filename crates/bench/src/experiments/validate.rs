@@ -2,11 +2,11 @@
 //! and compare with the analytical models at the same point (the paper
 //! reports agreement within 15% on latency and 5% on utilisations).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::{BusModel, ModelInput, RingModel};
 use ringsim_bus::BusConfig;
-use ringsim_core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim_core::{run_sim, SimKind, SimSpec};
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
@@ -19,7 +19,7 @@ use crate::benchmark_input;
 /// reference budget so validation stays tractable at the default budget.
 const MAX_REFS: u64 = 40_000;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     config: String,
     sim_proc_util: f64,
@@ -62,42 +62,37 @@ impl Variant {
 fn run_point(bench: Benchmark, procs: usize, variant: Variant, refs: u64) -> Row {
     let (_, input) = benchmark_input(bench, procs, refs).expect("paper config");
     let proc = Time::from_ns(20);
-    let spec = bench.spec(procs).expect("spec").with_refs(refs);
-    let workload = Workload::new(spec).expect("workload");
-    match variant {
+    let wl_spec = bench.spec(procs).expect("spec").with_refs(refs);
+    let workload = Workload::new(wl_spec).expect("workload");
+    let (kind, config) = match variant {
+        Variant::Ring(p) => {
+            (SimKind::Ring500, format!("{}.{} ring {}", bench.name(), procs, p.name()))
+        }
+        Variant::Bus => (SimKind::Bus100, format!("{}.{} bus 100MHz", bench.name(), procs)),
+    };
+    let spec = match variant {
+        Variant::Ring(p) => SimSpec::new(workload).with_protocol(p).with_proc_cycle(proc),
+        Variant::Bus => SimSpec::new(workload).with_proc_cycle(proc),
+    };
+    let mut system = kind.build(&spec).expect("system");
+    let (sim, _) = run_sim(system.as_mut(), None);
+    // Feed the *simulator's own* event mix to the model, mirroring the
+    // paper's methodology (simulation-derived parameters).
+    let sim_input = ModelInput::from_report(&sim, input.instr_per_data);
+    let model = match variant {
         Variant::Ring(protocol) => {
-            let cfg = SystemConfig::ring_500mhz(protocol, procs).with_proc_cycle(proc);
-            let sim = RingSystem::new(cfg, workload).expect("system").run();
-            // Feed the *simulator's own* event mix to the model, mirroring
-            // the paper's methodology (simulation-derived parameters).
-            let sim_input = ModelInput::from_report(&sim, input.instr_per_data);
-            let model = RingModel::new(RingConfig::standard_500mhz(procs), protocol)
-                .evaluate(&sim_input, proc);
-            Row {
-                config: format!("{}.{} ring {}", bench.name(), procs, protocol.name()),
-                sim_proc_util: sim.proc_util,
-                model_proc_util: model.proc_util,
-                sim_net_util: sim.ring_util,
-                model_net_util: model.net_util,
-                sim_miss_ns: sim.miss_latency_ns(),
-                model_miss_ns: model.miss_latency_ns,
-            }
+            RingModel::new(RingConfig::standard_500mhz(procs), protocol).evaluate(&sim_input, proc)
         }
-        Variant::Bus => {
-            let cfg = BusSystemConfig::bus_100mhz(procs).with_proc_cycle(proc);
-            let sim = BusSystem::new(cfg, workload).expect("system").run();
-            let sim_input = ModelInput::from_report(&sim, input.instr_per_data);
-            let model = BusModel::new(BusConfig::bus_100mhz(procs)).evaluate(&sim_input, proc);
-            Row {
-                config: format!("{}.{} bus 100MHz", bench.name(), procs),
-                sim_proc_util: sim.proc_util,
-                model_proc_util: model.proc_util,
-                sim_net_util: sim.ring_util,
-                model_net_util: model.net_util,
-                sim_miss_ns: sim.miss_latency_ns(),
-                model_miss_ns: model.miss_latency_ns,
-            }
-        }
+        Variant::Bus => BusModel::new(BusConfig::bus_100mhz(procs)).evaluate(&sim_input, proc),
+    };
+    Row {
+        config,
+        sim_proc_util: sim.proc_util,
+        model_proc_util: model.proc_util,
+        sim_net_util: sim.ring_util,
+        model_net_util: model.net_util,
+        sim_miss_ns: sim.miss_latency_ns(),
+        model_miss_ns: model.miss_latency_ns,
     }
 }
 

@@ -7,7 +7,7 @@
 //! This experiment regenerates that unshown comparison across every paper
 //! benchmark at its largest size.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::RingModel;
 use ringsim_proto::ProtocolKind;
@@ -18,7 +18,7 @@ use ringsim_types::Time;
 
 use crate::benchmark_input;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Row {
     bench: String,
     procs: usize,

@@ -18,17 +18,17 @@ pub mod experiments;
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::ModelInput;
 use ringsim_trace::{characterize, Benchmark, Characteristics};
 use ringsim_types::ConfigError;
 
 /// Paper-reported values from Table 2 (used to report calibration deltas).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PaperTable2Row {
     /// Benchmark.
-    pub bench: &'static str,
+    pub bench: String,
     /// Processors.
     pub procs: usize,
     /// Total miss rate (fraction).
@@ -58,7 +58,7 @@ pub fn paper_table2() -> Vec<PaperTable2Row> {
         smr: f64,
     ) -> PaperTable2Row {
         PaperTable2Row {
-            bench,
+            bench: bench.to_owned(),
             procs,
             total_miss_rate: tmr,
             shared_miss_rate: smr,

@@ -27,8 +27,9 @@ use ringsim_proto::{MsgClass, MsgKind, RingMessage};
 use ringsim_ring::{RingConfig, RingHierarchy, SlotKind, SlotRing};
 use ringsim_types::rng::Xoshiro256;
 use ringsim_types::stats::RunningMean;
-use ringsim_types::{BlockAddr, ConfigError, NodeId, Time};
+use ringsim_types::{BlockAddr, CoherenceEvents, ConfigError, NodeId, Time};
 
+use crate::report::{summarize_nodes, ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
 
 /// Configuration of a hierarchy network simulation.
@@ -115,6 +116,12 @@ struct NetNode {
     phase: Phase,
     issued: u64,
     started: Time,
+    /// Cumulative issue-to-reply wait over all its transactions.
+    wait_total: Time,
+    /// When the node retired (entered [`Phase::Done`]).
+    finished: Time,
+    /// Its own end-to-end latency distribution.
+    lat_hist: LatencyHistogram,
     /// Pending local-ring insertions for this node.
     out_q: VecDeque<RingMessage>,
     rng: Xoshiro256,
@@ -155,6 +162,8 @@ pub struct HierNetSim {
     nodes: Vec<NetNode>,
     latency: RunningMean,
     latency_hist: LatencyHistogram,
+    intra_hist: LatencyHistogram,
+    inter_hist: LatencyHistogram,
     completed: u64,
     max_cycles: u64,
     debug: bool,
@@ -186,6 +195,9 @@ impl HierNetSim {
                 phase: Phase::Thinking { until: Time::from_ps(1 + i as u64 * 137) },
                 issued: 0,
                 started: Time::ZERO,
+                wait_total: Time::ZERO,
+                finished: Time::ZERO,
+                lat_hist: LatencyHistogram::new(),
                 out_q: VecDeque::new(),
                 rng: root.fork(i as u64),
             })
@@ -198,6 +210,8 @@ impl HierNetSim {
             nodes,
             latency: RunningMean::default(),
             latency_hist: LatencyHistogram::new(),
+            intra_hist: LatencyHistogram::new(),
+            inter_hist: LatencyHistogram::new(),
             completed: 0,
             max_cycles: 500_000_000,
             debug: false,
@@ -261,6 +275,7 @@ impl HierNetSim {
                     if until <= now {
                         if node.issued == self.cfg.txns_per_node {
                             node.phase = Phase::Done;
+                            node.finished = now;
                             continue;
                         }
                         node.issued += 1;
@@ -378,6 +393,65 @@ impl HierNetSim {
         }
     }
 
+    /// Folds a finished run into the interconnect-neutral [`SimReport`]
+    /// shape the ring and bus simulators produce, so the hierarchy backend
+    /// can ride the same [`crate::Simulator`] dispatch, CLI printing and
+    /// metrics export.
+    ///
+    /// Field mapping (this simulator abstracts coherence to one
+    /// request/reply transaction shape):
+    ///
+    /// * `proc_cycle` — the mean think time (the closest analogue of
+    ///   "execution speed" in the closed-loop workload);
+    /// * `ring_util`/`probe_util` — combined local-ring slot utilisation,
+    ///   `block_util` — global-ring slot utilisation;
+    /// * `miss_*` — end-to-end transaction latency;
+    /// * `class_latencies.local` / `.clean_remote` — intra-ring vs
+    ///   inter-ring transactions (mirrored in `events` so
+    ///   `events.misses()` equals the completed-transaction count).
+    #[must_use]
+    pub fn sim_report(&self, rep: &HierNetReport) -> SimReport {
+        let measures = self.nodes.iter().map(|n| NodeMeasure {
+            finished_at: n.finished,
+            measure_start: Time::ZERO,
+            busy: n.finished.saturating_sub(n.wait_total),
+            misses: n.issued,
+            miss_lat: &n.lat_hist,
+        });
+        let (per_node, proc_util, _) = summarize_nodes(measures);
+        let events = CoherenceEvents {
+            read_clean_local: self.intra_hist.count(),
+            read_clean_remote: self.inter_hist.count(),
+            ..CoherenceEvents::default()
+        };
+        let class_latencies = ClassLatencies {
+            local: self.intra_hist.clone(),
+            clean_remote: self.inter_hist.clone(),
+            ..ClassLatencies::default()
+        };
+        let report = SimReport {
+            protocol: "hier-net".to_owned(),
+            nodes: self.nodes.len(),
+            proc_cycle: self.cfg.think_time,
+            sim_end: rep.sim_end,
+            proc_util,
+            ring_util: rep.local_util,
+            probe_util: rep.local_util,
+            block_util: rep.global_util,
+            miss_latency: rep.latency,
+            miss_histogram: rep.latency_hist.clone(),
+            upgrade_latency: RunningMean::default(),
+            class_latencies,
+            events,
+            retries: 0,
+            per_node,
+        };
+        if ringsim_obs::global_metrics_enabled() {
+            ringsim_obs::global_record(&report.metrics_summary());
+        }
+        report
+    }
+
     #[allow(clippy::too_many_lines)]
     fn step_local_ring(
         &mut self,
@@ -450,8 +524,15 @@ impl HierNetSim {
                                 let node = &mut self.nodes[global_node];
                                 debug_assert_eq!(node.phase, Phase::Waiting);
                                 let lat = now.saturating_sub(node.started);
+                                node.wait_total += lat;
+                                node.lat_hist.record_time(lat);
                                 self.latency.push_time_ns(lat);
                                 self.latency_hist.record_time(lat);
+                                if origin_ring == 0 {
+                                    self.intra_hist.record_time(lat);
+                                } else {
+                                    self.inter_hist.record_time(lat);
+                                }
                                 self.completed += 1;
                                 let think =
                                     (node.rng.next_f64() * 2.0 * self.cfg.think_time.as_ns_f64())
@@ -656,5 +737,28 @@ mod tests {
         let b = run(2, 4, 500, 0.5, 40);
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    fn sim_report_mirrors_run_totals() {
+        let hier = RingHierarchy::new(4, 4).unwrap();
+        let mut cfg = HierNetConfig::new(hier);
+        cfg.txns_per_node = 40;
+        let mut sim = HierNetSim::new(cfg).unwrap();
+        let rep = sim.run();
+        let sr = sim.sim_report(&rep);
+        assert_eq!(sr.protocol, "hier-net");
+        assert_eq!(sr.nodes, 16);
+        assert_eq!(sr.sim_end, rep.sim_end);
+        assert_eq!(sr.events.misses(), rep.completed);
+        assert_eq!(sr.miss_histogram.count(), rep.completed);
+        assert_eq!(
+            sr.class_latencies.local.count() + sr.class_latencies.clean_remote.count(),
+            rep.completed
+        );
+        assert_eq!(sr.per_node.len(), 16);
+        assert!(sr.per_node.iter().all(|n| n.misses == 40));
+        assert!(sr.proc_util > 0.0 && sr.proc_util <= 1.0);
+        assert!((sr.miss_latency.mean() - rep.latency.mean()).abs() < 1e-9);
     }
 }

@@ -38,6 +38,7 @@ mod hier_net;
 mod report;
 mod ring_system;
 mod sanitize;
+mod simulator;
 
 pub use access_net::{AccessNetConfig, AccessNetReport, InsertionNetSim, SlottedNetSim};
 pub use bus_system::{BusSystem, BusSystemConfig};
@@ -47,3 +48,4 @@ pub use hier_net::{HierNetConfig, HierNetReport, HierNetSim};
 pub use report::{summarize_nodes, ClassLatencies, NodeMeasure, NodeSummary, SimReport};
 pub use ring_system::RingSystem;
 pub use sanitize::{sanitize_enabled, set_sanitize_mode, SanitizeMode};
+pub use simulator::{run_sim, SimKind, SimSpec, Simulator};

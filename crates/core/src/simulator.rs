@@ -1,0 +1,326 @@
+//! The backend-neutral [`Simulator`] trait, its [`SimKind`] registry, and
+//! the one shared driver ([`run_sim`]) behind every CLI and experiment run.
+//!
+//! The paper's central method is running the *same* workloads through
+//! interchangeable interconnects and comparing curves. Before this module,
+//! each backend ([`RingSystem`], [`BusSystem`], [`HierNetSim`]) hand-rolled
+//! construction, obs attachment and report assembly, and every cross-cutting
+//! feature (sanitizer, telemetry, metrics sinks) had to be threaded through
+//! three copies. Now a backend is: implement [`Simulator`], register a
+//! [`SimKind`], done — `sim --network {ring,bus,hier}` is one dispatch, and
+//! so is the experiment suite's per-point execution.
+
+use ringsim_obs::{ObsConfig, Recorder};
+use ringsim_proto::ProtocolKind;
+use ringsim_ring::RingHierarchy;
+use ringsim_trace::Workload;
+use ringsim_types::{ConfigError, Time};
+
+use crate::bus_system::{BusSystem, BusSystemConfig};
+use crate::config::SystemConfig;
+use crate::hier_net::{HierNetConfig, HierNetSim};
+use crate::report::SimReport;
+use crate::ring_system::RingSystem;
+
+/// A timed system simulator: configure at construction, optionally attach
+/// telemetry, run to completion, produce one [`SimReport`].
+///
+/// The contract mirrors the lifecycle every backend already had:
+///
+/// 1. construction validates the configuration (`SimKind::build`),
+/// 2. [`Simulator::attach_obs`] (optional, before the run) enables strictly
+///    observational telemetry — it must not change any simulation result,
+/// 3. [`Simulator::run`] runs to completion and is not required to be
+///    re-runnable,
+/// 4. [`Simulator::take_obs`] yields the recorder after the run (`None`
+///    unless obs was attached).
+pub trait Simulator {
+    /// Enables telemetry for the run: per-transaction trace events plus
+    /// gauge timelines. Strictly observational.
+    fn attach_obs(&mut self, cfg: ObsConfig);
+
+    /// Takes the telemetry recorder after a run; `None` unless
+    /// [`Simulator::attach_obs`] was called.
+    fn take_obs(&mut self) -> Option<Recorder>;
+
+    /// Runs the simulation to completion.
+    fn run(&mut self) -> SimReport;
+}
+
+impl Simulator for RingSystem {
+    fn attach_obs(&mut self, cfg: ObsConfig) {
+        RingSystem::attach_obs(self, cfg);
+    }
+    fn take_obs(&mut self) -> Option<Recorder> {
+        RingSystem::take_obs(self)
+    }
+    fn run(&mut self) -> SimReport {
+        RingSystem::run(self)
+    }
+}
+
+impl Simulator for BusSystem {
+    fn attach_obs(&mut self, cfg: ObsConfig) {
+        BusSystem::attach_obs(self, cfg);
+    }
+    fn take_obs(&mut self) -> Option<Recorder> {
+        BusSystem::take_obs(self)
+    }
+    fn run(&mut self) -> SimReport {
+        BusSystem::run(self)
+    }
+}
+
+impl Simulator for HierNetSim {
+    fn attach_obs(&mut self, cfg: ObsConfig) {
+        HierNetSim::attach_obs(self, cfg);
+    }
+    fn take_obs(&mut self) -> Option<Recorder> {
+        HierNetSim::take_obs(self)
+    }
+    fn run(&mut self) -> SimReport {
+        let rep = HierNetSim::run(self);
+        self.sim_report(&rep)
+    }
+}
+
+/// The backend-neutral simulation request a [`SimKind`] builds from: the
+/// workload to run plus the knobs every backend understands.
+#[derive(Debug, Clone)]
+pub struct SimSpec {
+    /// Coherence protocol (ring backends; bus is always snooping and the
+    /// hierarchy backend abstracts the protocol level away).
+    pub protocol: ProtocolKind,
+    /// Processor cycle time.
+    pub proc_cycle: Time,
+    /// The workload to drive through the interconnect.
+    pub workload: Workload,
+}
+
+impl SimSpec {
+    /// A spec with the paper's defaults: snooping at 50 MIPS (20 ns).
+    #[must_use]
+    pub fn new(workload: Workload) -> Self {
+        Self { protocol: ProtocolKind::Snooping, proc_cycle: Time::from_ns(20), workload }
+    }
+
+    /// Sets the coherence protocol.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the processor cycle time.
+    #[must_use]
+    pub fn with_proc_cycle(mut self, proc_cycle: Time) -> Self {
+        self.proc_cycle = proc_cycle;
+        self
+    }
+}
+
+/// Registry of the interconnect backends, mirroring the sweep crate's
+/// experiment registry: every backend the CLIs can name is one variant,
+/// buildable from one [`SimSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimKind {
+    /// 32-bit slotted ring clocked at 500 MHz.
+    Ring500,
+    /// 32-bit slotted ring clocked at 250 MHz.
+    Ring250,
+    /// 64-bit split-transaction bus at 50 MHz.
+    Bus50,
+    /// 64-bit split-transaction bus at 100 MHz.
+    Bus100,
+    /// Two-level slotted-ring hierarchy (message-level, KSR1-style IRIs).
+    Hier,
+}
+
+impl SimKind {
+    /// Every registered backend, in CLI listing order.
+    pub const ALL: [SimKind; 5] =
+        [SimKind::Ring500, SimKind::Ring250, SimKind::Bus50, SimKind::Bus100, SimKind::Hier];
+
+    /// Canonical CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimKind::Ring500 => "ring500",
+            SimKind::Ring250 => "ring250",
+            SimKind::Bus50 => "bus50",
+            SimKind::Bus100 => "bus100",
+            SimKind::Hier => "hier",
+        }
+    }
+
+    /// One-line description for `--help`-style listings.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            SimKind::Ring500 => "32-bit slotted ring at 500 MHz",
+            SimKind::Ring250 => "32-bit slotted ring at 250 MHz",
+            SimKind::Bus50 => "64-bit split-transaction bus at 50 MHz",
+            SimKind::Bus100 => "64-bit split-transaction bus at 100 MHz",
+            SimKind::Hier => "two-level slotted-ring hierarchy",
+        }
+    }
+
+    /// Parses a CLI network name; `ring`, `bus` and `hiernet` are accepted
+    /// as aliases for the default variants.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ring500" | "ring" => Some(SimKind::Ring500),
+            "ring250" => Some(SimKind::Ring250),
+            "bus50" => Some(SimKind::Bus50),
+            "bus100" | "bus" => Some(SimKind::Bus100),
+            "hier" | "hiernet" => Some(SimKind::Hier),
+            _ => None,
+        }
+    }
+
+    /// Builds a ready-to-run simulator for this backend from `spec`.
+    ///
+    /// The hierarchy backend derives its topology from the processor count
+    /// (the most balanced `local rings × nodes per ring` factorisation) and
+    /// its per-node transaction budget from the workload's reference budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid for the
+    /// backend (e.g. a prime processor count for `hier`).
+    pub fn build(self, spec: &SimSpec) -> Result<Box<dyn Simulator>, ConfigError> {
+        let procs = spec.workload.procs();
+        Ok(match self {
+            SimKind::Ring500 | SimKind::Ring250 => {
+                let cfg = match self {
+                    SimKind::Ring500 => SystemConfig::ring_500mhz(spec.protocol, procs),
+                    _ => SystemConfig::ring_250mhz(spec.protocol, procs),
+                }
+                .with_proc_cycle(spec.proc_cycle);
+                Box::new(RingSystem::new(cfg, spec.workload.clone())?)
+            }
+            SimKind::Bus50 | SimKind::Bus100 => {
+                let cfg = match self {
+                    SimKind::Bus100 => BusSystemConfig::bus_100mhz(procs),
+                    _ => BusSystemConfig::bus_50mhz(procs),
+                }
+                .with_proc_cycle(spec.proc_cycle);
+                Box::new(BusSystem::new(cfg, spec.workload.clone())?)
+            }
+            SimKind::Hier => {
+                let (rings, per) = balanced_split(procs)?;
+                let hier = RingHierarchy::new(rings, per)?;
+                let mut cfg = HierNetConfig::new(hier);
+                // The hierarchy workload is closed-loop (think → transact →
+                // wait), so map the reference budget onto a transaction
+                // budget: one coherence transaction per ~50 references
+                // keeps the default budgets comparable across backends.
+                cfg.txns_per_node = (spec.workload.spec().data_refs_per_proc / 50).max(1);
+                Box::new(HierNetSim::new(cfg)?)
+            }
+        })
+    }
+}
+
+/// Splits `procs` into the most balanced `(local_rings, nodes_per_ring)`
+/// pair with both factors ≥ 2 (closest to square, rings ≤ nodes-per-ring).
+fn balanced_split(procs: usize) -> Result<(usize, usize), ConfigError> {
+    let mut best = None;
+    let mut d = 2;
+    while d * d <= procs {
+        if procs.is_multiple_of(d) {
+            best = Some((d, procs / d));
+        }
+        d += 1;
+    }
+    best.ok_or_else(|| {
+        ConfigError::new(
+            "procs",
+            "the hierarchy network needs a composite processor count \
+             (local rings × nodes per ring, both at least 2)",
+        )
+    })
+}
+
+/// Drives one simulator run through the shared lifecycle: attach obs when
+/// requested, run, collect the recorder.
+///
+/// When `obs` is `None` but the process-wide metrics sink is on
+/// (`experiments --metrics`), a small recorder is attached automatically and
+/// its gauge timelines are folded into the global sink — so every backend's
+/// timelines reach the metrics document without per-caller wiring. The
+/// recorder is returned only for an explicit `obs` request.
+pub fn run_sim(sim: &mut dyn Simulator, obs: Option<ObsConfig>) -> (SimReport, Option<Recorder>) {
+    let explicit = obs.is_some();
+    if let Some(cfg) = obs {
+        sim.attach_obs(cfg);
+    } else if ringsim_obs::global_metrics_enabled() {
+        // Timelines are the point here; keep the (unused) trace tiny.
+        sim.attach_obs(ObsConfig { trace_capacity: 64, ..ObsConfig::default() });
+    }
+    let report = sim.run();
+    let recorder = sim.take_obs();
+    if explicit {
+        return (report, recorder);
+    }
+    if let Some(rec) = recorder {
+        for tl in rec.timelines {
+            ringsim_obs::global_record_timeline(tl);
+        }
+    }
+    (report, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use ringsim_trace::{Workload, WorkloadSpec};
+
+    use super::*;
+
+    fn workload(procs: usize, refs: u64) -> Workload {
+        Workload::new(WorkloadSpec::demo(procs).with_refs(refs)).unwrap()
+    }
+
+    #[test]
+    fn registry_round_trips_names() {
+        for kind in SimKind::ALL {
+            assert_eq!(SimKind::parse(kind.name()), Some(kind));
+            assert!(!kind.description().is_empty());
+        }
+        assert_eq!(SimKind::parse("ring"), Some(SimKind::Ring500));
+        assert_eq!(SimKind::parse("bus"), Some(SimKind::Bus100));
+        assert_eq!(SimKind::parse("token-ring"), None);
+    }
+
+    #[test]
+    fn balanced_split_prefers_square() {
+        assert_eq!(balanced_split(16).unwrap(), (4, 4));
+        assert_eq!(balanced_split(8).unwrap(), (2, 4));
+        assert_eq!(balanced_split(12).unwrap(), (3, 4));
+        assert!(balanced_split(13).is_err());
+        assert!(balanced_split(2).is_err());
+    }
+
+    #[test]
+    fn every_backend_runs_through_the_trait() {
+        for kind in SimKind::ALL {
+            let spec = SimSpec::new(workload(4, 1_000));
+            let mut sim = kind.build(&spec).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let (report, rec) = run_sim(sim.as_mut(), None);
+            assert!(rec.is_none());
+            assert_eq!(report.nodes, 4);
+            assert!(report.sim_end > Time::ZERO, "{}", kind.name());
+            assert!(report.miss_histogram.count() > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn explicit_obs_returns_a_recorder() {
+        let spec = SimSpec::new(workload(4, 500));
+        let mut sim = SimKind::Hier.build(&spec).unwrap();
+        let (_, rec) = run_sim(sim.as_mut(), Some(ObsConfig::default()));
+        let rec = rec.expect("recorder");
+        assert!(!rec.timelines.is_empty());
+    }
+}

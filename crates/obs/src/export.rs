@@ -7,6 +7,7 @@
 //! parallel sweep engine fold worker shards in completion order and still
 //! write byte-identical `metrics.json` artifacts for any `--jobs N`.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -117,11 +118,21 @@ pub fn hist_from_json(v: &JsonValue) -> Option<LatencyHistogram> {
 
 static GLOBAL_ON: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<MetricsSummary>> = Mutex::new(None);
+static TIMELINE_SINK: Mutex<Vec<Timeline>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Label prefixed onto timeline names fed to the sink from this thread
+    /// (the sweep engine sets `<experiment>/<point-label>` around each
+    /// point, so exported timelines are distinguishable *and* sort into a
+    /// jobs-count-independent order).
+    static RUN_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+}
 
 /// Turns the process-wide metrics sink on or off (clearing it either way).
 pub fn set_global_metrics(on: bool) {
     GLOBAL_ON.store(on, Ordering::Relaxed);
     *SINK.lock().unwrap() = None;
+    TIMELINE_SINK.lock().unwrap().clear();
 }
 
 /// Whether simulator runs should feed the process-wide sink.
@@ -146,6 +157,35 @@ pub fn global_record(summary: &MetricsSummary) {
 #[must_use]
 pub fn take_global_metrics() -> Option<MetricsSummary> {
     SINK.lock().unwrap().take()
+}
+
+/// Sets (or clears, with `None`) this thread's run label. Timelines fed to
+/// [`global_record_timeline`] from this thread get their names prefixed
+/// `<label>/`.
+pub fn set_run_label(label: Option<&str>) {
+    RUN_LABEL.with(|l| *l.borrow_mut() = label.map(str::to_owned));
+}
+
+/// Feeds one gauge timeline into the process-wide sink (no-op when off).
+pub fn global_record_timeline(mut tl: Timeline) {
+    if !global_metrics_enabled() {
+        return;
+    }
+    RUN_LABEL.with(|l| {
+        if let Some(prefix) = l.borrow().as_deref() {
+            tl.name = format!("{prefix}/{}", tl.name);
+        }
+    });
+    TIMELINE_SINK.lock().unwrap().push(tl);
+}
+
+/// Drains the process-wide timeline sink, sorted by name so the output is
+/// independent of worker-thread completion order.
+#[must_use]
+pub fn take_global_timelines() -> Vec<Timeline> {
+    let mut v = std::mem::take(&mut *TIMELINE_SINK.lock().unwrap());
+    v.sort_by(|a, b| a.name.cmp(&b.name));
+    v
 }
 
 #[cfg(test)]
@@ -189,8 +229,12 @@ mod tests {
         assert_eq!(rebuilt, file.summary.miss);
     }
 
+    /// Serialises the tests that flip the process-wide sinks.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn global_sink_folds_runs() {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         set_global_metrics(true);
         global_record(&sample_summary(4));
         global_record(&sample_summary(5));
@@ -199,6 +243,28 @@ mod tests {
         set_global_metrics(false);
         global_record(&sample_summary(6));
         assert!(take_global_metrics().is_none());
+    }
+
+    #[test]
+    fn timeline_sink_labels_and_sorts() {
+        use ringsim_types::Time;
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_global_metrics(true);
+        set_run_label(Some("exp/b"));
+        let mut tl = Timeline::new("ring", &["util"]);
+        tl.push(Time::from_ns(1), vec![0.5]);
+        global_record_timeline(tl.clone());
+        set_run_label(Some("exp/a"));
+        global_record_timeline(tl.clone());
+        set_run_label(None);
+        global_record_timeline(tl.clone());
+        let got = take_global_timelines();
+        let names: Vec<&str> = got.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["exp/a/ring", "exp/b/ring", "ring"]);
+        assert!(take_global_timelines().is_empty());
+        set_global_metrics(false);
+        global_record_timeline(tl);
+        assert!(take_global_timelines().is_empty());
     }
 
     #[test]

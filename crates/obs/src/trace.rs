@@ -110,9 +110,9 @@ impl TraceBuffer {
             out.push_str(&Self::event_json(ev));
         }
         out.push_str("\n]");
-        if self.dropped > 0 {
-            out.push_str(&format!(",\"droppedEvents\":{}", self.dropped));
-        }
+        // Always present, so truncated traces are detectable (a missing
+        // counter is indistinguishable from zero in older files).
+        out.push_str(&format!(",\"droppedEvents\":{}", self.dropped));
         out.push_str("}\n");
         out
     }
@@ -207,6 +207,18 @@ mod tests {
         assert!(json.contains("\"dur\":0.015000"));
         let parsed = crate::json::parse(&json).expect("chrome export must be valid JSON");
         assert!(parsed.get("traceEvents").is_some());
+        // The drop counter is always in the footer, even when zero.
+        assert_eq!(parsed.get("droppedEvents").and_then(crate::json::JsonValue::as_u64), Some(0));
+    }
+
+    #[test]
+    fn chrome_json_reports_drop_count() {
+        let mut b = TraceBuffer::new(2);
+        for i in 0..5u64 {
+            b.push(instant("x", "t", 0, Time::from_ns(i)));
+        }
+        let parsed = crate::json::parse(&b.to_chrome_json()).unwrap();
+        assert_eq!(parsed.get("droppedEvents").and_then(crate::json::JsonValue::as_u64), Some(3));
     }
 
     #[test]

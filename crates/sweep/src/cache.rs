@@ -1,0 +1,103 @@
+//! Incremental per-point result caching.
+//!
+//! [`SweepCtx::map`](crate::SweepCtx::map) consults
+//! `<out_dir>/.cache/<experiment>/<key-hash>.json` before running a point's
+//! work closure: on a hit the cached result is deserialised and the point
+//! is not re-run, so a warm `run_experiment` re-executes zero points while
+//! re-rendering byte-identical artifacts (artifact serialisation is
+//! deterministic, and wall times live in the meta twin, never in
+//! artifacts).
+//!
+//! The cache key covers everything a point's result may depend on apart
+//! from the experiment's code itself: a schema version (bumped when the
+//! entry format or key derivation changes), the experiment name, the
+//! ordinal of the `map` call inside the experiment (two calls may reuse
+//! labels but run different work), the per-processor reference budget, the
+//! point's canonical label, and its derived seed. Anything else —
+//! `--jobs`, worker schedule, wall time — is excluded by construction, so
+//! hits are valid across thread counts. Invalidation is by key: change any
+//! input and the key hashes elsewhere; the stale entry is simply never
+//! read again. Unreadable or unparsable entries count as misses and are
+//! rewritten.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Entry-format / key-derivation version; bump to orphan all old entries.
+const SCHEMA: u64 = 1;
+
+/// Where the entry for one `(experiment, map call, point)` lives.
+pub(crate) fn entry_path(
+    out_dir: &Path,
+    experiment: &str,
+    map_call: u64,
+    refs_per_proc: u64,
+    label: &str,
+    seed: u64,
+) -> PathBuf {
+    let key = format!(
+        "v{SCHEMA}|{experiment}|map={map_call}|refs={refs_per_proc}|seed={seed:016x}|{label}"
+    );
+    out_dir.join(".cache").join(experiment).join(format!("{:016x}.json", fnv1a(key.as_bytes())))
+}
+
+/// FNV-1a over the key string (same family as `SweepPoint::seed`, but the
+/// two derivations are independent: seeds are locked, cache keys carry a
+/// bumpable schema version).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reads a cached result; any IO or parse failure is a miss.
+pub(crate) fn read<R: Deserialize>(path: &Path) -> Option<R> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Writes a result entry; failures are non-fatal (the next run recomputes).
+pub(crate) fn write<R: Serialize>(path: &Path, value: &R) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(data) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(path, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_separates_every_axis() {
+        let d = Path::new("results");
+        let base = entry_path(d, "fig3", 0, 100, "procs=8", 42);
+        assert_ne!(base, entry_path(d, "fig4", 0, 100, "procs=8", 42));
+        assert_ne!(base, entry_path(d, "fig3", 1, 100, "procs=8", 42));
+        assert_ne!(base, entry_path(d, "fig3", 0, 200, "procs=8", 42));
+        assert_ne!(base, entry_path(d, "fig3", 0, 100, "procs=16", 42));
+        assert_ne!(base, entry_path(d, "fig3", 0, 100, "procs=8", 43));
+        assert_eq!(base, entry_path(d, "fig3", 0, 100, "procs=8", 42));
+        assert!(base.starts_with("results/.cache/fig3"));
+    }
+
+    #[test]
+    fn round_trips_and_tolerates_garbage() {
+        let dir = std::env::temp_dir().join(format!("ringsim-cache-test-{}", std::process::id()));
+        let path = entry_path(&dir, "t", 0, 1, "p", 7);
+        assert_eq!(read::<Vec<u64>>(&path), None);
+        write(&path, &vec![1u64, 2, 3]);
+        assert_eq!(read::<Vec<u64>>(&path), Some(vec![1, 2, 3]));
+        // Shape mismatch parses but fails typed rebuild → miss.
+        assert_eq!(read::<Vec<String>>(&path), None);
+        std::fs::write(&path, "not json").unwrap();
+        assert_eq!(read::<Vec<u64>>(&path), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

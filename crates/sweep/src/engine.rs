@@ -42,7 +42,7 @@ where
         let start = Instant::now();
         let result = work(&pctx, &points[i]);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        let stat = PointStat { label: pctx.label, seed: pctx.seed, wall_ms };
+        let stat = PointStat { label: pctx.label, seed: pctx.seed, wall_ms, cached: false };
         (result, stat)
     };
 

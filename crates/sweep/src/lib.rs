@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod engine;
 mod point;
 
@@ -26,10 +27,11 @@ pub use point::SweepPoint;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// How the engine runs an experiment: thread budget, per-processor
 /// reference budget, and where artifacts land.
@@ -42,14 +44,22 @@ pub struct SweepConfig {
     pub refs_per_proc: u64,
     /// Directory artifacts and meta twins are written into.
     pub out_dir: PathBuf,
+    /// Whether [`SweepCtx::map`] consults the per-point result cache under
+    /// `<out_dir>/.cache/` (see the `cache` module docs).
+    pub use_cache: bool,
 }
 
 impl SweepConfig {
     /// A config with `jobs` = available parallelism, the default reference
-    /// budget, and `results/` as the output directory.
+    /// budget, `results/` as the output directory, and caching on.
     #[must_use]
     pub fn new(refs_per_proc: u64) -> Self {
-        Self { jobs: default_jobs(), refs_per_proc, out_dir: PathBuf::from("results") }
+        Self {
+            jobs: default_jobs(),
+            refs_per_proc,
+            out_dir: PathBuf::from("results"),
+            use_cache: true,
+        }
     }
 
     /// Overrides the thread budget (clamped to at least 1).
@@ -63,6 +73,13 @@ impl SweepConfig {
     #[must_use]
     pub fn out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.out_dir = dir.into();
+        self
+    }
+
+    /// Turns the per-point result cache on or off (`--no-cache`).
+    #[must_use]
+    pub fn cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
         self
     }
 }
@@ -98,6 +115,8 @@ pub struct PointStat {
     pub seed: u64,
     /// Wall time of the point's work closure in milliseconds.
     pub wall_ms: f64,
+    /// Whether the result came from the per-point cache.
+    pub cached: bool,
 }
 
 /// What kind of file an [`Artifact`] is.
@@ -142,6 +161,11 @@ pub struct SweepCtx {
     cfg: SweepConfig,
     stats: Mutex<Vec<PointStat>>,
     artifacts: Mutex<Vec<Artifact>>,
+    /// Ordinal of the next [`SweepCtx::map`] call, part of the cache key
+    /// (two calls may reuse labels but run different work).
+    map_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl SweepCtx {
@@ -150,7 +174,15 @@ impl SweepCtx {
     #[must_use]
     pub fn new(experiment: &'static str, cfg: SweepConfig) -> Self {
         let _ = fs::create_dir_all(&cfg.out_dir);
-        Self { experiment, cfg, stats: Mutex::new(Vec::new()), artifacts: Mutex::new(Vec::new()) }
+        Self {
+            experiment,
+            cfg,
+            stats: Mutex::new(Vec::new()),
+            artifacts: Mutex::new(Vec::new()),
+            map_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
     }
 
     /// The owning experiment's registry name.
@@ -184,6 +216,12 @@ impl SweepCtx {
     /// `key` names each point; from it the engine derives the stable seed
     /// exposed as [`PointCtx::seed`]. The closure must not print or write
     /// files — compute rows here, render them serially afterwards.
+    ///
+    /// When the per-point cache is on (the default), each point's result is
+    /// looked up under `<out_dir>/.cache/<experiment>/` first and only
+    /// computed on a miss — which is why results must round-trip through
+    /// serde (`Serialize + Deserialize`). Hit/miss counts land in the meta
+    /// twin via [`RunMeta`].
     pub fn map<P, R>(
         &self,
         points: &[P],
@@ -192,18 +230,58 @@ impl SweepCtx {
     ) -> Vec<R>
     where
         P: Sync,
-        R: Send,
+        R: Send + Serialize + Deserialize,
     {
-        let (results, stats) = engine::run_points(
+        let map_call = self.map_calls.fetch_add(1, Ordering::Relaxed);
+        let use_cache = self.cfg.use_cache;
+        let wrapped = |pctx: &PointCtx, p: &P| -> (R, bool) {
+            let entry = cache::entry_path(
+                &self.cfg.out_dir,
+                self.experiment,
+                map_call,
+                pctx.refs_per_proc,
+                &pctx.label,
+                pctx.seed,
+            );
+            if use_cache {
+                if let Some(r) = cache::read::<R>(&entry) {
+                    return (r, true);
+                }
+            }
+            // Label this worker's telemetry so exported timelines sort
+            // into a jobs-count-independent order.
+            ringsim_obs::set_run_label(Some(&format!("{}/{}", pctx.experiment, pctx.label)));
+            let r = work(pctx, p);
+            ringsim_obs::set_run_label(None);
+            if use_cache {
+                cache::write(&entry, &r);
+            }
+            (r, false)
+        };
+        let (results, mut stats) = engine::run_points(
             self.experiment,
             self.cfg.jobs,
             self.cfg.refs_per_proc,
             points,
             key,
-            work,
+            wrapped,
         );
+        let mut out = Vec::with_capacity(results.len());
+        for ((r, cached), stat) in results.into_iter().zip(&mut stats) {
+            stat.cached = cached;
+            let counter = if cached { &self.cache_hits } else { &self.cache_misses };
+            counter.fetch_add(1, Ordering::Relaxed);
+            out.push(r);
+        }
         self.stats.lock().expect("stats lock").extend(stats);
-        results
+        out
+    }
+
+    /// `(hits, misses)` of the per-point cache across this context's `map`
+    /// calls so far.
+    #[must_use]
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (self.cache_hits.load(Ordering::Relaxed), self.cache_misses.load(Ordering::Relaxed))
     }
 
     /// Writes `value` as pretty JSON into `<out_dir>/<name>.json` and
@@ -281,6 +359,10 @@ pub struct RunMeta {
     pub refs_per_proc: u64,
     /// Number of sweep points executed.
     pub points: usize,
+    /// Points whose results were reused from the per-point cache.
+    pub cache_hits: u64,
+    /// Points that were actually (re)computed.
+    pub cache_misses: u64,
     /// End-to-end wall time of `Experiment::run` in milliseconds.
     pub total_wall_ms: f64,
     /// Sweep points completed per wall-clock second.
@@ -312,11 +394,14 @@ pub fn run_experiment(exp: &dyn Experiment, cfg: &SweepConfig) -> RunReport {
     let artifacts = exp.run(&ctx);
     let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let point_stats = ctx.take_stats();
+    let (cache_hits, cache_misses) = ctx.cache_counts();
     let meta = RunMeta {
         experiment: exp.name().to_owned(),
         jobs: cfg.jobs,
         refs_per_proc: cfg.refs_per_proc,
         points: point_stats.len(),
+        cache_hits,
+        cache_misses,
         total_wall_ms,
         points_per_sec: if total_wall_ms > 0.0 {
             point_stats.len() as f64 / (total_wall_ms / 1e3)
@@ -363,6 +448,52 @@ mod tests {
         assert_eq!(report.meta.points, 10);
         assert!(dir.join("doubler.json").is_file());
         assert!(dir.join("doubler.meta.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_run_is_all_hits_with_identical_artifacts() {
+        let dir = std::env::temp_dir().join(format!("ringsim-cache-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SweepConfig::new(0).jobs(2).out_dir(&dir);
+
+        let cold = run_experiment(&Doubler, &cfg);
+        assert_eq!((cold.meta.cache_hits, cold.meta.cache_misses), (0, 10));
+        assert!(cold.meta.point_stats.iter().all(|s| !s.cached));
+        let cold_bytes = std::fs::read(dir.join("doubler.json")).unwrap();
+
+        // Warm, with a different jobs count: zero points re-run, identical
+        // artifact bytes.
+        let warm = run_experiment(&Doubler, &cfg.clone().jobs(7));
+        assert_eq!((warm.meta.cache_hits, warm.meta.cache_misses), (10, 0));
+        assert!(warm.meta.point_stats.iter().all(|s| s.cached));
+        assert_eq!(std::fs::read(dir.join("doubler.json")).unwrap(), cold_bytes);
+
+        // `--no-cache` recomputes (and still matches).
+        let fresh = run_experiment(&Doubler, &cfg.clone().cache(false));
+        assert_eq!((fresh.meta.cache_hits, fresh.meta.cache_misses), (0, 10));
+        assert_eq!(std::fs::read(dir.join("doubler.json")).unwrap(), cold_bytes);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_fall_back_to_recompute() {
+        let dir =
+            std::env::temp_dir().join(format!("ringsim-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SweepConfig::new(0).jobs(1).out_dir(&dir);
+        let cold = run_experiment(&Doubler, &cfg);
+        let cold_bytes = std::fs::read(dir.join("doubler.json")).unwrap();
+        // Truncate every entry; the warm run must notice and recompute.
+        let cache_dir = dir.join(".cache").join("doubler");
+        for entry in std::fs::read_dir(&cache_dir).unwrap() {
+            std::fs::write(entry.unwrap().path(), "{").unwrap();
+        }
+        let warm = run_experiment(&Doubler, &cfg);
+        assert_eq!((warm.meta.cache_hits, warm.meta.cache_misses), (0, 10));
+        assert_eq!(std::fs::read(dir.join("doubler.json")).unwrap(), cold_bytes);
+        assert_eq!(cold.meta.points, warm.meta.points);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,7 +14,9 @@
 //! ```
 //!
 //! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
-//! (64-bit split-transaction buses).
+//! (64-bit split-transaction buses), `hier` (two-level slotted-ring
+//! hierarchy). Every network runs through the one [`SimKind`] registry —
+//! adding a backend there is all a new network needs to appear here.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -22,7 +24,7 @@ use std::process::ExitCode;
 
 use ringsim::analytic::{BusModel, ModelInput, RingModel};
 use ringsim::bus::BusConfig;
-use ringsim::core::{BusSystem, BusSystemConfig, RingSystem, SystemConfig};
+use ringsim::core::{run_sim, SimKind, SimSpec};
 use ringsim::proto::ProtocolKind;
 use ringsim::ring::RingConfig;
 use ringsim::trace::{characterize, Benchmark};
@@ -75,7 +77,8 @@ commands:
                             runtime coherence sanitizer on in release builds;
                             --trace-out t.json captures a Chrome trace,
                             --metrics m.json|m.csv exports latency histograms,
-                            --ring / --bus pick the default network variant)
+                            --ring / --bus / --hier pick the default network
+                            variant)
   model                     evaluate the analytical model
   stats                     inspect observability artifacts
                             (--trace t.json validates and summarises a Chrome
@@ -89,13 +92,17 @@ commands:
                             (--inject none|skip-invalidate|forget-owner|park-busy-forwards)
   experiments               run the paper-artifact suite
                             (--list | --only a,b) (--jobs N) (--refs N) (--out DIR)
-                            (--metrics m.json folds every run's histograms)
+                            (--metrics m.json folds every run's histograms and
+                            timelines; --no-cache recomputes every point,
+                            --cache-stats prints cache hit/miss counts)
 
 options:
   --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
                             (sim defaults to mp3d)
   --procs <n>               processor count (per the paper's sizes)
-  --network <net>           ring500 | ring250 | bus50 | bus100 (default ring500)
+  --network <net>           ring500 | ring250 | bus50 | bus100 | hier
+                            (default ring500; sim and replay only accept what
+                            the simulator registry lists)
   --protocol <p>            snooping | directory (rings only; default snooping)
   --mips <m>                processor speed in MIPS (default 50)
   --refs <n>                measured references per processor (default 20000)";
@@ -243,14 +250,22 @@ fn characterize_cmd(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Resolves a `--network` value against the simulator registry.
+fn network_of(name: &str) -> Result<SimKind, Box<dyn Error>> {
+    SimKind::parse(name).ok_or_else(|| {
+        let names: Vec<&str> = SimKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown network `{name}` (try {})", names.join(", ")).into()
+    })
+}
+
 fn sim_cmd(args: &[String]) -> CliResult {
-    // Bare flags (`--sanitize`, `--ring`, `--bus`) are stripped before
-    // key-value parsing.
+    // Bare flags (`--sanitize`, `--ring`, `--bus`, `--hier`) are stripped
+    // before key-value parsing.
     let mut bare = Vec::new();
     let args: Vec<String> = args
         .iter()
         .filter(|a| {
-            let is_bare = matches!(a.as_str(), "--sanitize" | "--ring" | "--bus");
+            let is_bare = matches!(a.as_str(), "--sanitize" | "--ring" | "--bus" | "--hier");
             if is_bare {
                 bare.push(a.as_str().to_owned());
             }
@@ -263,14 +278,15 @@ fn sim_cmd(args: &[String]) -> CliResult {
     }
     let mut flags = parse_flags(&args)?;
     // `sim` is the observability quick-start entry point, so it works bare:
-    // benchmark defaults to mp3d, `--ring` / `--bus` pick the default
-    // network variants.
+    // benchmark defaults to mp3d, `--ring` / `--bus` / `--hier` pick the
+    // default network variants.
     flags.entry("benchmark".to_owned()).or_insert_with(|| "mp3d".to_owned());
     if !flags.contains_key("network") {
-        if bare.iter().any(|a| a == "--bus") {
-            flags.insert("network".to_owned(), "bus100".to_owned());
-        } else if bare.iter().any(|a| a == "--ring") {
-            flags.insert("network".to_owned(), "ring500".to_owned());
+        for (flag, net) in [("--bus", "bus100"), ("--ring", "ring500"), ("--hier", "hier")] {
+            if bare.iter().any(|a| a == flag) {
+                flags.insert("network".to_owned(), net.to_owned());
+                break;
+            }
         }
     }
     let (bench, procs) = benchmark_of(&flags)?;
@@ -278,41 +294,13 @@ fn sim_cmd(args: &[String]) -> CliResult {
     let proc_cycle = Time::from_ps(1_000_000 / mips);
     let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
     let workload = ringsim::trace::Workload::new(spec)?;
-    let network = flags.get("network").map_or("ring500", String::as_str);
+    let kind = network_of(flags.get("network").map_or("ring500", String::as_str))?;
+    let sim_spec =
+        SimSpec::new(workload).with_protocol(protocol_of(&flags)?).with_proc_cycle(proc_cycle);
+    let mut sim = kind.build(&sim_spec)?;
     let want_obs = flags.contains_key("trace-out") || flags.contains_key("metrics");
-    let (report, recorder) = match network {
-        "ring500" | "ring250" => {
-            let protocol = protocol_of(&flags)?;
-            let mut cfg = if network == "ring500" {
-                SystemConfig::ring_500mhz(protocol, procs)
-            } else {
-                SystemConfig::ring_250mhz(protocol, procs)
-            };
-            cfg = cfg.with_proc_cycle(proc_cycle);
-            let mut sys = RingSystem::new(cfg, workload)?;
-            if want_obs {
-                sys.attach_obs(ringsim::obs::ObsConfig::default());
-            }
-            let report = sys.run();
-            (report, sys.take_obs())
-        }
-        "bus50" | "bus100" => {
-            let cfg = if network == "bus100" {
-                BusSystemConfig::bus_100mhz(procs)
-            } else {
-                BusSystemConfig::bus_50mhz(procs)
-            }
-            .with_proc_cycle(proc_cycle);
-            let mut sys = BusSystem::new(cfg, workload)?;
-            if want_obs {
-                sys.attach_obs(ringsim::obs::ObsConfig::default());
-            }
-            let report = sys.run();
-            (report, sys.take_obs())
-        }
-        other => return Err(format!("unknown network `{other}`").into()),
-    };
-    println!("{} on {network}, {procs} processors at {mips} MIPS", bench.name());
+    let (report, recorder) = run_sim(sim.as_mut(), want_obs.then(ringsim::obs::ObsConfig::default));
+    println!("{} on {}, {procs} processors at {mips} MIPS", bench.name(), kind.name());
     println!("  protocol              : {}", report.protocol);
     println!("  simulated time        : {}", report.sim_end);
     println!("  processor utilisation : {:5.1} %", 100.0 * report.proc_util);
@@ -395,6 +383,12 @@ fn stats_cmd(args: &[String]) -> CliResult {
             "{path}: valid Chrome trace — {} events ({spans} spans, {instants} instants, {dropped} dropped)",
             events.len()
         );
+        if dropped > 0 {
+            eprintln!(
+                "warning: {path}: {dropped} event(s) were dropped at capture time — \
+                 the trace is incomplete (raise the recorder's trace capacity)"
+            );
+        }
     }
     if let Some(path) = flags.get("metrics") {
         let text = std::fs::read_to_string(path)?;
@@ -466,30 +460,18 @@ fn replay_cmd(args: &[String]) -> CliResult {
     let procs = trace.procs();
     let mips = mips_of(&flags)?;
     let proc_cycle = Time::from_ps(1_000_000 / mips);
-    let network = flags.get("network").map_or("ring500", String::as_str);
-    let report = match network {
-        "ring500" | "ring250" => {
-            let protocol = protocol_of(&flags)?;
-            let cfg = if network == "ring500" {
-                SystemConfig::ring_500mhz(protocol, procs)
-            } else {
-                SystemConfig::ring_250mhz(protocol, procs)
-            }
-            .with_proc_cycle(proc_cycle);
-            RingSystem::new(cfg, trace.workload())?.run()
-        }
-        "bus50" | "bus100" => {
-            let cfg = if network == "bus100" {
-                BusSystemConfig::bus_100mhz(procs)
-            } else {
-                BusSystemConfig::bus_50mhz(procs)
-            }
-            .with_proc_cycle(proc_cycle);
-            BusSystem::new(cfg, trace.workload())?.run()
-        }
-        other => return Err(format!("unknown network `{other}`").into()),
-    };
-    println!("replayed {path} on {network} ({procs} processors at {mips} MIPS)");
+    let kind = network_of(flags.get("network").map_or("ring500", String::as_str))?;
+    if kind == SimKind::Hier {
+        return Err("the hierarchy backend is transaction-level and cannot \
+                    replay reference traces (use sim --network hier)"
+            .into());
+    }
+    let spec = SimSpec::new(trace.workload())
+        .with_protocol(protocol_of(&flags)?)
+        .with_proc_cycle(proc_cycle);
+    let mut sim = kind.build(&spec)?;
+    let (report, _) = run_sim(sim.as_mut(), None);
+    println!("replayed {path} on {} ({procs} processors at {mips} MIPS)", kind.name());
     println!("  protocol              : {}", report.protocol);
     println!("  processor utilisation : {:5.1} %", 100.0 * report.proc_util);
     println!("  network utilisation   : {:5.1} %", 100.0 * report.ring_util);

@@ -3,7 +3,9 @@
 //! The build environment has no access to crates.io, so this vendored crate
 //! provides the small serde surface `ringsim` actually uses: a `Serialize`
 //! trait rendering into a [`Value`] tree (consumed by the vendored
-//! `serde_json`), a `Deserialize` marker, and the two derive macros.
+//! `serde_json`), a `Deserialize` trait rebuilding a type from that same
+//! tree (consumed by `serde_json::from_str`, which backs the sweep
+//! engine's incremental point cache), and the two derive macros.
 //!
 //! The derive macros (in `serde_derive`) support named structs, tuple
 //! structs and unit-variant enums — exactly the shapes in this workspace.
@@ -34,15 +36,35 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an object value (`None` for non-objects and
+    /// missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can render themselves into a [`Value`].
 pub trait Serialize {
     /// Converts `self` into a serialisation tree.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait so `T: Deserialize` bounds compile; deserialisation is not
-/// exercised anywhere in the workspace.
-pub trait Deserialize {}
+/// Types that can rebuild themselves from a [`Value`].
+///
+/// The contract is the exact inverse of [`Serialize`]: for every type in
+/// the workspace, `T::from_value(&t.to_value()) == Some(t)` (modulo the
+/// usual `NaN` caveat — non-finite floats serialise as `null` and
+/// deserialise back as `NaN`). A `None` means the tree does not match the
+/// expected shape; callers treat that as "not cached / re-compute".
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a serialisation tree.
+    fn from_value(v: &Value) -> Option<Self>;
+}
 
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
@@ -183,11 +205,197 @@ impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Deserialize impls (inverse of the Serialize impls above).
+// ---------------------------------------------------------------------
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<Self> {
+                let u = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return None,
+                };
+                <$t>::try_from(u).ok()
+            }
+        }
+    )*};
+}
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Option<Self> {
+                let i = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u).ok()?,
+                    _ => return None,
+                };
+                <$t>::try_from(i).ok()
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Option<Self> {
+        match *v {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            // Non-finite floats serialise as `null`; `NaN` is the only
+            // value that round-trips through it unambiguously.
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Option<Self> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Option<Self> {
+        match *v {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Option<Self> {
+        String::from_value(v).map(Into::into)
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        T::from_value(v).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Option<Self> {
+        let items = Vec::<T>::from_value(v)?;
+        items.try_into().ok()
+    }
+}
+
+/// Map keys rebuilt from JSON object-key strings (inverse of
+/// [`SerializeKey`]).
+pub trait DeserializeKey: Sized {
+    /// Parses the key from its object-key string form.
+    fn from_key_string(s: &str) -> Option<Self>;
+}
+macro_rules! impl_de_key {
+    ($($t:ty),*) => {$(
+        impl DeserializeKey for $t {
+            fn from_key_string(s: &str) -> Option<Self> { s.parse().ok() }
+        }
+    )*};
+}
+impl_de_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char);
+impl DeserializeKey for String {
+    fn from_key_string(s: &str) -> Option<Self> {
+        Some(s.to_owned())
+    }
+}
+
+impl<K: DeserializeKey + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Some((K::from_key_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Some((K::from_key_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+
 macro_rules! impl_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Option<Self> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Some(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => None,
+                }
             }
         }
     };
@@ -221,5 +429,33 @@ mod tests {
             v.to_value(),
             Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::Float(2.5)])])
         );
+    }
+
+    #[test]
+    fn deserialize_inverts_serialize() {
+        let v = vec![(1u64, 2.5f64), (7, -0.25)];
+        assert_eq!(Vec::<(u64, f64)>::from_value(&v.to_value()), Some(v));
+        let opt: Option<Vec<String>> = Some(vec!["a".into()]);
+        assert_eq!(Option::<Vec<String>>::from_value(&opt.to_value()), Some(opt));
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Some(None));
+        let arr = [3u32, 9, 27];
+        assert_eq!(<[u32; 3]>::from_value(&arr.to_value()), Some(arr));
+    }
+
+    #[test]
+    fn deserialize_rejects_mismatched_shapes() {
+        assert_eq!(u64::from_value(&Value::Int(-1)), None);
+        assert_eq!(u8::from_value(&Value::UInt(256)), None);
+        assert_eq!(bool::from_value(&Value::UInt(1)), None);
+        assert_eq!(<(u64, u64)>::from_value(&Value::Array(vec![Value::UInt(1)])), None);
+        assert!(f64::from_value(&Value::Null).expect("null is NaN").is_nan());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Value::Null.get("a"), None);
     }
 }

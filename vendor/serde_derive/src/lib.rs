@@ -10,7 +10,11 @@
 //! * enums whose variants are all unit variants (serialised as the variant
 //!   name, matching serde's externally-tagged default),
 //! * one generic type parameter layer (each parameter gains a
-//!   `serde::Serialize` bound, like serde's derive).
+//!   `serde::Serialize` / `serde::Deserialize` bound, like serde's derive).
+//!
+//! `derive(Deserialize)` generates a `from_value` that exactly inverts the
+//! `to_value` generated for the same shape, so any derived type round-trips
+//! through the vendored `serde_json`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -31,7 +35,7 @@ struct Parsed {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
-    let (impl_generics, ty_generics) = generics_of(&p.generics, true);
+    let (impl_generics, ty_generics) = generics_of(&p.generics, Some("::serde::Serialize"));
     let body = match &p.shape {
         Shape::Named(fields) => {
             let entries: Vec<String> = fields
@@ -73,25 +77,74 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive emitted invalid Rust")
 }
 
-/// Derives the `serde::Deserialize` marker (no deserialisation logic is
-/// exercised in this workspace).
+/// Derives `serde::Deserialize` (the vendored trait): generates a
+/// `from_value` that exactly inverts what `derive_serialize` emits for the
+/// same shape.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
-    let (impl_generics, ty_generics) = generics_of(&p.generics, false);
-    format!("impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{}}", p.name)
-        .parse()
-        .expect("serde_derive emitted invalid Rust")
+    let (impl_generics, ty_generics) = generics_of(&p.generics, Some("::serde::Deserialize"));
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")?)?"))
+                .collect();
+            format!("::std::option::Option::Some(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            "::std::option::Option::Some(Self(::serde::Deserialize::from_value(v)?))".to_owned()
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ \
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::option::Option::Some(Self({})), \
+                     _ => ::std::option::Option::None, \
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::option::Option::Some(Self::{v})"))
+                .collect();
+            format!(
+                "match v {{ \
+                     ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {}, _ => ::std::option::Option::None, \
+                     }}, \
+                     _ => ::std::option::Option::None, \
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::option::Option<Self> {{ {body} }}\n\
+         }}",
+        p.name
+    )
+    .parse()
+    .expect("serde_derive emitted invalid Rust")
 }
 
-/// Renders `<T: serde::Serialize, ...>` / `<T, ...>` pairs.
-fn generics_of(params: &[String], bound: bool) -> (String, String) {
+/// Renders `<T: Bound, ...>` / `<T, ...>` pairs.
+fn generics_of(params: &[String], bound: Option<&str>) -> (String, String) {
     if params.is_empty() {
         return (String::new(), String::new());
     }
     let impl_g: Vec<String> = params
         .iter()
-        .map(|p| if bound { format!("{p}: ::serde::Serialize") } else { p.clone() })
+        .map(|p| match bound {
+            Some(b) => format!("{p}: {b}"),
+            None => p.clone(),
+        })
         .collect();
     (format!("<{}>", impl_g.join(", ")), format!("<{}>", params.join(", ")))
 }

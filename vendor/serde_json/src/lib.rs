@@ -1,10 +1,18 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde::Value`
-//! tree as JSON text. Output matches serde_json's conventions (2-space
-//! pretty indentation, `1.0`-style floats, non-finite floats as `null`).
+//! tree as JSON text and parses JSON text back into it. Output matches
+//! serde_json's conventions (2-space pretty indentation, `1.0`-style
+//! floats, non-finite floats as `null`).
+//!
+//! The parser ([`from_str`] / [`parse_value`]) preserves integer fidelity:
+//! tokens without a fraction or exponent become `Value::UInt`/`Value::Int`
+//! rather than `f64`, so 64-bit seeds survive a round-trip exactly (unlike
+//! a float-only reader, which silently loses precision above 2^53). Floats
+//! use Rust's shortest-round-trip formatting on the write side, so
+//! `parse::<f64>()` recovers the original bits exactly.
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Serialisation error (the vendored pipeline is infallible, but the public
 /// signatures keep serde_json's `Result` shape).
@@ -38,6 +46,234 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text and rebuilds a `T` from the resulting tree.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing garbage, or a tree whose shape does
+/// not match `T` (`Deserialize::from_value` returned `None`).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    T::from_value(&v).ok_or_else(|| Error("JSON shape does not match target type".to_owned()))
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing non-whitespace input.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".to_owned()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(Error("unterminated string".to_owned())),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, Error> {
+        let c = self.peek().ok_or_else(|| Error("unterminated escape".to_owned()))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'u' => {
+                let hi = self.hex4()?;
+                // Surrogate pair: a high surrogate must be followed by
+                // `\uXXXX` holding the low half.
+                if (0xD800..0xDC00).contains(&hi) {
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        return char::from_u32(code)
+                            .ok_or_else(|| Error("invalid surrogate pair".to_owned()));
+                    }
+                    return Err(Error("lone high surrogate".to_owned()));
+                }
+                char::from_u32(hi).ok_or_else(|| Error("invalid \\u escape".to_owned()))?
+            }
+            other => return Err(Error(format!("invalid escape `\\{}`", other as char))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| Error("truncated \\u escape".to_owned()))?;
+        self.pos = end;
+        u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".to_owned()))
+    }
+
+    /// Numbers without `.`/`e`/`E` parse as integers (`UInt`, or `Int` when
+    /// negative) so 64-bit values keep full fidelity; everything else is an
+    /// `f64`, whose text form round-trips exactly with the writer's
+    /// shortest-round-trip formatting.
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_owned()))?;
+        let bad = || Error(format!("invalid number `{text}`"));
+        if float {
+            return text.parse::<f64>().map(Value::Float).map_err(|_| bad());
+        }
+        if text.starts_with('-') {
+            text.parse::<i64>().map(Value::Int).map_err(|_| bad())
+        } else {
+            text.parse::<u64>().map(Value::UInt).map_err(|_| bad())
+        }
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -158,6 +394,45 @@ mod tests {
             }
         }
         assert_eq!(to_string(&S).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parse_round_trips_value_tree() {
+        let v = Value::Object(vec![
+            ("seed".into(), Value::UInt(u64::MAX)),
+            ("delta".into(), Value::Int(-42)),
+            ("ratio".into(), Value::Float(0.1 + 0.2)),
+            ("label".into(), Value::Str("a\"b\\c\nd".into())),
+            ("flags".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("empty".into(), Value::Object(Vec::new())),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        for render in [to_string(&Wrap(v.clone())), to_string_pretty(&Wrap(v.clone()))] {
+            assert_eq!(parse_value(&render.unwrap()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn from_str_rebuilds_typed_values() {
+        let rows: Vec<(u64, f64)> = vec![(u64::MAX, 1.5), (3, -0.25)];
+        let text = to_string(&rows).unwrap();
+        assert_eq!(from_str::<Vec<(u64, f64)>>(&text).unwrap(), rows);
+        assert!(from_str::<Vec<u64>>("[1, 2, oops").is_err());
+        assert!(from_str::<Vec<u64>>("[1] trailing").is_err());
+        assert!(from_str::<u64>("\"not a number\"").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(parse_value("\"\\u0041\\u00e9\"").unwrap(), Value::Str("Aé".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse_value("\"\\ud83d\\ude00\"").unwrap(), Value::Str("😀".into()));
+        assert!(parse_value("\"\\ud83d\"").is_err());
     }
 
     #[test]
