@@ -48,6 +48,14 @@ pub fn find(name: &str) -> Option<&'static dyn Experiment> {
     ALL.into_iter().find(|e| e.name() == name)
 }
 
+/// The full registry, for front ends beyond the `all` binary — the CLI
+/// `--list` output and the HTTP service's `GET /experiments` endpoint both
+/// render name/description pairs from this slice.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &ALL
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

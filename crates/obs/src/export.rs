@@ -159,6 +159,14 @@ pub fn take_global_metrics() -> Option<MetricsSummary> {
     SINK.lock().unwrap().take()
 }
 
+/// Clones the process-wide sink without draining it, for long-running
+/// consumers (the HTTP service's `/metrics` endpoint) that must not steal
+/// the summary from the end-of-process exporter.
+#[must_use]
+pub fn global_metrics_snapshot() -> Option<MetricsSummary> {
+    SINK.lock().unwrap().clone()
+}
+
 /// Sets (or clears, with `None`) this thread's run label. Timelines fed to
 /// [`global_record_timeline`] from this thread get their names prefixed
 /// `<label>/`.
@@ -186,6 +194,43 @@ pub fn take_global_timelines() -> Vec<Timeline> {
     let mut v = std::mem::take(&mut *TIMELINE_SINK.lock().unwrap());
     v.sort_by(|a, b| a.name.cmp(&b.name));
     v
+}
+
+// --- Process-wide warning sink -------------------------------------------
+//
+// Loud-but-bounded: telemetry components that detect data loss (the trace
+// buffer dropping its oldest events, for example) report it here the moment
+// it happens, instead of leaving a counter to be discovered in an export
+// footer. Warnings are mirrored to stderr immediately and retained for
+// later inspection (the HTTP service surfaces them on `/metrics`).
+
+static WARNINGS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Retention cap for [`record_warning`]; stderr mirroring is not capped.
+const MAX_WARNINGS: usize = 64;
+
+/// Records a process-wide observability warning: prints it to stderr
+/// immediately and retains it (up to a small cap) for
+/// [`warnings_snapshot`] / [`take_warnings`] consumers.
+pub fn record_warning(msg: impl Into<String>) {
+    let msg = msg.into();
+    eprintln!("warning: {msg}");
+    let mut w = WARNINGS.lock().unwrap();
+    if w.len() < MAX_WARNINGS {
+        w.push(msg);
+    }
+}
+
+/// Clones the retained warnings without draining them.
+#[must_use]
+pub fn warnings_snapshot() -> Vec<String> {
+    WARNINGS.lock().unwrap().clone()
+}
+
+/// Drains the retained warnings.
+#[must_use]
+pub fn take_warnings() -> Vec<String> {
+    std::mem::take(&mut *WARNINGS.lock().unwrap())
 }
 
 #[cfg(test)]

@@ -38,9 +38,9 @@ pub mod timeline;
 pub mod trace;
 
 pub use export::{
-    global_metrics_enabled, global_record, global_record_timeline, hist_from_json,
-    set_global_metrics, set_run_label, take_global_metrics, take_global_timelines, MetricsFile,
-    MetricsSummary,
+    global_metrics_enabled, global_metrics_snapshot, global_record, global_record_timeline,
+    hist_from_json, record_warning, set_global_metrics, set_run_label, take_global_metrics,
+    take_global_timelines, take_warnings, warnings_snapshot, MetricsFile, MetricsSummary,
 };
 pub use hist::{LatencyHistogram, BUCKETS};
 pub use recorder::{Obs, ObsConfig, Recorder};

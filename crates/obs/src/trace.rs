@@ -51,8 +51,20 @@ impl TraceBuffer {
     }
 
     /// Appends an event, evicting the oldest if at capacity.
+    ///
+    /// The **first** eviction raises a warning through the process-wide obs
+    /// sink (see [`crate::export::record_warning`]) so long runs surface
+    /// truncation the moment it starts, not in the export footer; further
+    /// evictions only bump the [`dropped`](Self::dropped) counter.
     pub fn push(&mut self, ev: TraceEvent) {
         if self.events.len() == self.cap {
+            if self.dropped == 0 {
+                crate::export::record_warning(format!(
+                    "trace buffer full ({} events): dropping oldest events from now on — \
+                     the exported trace will be truncated (raise the recorder's trace capacity)",
+                    self.cap
+                ));
+            }
             self.events.pop_front();
             self.dropped += 1;
         }
@@ -224,5 +236,26 @@ mod tests {
     #[test]
     fn escape_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn first_drop_warns_once_through_the_obs_sink() {
+        // Use a capacity no other test shares so the assertion is robust to
+        // warnings recorded concurrently by sibling tests.
+        let mut b = TraceBuffer::new(7);
+        for i in 0..7u64 {
+            b.push(instant("x", "t", 0, Time::from_ns(i)));
+        }
+        let fingerprint = "trace buffer full (7 events)";
+        let before =
+            crate::export::warnings_snapshot().iter().filter(|w| w.contains(fingerprint)).count();
+        // Overflow many times: exactly one warning for this buffer.
+        for i in 7..30u64 {
+            b.push(instant("x", "t", 0, Time::from_ns(i)));
+        }
+        assert_eq!(b.dropped(), 23);
+        let after =
+            crate::export::warnings_snapshot().iter().filter(|w| w.contains(fingerprint)).count();
+        assert_eq!(after, before + 1);
     }
 }

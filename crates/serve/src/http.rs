@@ -1,0 +1,348 @@
+//! Minimal HTTP/1.1 request parsing and response writing over std I/O.
+//!
+//! The build environment is offline, so — matching the workspace's
+//! vendored-stand-in philosophy — this is a small, hardened hand parser
+//! rather than a network crate: hard limits on request-line length, header
+//! count/size and body size, no chunked transfer encoding, one request per
+//! connection (`Connection: close` on every response). Anything malformed
+//! maps to a 400 and anything oversized to a 400/413; the parser never
+//! panics on untrusted bytes (locked by a fuzz-style property test).
+
+use std::io::{BufRead, Read, Write};
+
+/// Maximum accepted request-line or header-line length, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum accepted number of headers.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum accepted request-body size, in bytes.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// How reading a request failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request is malformed (or exceeds a header-side limit) → 400.
+    Bad(String),
+    /// The declared body length exceeds [`MAX_BODY`] → 413.
+    BodyTooLarge(u64),
+    /// Transport failure (reset, timeout) → drop the connection silently.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::Bad("truncated request".to_owned())
+        } else {
+            HttpError::Io(e)
+        }
+    }
+}
+
+impl HttpError {
+    /// The error response to send, if any (`None` means just hang up).
+    #[must_use]
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            HttpError::Bad(msg) => Some(Response::error(400, msg)),
+            HttpError::BodyTooLarge(len) => {
+                Some(Response::error(413, &format!("body of {len} bytes exceeds {MAX_BODY}")))
+            }
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), verbatim.
+    pub method: String,
+    /// Request target (path plus any query string), verbatim.
+    pub target: String,
+    /// Headers in arrival order; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for a (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query string stripped).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, enforcing [`MAX_LINE`].
+/// `Ok(None)` means clean EOF before any byte.
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let n = r.take((MAX_LINE + 1) as u64).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        let what =
+            if buf.len() > MAX_LINE { "line exceeds length limit" } else { "truncated line" };
+        return Err(HttpError::Bad(what.to_owned()));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| HttpError::Bad("non-UTF-8 header bytes".into()))
+}
+
+/// Reads and validates one full request. `Ok(None)` means the peer closed
+/// the connection without sending anything.
+///
+/// # Errors
+///
+/// [`HttpError::Bad`] for malformed or over-limit request lines/headers,
+/// [`HttpError::BodyTooLarge`] for bodies over [`MAX_BODY`], and
+/// [`HttpError::Io`] for transport failures.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(&mut *r)? else { return Ok(None) };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::Bad(format!("malformed request line `{line}`"))),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Bad(format!("malformed method `{method}`")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Bad("request target must be an absolute path".to_owned()));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Bad(format!("unsupported protocol version `{version}`")));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let Some(line) = read_line(&mut *r)? else {
+            return Err(HttpError::Bad("connection closed inside headers".to_owned()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Err(HttpError::Bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Bad(format!("malformed header line `{line}`")));
+        };
+        if name.is_empty() || name.bytes().any(|b| b.is_ascii_whitespace() || b.is_ascii_control())
+        {
+            return Err(HttpError::Bad(format!("malformed header name `{name}`")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let find = |n: &str| headers.iter().find(|(k, _)| k == n).map(|(_, v)| v.as_str());
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::Bad("transfer-encoding is not supported".to_owned()));
+    }
+    let mut body = Vec::new();
+    if let Some(cl) = find("content-length") {
+        let len: u64 =
+            cl.parse().map_err(|_| HttpError::Bad(format!("malformed content-length `{cl}`")))?;
+        if len > MAX_BODY as u64 {
+            return Err(HttpError::BodyTooLarge(len));
+        }
+        body.resize(len as usize, 0);
+        r.read_exact(&mut body)?;
+    }
+    Ok(Some(Request { method: method.to_owned(), target: target.to_owned(), headers, body }))
+}
+
+/// An outgoing response: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes (served verbatim — artifact serving relies on
+    /// this being byte-exact).
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` header, in seconds (backpressure responses).
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response from an already-rendered body.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text response (a trailing newline is appended).
+    #[must_use]
+    pub fn text(status: u16, msg: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n").into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A `{"error": ...}` JSON response.
+    #[must_use]
+    pub fn error(status: u16, msg: &str) -> Self {
+        #[derive(serde::Serialize)]
+        struct Body {
+            error: String,
+        }
+        let body = serde_json::to_string_pretty(&Body { error: msg.to_owned() })
+            .expect("error body serialisation is infallible");
+        Self::json(status, body)
+    }
+
+    /// A raw byte response with an explicit content type (artifact serving).
+    #[must_use]
+    pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Self { status, content_type, body, retry_after: None }
+    }
+
+    /// Adds a `Retry-After` header (seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Writes the response (with `Connection: close`) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write errors.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "Retry-After: {secs}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let req = parse("GET /runs/abc?x=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap().unwrap();
+        assert_eq!((req.method.as_str(), req.path()), ("GET", "/runs/abc"));
+        assert_eq!(req.header("host"), Some("h"));
+
+        let req = parse("POST /runs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody").unwrap().unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_bad_requests() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            "GET / SPDY/9\r\n\r\n",
+            "\r\n\r\n",
+        ] {
+            assert!(matches!(parse(bad), Err(HttpError::Bad(_))), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn header_limits_hold() {
+        let long = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        assert!(matches!(parse(&long), Err(HttpError::Bad(_))));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS).map(|i| format!("H{i}: v\r\n")).collect::<String>()
+        );
+        assert!(matches!(parse(&many), Err(HttpError::Bad(_))));
+    }
+
+    #[test]
+    fn body_limits_hold() {
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(&huge), Err(HttpError::BodyTooLarge(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn responses_have_framing() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+
+        let mut out = Vec::new();
+        Response::error(429, "full").with_retry_after(2).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("\"error\""));
+    }
+}

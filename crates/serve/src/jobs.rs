@@ -1,0 +1,434 @@
+//! The bounded asynchronous job pool behind `POST /runs`.
+//!
+//! Each job runs one registry experiment through the sweep engine
+//! ([`ringsim_sweep::run_experiment`]) inside a dedicated per-run output
+//! directory `<out_root>/runs/<id>`. Because the run id is a **pure
+//! function of the submission** — the sweep-point key scheme
+//! ([`SweepPoint::seed`]) applied to `(experiment, refs)` — identical
+//! submissions dedupe onto the same job *and* the same directory, so a
+//! re-submission after a restart lands on a warm `<dir>/.cache` and
+//! re-executes zero points.
+//!
+//! The queue is bounded: submissions beyond [`JobPool`]'s capacity are
+//! rejected with [`SubmitOutcome::QueueFull`] (the HTTP layer maps this to
+//! 429). During drain ([`JobPool::shutdown`]) new submissions are rejected
+//! with [`SubmitOutcome::Draining`] (503) while workers finish every job
+//! already accepted — nothing accepted is ever lost mid-write.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ringsim_sweep::{run_experiment, Experiment, Progress, ProgressFn, SweepConfig, SweepPoint};
+use serde::{Serialize, Value};
+
+/// Lifecycle state of a job. Serialises as its lower-case name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing the sweep.
+    Running,
+    /// Finished; artifacts are servable.
+    Done,
+    /// The experiment panicked; see the status `error` field.
+    Failed,
+}
+
+impl JobState {
+    /// The wire form (`"queued"`, `"running"`, `"done"`, `"failed"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+impl Serialize for JobState {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_owned())
+    }
+}
+
+/// Per-point progress counters of a job.
+#[derive(Debug, Clone, Serialize)]
+pub struct PointsProgress {
+    /// Points submitted so far across the experiment's `map` calls.
+    pub total: u64,
+    /// Points finished (computed or cache-served).
+    pub completed: u64,
+}
+
+/// Sweep-cache hit/miss counters of a job.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheCounts {
+    /// Points served from the per-point cache.
+    pub hits: u64,
+    /// Points actually (re)computed.
+    pub misses: u64,
+}
+
+/// A serialisable snapshot of one job (the `GET /runs/:id` body).
+#[derive(Debug, Clone, Serialize)]
+pub struct JobStatus {
+    /// Deterministic run id.
+    pub id: String,
+    /// Experiment registry name.
+    pub experiment: String,
+    /// Per-processor reference budget.
+    pub refs: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Per-point progress.
+    pub points: PointsProgress,
+    /// Sweep-cache counters (zero misses ⇒ the run was fully warm).
+    pub cache: CacheCounts,
+    /// Artifact file names servable under `/runs/:id/artifacts/:file`.
+    pub artifacts: Vec<String>,
+    /// Failure message, if [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// Aggregate job counts (the `/metrics` digest).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct JobCounts {
+    /// Jobs waiting for a worker.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished successfully.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+}
+
+/// What [`JobPool::submit`] decided.
+#[derive(Debug, Clone)]
+pub enum SubmitOutcome {
+    /// A new job was enqueued.
+    Created(JobStatus),
+    /// An identical submission already exists; its status is returned.
+    Deduped(JobStatus),
+    /// The bounded queue is full — retry later (429).
+    QueueFull,
+    /// The pool is draining for shutdown — no new work (503).
+    Draining,
+}
+
+/// Mutable (lock-guarded) portion of a job.
+#[derive(Debug)]
+struct JobStateData {
+    state: JobState,
+    artifacts: Vec<String>,
+    error: Option<String>,
+}
+
+/// One job: identity plus live progress counters.
+struct JobInner {
+    id: String,
+    exp: &'static dyn Experiment,
+    refs: u64,
+    total: AtomicU64,
+    completed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    state: Mutex<JobStateData>,
+}
+
+impl JobInner {
+    fn new(id: String, exp: &'static dyn Experiment, refs: u64) -> Self {
+        Self {
+            id,
+            exp,
+            refs,
+            total: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            state: Mutex::new(JobStateData {
+                state: JobState::Queued,
+                artifacts: Vec::new(),
+                error: None,
+            }),
+        }
+    }
+
+    fn status(&self) -> JobStatus {
+        let st = self.state.lock().expect("job state lock");
+        JobStatus {
+            id: self.id.clone(),
+            experiment: self.exp.name().to_owned(),
+            refs: self.refs,
+            state: st.state,
+            points: PointsProgress {
+                total: self.total.load(Ordering::Relaxed),
+                completed: self.completed.load(Ordering::Relaxed),
+            },
+            cache: CacheCounts {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+            },
+            artifacts: st.artifacts.clone(),
+            error: st.error.clone(),
+        }
+    }
+}
+
+/// Shared pool state (behind an `Arc` for the worker threads).
+struct PoolShared {
+    jobs: Mutex<HashMap<String, Arc<JobInner>>>,
+    queue: Mutex<VecDeque<Arc<JobInner>>>,
+    available: Condvar,
+    queue_cap: usize,
+    draining: AtomicBool,
+    running: AtomicU64,
+    out_root: PathBuf,
+    /// Worker threads per sweep (`0` = the engine default).
+    sweep_jobs: usize,
+}
+
+/// Bounded worker pool executing experiment runs.
+pub struct JobPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobPool {
+    /// Spawns `workers` job-worker threads. `queue_cap` bounds how many
+    /// jobs may wait (running jobs excluded); `sweep_jobs` is the sweep
+    /// engine's per-job thread budget (`0` = engine default).
+    #[must_use]
+    pub fn new(out_root: PathBuf, workers: usize, queue_cap: usize, sweep_jobs: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queue_cap,
+            draining: AtomicBool::new(false),
+            running: AtomicU64::new(0),
+            out_root,
+            sweep_jobs,
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("job-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn job worker")
+            })
+            .collect();
+        Self { shared, workers: Mutex::new(handles) }
+    }
+
+    /// Deterministic run id for a submission: the sweep-point key scheme
+    /// (FNV-1a + SplitMix64, see [`SweepPoint::seed`]) over
+    /// `(experiment, refs)`, rendered as 16 hex digits. Identical
+    /// submissions therefore share a job, an output directory, and its
+    /// point cache.
+    #[must_use]
+    pub fn run_id(experiment: &str, refs: u64) -> String {
+        format!("{:016x}", SweepPoint::new().detail(format!("refs={refs}")).seed(experiment))
+    }
+
+    /// Where a run's artifacts live.
+    #[must_use]
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.shared.out_root.join("runs").join(id)
+    }
+
+    /// Submits `(experiment, refs)`: dedupes onto an existing non-failed
+    /// job, else enqueues a new one (subject to queue capacity and drain
+    /// state). A failed job is re-enqueued by an identical submission.
+    pub fn submit(&self, exp: &'static dyn Experiment, refs: u64) -> SubmitOutcome {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return SubmitOutcome::Draining;
+        }
+        let id = Self::run_id(exp.name(), refs);
+        let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+        if let Some(existing) = jobs.get(&id) {
+            let failed = existing.state.lock().expect("job state lock").state == JobState::Failed;
+            if !failed {
+                return SubmitOutcome::Deduped(existing.status());
+            }
+        }
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        if queue.len() >= self.shared.queue_cap {
+            return SubmitOutcome::QueueFull;
+        }
+        let job = Arc::new(JobInner::new(id.clone(), exp, refs));
+        jobs.insert(id, Arc::clone(&job));
+        queue.push_back(Arc::clone(&job));
+        self.shared.available.notify_one();
+        SubmitOutcome::Created(job.status())
+    }
+
+    /// Status snapshot of a job, if it exists.
+    #[must_use]
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        self.shared.jobs.lock().expect("jobs lock").get(id).map(|j| j.status())
+    }
+
+    /// Aggregate per-state counts.
+    #[must_use]
+    pub fn counts(&self) -> JobCounts {
+        let jobs = self.shared.jobs.lock().expect("jobs lock");
+        let mut c = JobCounts::default();
+        for j in jobs.values() {
+            match j.state.lock().expect("job state lock").state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => c.running += 1,
+                JobState::Done => c.done += 1,
+                JobState::Failed => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// Starts draining: rejects new submissions and wakes idle workers so
+    /// they can exit once the queue is empty. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Whether nothing is queued or running (safe to stop serving).
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst) == 0
+            && self.shared.queue.lock().expect("queue lock").is_empty()
+    }
+
+    /// Joins the worker threads (call after [`JobPool::shutdown`]).
+    pub fn join(&self) {
+        let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker body: pop → run → repeat; exit when draining and the queue is
+/// empty. Jobs already accepted are always finished (drain semantics).
+fn worker_loop(pool: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("queue lock");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    // Running before the queue lock drops, so `drained()`
+                    // can never observe "empty queue, nothing running"
+                    // while this job is in hand-off.
+                    pool.running.fetch_add(1, Ordering::SeqCst);
+                    break j;
+                }
+                if pool.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = pool.available.wait(q).expect("queue condvar");
+            }
+        };
+        run_job(pool, &job);
+        pool.running.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Executes one job through the sweep engine, feeding its live counters
+/// from the engine's progress callback.
+fn run_job(pool: &PoolShared, job: &Arc<JobInner>) {
+    job.state.lock().expect("job state lock").state = JobState::Running;
+    let dir = pool.out_root.join("runs").join(&job.id);
+    let progress: ProgressFn = {
+        let job = Arc::clone(job);
+        Arc::new(move |ev| match ev {
+            Progress::MapStarted { points } => {
+                job.total.fetch_add(*points as u64, Ordering::Relaxed);
+            }
+            Progress::PointDone { cached, .. } => {
+                job.completed.fetch_add(1, Ordering::Relaxed);
+                let counter = if *cached { &job.hits } else { &job.misses };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+    let mut cfg = SweepConfig::new(job.refs).out_dir(&dir).cache(true).on_progress(progress);
+    if pool.sweep_jobs > 0 {
+        cfg = cfg.jobs(pool.sweep_jobs);
+    }
+    let exp = job.exp;
+    match catch_unwind(AssertUnwindSafe(|| run_experiment(exp, &cfg))) {
+        Ok(report) => {
+            // The meta twin is authoritative; progress counters converge to
+            // the same values, but store them explicitly for exactness.
+            job.total.store(report.meta.points as u64, Ordering::Relaxed);
+            job.completed.store(report.meta.points as u64, Ordering::Relaxed);
+            job.hits.store(report.meta.cache_hits, Ordering::Relaxed);
+            job.misses.store(report.meta.cache_misses, Ordering::Relaxed);
+            let mut st = job.state.lock().expect("job state lock");
+            st.artifacts = report
+                .artifacts
+                .iter()
+                .filter_map(|a| a.path.file_name().map(|f| f.to_string_lossy().into_owned()))
+                .collect();
+            st.state = JobState::Done;
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "experiment panicked".to_owned());
+            let mut st = job.state.lock().expect("job state lock");
+            st.error = Some(msg);
+            st.state = JobState::Failed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ringsim-serve-jobs-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn run_ids_are_deterministic_and_axis_separated() {
+        let a = JobPool::run_id("fig3", 10_000);
+        assert_eq!(a, JobPool::run_id("fig3", 10_000));
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, JobPool::run_id("fig3", 10_001));
+        assert_ne!(a, JobPool::run_id("fig4", 10_000));
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_submissions() {
+        let dir = tmp("cap0");
+        let pool = JobPool::new(dir.clone(), 1, 0, 1);
+        let exp = ringsim_bench::experiments::find("fig3").unwrap();
+        assert!(matches!(pool.submit(exp, 123), SubmitOutcome::QueueFull));
+        pool.shutdown();
+        pool.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn draining_pool_rejects_submissions() {
+        let dir = tmp("drain");
+        let pool = JobPool::new(dir.clone(), 1, 4, 1);
+        pool.shutdown();
+        let exp = ringsim_bench::experiments::find("fig3").unwrap();
+        assert!(matches!(pool.submit(exp, 123), SubmitOutcome::Draining));
+        pool.join();
+        assert!(pool.drained());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,277 @@
+//! Long-running HTTP experiment service: `ringsim serve`.
+//!
+//! The service fronts the [`ringsim_bench`] experiment registry with a
+//! small asynchronous job queue over the deterministic sweep engine
+//! ([`ringsim_sweep`]):
+//!
+//! * `GET  /healthz` — liveness (`ok`, or `draining` during shutdown);
+//! * `GET  /experiments` — the registry as `[{name, description}]`;
+//! * `POST /runs` — submit `{"experiment": "<name>", "refs": <n>?}`;
+//!   returns 202 with a deterministic run id (or 200 when an identical
+//!   submission already exists — see below), 429 + `Retry-After` when the
+//!   bounded queue is full, 503 while draining;
+//! * `GET  /runs/:id` — job status with per-point progress and sweep-cache
+//!   hit/miss counts;
+//! * `GET  /runs/:id/artifacts/:file` — byte-exact artifact serving;
+//! * `GET  /metrics` — process-wide simulator metrics, per-route request
+//!   latency histograms, job counts, and retained obs warnings;
+//! * `POST /shutdown` — programmatic drain (same path as SIGINT).
+//!
+//! **Dedupe by construction.** A run id is a pure function of the
+//! submission — the sweep-point key scheme applied to `(experiment,
+//! refs)` — so identical submissions collapse onto one job and one output
+//! directory `<out>/runs/<id>`. Because that directory keeps its
+//! `.cache/`, re-submitting after a restart re-runs the sweep against a
+//! warm cache: zero points recomputed, byte-identical artifacts.
+//!
+//! **Graceful shutdown.** SIGINT/SIGTERM (or `POST /shutdown`) flips the
+//! service into draining: new submissions get 503, in-flight jobs run to
+//! completion, status/artifact reads keep working, and the process exits 0
+//! once the pool is drained.
+//!
+//! The HTTP layer is a hand-rolled, hardened HTTP/1.1 subset over std
+//! `TcpListener` (see [`http`]) — the build environment is offline and the
+//! workspace vendors its external dependencies, so no network crates.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod jobs;
+pub mod router;
+mod signal;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ringsim_obs::LatencyHistogram;
+
+use crate::jobs::JobPool;
+
+/// How the service runs: bind address, storage root, queue shape.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port `0` picks a free one).
+    pub addr: String,
+    /// Root directory for job outputs (`<out>/runs/<id>/`).
+    pub out_dir: PathBuf,
+    /// Job-worker threads (concurrent experiment runs).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before 429.
+    pub queue_cap: usize,
+    /// Sweep-engine threads per job (`0` = engine default).
+    pub sweep_jobs: usize,
+    /// Per-processor reference budget when a submission omits `refs`.
+    pub default_refs: u64,
+    /// Per-connection read/write timeout.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_owned(),
+            out_dir: PathBuf::from("serve-data"),
+            workers: 2,
+            queue_cap: 16,
+            sweep_jobs: 0,
+            default_refs: ringsim_bench::EXPERIMENT_REFS,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared server state: config, job pool, and self-observation.
+pub struct ServerState {
+    /// The config the server was built with.
+    pub cfg: ServeConfig,
+    /// The bounded job pool.
+    pub pool: JobPool,
+    started: Instant,
+    draining: AtomicBool,
+    http: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
+}
+
+impl ServerState {
+    /// Builds the state and spawns the pool's workers.
+    #[must_use]
+    pub fn new(cfg: ServeConfig) -> Self {
+        let pool = JobPool::new(cfg.out_dir.clone(), cfg.workers, cfg.queue_cap, cfg.sweep_jobs);
+        Self {
+            cfg,
+            pool,
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            http: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Flips into draining: the pool rejects new jobs, workers exit once
+    /// the queue is empty, and the accept loop stops when drained.
+    pub fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.pool.shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Milliseconds since the state was built.
+    #[must_use]
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Folds one request's wall time into the per-route latency digest.
+    pub(crate) fn record_http(&self, route: &'static str, dur: Duration) {
+        let mut map = self.http.lock().expect("http metrics lock");
+        map.entry(route).or_default().record(dur.as_secs_f64() * 1e9);
+    }
+
+    /// Per-route latency digests, sorted by route label.
+    pub(crate) fn http_stats(&self) -> Vec<(String, LatencyHistogram)> {
+        let map = self.http.lock().expect("http metrics lock");
+        map.iter().map(|(route, h)| ((*route).to_owned(), h.clone())).collect()
+    }
+}
+
+/// A bound, accepting server. Dropping it leaks the accept thread; call
+/// [`Server::join`] for an orderly stop.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the job workers and the accept loop, and
+    /// turns the process-wide obs metrics sink on (so `/metrics` carries a
+    /// simulator summary once simulator-backed experiments run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        ringsim_obs::set_global_metrics(true);
+        let state = Arc::new(ServerState::new(cfg));
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("http-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(Self { state, addr, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests and embedders).
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests a drain without blocking (same as `POST /shutdown`).
+    pub fn request_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Whether a drain has been requested.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.draining()
+    }
+
+    /// Drains and joins: rejects new jobs, finishes queued/running ones,
+    /// then stops accepting and joins every service thread.
+    pub fn join(mut self) {
+        self.state.request_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.state.pool.join();
+    }
+}
+
+/// Accept loop: non-blocking accept polled at 15 ms so drain completion is
+/// observed promptly; each connection is served on its own thread.
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                let _ = std::thread::Builder::new()
+                    .name("http-conn".to_owned())
+                    .spawn(move || handle_connection(&state, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if state.draining() && state.pool.drained() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+/// Serves one connection: one request, one response, close. Transport
+/// failures are dropped silently; parse failures get the mapped 400/413.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let timeout = state.cfg.request_timeout;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = io::BufReader::new(read_half);
+    let mut writer = stream;
+    let start = Instant::now();
+    match http::read_request(&mut reader) {
+        Ok(Some(req)) => {
+            let (route, resp) = router::dispatch(state, &req);
+            state.record_http(route, start.elapsed());
+            let _ = resp.write_to(&mut writer);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            if let Some(resp) = e.response() {
+                state.record_http("(rejected)", start.elapsed());
+                let _ = resp.write_to(&mut writer);
+            }
+        }
+    }
+}
+
+/// Runs the service until SIGINT/SIGTERM or `POST /shutdown`, then drains
+/// and returns (the CLI exits 0 on a clean drain).
+///
+/// # Errors
+///
+/// Propagates bind I/O errors.
+pub fn run(cfg: ServeConfig) -> io::Result<()> {
+    signal::install();
+    let server = Server::bind(cfg)?;
+    eprintln!("ringsim serve: listening on http://{}", server.local_addr());
+    while !signal::triggered() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("ringsim serve: draining (in-flight jobs run to completion)");
+    server.join();
+    eprintln!("ringsim serve: drained cleanly");
+    Ok(())
+}

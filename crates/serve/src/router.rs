@@ -1,0 +1,299 @@
+//! Route dispatch: maps parsed requests onto the job pool, the experiment
+//! registry, and the observability sinks.
+//!
+//! Every route returns a `'static` label alongside its [`Response`]; the
+//! connection handler records per-route request latency under that label,
+//! which is what `GET /metrics` reports back (the service observes itself
+//! with the same [`ringsim_obs::LatencyHistogram`] the simulators use).
+
+use serde::{Serialize, Value};
+
+use crate::http::{Request, Response};
+use crate::jobs::{JobCounts, JobState, JobStatus, SubmitOutcome};
+use crate::ServerState;
+
+/// Seconds clients are told to wait after a 429 (queue full).
+const RETRY_AFTER_SECS: u32 = 2;
+
+/// Dispatches one request, returning `(route label, response)`.
+#[must_use]
+pub fn dispatch(state: &ServerState, req: &Request) -> (&'static str, Response) {
+    let segs: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => ("GET /healthz", healthz(state)),
+        ("GET", ["experiments"]) => ("GET /experiments", list_experiments()),
+        ("POST", ["runs"]) => ("POST /runs", submit(state, req)),
+        ("GET", ["runs", id]) => ("GET /runs/:id", run_status(state, id)),
+        ("GET", ["runs", id, "artifacts", file]) => {
+            ("GET /runs/:id/artifacts/:file", artifact(state, id, file))
+        }
+        ("GET", ["metrics"]) => ("GET /metrics", metrics(state)),
+        ("POST", ["shutdown"]) => ("POST /shutdown", shutdown(state)),
+        (
+            _,
+            ["healthz" | "experiments" | "metrics" | "shutdown" | "runs"]
+            | ["runs", _]
+            | ["runs", _, "artifacts", _],
+        ) => (
+            "(method-not-allowed)",
+            Response::error(405, &format!("{} not allowed on {}", req.method, req.path())),
+        ),
+        _ => ("(not-found)", Response::error(404, &format!("no route for {}", req.path()))),
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    if state.draining() {
+        Response::text(200, "draining")
+    } else {
+        Response::text(200, "ok")
+    }
+}
+
+/// `GET /experiments`: the registry as `[{name, description}]`.
+fn list_experiments() -> Response {
+    #[derive(Serialize)]
+    struct Entry {
+        name: String,
+        description: String,
+    }
+    let entries: Vec<Entry> = ringsim_bench::experiments::registry()
+        .iter()
+        .map(|e| Entry { name: e.name().to_owned(), description: e.description().to_owned() })
+        .collect();
+    Response::json(200, render(&entries))
+}
+
+/// The `POST /runs` acknowledgement body.
+#[derive(Serialize)]
+struct SubmitAck {
+    id: String,
+    deduped: bool,
+    state: JobState,
+    location: String,
+}
+
+/// `POST /runs`: body `{"experiment": "<name>", "refs": <n>?}`.
+fn submit(state: &ServerState, req: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    let parsed = match serde_json::parse_value(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
+    };
+    let Some(Value::Str(name)) = parsed.get("experiment") else {
+        return Response::error(400, "body must carry a string `experiment` field");
+    };
+    let refs = match parsed.get("refs") {
+        None | Some(Value::Null) => state.cfg.default_refs,
+        Some(Value::UInt(n)) if *n > 0 => *n,
+        Some(Value::Int(n)) if *n > 0 => u64::try_from(*n).expect("positive i64 fits in u64"),
+        Some(_) => return Response::error(400, "`refs` must be a positive integer"),
+    };
+    let Some(exp) = ringsim_bench::experiments::find(name) else {
+        return Response::error(
+            400,
+            &format!("unknown experiment `{name}` (try GET /experiments)"),
+        );
+    };
+    let ack = |status: JobStatus, deduped: bool| SubmitAck {
+        location: format!("/runs/{}", status.id),
+        id: status.id,
+        deduped,
+        state: status.state,
+    };
+    match state.pool.submit(exp, refs) {
+        SubmitOutcome::Created(st) => Response::json(202, render(&ack(st, false))),
+        SubmitOutcome::Deduped(st) => Response::json(200, render(&ack(st, true))),
+        SubmitOutcome::QueueFull => Response::error(429, "job queue is full; retry later")
+            .with_retry_after(RETRY_AFTER_SECS),
+        SubmitOutcome::Draining => {
+            Response::error(503, "server is draining; new runs are rejected")
+        }
+    }
+}
+
+/// `GET /runs/:id`: full job status.
+fn run_status(state: &ServerState, id: &str) -> Response {
+    match state.pool.status(id) {
+        Some(st) => Response::json(200, render(&st)),
+        None => Response::error(404, &format!("no run `{id}`")),
+    }
+}
+
+/// `GET /runs/:id/artifacts/:file`: byte-exact artifact serving. Only file
+/// names the finished job reported are reachable, so no path from the wire
+/// ever touches the filesystem directly.
+fn artifact(state: &ServerState, id: &str, file: &str) -> Response {
+    let Some(st) = state.pool.status(id) else {
+        return Response::error(404, &format!("no run `{id}`"));
+    };
+    if st.state != JobState::Done {
+        return Response::error(
+            409,
+            &format!("run `{id}` is {}; artifacts appear once it is done", st.state.as_str()),
+        );
+    }
+    if !st.artifacts.iter().any(|a| a == file) {
+        return Response::error(404, &format!("run `{id}` has no artifact `{file}`"));
+    }
+    let path = state.pool.job_dir(id).join(file);
+    match std::fs::read(&path) {
+        Ok(bytes) => Response::bytes(200, content_type(file), bytes),
+        Err(e) => Response::error(500, &format!("reading artifact `{file}`: {e}")),
+    }
+}
+
+/// Content type by artifact extension.
+fn content_type(file: &str) -> &'static str {
+    match file.rsplit('.').next() {
+        Some("json") => "application/json",
+        Some("dat" | "txt" | "csv") => "text/plain; charset=utf-8",
+        _ => "application/octet-stream",
+    }
+}
+
+/// Per-route request-latency digest in the `/metrics` document.
+#[derive(Serialize)]
+struct RouteStat {
+    route: String,
+    requests: u64,
+    latency: ringsim_obs::LatencyHistogram,
+}
+
+/// The `GET /metrics` document.
+#[derive(Serialize)]
+struct MetricsDoc {
+    uptime_ms: u64,
+    draining: bool,
+    jobs: JobCounts,
+    http: Vec<RouteStat>,
+    /// Process-wide simulator metrics (`None` until a simulator-backed
+    /// experiment has run).
+    summary: Option<ringsim_obs::MetricsSummary>,
+    warnings: Vec<String>,
+}
+
+fn metrics(state: &ServerState) -> Response {
+    let http = state
+        .http_stats()
+        .into_iter()
+        .map(|(route, latency)| RouteStat { route, requests: latency.count(), latency })
+        .collect();
+    let doc = MetricsDoc {
+        uptime_ms: state.uptime_ms(),
+        draining: state.draining(),
+        jobs: state.pool.counts(),
+        http,
+        summary: ringsim_obs::global_metrics_snapshot(),
+        warnings: ringsim_obs::warnings_snapshot(),
+    };
+    Response::json(200, render(&doc))
+}
+
+/// `POST /shutdown`: programmatic drain (same path as SIGINT).
+fn shutdown(state: &ServerState) -> Response {
+    state.request_shutdown();
+    #[derive(Serialize)]
+    struct Ack {
+        draining: bool,
+    }
+    Response::json(202, render(&Ack { draining: true }))
+}
+
+/// Pretty-JSON rendering (the vendored pipeline is infallible).
+fn render<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("response serialisation is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+
+    fn state(tag: &str) -> ServerState {
+        let out =
+            std::env::temp_dir().join(format!("ringsim-serve-router-{tag}-{}", std::process::id()));
+        ServerState::new(ServeConfig {
+            out_dir: out,
+            workers: 1,
+            queue_cap: 2,
+            default_refs: 50,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            target: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            target: path.to_owned(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn experiments_listing_covers_the_registry() {
+        let st = state("list");
+        let (route, resp) = dispatch(&st, &get("/experiments"));
+        assert_eq!((route, resp.status), ("GET /experiments", 200));
+        let text = String::from_utf8(resp.body).unwrap();
+        for exp in ringsim_bench::experiments::registry() {
+            assert!(text.contains(exp.name()), "listing misses {}", exp.name());
+        }
+        st.request_shutdown();
+        st.pool.join();
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_with_400() {
+        let st = state("bad");
+        for body in [
+            "",
+            "{",
+            "{}",
+            "{\"experiment\": 3}",
+            "{\"experiment\": \"nope\"}",
+            "{\"experiment\": \"fig3\", \"refs\": 0}",
+            "{\"experiment\": \"fig3\", \"refs\": -4}",
+        ] {
+            let (_, resp) = dispatch(&st, &post("/runs", body));
+            assert_eq!(resp.status, 400, "accepted body {body:?}");
+        }
+        st.request_shutdown();
+        st.pool.join();
+    }
+
+    #[test]
+    fn draining_state_rejects_submissions_but_keeps_reads() {
+        let st = state("drain");
+        st.request_shutdown();
+        let (_, resp) = dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\"}"));
+        assert_eq!(resp.status, 503);
+        assert_eq!(dispatch(&st, &get("/metrics")).1.status, 200);
+        let (_, resp) = dispatch(&st, &get("/healthz"));
+        assert_eq!(resp.body, b"draining\n");
+        st.pool.join();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_map_to_404_and_405() {
+        let st = state("routes");
+        assert_eq!(dispatch(&st, &get("/nope")).1.status, 404);
+        assert_eq!(dispatch(&st, &get("/runs/zzz")).1.status, 404);
+        assert_eq!(dispatch(&st, &post("/experiments", "")).1.status, 405);
+        assert_eq!(dispatch(&st, &get("/metrics")).1.status, 200);
+        st.request_shutdown();
+        st.pool.join();
+    }
+}

@@ -1,0 +1,151 @@
+//! Fuzz-style robustness properties for the hand-rolled HTTP parser: on
+//! arbitrary byte soup and on mutations of valid requests, `read_request`
+//! must never panic — every input parses or maps to a clean [`HttpError`].
+//!
+//! The generator is a seeded SplitMix64 stream (the workspace's standard
+//! deterministic PRNG finalizer), so failures replay exactly.
+
+use std::io::Cursor;
+
+use ringsim_serve::http::{read_request, HttpError, MAX_BODY, MAX_LINE};
+
+/// SplitMix64: deterministic, seedable, good enough to shape byte soup.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn parse(bytes: &[u8]) -> Result<Option<ringsim_serve::http::Request>, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()))
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = SplitMix64(0x5eed);
+    for _case in 0..2_000 {
+        let len = rng.below(512);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        // Must return, not panic; any outcome is acceptable.
+        let _ = parse(&bytes);
+    }
+}
+
+#[test]
+fn structured_soup_with_http_shards_never_panics() {
+    // Byte soup biased toward HTTP-ish tokens, to reach deeper parser paths
+    // than uniform noise would.
+    const SHARDS: &[&[u8]] = &[
+        b"GET ",
+        b"POST ",
+        b"/runs",
+        b"/runs/abc/artifacts/x.json",
+        b" HTTP/1.1",
+        b" HTTP/1.0",
+        b"\r\n",
+        b"\n",
+        b"\r",
+        b"Content-Length: ",
+        b"Content-Length: 99999999999999999999",
+        b"Transfer-Encoding: chunked",
+        b"Host: h",
+        b": ",
+        b"0",
+        b"18446744073709551616",
+        b"-1",
+        b"\xff\xfe",
+        b"{\"experiment\": \"fig3\"}",
+        b"",
+    ];
+    let mut rng = SplitMix64(0xf00d);
+    for _case in 0..2_000 {
+        let mut bytes = Vec::new();
+        for _ in 0..rng.below(12) {
+            bytes.extend_from_slice(SHARDS[rng.below(SHARDS.len())]);
+        }
+        let _ = parse(&bytes);
+    }
+}
+
+#[test]
+fn mutated_valid_requests_never_panic() {
+    let valid =
+        b"POST /runs HTTP/1.1\r\nHost: h\r\nContent-Length: 22\r\n\r\n{\"experiment\": \"fig3\"}"
+            .to_vec();
+    assert!(parse(&valid).unwrap().is_some());
+    let mut rng = SplitMix64(0xbeef);
+    for _case in 0..2_000 {
+        let mut bytes = valid.clone();
+        for _ in 0..=rng.below(4) {
+            match rng.below(3) {
+                // Flip a byte.
+                0 => {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    let i = rng.below(bytes.len());
+                    bytes[i] = (rng.next() & 0xff) as u8;
+                }
+                // Truncate.
+                1 => bytes.truncate(rng.below(bytes.len() + 1)),
+                // Duplicate a slice into the middle.
+                _ => {
+                    let i = rng.below(bytes.len().max(1));
+                    let j = i + rng.below(bytes.len() - i + 1);
+                    let slice = bytes[i..j].to_vec();
+                    bytes.splice(i..i, slice);
+                }
+            }
+        }
+        let _ = parse(&bytes);
+    }
+}
+
+#[test]
+fn oversized_inputs_map_to_clean_errors() {
+    // Request line just over the limit.
+    let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+    assert!(matches!(parse(long_target.as_bytes()), Err(HttpError::Bad(_))));
+
+    // Declared body over the limit: rejected from the header alone (no
+    // allocation of MAX_BODY+ bytes, no panic).
+    let big = format!("POST /runs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY as u64 + 1);
+    assert!(matches!(parse(big.as_bytes()), Err(HttpError::BodyTooLarge(_))));
+
+    // Absurd (non-u64) declared length is a 400, not a panic.
+    let absurd = b"POST / HTTP/1.1\r\nContent-Length: 999999999999999999999999\r\n\r\n";
+    assert!(matches!(parse(absurd), Err(HttpError::Bad(_))));
+
+    // A body shorter than declared is a 400 (truncated), not a hang/panic.
+    let short = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+    assert!(matches!(parse(short), Err(HttpError::Bad(_))));
+}
+
+#[test]
+fn error_responses_are_renderable() {
+    // Every error the parser can produce must map to a writable response
+    // (or an intentional silent hang-up), never a panic.
+    let cases: &[&[u8]] = &[
+        b"junk\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n",
+        b"GET / HTTP/2.0\r\n\r\n",
+    ];
+    for bytes in cases {
+        let err = parse(bytes).expect_err("malformed input must error");
+        if let Some(resp) = err.response() {
+            let mut out = Vec::new();
+            resp.write_to(&mut out).unwrap();
+            assert!(out.starts_with(b"HTTP/1.1 4"), "expected a 4xx for {bytes:?}");
+        }
+    }
+}

@@ -25,17 +25,42 @@ mod point;
 
 pub use point::SweepPoint;
 
+use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+/// A progress event emitted while [`SweepCtx::map`] runs points, so a
+/// long-running front end (the HTTP service's job queue, a TUI) can report
+/// per-point progress without waiting for the whole sweep to finish.
+#[derive(Debug, Clone)]
+pub enum Progress {
+    /// A `map` call began with this many points.
+    MapStarted {
+        /// Number of points submitted to this `map` call.
+        points: usize,
+    },
+    /// One point finished (computed or served from the per-point cache).
+    PointDone {
+        /// Canonical point label.
+        label: String,
+        /// Whether the result came from the per-point cache.
+        cached: bool,
+    },
+}
+
+/// Progress callback. Invoked from worker threads, possibly concurrently,
+/// so implementations must be cheap and thread-safe. Observational only:
+/// it runs outside the work closure and cannot affect results.
+pub type ProgressFn = Arc<dyn Fn(&Progress) + Send + Sync>;
+
 /// How the engine runs an experiment: thread budget, per-processor
 /// reference budget, and where artifacts land.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SweepConfig {
     /// Maximum worker threads for [`SweepCtx::map`]; `1` forces the serial
     /// path.
@@ -47,6 +72,20 @@ pub struct SweepConfig {
     /// Whether [`SweepCtx::map`] consults the per-point result cache under
     /// `<out_dir>/.cache/` (see the `cache` module docs).
     pub use_cache: bool,
+    /// Optional per-point progress callback (see [`Progress`]).
+    pub progress: Option<ProgressFn>,
+}
+
+impl fmt::Debug for SweepConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepConfig")
+            .field("jobs", &self.jobs)
+            .field("refs_per_proc", &self.refs_per_proc)
+            .field("out_dir", &self.out_dir)
+            .field("use_cache", &self.use_cache)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 impl SweepConfig {
@@ -59,6 +98,7 @@ impl SweepConfig {
             refs_per_proc,
             out_dir: PathBuf::from("results"),
             use_cache: true,
+            progress: None,
         }
     }
 
@@ -80,6 +120,13 @@ impl SweepConfig {
     #[must_use]
     pub fn cache(mut self, on: bool) -> Self {
         self.use_cache = on;
+        self
+    }
+
+    /// Installs a per-point progress callback (see [`Progress`]).
+    #[must_use]
+    pub fn on_progress(mut self, f: ProgressFn) -> Self {
+        self.progress = Some(f);
         self
     }
 }
@@ -234,6 +281,10 @@ impl SweepCtx {
     {
         let map_call = self.map_calls.fetch_add(1, Ordering::Relaxed);
         let use_cache = self.cfg.use_cache;
+        let progress = self.cfg.progress.as_ref();
+        if let Some(p) = progress {
+            p(&Progress::MapStarted { points: points.len() });
+        }
         let wrapped = |pctx: &PointCtx, p: &P| -> (R, bool) {
             let entry = cache::entry_path(
                 &self.cfg.out_dir,
@@ -245,6 +296,9 @@ impl SweepCtx {
             );
             if use_cache {
                 if let Some(r) = cache::read::<R>(&entry) {
+                    if let Some(pf) = progress {
+                        pf(&Progress::PointDone { label: pctx.label.clone(), cached: true });
+                    }
                     return (r, true);
                 }
             }
@@ -255,6 +309,9 @@ impl SweepCtx {
             ringsim_obs::set_run_label(None);
             if use_cache {
                 cache::write(&entry, &r);
+            }
+            if let Some(pf) = progress {
+                pf(&Progress::PointDone { label: pctx.label.clone(), cached: false });
             }
             (r, false)
         };
@@ -474,6 +531,42 @@ mod tests {
         assert_eq!((fresh.meta.cache_hits, fresh.meta.cache_misses), (0, 10));
         assert_eq!(std::fs::read(dir.join("doubler.json")).unwrap(), cold_bytes);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_callback_counts_points_and_cache_hits() {
+        use std::sync::atomic::AtomicUsize;
+
+        let dir =
+            std::env::temp_dir().join(format!("ringsim-sweep-progress-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let total = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let cached = Arc::new(AtomicUsize::new(0));
+        let observer: ProgressFn = {
+            let (total, done, cached) = (total.clone(), done.clone(), cached.clone());
+            Arc::new(move |ev| match ev {
+                Progress::MapStarted { points } => {
+                    total.fetch_add(*points, Ordering::Relaxed);
+                }
+                Progress::PointDone { cached: c, label } => {
+                    assert!(!label.is_empty());
+                    done.fetch_add(1, Ordering::Relaxed);
+                    if *c {
+                        cached.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+        let cfg = SweepConfig::new(0).jobs(4).out_dir(&dir).on_progress(observer);
+        run_experiment(&Doubler, &cfg);
+        assert_eq!((total.load(Ordering::Relaxed), done.load(Ordering::Relaxed)), (10, 10));
+        assert_eq!(cached.load(Ordering::Relaxed), 0);
+        // Warm run: every point reports as a cache hit.
+        run_experiment(&Doubler, &cfg);
+        assert_eq!((total.load(Ordering::Relaxed), done.load(Ordering::Relaxed)), (20, 20));
+        assert_eq!(cached.load(Ordering::Relaxed), 10);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

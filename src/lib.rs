@@ -83,3 +83,9 @@ pub mod analytic {
 pub mod sweep {
     pub use ringsim_sweep::*;
 }
+
+/// The long-running HTTP experiment service behind `ringsim serve`
+/// (`ringsim-serve`).
+pub mod serve {
+    pub use ringsim_serve::*;
+}

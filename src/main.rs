@@ -11,6 +11,8 @@
 //!                     [--metrics m.json]
 //! ringsim stats [--trace t.json] [--metrics m.json] [--csv]
 //! ringsim check [--all-protocols] [--nodes N] [--blocks B] [--inject FAULT]
+//! ringsim serve [--addr host:port] [--out DIR] [--workers N] [--queue-cap N]
+//!               [--sweep-jobs N] [--refs N]
 //! ```
 //!
 //! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
         "sweep" => sweep_cmd(rest),
         "record" => record_cmd(rest),
         "replay" => replay_cmd(rest),
+        "serve" => serve_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -95,6 +98,13 @@ commands:
                             (--metrics m.json folds every run's histograms and
                             timelines; --no-cache recomputes every point,
                             --cache-stats prints cache hit/miss counts)
+  serve                     long-running HTTP experiment service
+                            (--addr host:port, default 127.0.0.1:8080)
+                            (--out DIR job storage root, default serve-data)
+                            (--workers N concurrent jobs) (--queue-cap N)
+                            (--sweep-jobs N threads per sweep, 0 = auto)
+                            (--refs N default per-processor reference budget);
+                            SIGINT drains in-flight jobs and exits 0
 
 options:
   --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
@@ -435,6 +445,34 @@ fn stats_cmd(args: &[String]) -> CliResult {
             }
         }
     }
+    Ok(())
+}
+
+/// `ringsim serve`: the long-running HTTP experiment service (see
+/// `ringsim::serve`). Blocks until SIGINT/SIGTERM or `POST /shutdown`,
+/// drains in-flight jobs, then returns cleanly.
+fn serve_cmd(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let mut cfg = ringsim::serve::ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    if let Some(out) = flags.get("out") {
+        cfg.out_dir = out.into();
+    }
+    if let Some(w) = flags.get("workers") {
+        cfg.workers = w.parse::<usize>()?.max(1);
+    }
+    if let Some(q) = flags.get("queue-cap") {
+        cfg.queue_cap = q.parse::<usize>()?;
+    }
+    if let Some(j) = flags.get("sweep-jobs") {
+        cfg.sweep_jobs = j.parse::<usize>()?;
+    }
+    if let Some(r) = flags.get("refs") {
+        cfg.default_refs = r.parse::<u64>()?;
+    }
+    ringsim::serve::run(cfg)?;
     Ok(())
 }
 
