@@ -1,0 +1,28 @@
+//! Criterion macro-benchmarks: one full simulator run per backend, the
+//! same scenarios the committed `BENCH_*.json` baselines track (the `perf`
+//! binary regenerates those; this bench is for interactive `cargo bench`
+//! comparisons while optimizing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ringsim_bench::perf;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+fn full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_sim");
+    for scenario in perf::scenarios() {
+        group.bench_function(scenario.name(), |b| {
+            b.iter(|| black_box(scenario.run_once().0.sim_end));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = full_runs
+}
+criterion_main!(benches);

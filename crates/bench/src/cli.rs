@@ -3,7 +3,8 @@
 //! Every per-experiment binary and the `all` driver accept the same flags:
 //!
 //! ```text
-//! --jobs <n>      worker threads per experiment (default: available cores)
+//! --jobs <n>      worker threads per experiment; 0 auto-detects the
+//!                 available cores (the default)
 //! --refs <n>      references per processor (default: 60000; bare number works too)
 //! --out <dir>     output directory (default: results/)
 //! --list          list experiments and exit            (all only)
@@ -26,6 +27,25 @@ use ringsim_sweep::{default_jobs, run_experiment, Experiment, SweepConfig};
 
 use crate::experiments;
 use crate::EXPERIMENT_REFS;
+
+const HELP: &str = "\
+USAGE:
+  <experiment> [OPTIONS] [REFS]
+
+OPTIONS:
+  --jobs, -j N    worker threads per experiment; 0 auto-detects the
+                  available cores (the default)
+  --refs N        references per processor (a bare number works too)
+  --out DIR       output directory (default: results/)
+  --list          list experiments and exit            (all only)
+  --only a,b      run a comma-separated subset         (all only)
+  --metrics PATH  fold every run's latency histograms and timelines
+                  into one JSON file (disables the point cache)
+  --sanitize      run the coherence sanitizer on every point
+  --no-cache      recompute every point, ignoring cached results
+  --cache-stats   print per-experiment cache hit/miss counts
+  --help, -h      this text
+";
 
 /// Parsed experiment-driver options.
 #[derive(Debug, Clone)]
@@ -80,7 +100,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
-                opts.jobs = v.parse::<usize>().map_err(|_| format!("bad --jobs `{v}`"))?.max(1);
+                let n = v.parse::<usize>().map_err(|_| format!("bad --jobs `{v}`"))?;
+                // 0 = auto-detect, matching the flag's documented default.
+                opts.jobs = if n == 0 { default_jobs() } else { n };
             }
             "--refs" => {
                 let v = it.next().ok_or("--refs needs a value")?;
@@ -99,6 +121,10 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             "--only" => {
                 let v = it.next().ok_or("--only needs a value")?;
                 opts.only.extend(v.split(',').map(str::to_owned));
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(0);
             }
             other => {
                 // Backwards compatibility: a bare number is a refs budget.
@@ -299,6 +325,13 @@ mod tests {
     #[test]
     fn parse_accepts_bare_refs_for_backwards_compat() {
         assert_eq!(parse(&args(&["30000"])).unwrap().refs, 30_000);
+    }
+
+    #[test]
+    fn jobs_zero_auto_detects() {
+        let o = parse(&args(&["--jobs", "0"])).unwrap();
+        assert_eq!(o.jobs, default_jobs());
+        assert!(o.jobs >= 1);
     }
 
     #[test]

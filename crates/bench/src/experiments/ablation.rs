@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use ringsim_core::{run_sim, RingSystem, SystemConfig};
+use ringsim_core::{RingSystem, RunOptions, Simulator, SystemConfig};
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
@@ -111,13 +111,13 @@ struct SimSummary {
 
 /// The ablation points need bespoke [`SystemConfig`]s (slot mixes, wide
 /// rings, bank queueing), so they construct the [`RingSystem`] directly but
-/// still run it through the shared [`run_sim`] driver so cross-cutting
-/// features (metrics sinks, obs) apply here too.
+/// still run it through the shared [`Simulator::run`] lifecycle so
+/// cross-cutting features (metrics sinks, obs) apply here too.
 fn simulate(cfg: SystemConfig, refs: u64) -> SimSummary {
     let spec = Benchmark::Mp3d.spec(16).expect("spec").with_refs(refs);
     let workload = Workload::new(spec).expect("workload");
     let mut system = RingSystem::new(cfg, workload).expect("system");
-    let (r, _) = run_sim(&mut system, None);
+    let r = Simulator::run(&mut system, &RunOptions::default()).report;
     SimSummary {
         proc_util: r.proc_util,
         ring_util: r.ring_util,

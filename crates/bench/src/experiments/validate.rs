@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use ringsim_analytic::{BusModel, ModelInput, RingModel};
 use ringsim_bus::BusConfig;
-use ringsim_core::{run_sim, SimKind, SimSpec};
+use ringsim_core::{RunOptions, SimKind, SimSpec};
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingConfig;
 use ringsim_sweep::{Artifact, Experiment, SweepCtx, SweepPoint};
@@ -75,7 +75,7 @@ fn run_point(bench: Benchmark, procs: usize, variant: Variant, refs: u64) -> Row
         Variant::Bus => SimSpec::new(workload).with_proc_cycle(proc),
     };
     let mut system = kind.build(&spec).expect("system");
-    let (sim, _) = run_sim(system.as_mut(), None);
+    let sim = system.run(&RunOptions::default()).report;
     // Feed the *simulator's own* event mix to the model, mirroring the
     // paper's methodology (simulation-derived parameters).
     let sim_input = ModelInput::from_report(&sim, input.instr_per_data);

@@ -197,9 +197,13 @@ impl Cache {
     }
 
     fn slot(&self, block: BlockAddr) -> (usize, u64) {
-        let lines = self.cfg.lines();
-        let idx = (block.raw() % lines) as usize;
-        let tag = block.raw() / lines;
+        // Both sizes are validated powers of two, so the line count is one
+        // as well: index and tag are a mask and a shift, avoiding two u64
+        // divisions on a path every access classification goes through.
+        let shift = self.cfg.size_bytes.trailing_zeros() - self.cfg.block_bytes.trailing_zeros();
+        debug_assert_eq!(1u64 << shift, self.cfg.lines());
+        let idx = (block.raw() & ((1u64 << shift) - 1)) as usize;
+        let tag = block.raw() >> shift;
         (idx, tag)
     }
 

@@ -26,13 +26,13 @@
 //! 6 flits for 32-bit links) so the raw bandwidth demand is identical; only
 //! the access-control discipline differs.
 
-use std::collections::VecDeque;
-
 use ringsim_proto::{MsgClass, MsgKind, RingMessage};
 use ringsim_ring::{RingConfig, SlotKind, SlotRing};
 use ringsim_types::rng::Xoshiro256;
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{BlockAddr, ConfigError, NodeId, Time};
+
+use crate::collections::RingBuf;
 
 /// Shared configuration of the two access-control simulators.
 #[derive(Debug, Clone, Copy)]
@@ -110,7 +110,7 @@ struct LoopNode {
     phase: Phase,
     issued: u64,
     started: Time,
-    out_q: VecDeque<OutMsg>,
+    out_q: RingBuf<OutMsg>,
     rng: Xoshiro256,
 }
 
@@ -121,20 +121,24 @@ fn make_nodes(cfg: &AccessNetConfig) -> Vec<LoopNode> {
             phase: Phase::Thinking { until: Time::from_ps(1 + i as u64 * 131) },
             issued: 0,
             started: Time::ZERO,
-            out_q: VecDeque::new(),
+            out_q: RingBuf::new(),
             rng: root.fork(i as u64),
         })
         .collect()
 }
 
 /// Node behaviour shared by both simulators: think, then issue a probe to a
-/// uniformly random *other* node.
-fn step_think(nodes: &mut [LoopNode], cfg: &AccessNetConfig, now: Time) {
+/// uniformly random *other* node. Returns how many nodes retired (entered
+/// [`Phase::Done`]) this call, so callers can keep a running total instead
+/// of scanning every node every cycle.
+fn step_think(nodes: &mut [LoopNode], cfg: &AccessNetConfig, now: Time) -> usize {
+    let mut newly_done = 0;
     for (i, node) in nodes.iter_mut().enumerate() {
         if let Phase::Thinking { until } = node.phase {
             if until <= now {
                 if node.issued == cfg.txns_per_node {
                     node.phase = Phase::Done;
+                    newly_done += 1;
                     continue;
                 }
                 node.issued += 1;
@@ -159,6 +163,7 @@ fn step_think(nodes: &mut [LoopNode], cfg: &AccessNetConfig, now: Time) {
             }
         }
     }
+    newly_done
 }
 
 fn complete(
@@ -212,9 +217,13 @@ impl SlottedNetSim {
         // (ready_cycle, node, reply message)
         let mut pending: Vec<(u64, usize, RingMessage)> = Vec::new();
         let mut cycle = 0u64;
+        let mut done_nodes = 0usize;
+        // `(position, slot)` header arrivals per ring phase — the inner
+        // loop below visits only the nodes with an arrival this cycle.
+        let sched = self.ring.layout().arrival_schedule();
         loop {
             let now = period * cycle;
-            step_think(&mut self.nodes, &self.cfg, now);
+            done_nodes += step_think(&mut self.nodes, &self.cfg, now);
             pending.retain(|&(ready, node, msg)| {
                 if ready <= cycle {
                     self.nodes[node].out_q.push_back(OutMsg { msg, ready_at: period * ready });
@@ -223,9 +232,9 @@ impl SlottedNetSim {
                     true
                 }
             });
-            for i in 0..self.cfg.nodes {
-                let pos = NodeId::new(i);
-                let Some(slot) = self.ring.arrival(pos) else { continue };
+            let phase = (cycle % sched.len() as u64) as usize;
+            for &(pos, slot) in &sched[phase] {
+                let i = pos.index();
                 if self.ring.peek(slot).is_some() {
                     let msg = *self.ring.peek(slot).expect("occupied");
                     if msg.dst == pos {
@@ -264,7 +273,7 @@ impl SlottedNetSim {
             }
             self.ring.advance();
             cycle += 1;
-            if self.nodes.iter().all(|n| n.phase == Phase::Done) {
+            if done_nodes == self.nodes.len() {
                 break;
             }
             assert!(cycle < 2_000_000_000, "slotted access simulation ran away");
@@ -353,9 +362,9 @@ impl InsertionNetSim {
         // Each node keeps 3 pipeline stages like the slotted ring; model the
         // inter-node wire as a 3-deep shift register of flits.
         const STAGES: usize = 3;
-        let mut wires: Vec<VecDeque<Option<Flit>>> =
-            (0..n).map(|_| VecDeque::from(vec![None; STAGES])).collect();
-        let mut fifos: Vec<VecDeque<Flit>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut wires: Vec<RingBuf<Option<Flit>>> =
+            (0..n).map(|_| (0..STAGES).map(|_| None).collect()).collect();
+        let mut fifos: Vec<RingBuf<Flit>> = (0..n).map(|_| RingBuf::new()).collect();
         let mut out_state = vec![OutState::Idle; n];
         // Progress of the message each node is currently emitting.
         let mut emitting: Vec<Option<(RingMessage, u32, Time)>> = vec![None; n];
@@ -366,9 +375,10 @@ impl InsertionNetSim {
         let mut completed = 0u64;
         let mut busy_flits = 0u64;
         let mut cycle = 0u64;
+        let mut done_nodes = 0usize;
         loop {
             let now = self.period * cycle;
-            step_think(&mut self.nodes, &self.cfg, now);
+            done_nodes += step_think(&mut self.nodes, &self.cfg, now);
             pending.retain(|&(ready, node, msg)| {
                 if ready <= cycle {
                     self.nodes[node].out_q.push_back(OutMsg { msg, ready_at: self.period * ready });
@@ -500,7 +510,7 @@ impl InsertionNetSim {
                 }
             }
             cycle += 1;
-            if self.nodes.iter().all(|nd| nd.phase == Phase::Done) {
+            if done_nodes == self.nodes.len() {
                 break;
             }
             assert!(cycle < 2_000_000_000, "insertion-ring simulation ran away");

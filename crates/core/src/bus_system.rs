@@ -10,8 +10,6 @@
 //! snooping), while data delivery and processor wake-up keep their real
 //! latencies (memory fetch, response-phase arbitration and transfer).
 
-use std::collections::HashMap;
-
 use ringsim_bus::{Bus, BusConfig, PhaseKind};
 use ringsim_cache::{AccessClass, Cache, CacheConfig, LineState};
 use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
@@ -19,6 +17,7 @@ use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
+use crate::collections::FnvMap;
 use crate::report::{ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
 
@@ -180,6 +179,26 @@ enum Event {
 /// which a fast-forwarded node could miss a remote invalidation.
 const PROC_QUANTUM: Time = Time::from_ns(200);
 
+/// Snooping-visible state of one block, merged so every bus transaction
+/// resolves ownership, data timing and presence with one map lookup.
+/// An absent entry reads as the defaults: unowned, data ready at time
+/// zero, cached nowhere.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockState {
+    /// Current write-exclusive holder (bus snooping resolves ownership
+    /// instantly at the serialisation point).
+    owner: Option<NodeId>,
+    /// Earliest time the block's data is available at its current
+    /// owner/home (covers data still in flight to a new owner).
+    ready: Time,
+    /// Bitmask of nodes that may hold a valid copy (bit `i` = node `i`;
+    /// the ≤64-node limit makes one word enough). A superset of the
+    /// truly-valid holders is sufficient: snooping a node whose line is
+    /// already invalid is a no-op, so invalidation only needs to visit
+    /// set bits instead of every node.
+    present: u64,
+}
+
 /// The timed bus-based system simulator.
 ///
 /// # Examples
@@ -199,12 +218,12 @@ pub struct BusSystem {
     bus: Bus,
     nodes: Vec<BusNode>,
     space: AddressSpace,
-    /// Current write-exclusive holder of each block (bus snooping resolves
-    /// ownership instantly at the serialisation point).
-    owners: HashMap<u64, NodeId>,
-    /// Earliest time the block's data is available at its current
-    /// owner/home (covers data still in flight to a new owner).
-    data_ready: HashMap<u64, Time>,
+    /// Per-block coherence directory, one entry per block the bus has
+    /// touched (every consumer of ownership, data timing and presence pays
+    /// for a single lookup per transaction).
+    blocks: FnvMap<u64, BlockState>,
+    /// Nodes past warm-up (measured-window check without a scan).
+    measuring_nodes: usize,
     queue: crate::EventQueue<Event>,
     now: Time,
     miss_lat: RunningMean,
@@ -264,8 +283,8 @@ impl BusSystem {
             bus,
             nodes,
             space,
-            owners: HashMap::new(),
-            data_ready: HashMap::new(),
+            blocks: FnvMap::default(),
+            measuring_nodes: 0,
             queue: crate::EventQueue::new(),
             now: Time::ZERO,
             miss_lat: RunningMean::default(),
@@ -318,7 +337,7 @@ impl BusSystem {
                 Event::UpgradeDone { node } => self.upgrade_done(node),
                 Event::Complete { node } => self.complete(node),
             }
-            if self.snapshot.is_none() && self.nodes.iter().all(|n| n.measuring) {
+            if self.snapshot.is_none() && self.measuring_nodes == self.nodes.len() {
                 self.snapshot = Some((self.bus.stats(), self.now));
             }
             if self.obs.sample_due(self.now) {
@@ -382,6 +401,7 @@ impl BusSystem {
             node.refs_issued += 1;
             if !node.measuring && node.refs_issued > node.warmup_refs {
                 node.measuring = true;
+                self.measuring_nodes += 1;
                 node.measure_start = node.ready_at;
                 node.busy = cost;
             }
@@ -434,17 +454,22 @@ impl BusSystem {
     }
 
     /// Invalidate every other cached copy of `block`; returns how many
-    /// copies were dropped.
+    /// copies were dropped. Visits only the nodes in the block's presence
+    /// mask (ascending order, matching the all-nodes scan it replaces).
     fn invalidate_others(&mut self, block: BlockAddr, except: usize) -> u64 {
         let mut count = 0;
-        for (j, node) in self.nodes.iter_mut().enumerate() {
-            if j != except && node.cache.snoop_invalidate(block).is_valid() {
-                count += 1;
+        if let Some(b) = self.blocks.get_mut(&block.raw()) {
+            let mut others = b.present & !(1u64 << except);
+            b.present &= 1u64 << except; // only `except`'s copy (if any) survives
+            if b.owner.is_some_and(|o| o.index() != except) {
+                b.owner = None;
             }
-        }
-        if let Some(&owner) = self.owners.get(&block.raw()) {
-            if owner.index() != except {
-                self.owners.remove(&block.raw());
+            while others != 0 {
+                let j = others.trailing_zeros() as usize;
+                others &= others - 1;
+                if self.nodes[j].cache.snoop_invalidate(block).is_valid() {
+                    count += 1;
+                }
             }
         }
         count
@@ -454,10 +479,16 @@ impl BusSystem {
         let t = self.nodes[i].txn.expect("upgrade txn");
         let block = t.block;
         if self.nodes[i].cache.state_of(block).is_valid() {
-            let invalidated = self.invalidate_others(block, i);
+            // Private blocks are only ever touched by their owning node, so
+            // there is nothing to invalidate and no reader of their
+            // directory entry — skip the map (and keep them out of it).
+            let invalidated =
+                if t.region == Region::Shared { self.invalidate_others(block, i) } else { 0 };
             let promoted = self.nodes[i].cache.promote(block);
             debug_assert!(promoted);
-            self.owners.insert(block.raw(), NodeId::new(i));
+            if t.region == Region::Shared {
+                self.blocks.entry(block.raw()).or_default().owner = Some(NodeId::new(i));
+            }
             if self.nodes[i].measuring && t.region == Region::Shared {
                 let local = self.home_of(block) == NodeId::new(i);
                 match (invalidated > 0, local) {
@@ -485,41 +516,67 @@ impl BusSystem {
         let me = NodeId::new(i);
         let t = self.nodes[i].txn.expect("miss txn");
         let block = t.block;
+        let measuring = self.nodes[i].measuring;
+
+        if t.region == Region::Private {
+            // Private blocks are only ever touched by their owning node:
+            // no other cache can hold a copy, the home is always local,
+            // and the node's previous transaction on the block completed
+            // before this one started, so its data-ready time cannot bind.
+            // The directory lookup, snoop resolution and supply decision
+            // all resolve trivially — skip them, and keep private blocks
+            // out of the directory map entirely (nothing ever reads their
+            // entries, and a smaller map makes the shared lookups cheaper).
+            if measuring {
+                self.events.private_misses += 1;
+            }
+            let is_write = t.kind != TxnKind::Read;
+            let completion = self.now + self.cfg.mem_latency;
+            if let Some(txn) = self.nodes[i].txn.as_mut() {
+                txn.served = Served::Local;
+            }
+            let state = if is_write { LineState::We } else { LineState::Rs };
+            if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, state) {
+                self.retire_victim(me, victim, vstate, measuring, completion);
+            }
+            self.schedule(completion, Event::Complete { node: i });
+            return;
+        }
+
         let home = self.home_of(block);
         let local = home == me;
-        let owner = self.owners.get(&block.raw()).copied().filter(|&d| d != me);
-        let measuring = self.nodes[i].measuring;
+        let (owner, ready) = match self.blocks.get(&block.raw()) {
+            Some(b) => (b.owner.filter(|&d| d != me), b.ready),
+            None => (None, Time::ZERO),
+        };
 
         // --- classification (mirrors the reference interpreter's buckets)
         if measuring {
-            match t.region {
-                Region::Private => self.events.private_misses += 1,
-                Region::Shared => match (t.kind, owner) {
-                    (TxnKind::Read, Some(d)) => {
-                        if dirty_on_path(me, home, d, self.cfg.nodes()) {
-                            self.events.read_dirty_2 += 1;
-                        } else {
-                            self.events.read_dirty_1 += 1;
-                        }
+            match (t.kind, owner) {
+                (TxnKind::Read, Some(d)) => {
+                    if dirty_on_path(me, home, d, self.cfg.nodes()) {
+                        self.events.read_dirty_2 += 1;
+                    } else {
+                        self.events.read_dirty_1 += 1;
                     }
-                    (TxnKind::Read, None) => {
-                        if local {
-                            self.events.read_clean_local += 1;
-                        } else {
-                            self.events.read_clean_remote += 1;
-                        }
+                }
+                (TxnKind::Read, None) => {
+                    if local {
+                        self.events.read_clean_local += 1;
+                    } else {
+                        self.events.read_clean_remote += 1;
                     }
-                    (_, Some(d)) => {
-                        if dirty_on_path(me, home, d, self.cfg.nodes()) {
-                            self.events.write_dirty_2 += 1;
-                        } else {
-                            self.events.write_dirty_1 += 1;
-                        }
+                }
+                (_, Some(d)) => {
+                    if dirty_on_path(me, home, d, self.cfg.nodes()) {
+                        self.events.write_dirty_2 += 1;
+                    } else {
+                        self.events.write_dirty_1 += 1;
                     }
-                    (_, None) => {
-                        // Sharer count observed below (invalidate_others).
-                    }
-                },
+                }
+                (_, None) => {
+                    // Sharer count observed below (invalidate_others).
+                }
             }
         }
 
@@ -530,9 +587,11 @@ impl BusSystem {
             invalidated = self.invalidate_others(block, i);
         } else if let Some(d) = owner {
             self.nodes[d.index()].cache.snoop_downgrade(block);
-            self.owners.remove(&block.raw());
+            if let Some(b) = self.blocks.get_mut(&block.raw()) {
+                b.owner = None;
+            }
         }
-        if measuring && is_write && owner.is_none() && t.region == Region::Shared {
+        if measuring && is_write && owner.is_none() {
             match (invalidated > 0, local) {
                 (false, true) => self.events.write_nosharers_local += 1,
                 (false, false) => self.events.write_nosharers_remote += 1,
@@ -545,7 +604,6 @@ impl BusSystem {
         }
 
         // --- timing: who supplies, and when
-        let ready = self.data_ready.get(&block.raw()).copied().unwrap_or(Time::ZERO);
         let completion = match owner {
             Some(_) => {
                 // Cache-to-cache transfer: wait for the owner's copy, the
@@ -580,34 +638,49 @@ impl BusSystem {
         }
         // --- commit cache state now (serialisation point), deliver later.
         let state = if is_write { LineState::We } else { LineState::Rs };
+        let b = self.blocks.entry(block.raw()).or_default();
         if is_write {
-            self.owners.insert(block.raw(), me);
+            b.owner = Some(me);
         }
-        self.data_ready.insert(block.raw(), completion);
+        b.ready = completion;
+        b.present |= 1u64 << i;
         if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, state) {
-            let vhome = self.home_of(victim);
-            if self.owners.get(&victim.raw()) == Some(&me) {
-                self.owners.remove(&victim.raw());
-            }
-            if vstate.is_dirty() {
-                // Write-back: one response-phase transfer after completion.
-                if vhome != me {
-                    self.bus.acquire_kind(
-                        completion,
-                        self.cfg.bus.response_cycles(),
-                        PhaseKind::Data,
-                    );
-                }
-                if measuring {
-                    if vhome == me {
-                        self.events.writeback_local += 1;
-                    } else {
-                        self.events.writeback_remote += 1;
-                    }
-                }
-            }
+            self.retire_victim(me, victim, vstate, measuring, completion);
         }
         self.schedule(completion, Event::Complete { node: i });
+    }
+
+    /// Drops the evicted `victim` from the directory (a private victim has
+    /// no entry — a no-op) and, for a dirty victim, performs the write-back:
+    /// one response-phase transfer after `completion` when the victim's
+    /// home is remote.
+    fn retire_victim(
+        &mut self,
+        me: NodeId,
+        victim: BlockAddr,
+        vstate: LineState,
+        measuring: bool,
+        completion: Time,
+    ) {
+        if let Some(v) = self.blocks.get_mut(&victim.raw()) {
+            v.present &= !(1u64 << me.index());
+            if v.owner == Some(me) {
+                v.owner = None;
+            }
+        }
+        if vstate.is_dirty() {
+            let vhome = self.home_of(victim);
+            if vhome != me {
+                self.bus.acquire_kind(completion, self.cfg.bus.response_cycles(), PhaseKind::Data);
+            }
+            if measuring {
+                if vhome == me {
+                    self.events.writeback_local += 1;
+                } else {
+                    self.events.writeback_remote += 1;
+                }
+            }
+        }
     }
 
     fn complete(&mut self, i: usize) {

@@ -13,10 +13,45 @@
 //! * scheduling in the past is allowed and fires "now" (the caller decides
 //!   what that means).
 
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use ringsim_types::Time;
+
+/// One scheduled event. The body rides along inside the heap entry —
+/// event payloads are a few words, so storing them inline beats paying a
+/// side-table insert/remove on every schedule/pop (the queue is popped
+/// once per simulated event, making this the simulators' hottest edge).
+/// Ordering uses only `(at, seq)`; `seq` is unique, so the body never
+/// influences — and therefore never needs to support — comparisons.
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, the queue pops earliest
+        // `(at, seq)` first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
 
 /// A deterministic time-ordered event queue.
 ///
@@ -37,8 +72,7 @@ use ringsim_types::Time;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Time, u64)>>,
-    bodies: std::collections::HashMap<u64, E>,
+    heap: BinaryHeap<Entry<E>>,
     seq: u64,
 }
 
@@ -52,39 +86,36 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), bodies: std::collections::HashMap::new(), seq: 0 }
+        Self { heap: BinaryHeap::new(), seq: 0 }
     }
 
     /// Schedules `event` to fire at `at`.
     pub fn schedule(&mut self, at: Time, event: E) {
-        let key = self.seq;
+        let seq = self.seq;
         self.seq += 1;
-        self.bodies.insert(key, event);
-        self.heap.push(Reverse((at, key)));
+        self.heap.push(Entry { at, seq, event });
     }
 
     /// Pops the earliest event due at or before `now`, if any.
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
         match self.heap.peek() {
-            Some(&Reverse((t, _))) if t <= now => {}
+            Some(e) if e.at <= now => {}
             _ => return None,
         }
-        let Reverse((t, key)) = self.heap.pop().expect("peeked");
-        let ev = self.bodies.remove(&key).expect("event body present");
-        Some((t, ev))
+        let e = self.heap.pop().expect("peeked");
+        Some((e.at, e.event))
     }
 
     /// Pops the earliest event regardless of time.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let Reverse((t, key)) = self.heap.pop()?;
-        let ev = self.bodies.remove(&key).expect("event body present");
-        Some((t, ev))
+        let e = self.heap.pop()?;
+        Some((e.at, e.event))
     }
 
     /// Time of the next event, if any.
     #[must_use]
     pub fn next_at(&self) -> Option<Time> {
-        self.heap.peek().map(|&Reverse((t, _))| t)
+        self.heap.peek().map(|e| e.at)
     }
 
     /// Number of pending events.

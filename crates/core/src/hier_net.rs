@@ -20,15 +20,14 @@
 //!   IRI copies it), and a full remote-ring revolution; the reply hops
 //!   home → IRI → IRI → requester through block slots.
 
-use std::collections::VecDeque;
-
 use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
 use ringsim_proto::{MsgClass, MsgKind, RingMessage};
-use ringsim_ring::{RingConfig, RingHierarchy, SlotKind, SlotRing};
+use ringsim_ring::{RingConfig, RingHierarchy, SlotId, SlotKind, SlotRing};
 use ringsim_types::rng::Xoshiro256;
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{BlockAddr, CoherenceEvents, ConfigError, NodeId, Time};
 
+use crate::collections::RingBuf;
 use crate::report::{summarize_nodes, ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
 
@@ -123,7 +122,7 @@ struct NetNode {
     /// Its own end-to-end latency distribution.
     lat_hist: LatencyHistogram,
     /// Pending local-ring insertions for this node.
-    out_q: VecDeque<RingMessage>,
+    out_q: RingBuf<RingMessage>,
     rng: Xoshiro256,
 }
 
@@ -133,9 +132,9 @@ struct NetNode {
 #[derive(Debug)]
 struct Iri {
     /// Messages waiting to enter the global ring.
-    to_global: VecDeque<RingMessage>,
+    to_global: RingBuf<RingMessage>,
     /// Messages waiting to enter this IRI's local ring.
-    to_local: VecDeque<RingMessage>,
+    to_local: RingBuf<RingMessage>,
 }
 
 /// The message-level hierarchy simulator.
@@ -169,6 +168,16 @@ pub struct HierNetSim {
     debug: bool,
     obs: Obs,
     obs_hier_tl: usize,
+    /// Earliest cycle each node could act in the think/issue step
+    /// (`u64::MAX` while waiting on a reply or finished). Lets the
+    /// per-cycle loop skip nodes that provably cannot move.
+    wake_at: Vec<u64>,
+    /// Phase-indexed header arrivals, shared by the (identically
+    /// configured) local rings: `local_sched[cycle % stages]` lists the
+    /// `(position, slot)` pairs with an arrival that cycle.
+    local_sched: Vec<Vec<(NodeId, SlotId)>>,
+    /// Phase-indexed header arrivals on the global ring.
+    global_sched: Vec<Vec<(NodeId, SlotId)>>,
 }
 
 impl HierNetSim {
@@ -187,8 +196,11 @@ impl HierNetSim {
             .collect::<Result<Vec<_>, _>>()?;
         let global = SlotRing::new(global_cfg)?;
         let iris = (0..cfg.hier.local_rings())
-            .map(|_| Iri { to_global: VecDeque::new(), to_local: VecDeque::new() })
+            .map(|_| Iri { to_global: RingBuf::new(), to_local: RingBuf::new() })
             .collect();
+        let local_sched =
+            locals.first().map(|r: &SlotRing<RingMessage>| r.layout().arrival_schedule());
+        let global_sched = global.layout().arrival_schedule();
         let mut root = Xoshiro256::seed_from_u64(cfg.seed);
         let nodes = (0..cfg.hier.total_nodes())
             .map(|i| NetNode {
@@ -198,10 +210,11 @@ impl HierNetSim {
                 wait_total: Time::ZERO,
                 finished: Time::ZERO,
                 lat_hist: LatencyHistogram::new(),
-                out_q: VecDeque::new(),
+                out_q: RingBuf::new(),
                 rng: root.fork(i as u64),
             })
             .collect();
+        let cfg_total_nodes = cfg.hier.total_nodes();
         Ok(Self {
             cfg,
             locals,
@@ -217,6 +230,9 @@ impl HierNetSim {
             debug: false,
             obs: Obs::disabled(),
             obs_hier_tl: usize::MAX,
+            wake_at: vec![0; cfg_total_nodes],
+            local_sched: local_sched.unwrap_or_default(),
+            global_sched,
         })
     }
 
@@ -266,41 +282,55 @@ impl HierNetSim {
         // home node inserts its own reply once the memory access finishes.
         let mut pending_replies: Vec<(u64, usize, RingMessage)> = Vec::new();
         let mut cycle: u64 = 0;
+        // Nodes that have entered `Phase::Done` (termination check without
+        // an all-nodes scan every cycle).
+        let mut done_nodes: usize = 0;
         loop {
             let now = period * cycle;
-            // 1. nodes think / issue.
+            // 1. nodes think / issue. `wake_at` keeps nodes that provably
+            // cannot move (still thinking, waiting on a reply, done) out of
+            // the loop body; reply completion re-arms the entry.
             for i in 0..self.nodes.len() {
-                let node = &mut self.nodes[i];
-                if let Phase::Thinking { until } = node.phase {
-                    if until <= now {
-                        if node.issued == self.cfg.txns_per_node {
-                            node.phase = Phase::Done;
-                            node.finished = now;
-                            continue;
-                        }
-                        node.issued += 1;
-                        node.started = now;
-                        let my_ring = i / per_ring;
-                        let home_ring = if node.rng.chance(self.cfg.locality) {
-                            my_ring
-                        } else {
-                            // A uniformly chosen *other* ring.
-                            let k = self.cfg.hier.local_rings() as u64 - 1;
-                            let pick = node.rng.next_below(k) as usize;
-                            if pick >= my_ring {
-                                pick + 1
-                            } else {
-                                pick
-                            }
-                        };
-                        let probe =
-                            Self::make_probe(NodeId::new(i % per_ring), home_ring, node.issued);
-                        let block = probe.block.raw();
-                        node.out_q.push_back(probe);
-                        node.phase = Phase::Waiting;
-                        self.obs.txn_begin(i, "probe", block, now);
-                    }
+                if self.wake_at[i] > cycle {
+                    continue;
                 }
+                let node = &mut self.nodes[i];
+                let Phase::Thinking { until } = node.phase else {
+                    self.wake_at[i] = u64::MAX;
+                    continue;
+                };
+                if until > now {
+                    self.wake_at[i] = until.as_ps().div_ceil(period.as_ps());
+                    continue;
+                }
+                if node.issued == self.cfg.txns_per_node {
+                    node.phase = Phase::Done;
+                    node.finished = now;
+                    done_nodes += 1;
+                    self.wake_at[i] = u64::MAX;
+                    continue;
+                }
+                node.issued += 1;
+                node.started = now;
+                let my_ring = i / per_ring;
+                let home_ring = if node.rng.chance(self.cfg.locality) {
+                    my_ring
+                } else {
+                    // A uniformly chosen *other* ring.
+                    let k = self.cfg.hier.local_rings() as u64 - 1;
+                    let pick = node.rng.next_below(k) as usize;
+                    if pick >= my_ring {
+                        pick + 1
+                    } else {
+                        pick
+                    }
+                };
+                let probe = Self::make_probe(NodeId::new(i % per_ring), home_ring, node.issued);
+                let block = probe.block.raw();
+                node.out_q.push_back(probe);
+                node.phase = Phase::Waiting;
+                self.wake_at[i] = u64::MAX;
+                self.obs.txn_begin(i, "probe", block, now);
             }
             // 2. release matured replies into the home nodes' send queues.
             pending_replies.retain(|&(ready, home_node, msg)| {
@@ -311,12 +341,32 @@ impl HierNetSim {
                     true
                 }
             });
-            // 3. local rings: arrivals at processor and IRI positions.
+            // 3. local rings: arrivals at processor and IRI positions —
+            // only the positions with a header this phase.
+            let lphase = (cycle % self.local_sched.len().max(1) as u64) as usize;
             for ring_idx in 0..self.locals.len() {
-                self.step_local_ring(ring_idx, cycle, mem_cycles, &mut pending_replies, now);
+                for k in 0..self.local_sched[lphase].len() {
+                    let (pos, slot) = self.local_sched[lphase][k];
+                    self.handle_local_arrival(
+                        ring_idx,
+                        pos,
+                        slot,
+                        cycle,
+                        mem_cycles,
+                        &mut pending_replies,
+                    );
+                }
             }
-            // 4. global ring: arrivals at IRI positions.
-            self.step_global_ring();
+            // 4. global ring: arrivals at IRI positions (skip padding
+            // positions when the global ring was widened to its 2-node
+            // minimum).
+            let gphase = (cycle % self.global_sched.len() as u64) as usize;
+            for k in 0..self.global_sched[gphase].len() {
+                let (pos, slot) = self.global_sched[gphase][k];
+                if pos.index() < self.cfg.hier.local_rings() {
+                    self.handle_global_arrival(pos, slot);
+                }
+            }
             // 5. advance everything one cycle.
             for ring in &mut self.locals {
                 ring.advance();
@@ -339,7 +389,7 @@ impl HierNetSim {
                 self.obs.sample(self.obs_hier_tl, now, values);
             }
             cycle += 1;
-            if self.nodes.iter().all(|n| n.phase == Phase::Done) {
+            if done_nodes == self.nodes.len() {
                 break;
             }
             if cycle >= self.max_cycles {
@@ -452,23 +502,27 @@ impl HierNetSim {
         report
     }
 
+    /// Handles one header arrival on local ring `ring_idx`: `pos` below
+    /// `nodes_per_ring()` is a processor interface, the last position is
+    /// the ring's IRI.
     #[allow(clippy::too_many_lines)]
-    fn step_local_ring(
+    fn handle_local_arrival(
         &mut self,
         ring_idx: usize,
+        pos: NodeId,
+        slot: SlotId,
         cycle: u64,
         mem_cycles: u64,
         pending_replies: &mut Vec<(u64, usize, RingMessage)>,
-        now: Time,
     ) {
+        let now = self.cfg.hier.base().clock_period * cycle;
         let per_ring = self.cfg.hier.nodes_per_ring();
         let iri_pos = NodeId::new(per_ring); // last interface on the local ring
         let ring = &mut self.locals[ring_idx];
-        // Processor positions.
-        for p in 0..per_ring {
-            let pos = NodeId::new(p);
+        if pos.index() < per_ring {
+            // Processor position.
+            let p = pos.index();
             let global_node = ring_idx * per_ring + p;
-            let Some(slot) = ring.arrival(pos) else { continue };
             if let Some(&msg) = ring.peek(slot) {
                 #[allow(clippy::collapsible_match)] // symmetry with the probe arm
                 match msg.kind {
@@ -537,8 +591,10 @@ impl HierNetSim {
                                 let think =
                                     (node.rng.next_f64() * 2.0 * self.cfg.think_time.as_ns_f64())
                                         .max(0.1);
-                                node.phase =
-                                    Phase::Thinking { until: now + Time::from_ns_f64(think) };
+                                let until = now + Time::from_ns_f64(think);
+                                node.phase = Phase::Thinking { until };
+                                let period_ps = self.cfg.hier.base().clock_period.as_ps();
+                                self.wake_at[global_node] = until.as_ps().div_ceil(period_ps);
                                 let class = if origin_ring == 0 { "intra" } else { "inter" };
                                 self.obs.txn_end(global_node, "txn", class, now);
                                 if sanitize::sanitize_enabled() {
@@ -566,9 +622,8 @@ impl HierNetSim {
                     self.nodes[global_node].out_q.pop_front();
                 }
             }
-        }
-        // IRI position: copy inter-ring probes, inject queued messages.
-        if let Some(slot) = ring.arrival(iri_pos) {
+        } else {
+            // IRI position: copy inter-ring probes, inject queued messages.
             if let Some(&msg) = ring.peek(slot) {
                 #[allow(clippy::collapsible_match)] // symmetry with the probe arm
                 match msg.kind {
@@ -629,11 +684,10 @@ impl HierNetSim {
         }
     }
 
-    fn step_global_ring(&mut self) {
-        let rings = self.cfg.hier.local_rings();
-        for r in 0..rings {
-            let pos = NodeId::new(r);
-            let Some(slot) = self.global.arrival(pos) else { continue };
+    /// Handles one header arrival on the global ring at IRI position `pos`.
+    fn handle_global_arrival(&mut self, pos: NodeId, slot: SlotId) {
+        let r = pos.index();
+        {
             if let Some(&msg) = self.global.peek(slot) {
                 #[allow(clippy::collapsible_match)] // symmetry with the probe arm
                 match msg.kind {

@@ -32,6 +32,7 @@
 
 mod access_net;
 mod bus_system;
+mod collections;
 mod config;
 mod engine;
 mod hier_net;
@@ -42,10 +43,13 @@ mod simulator;
 
 pub use access_net::{AccessNetConfig, AccessNetReport, InsertionNetSim, SlottedNetSim};
 pub use bus_system::{BusSystem, BusSystemConfig};
+pub use collections::{FnvBuildHasher, FnvHasher, FnvMap, RingBuf, RingBufIter, Slab};
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use engine::EventQueue;
 pub use hier_net::{HierNetConfig, HierNetReport, HierNetSim};
 pub use report::{summarize_nodes, ClassLatencies, NodeMeasure, NodeSummary, SimReport};
 pub use ring_system::RingSystem;
 pub use sanitize::{sanitize_enabled, set_sanitize_mode, SanitizeMode};
-pub use simulator::{run_sim, SimKind, SimSpec, Simulator};
+#[allow(deprecated)]
+pub use simulator::run_sim;
+pub use simulator::{RunOptions, RunOutcome, SimKind, SimKindError, SimSpec, Simulator};

@@ -33,6 +33,7 @@ use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
 
+use crate::collections::{FnvMap, RingBuf};
 use crate::config::SystemConfig;
 use crate::report::{ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
@@ -77,8 +78,8 @@ struct Node {
     busy: Time,
     finish_at: Option<Time>,
     txn: Option<Txn>,
-    probe_q: VecDeque<RingMessage>,
-    block_q: VecDeque<RingMessage>,
+    probe_q: RingBuf<RingMessage>,
+    block_q: RingBuf<RingMessage>,
     /// Dirty blocks evicted but not yet acknowledged by the home
     /// (directory mode): forwards are served from here.
     wb_buffer: HashSet<u64>,
@@ -144,8 +145,8 @@ pub struct RingSystem {
     mem: HomeMemory,
     // Directory state.
     dir: Directory,
-    home_txns: HashMap<u64, HomeTxn>,
-    home_pending: HashMap<u64, VecDeque<RingMessage>>,
+    home_txns: FnvMap<u64, HomeTxn>,
+    home_pending: FnvMap<u64, VecDeque<RingMessage>>,
     queue: crate::EventQueue<Event>,
     // Metrics.
     miss_lat: RunningMean,
@@ -162,6 +163,20 @@ pub struct RingSystem {
     /// Per-home memory bank availability (used when
     /// `model_bank_contention` is on).
     bank_free_at: Vec<Time>,
+    /// Phase-indexed header arrivals: `arrival_sched[cycle % stages]` holds
+    /// exactly the `(node, slot)` pairs with an arrival that cycle, in
+    /// ascending node order — the inner loop visits only those instead of
+    /// querying every node every cycle.
+    arrival_sched: Vec<Vec<(NodeId, SlotId)>>,
+    /// Nodes whose `finish_at` is set (termination check without a scan).
+    finished_nodes: usize,
+    /// Nodes past warm-up (measured-window check without a scan).
+    measuring_nodes: usize,
+    /// Earliest ring cycle at which each processor could issue again
+    /// (`u64::MAX` while a transaction is in flight or the node has
+    /// finished). Lets the per-cycle processor pass skip blocked nodes
+    /// from one compact array instead of touching every `Node`.
+    wake_at: Vec<u64>,
 }
 
 impl RingSystem {
@@ -199,8 +214,8 @@ impl RingSystem {
                     busy: Time::ZERO,
                     finish_at: None,
                     txn: None,
-                    probe_q: VecDeque::new(),
-                    block_q: VecDeque::new(),
+                    probe_q: RingBuf::new(),
+                    block_q: RingBuf::new(),
                     wb_buffer: HashSet::new(),
                     pending_fwds: Vec::new(),
                     misses: 0,
@@ -209,6 +224,7 @@ impl RingSystem {
             })
             .collect::<Result<Vec<_>, ConfigError>>()?;
         let n = nodes.len();
+        let arrival_sched = ring.layout().arrival_schedule();
         Ok(Self {
             cfg,
             ring,
@@ -216,8 +232,8 @@ impl RingSystem {
             space,
             mem: HomeMemory::new(),
             dir: Directory::new(n),
-            home_txns: HashMap::new(),
-            home_pending: HashMap::new(),
+            home_txns: FnvMap::default(),
+            home_pending: FnvMap::default(),
             queue: crate::EventQueue::new(),
             miss_lat: RunningMean::default(),
             miss_hist: LatencyHistogram::new(),
@@ -230,6 +246,10 @@ impl RingSystem {
             obs_ring_tl: usize::MAX,
             last_progress_cycle: 0,
             bank_free_at: vec![Time::ZERO; n],
+            arrival_sched,
+            finished_nodes: 0,
+            measuring_nodes: 0,
+            wake_at: vec![0; n],
         })
     }
 
@@ -287,15 +307,20 @@ impl RingSystem {
             while let Some((_, ev)) = self.queue.pop_due(now) {
                 self.dispatch(ev, now);
             }
-            // 2. processors.
+            // 2. processors (only the ones that could act this cycle —
+            // `step_processor` is a no-op for the rest by its own guard).
+            let cycle = self.ring.cycle();
             for i in 0..self.nodes.len() {
-                self.step_processor(i, now);
-            }
-            // 3. slot arrivals.
-            for i in 0..self.nodes.len() {
-                if let Some(slot) = self.ring.arrival(NodeId::new(i)) {
-                    self.handle_slot(i, slot, now);
+                if self.wake_at[i] <= cycle {
+                    self.step_processor(i, now);
+                    self.refresh_wake(i);
                 }
+            }
+            // 3. slot arrivals — only the nodes with a header this phase.
+            let phase = (self.ring.cycle() % self.arrival_sched.len() as u64) as usize;
+            for k in 0..self.arrival_sched[phase].len() {
+                let (n, slot) = self.arrival_sched[phase][k];
+                self.handle_slot(n.index(), slot, now);
             }
             // 4. telemetry gauges (no-op unless attached).
             if self.obs.sample_due(now) {
@@ -310,7 +335,7 @@ impl RingSystem {
                 self.obs.sample(self.obs_ring_tl, now, values);
             }
             // 5. termination / watchdog.
-            if self.nodes.iter().all(|n| n.finish_at.is_some()) {
+            if self.finished_nodes == self.nodes.len() {
                 break;
             }
             if self.ring.cycle() - self.last_progress_cycle > 4_000_000 {
@@ -323,7 +348,7 @@ impl RingSystem {
             self.ring.advance();
             // Start the measured ring-utilisation window once every node has
             // warmed up.
-            if self.snapshot.is_none() && self.nodes.iter().all(|n| n.measuring) {
+            if self.snapshot.is_none() && self.measuring_nodes == self.nodes.len() {
                 self.snapshot = Some((self.ring.stats(), self.ring.now()));
             }
         }
@@ -352,6 +377,22 @@ impl RingSystem {
 
     // ----------------------------------------------------------- processors
 
+    /// Recomputes `wake_at[i]` from the node's blocking state. Must be
+    /// called after anything that clears a transaction or moves
+    /// `ready_at` (i.e. [`Self::step_processor`] and
+    /// [`Self::finish_txn_at`]); skipping a node whose wake cycle has not
+    /// arrived is then exactly equivalent to `step_processor`'s own
+    /// early-return guard.
+    fn refresh_wake(&mut self, i: usize) {
+        let node = &self.nodes[i];
+        self.wake_at[i] = if node.txn.is_some() || node.finish_at.is_some() {
+            u64::MAX
+        } else {
+            let period = self.ring.config().clock_period.as_ps();
+            node.ready_at.as_ps().div_ceil(period)
+        };
+    }
+
     fn step_processor(&mut self, i: usize, now: Time) {
         loop {
             let node = &mut self.nodes[i];
@@ -360,6 +401,7 @@ impl RingSystem {
             }
             if node.refs_issued == node.total_refs {
                 node.finish_at = Some(node.ready_at.max(now));
+                self.finished_nodes += 1;
                 return;
             }
             // Instruction time for this data reference (instruction fetches
@@ -376,6 +418,7 @@ impl RingSystem {
             node.refs_issued += 1;
             if !node.measuring && node.refs_issued > node.warmup_refs {
                 node.measuring = true;
+                self.measuring_nodes += 1;
                 node.measure_start = node.ready_at;
                 node.busy = cost; // this reference is the first measured one
             }
@@ -972,6 +1015,7 @@ impl RingSystem {
             // trace consistent with the histograms by dropping them too.
             self.obs.txn_abandon(i);
         }
+        self.refresh_wake(i);
     }
 
     /// Snooping-mode event classification, performed at completion from the

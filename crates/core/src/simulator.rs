@@ -1,5 +1,5 @@
-//! The backend-neutral [`Simulator`] trait, its [`SimKind`] registry, and
-//! the one shared driver ([`run_sim`]) behind every CLI and experiment run.
+//! The backend-neutral [`Simulator`] trait and its [`SimKind`] registry —
+//! the one dispatch behind every CLI and experiment run.
 //!
 //! The paper's central method is running the *same* workloads through
 //! interchangeable interconnects and comparing curves. Before this module,
@@ -9,6 +9,16 @@
 //! three copies. Now a backend is: implement [`Simulator`], register a
 //! [`SimKind`], done — `sim --network {ring,bus,hier}` is one dispatch, and
 //! so is the experiment suite's per-point execution.
+//!
+//! A run is a single call: [`Simulator::run`] takes [`RunOptions`] (the
+//! telemetry request) and returns a [`RunOutcome`] bundling the
+//! [`SimReport`] with the optional recorder. The older three-call
+//! `attach_obs` / `run` / `take_obs` dance survives only as inherent
+//! methods on the concrete backends (useful in white-box tests) and as the
+//! deprecated [`run_sim`] shim.
+
+use std::fmt;
+use std::str::FromStr;
 
 use ringsim_obs::{ObsConfig, Recorder};
 use ringsim_proto::ProtocolKind;
@@ -22,65 +32,117 @@ use crate::hier_net::{HierNetConfig, HierNetSim};
 use crate::report::SimReport;
 use crate::ring_system::RingSystem;
 
-/// A timed system simulator: configure at construction, optionally attach
-/// telemetry, run to completion, produce one [`SimReport`].
+/// What a [`Simulator::run`] call should observe, beyond the report every
+/// run produces.
 ///
-/// The contract mirrors the lifecycle every backend already had:
+/// `RunOptions::default()` is a plain run: no recorder is returned (though
+/// gauge timelines still reach the process-wide metrics sink when that is
+/// enabled — see [`Simulator::run`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Telemetry to record during the run: per-transaction trace events
+    /// plus gauge timelines. Strictly observational — attaching obs must
+    /// not change any simulation result. `Some` makes the outcome carry a
+    /// [`Recorder`].
+    pub obs: Option<ObsConfig>,
+}
+
+impl RunOptions {
+    /// Options for a plain run (no recorder returned).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests telemetry: the outcome's `obs` will hold the recorder.
+    #[must_use]
+    pub fn with_obs(mut self, cfg: ObsConfig) -> Self {
+        self.obs = Some(cfg);
+        self
+    }
+}
+
+/// Everything one simulator run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The aggregated simulation report.
+    pub report: SimReport,
+    /// The telemetry recorder; `Some` exactly when the run was given
+    /// [`RunOptions`] with `obs` set.
+    pub obs: Option<Recorder>,
+}
+
+/// A timed system simulator: configure at construction, then run to
+/// completion with a single [`Simulator::run`] call.
+///
+/// The contract:
 ///
 /// 1. construction validates the configuration (`SimKind::build`),
-/// 2. [`Simulator::attach_obs`] (optional, before the run) enables strictly
-///    observational telemetry — it must not change any simulation result,
-/// 3. [`Simulator::run`] runs to completion and is not required to be
-///    re-runnable,
-/// 4. [`Simulator::take_obs`] yields the recorder after the run (`None`
-///    unless obs was attached).
+/// 2. [`Simulator::run`] runs to completion and is not required to be
+///    re-runnable; it returns the report plus — when `opts.obs` was set —
+///    the telemetry recorder,
+/// 3. when `opts.obs` is `None` but the process-wide metrics sink is on
+///    (`experiments --metrics`), the backend still records a small gauge
+///    timeline set and folds it into the global sink, so every backend's
+///    timelines reach the metrics document without per-caller wiring.
 pub trait Simulator {
-    /// Enables telemetry for the run: per-transaction trace events plus
-    /// gauge timelines. Strictly observational.
-    fn attach_obs(&mut self, cfg: ObsConfig);
+    /// Runs the simulation to completion and collects the outcome.
+    fn run(&mut self, opts: &RunOptions) -> RunOutcome;
+}
 
-    /// Takes the telemetry recorder after a run; `None` unless
-    /// [`Simulator::attach_obs`] was called.
-    fn take_obs(&mut self) -> Option<Recorder>;
+/// The obs configuration a run should attach: the explicit request wins;
+/// otherwise the global metrics sink implies a minimal-trace recorder.
+fn obs_to_attach(opts: &RunOptions) -> Option<ObsConfig> {
+    if opts.obs.is_some() {
+        return opts.obs;
+    }
+    ringsim_obs::global_metrics_enabled()
+        .then(|| ObsConfig { trace_capacity: 64, ..ObsConfig::default() })
+}
 
-    /// Runs the simulation to completion.
-    fn run(&mut self) -> SimReport;
+/// Packages a finished run: the recorder is surfaced only for an explicit
+/// obs request; an implicitly attached one is drained into the global
+/// metrics sink.
+fn seal_outcome(opts: &RunOptions, report: SimReport, recorder: Option<Recorder>) -> RunOutcome {
+    if opts.obs.is_some() {
+        return RunOutcome { report, obs: recorder };
+    }
+    if let Some(rec) = recorder {
+        for tl in rec.timelines {
+            ringsim_obs::global_record_timeline(tl);
+        }
+    }
+    RunOutcome { report, obs: None }
 }
 
 impl Simulator for RingSystem {
-    fn attach_obs(&mut self, cfg: ObsConfig) {
-        RingSystem::attach_obs(self, cfg);
-    }
-    fn take_obs(&mut self) -> Option<Recorder> {
-        RingSystem::take_obs(self)
-    }
-    fn run(&mut self) -> SimReport {
-        RingSystem::run(self)
+    fn run(&mut self, opts: &RunOptions) -> RunOutcome {
+        if let Some(cfg) = obs_to_attach(opts) {
+            RingSystem::attach_obs(self, cfg);
+        }
+        let report = RingSystem::run(self);
+        seal_outcome(opts, report, RingSystem::take_obs(self))
     }
 }
 
 impl Simulator for BusSystem {
-    fn attach_obs(&mut self, cfg: ObsConfig) {
-        BusSystem::attach_obs(self, cfg);
-    }
-    fn take_obs(&mut self) -> Option<Recorder> {
-        BusSystem::take_obs(self)
-    }
-    fn run(&mut self) -> SimReport {
-        BusSystem::run(self)
+    fn run(&mut self, opts: &RunOptions) -> RunOutcome {
+        if let Some(cfg) = obs_to_attach(opts) {
+            BusSystem::attach_obs(self, cfg);
+        }
+        let report = BusSystem::run(self);
+        seal_outcome(opts, report, BusSystem::take_obs(self))
     }
 }
 
 impl Simulator for HierNetSim {
-    fn attach_obs(&mut self, cfg: ObsConfig) {
-        HierNetSim::attach_obs(self, cfg);
-    }
-    fn take_obs(&mut self) -> Option<Recorder> {
-        HierNetSim::take_obs(self)
-    }
-    fn run(&mut self) -> SimReport {
+    fn run(&mut self, opts: &RunOptions) -> RunOutcome {
+        if let Some(cfg) = obs_to_attach(opts) {
+            HierNetSim::attach_obs(self, cfg);
+        }
         let rep = HierNetSim::run(self);
-        self.sim_report(&rep)
+        let report = self.sim_report(&rep);
+        seal_outcome(opts, report, HierNetSim::take_obs(self))
     }
 }
 
@@ -167,16 +229,10 @@ impl SimKind {
 
     /// Parses a CLI network name; `ring`, `bus` and `hiernet` are accepted
     /// as aliases for the default variants.
+    #[deprecated(note = "use `str::parse::<SimKind>()` for a typed SimKindError")]
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "ring500" | "ring" => Some(SimKind::Ring500),
-            "ring250" => Some(SimKind::Ring250),
-            "bus50" => Some(SimKind::Bus50),
-            "bus100" | "bus" => Some(SimKind::Bus100),
-            "hier" | "hiernet" => Some(SimKind::Hier),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Builds a ready-to-run simulator for this backend from `spec`.
@@ -223,6 +279,93 @@ impl SimKind {
     }
 }
 
+/// Why a network name failed to resolve to a [`SimKind`].
+///
+/// Produced by the [`FromStr`] impl; CLIs and the experiment service
+/// surface the [`fmt::Display`] rendering directly (it names the valid
+/// spellings), and can dispatch on the variant for structured responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimKindError {
+    /// The name matches no registered backend and no documented alias.
+    Unknown {
+        /// The offending input.
+        name: String,
+    },
+    /// The name is a strict prefix of several backend names (e.g. `bu`),
+    /// so resolving it would silently guess.
+    Ambiguous {
+        /// The offending input.
+        name: String,
+        /// The backend names it could mean, in registry order.
+        candidates: Vec<&'static str>,
+    },
+}
+
+impl SimKindError {
+    /// The offending input.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            SimKindError::Unknown { name } | SimKindError::Ambiguous { name, .. } => name,
+        }
+    }
+
+    /// Comma-separated canonical names, for error texts and listings.
+    #[must_use]
+    pub fn known_names() -> String {
+        let names: Vec<&str> = SimKind::ALL.iter().map(|k| k.name()).collect();
+        names.join(", ")
+    }
+}
+
+impl fmt::Display for SimKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimKindError::Unknown { name } => write!(
+                f,
+                "unknown network `{name}` (known: {}; aliases: ring, bus, hiernet)",
+                SimKindError::known_names()
+            ),
+            SimKindError::Ambiguous { name, candidates } => {
+                write!(f, "ambiguous network `{name}`: could be {}", candidates.join(" or "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimKindError {}
+
+/// Typed network-name resolution: canonical names plus the documented
+/// aliases `ring` (→ `ring500`), `bus` (→ `bus100`) and `hiernet`
+/// (→ `hier`). Other prefixes are rejected — with
+/// [`SimKindError::Ambiguous`] when several backends match, so callers can
+/// suggest the candidates instead of guessing.
+impl FromStr for SimKind {
+    type Err = SimKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ring500" | "ring" => Ok(SimKind::Ring500),
+            "ring250" => Ok(SimKind::Ring250),
+            "bus50" => Ok(SimKind::Bus50),
+            "bus100" | "bus" => Ok(SimKind::Bus100),
+            "hier" | "hiernet" => Ok(SimKind::Hier),
+            _ => {
+                let candidates: Vec<&'static str> = SimKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .filter(|n| !s.is_empty() && n.starts_with(s))
+                    .collect();
+                if candidates.len() >= 2 {
+                    Err(SimKindError::Ambiguous { name: s.to_owned(), candidates })
+                } else {
+                    Err(SimKindError::Unknown { name: s.to_owned() })
+                }
+            }
+        }
+    }
+}
+
 /// Splits `procs` into the most balanced `(local_rings, nodes_per_ring)`
 /// pair with both factors ≥ 2 (closest to square, rings ≤ nodes-per-ring).
 fn balanced_split(procs: usize) -> Result<(usize, usize), ConfigError> {
@@ -243,33 +386,15 @@ fn balanced_split(procs: usize) -> Result<(usize, usize), ConfigError> {
     })
 }
 
-/// Drives one simulator run through the shared lifecycle: attach obs when
-/// requested, run, collect the recorder.
-///
-/// When `obs` is `None` but the process-wide metrics sink is on
-/// (`experiments --metrics`), a small recorder is attached automatically and
-/// its gauge timelines are folded into the global sink — so every backend's
-/// timelines reach the metrics document without per-caller wiring. The
-/// recorder is returned only for an explicit `obs` request.
+/// Tuple-style shim over [`Simulator::run`], kept for callers written
+/// against the pre-`RunOptions` lifecycle. Identical semantics: an
+/// explicit `obs` request returns the recorder, otherwise gauge timelines
+/// flow to the global metrics sink when that is enabled.
+#[deprecated(note = "call Simulator::run(&RunOptions) and use the RunOutcome fields")]
 pub fn run_sim(sim: &mut dyn Simulator, obs: Option<ObsConfig>) -> (SimReport, Option<Recorder>) {
-    let explicit = obs.is_some();
-    if let Some(cfg) = obs {
-        sim.attach_obs(cfg);
-    } else if ringsim_obs::global_metrics_enabled() {
-        // Timelines are the point here; keep the (unused) trace tiny.
-        sim.attach_obs(ObsConfig { trace_capacity: 64, ..ObsConfig::default() });
-    }
-    let report = sim.run();
-    let recorder = sim.take_obs();
-    if explicit {
-        return (report, recorder);
-    }
-    if let Some(rec) = recorder {
-        for tl in rec.timelines {
-            ringsim_obs::global_record_timeline(tl);
-        }
-    }
-    (report, None)
+    let opts = RunOptions { obs };
+    let outcome = sim.run(&opts);
+    (outcome.report, outcome.obs)
 }
 
 #[cfg(test)]
@@ -285,11 +410,36 @@ mod tests {
     #[test]
     fn registry_round_trips_names() {
         for kind in SimKind::ALL {
-            assert_eq!(SimKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.name().parse::<SimKind>(), Ok(kind));
             assert!(!kind.description().is_empty());
         }
-        assert_eq!(SimKind::parse("ring"), Some(SimKind::Ring500));
-        assert_eq!(SimKind::parse("bus"), Some(SimKind::Bus100));
+        assert_eq!("ring".parse::<SimKind>(), Ok(SimKind::Ring500));
+        assert_eq!("bus".parse::<SimKind>(), Ok(SimKind::Bus100));
+        assert_eq!("hiernet".parse::<SimKind>(), Ok(SimKind::Hier));
+    }
+
+    #[test]
+    fn from_str_errors_are_typed() {
+        let err = "token-ring".parse::<SimKind>().unwrap_err();
+        assert_eq!(err, SimKindError::Unknown { name: "token-ring".into() });
+        assert!(err.to_string().contains("ring500, ring250, bus50, bus100, hier"), "{err}");
+
+        let err = "bu".parse::<SimKind>().unwrap_err();
+        assert_eq!(
+            err,
+            SimKindError::Ambiguous { name: "bu".into(), candidates: vec!["bus50", "bus100"] }
+        );
+        assert!(err.to_string().contains("bus50 or bus100"), "{err}");
+
+        // A unique prefix is still not a name: resolution never guesses.
+        assert_eq!("ring2".parse::<SimKind>(), Err(SimKindError::Unknown { name: "ring2".into() }));
+        assert_eq!("".parse::<SimKind>(), Err(SimKindError::Unknown { name: String::new() }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_shim_matches_from_str() {
+        assert_eq!(SimKind::parse("ring250"), Some(SimKind::Ring250));
         assert_eq!(SimKind::parse("token-ring"), None);
     }
 
@@ -307,11 +457,11 @@ mod tests {
         for kind in SimKind::ALL {
             let spec = SimSpec::new(workload(4, 1_000));
             let mut sim = kind.build(&spec).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
-            let (report, rec) = run_sim(sim.as_mut(), None);
-            assert!(rec.is_none());
-            assert_eq!(report.nodes, 4);
-            assert!(report.sim_end > Time::ZERO, "{}", kind.name());
-            assert!(report.miss_histogram.count() > 0, "{}", kind.name());
+            let outcome = sim.run(&RunOptions::default());
+            assert!(outcome.obs.is_none());
+            assert_eq!(outcome.report.nodes, 4);
+            assert!(outcome.report.sim_end > Time::ZERO, "{}", kind.name());
+            assert!(outcome.report.miss_histogram.count() > 0, "{}", kind.name());
         }
     }
 
@@ -319,8 +469,18 @@ mod tests {
     fn explicit_obs_returns_a_recorder() {
         let spec = SimSpec::new(workload(4, 500));
         let mut sim = SimKind::Hier.build(&spec).unwrap();
-        let (_, rec) = run_sim(sim.as_mut(), Some(ObsConfig::default()));
-        let rec = rec.expect("recorder");
+        let outcome = sim.run(&RunOptions::new().with_obs(ObsConfig::default()));
+        let rec = outcome.obs.expect("recorder");
         assert!(!rec.timelines.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_sim_shim_still_drives_a_run() {
+        let spec = SimSpec::new(workload(4, 500));
+        let mut sim = SimKind::Ring500.build(&spec).unwrap();
+        let (report, rec) = run_sim(sim.as_mut(), None);
+        assert!(rec.is_none());
+        assert!(report.sim_end > Time::ZERO);
     }
 }

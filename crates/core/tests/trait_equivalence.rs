@@ -4,8 +4,8 @@
 //! pre-refactor direct-call path.
 
 use ringsim_core::{
-    run_sim, BusSystem, BusSystemConfig, HierNetConfig, HierNetSim, RingSystem, SimKind, SimReport,
-    SimSpec, SystemConfig,
+    BusSystem, BusSystemConfig, HierNetConfig, HierNetSim, RingSystem, RunOptions, SimKind,
+    SimReport, SimSpec, SystemConfig,
 };
 use ringsim_proto::ProtocolKind;
 use ringsim_ring::RingHierarchy;
@@ -25,8 +25,7 @@ fn spec() -> SimSpec {
 
 fn via_trait(kind: SimKind) -> SimReport {
     let mut sim = kind.build(&spec()).expect("build");
-    let (report, _) = run_sim(sim.as_mut(), None);
-    report
+    sim.run(&RunOptions::default()).report
 }
 
 fn assert_identical(kind: SimKind, direct: &SimReport) {

@@ -223,6 +223,32 @@ impl RingLayout {
         self.header_at_stage[stage]
     }
 
+    /// Precomputed arrival lists: entry `phase` holds every
+    /// `(node, slot)` pair for which a slot header sits at the node's
+    /// interface when `cycle % stages() == phase`, in ascending node
+    /// order.
+    ///
+    /// [`RingLayout::arrival_at`] is periodic in the stage count, so a
+    /// cycle-stepped simulator can replace its per-cycle all-nodes arrival
+    /// scan with one indexed lookup into this table — iterating only the
+    /// slots that actually arrive somewhere (≈ `slot_count()` entries per
+    /// cycle instead of `nodes()` probes). The table is derived state, not
+    /// part of the layout's identity; it is rebuilt on demand and never
+    /// serialised.
+    #[must_use]
+    pub fn arrival_schedule(&self) -> Vec<Vec<(NodeId, SlotId)>> {
+        (0..self.stages as u64)
+            .map(|phase| {
+                (0..self.nodes)
+                    .filter_map(|n| {
+                        let node = NodeId::new(n);
+                        self.arrival_at(node, phase).map(|slot| (node, slot))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Stages a message travels from node `from` to node `to`; a full
     /// revolution (`stages()`) when `from == to` (e.g. a snooping probe that
     /// is removed by its requester).
@@ -334,6 +360,27 @@ mod tests {
                 }
             }
             assert!(seen.iter().all(|&k| k == 1), "node {n}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn arrival_schedule_matches_pointwise_queries() {
+        for nodes in [8, 16] {
+            let l = layout(nodes);
+            let sched = l.arrival_schedule();
+            assert_eq!(sched.len(), l.stages());
+            // Identical pairs, in ascending node order, for three full
+            // revolutions (periodicity included).
+            for cycle in 0..(3 * l.stages()) as u64 {
+                let phase = (cycle % l.stages() as u64) as usize;
+                let direct: Vec<(NodeId, SlotId)> = (0..nodes)
+                    .filter_map(|n| {
+                        let node = NodeId::new(n);
+                        l.arrival_at(node, cycle).map(|s| (node, s))
+                    })
+                    .collect();
+                assert_eq!(sched[phase], direct, "nodes={nodes} cycle={cycle}");
+            }
         }
     }
 

@@ -71,9 +71,19 @@ struct SubmitAck {
     deduped: bool,
     state: JobState,
     location: String,
+    /// Canonical spelling of the request's `network` field, when given
+    /// (resolved through the simulator registry, aliases included).
+    network: Option<String>,
 }
 
-/// `POST /runs`: body `{"experiment": "<name>", "refs": <n>?}`.
+/// `POST /runs`: body `{"experiment": "<name>", "refs": <n>?, "network": "<net>"?}`.
+///
+/// The optional `network` field is resolved against the simulator registry
+/// with [`ringsim_core::SimKind::from_str`]; a bad spelling is rejected
+/// with a 400 carrying the typed [`ringsim_core::SimKindError`] rendering
+/// (which names the valid spellings, or the candidates for an ambiguous
+/// prefix), and a good one is echoed back canonicalised so clients can
+/// pre-validate the name they are about to sweep with.
 fn submit(state: &ServerState, req: &Request) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body must be UTF-8 JSON");
@@ -84,6 +94,14 @@ fn submit(state: &ServerState, req: &Request) -> Response {
     };
     let Some(Value::Str(name)) = parsed.get("experiment") else {
         return Response::error(400, "body must carry a string `experiment` field");
+    };
+    let network = match parsed.get("network") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(net)) => match net.parse::<ringsim_core::SimKind>() {
+            Ok(kind) => Some(kind.name().to_owned()),
+            Err(e) => return Response::error(400, &e.to_string()),
+        },
+        Some(_) => return Response::error(400, "`network` must be a string"),
     };
     let refs = match parsed.get("refs") {
         None | Some(Value::Null) => state.cfg.default_refs,
@@ -102,6 +120,7 @@ fn submit(state: &ServerState, req: &Request) -> Response {
         id: status.id,
         deduped,
         state: status.state,
+        network: network.clone(),
     };
     match state.pool.submit(exp, refs) {
         SubmitOutcome::Created(st) => Response::json(202, render(&ack(st, false))),
@@ -266,10 +285,39 @@ mod tests {
             "{\"experiment\": \"nope\"}",
             "{\"experiment\": \"fig3\", \"refs\": 0}",
             "{\"experiment\": \"fig3\", \"refs\": -4}",
+            "{\"experiment\": \"fig3\", \"network\": 7}",
+            "{\"experiment\": \"fig3\", \"network\": \"token-ring\"}",
         ] {
             let (_, resp) = dispatch(&st, &post("/runs", body));
             assert_eq!(resp.status, 400, "accepted body {body:?}");
         }
+        st.request_shutdown();
+        st.pool.join();
+    }
+
+    #[test]
+    fn network_field_surfaces_the_typed_registry_error() {
+        let st = state("network");
+        // Unknown spelling: the SimKindError rendering names the valid ones.
+        let (_, resp) =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"tokenring\"}"));
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("unknown network `tokenring`"), "got: {text}");
+        assert!(text.contains("ring500"), "error should list spellings: {text}");
+        // Ambiguous prefix: the candidates are spelled out.
+        let (_, resp) =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"b\"}"));
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("ambiguous network `b`"), "got: {text}");
+        assert!(text.contains("bus50 or bus100"), "got: {text}");
+        // A documented alias resolves and is echoed back canonicalised.
+        let (_, resp) =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"bus\"}"));
+        assert_eq!(resp.status, 202);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"network\": \"bus100\""), "got: {text}");
         st.request_shutdown();
         st.pool.join();
     }

@@ -25,6 +25,9 @@ struct SynthStream {
     stream_counter: u64,
     /// Number of producer-consumer blocks owned by this node.
     own_pc_blocks: u64,
+    /// Normalised sharing-pool weights, fixed at construction (the spec is
+    /// immutable, so recomputing them per shared reference is pure waste).
+    pool_weights: [f64; 4],
 }
 
 impl SynthStream {
@@ -33,6 +36,7 @@ impl SynthStream {
         let pc = spec.prodcons_blocks;
         // Blocks with index ≡ node (mod procs) belong to this producer.
         let own_pc_blocks = pc / procs + u64::from(pc % procs > node.index() as u64);
+        let pool_weights = spec.pool_weights();
         Self {
             node,
             spec,
@@ -45,6 +49,7 @@ impl SynthStream {
             pc_writing: false,
             stream_counter: 0,
             own_pc_blocks,
+            pool_weights,
         }
     }
 
@@ -75,7 +80,7 @@ impl SynthStream {
     }
 
     fn next_shared(&mut self) -> MemRef {
-        let weights = self.spec.pool_weights();
+        let weights = self.pool_weights;
         match self.rng.pick_weighted(&weights).expect("validated spec has a usable pool") {
             0 => {
                 let idx = self.rng.next_below(self.spec.read_only_blocks);

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 use ringsim::analytic::{BusModel, ModelInput, RingModel};
 use ringsim::bus::BusConfig;
-use ringsim::core::{run_sim, SimKind, SimSpec};
+use ringsim::core::{RunOptions, SimKind, SimSpec};
 use ringsim::proto::ProtocolKind;
 use ringsim::ring::RingConfig;
 use ringsim::trace::{characterize, Benchmark};
@@ -260,12 +260,11 @@ fn characterize_cmd(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Resolves a `--network` value against the simulator registry.
+/// Resolves a `--network` value against the simulator registry. The typed
+/// [`ringsim::core::SimKindError`] already names the valid spellings (and
+/// the candidates, for an ambiguous prefix), so it is surfaced verbatim.
 fn network_of(name: &str) -> Result<SimKind, Box<dyn Error>> {
-    SimKind::parse(name).ok_or_else(|| {
-        let names: Vec<&str> = SimKind::ALL.iter().map(|k| k.name()).collect();
-        format!("unknown network `{name}` (try {})", names.join(", ")).into()
-    })
+    name.parse::<SimKind>().map_err(Into::into)
 }
 
 fn sim_cmd(args: &[String]) -> CliResult {
@@ -309,7 +308,9 @@ fn sim_cmd(args: &[String]) -> CliResult {
         SimSpec::new(workload).with_protocol(protocol_of(&flags)?).with_proc_cycle(proc_cycle);
     let mut sim = kind.build(&sim_spec)?;
     let want_obs = flags.contains_key("trace-out") || flags.contains_key("metrics");
-    let (report, recorder) = run_sim(sim.as_mut(), want_obs.then(ringsim::obs::ObsConfig::default));
+    let opts = RunOptions { obs: want_obs.then(ringsim::obs::ObsConfig::default) };
+    let outcome = sim.run(&opts);
+    let (report, recorder) = (outcome.report, outcome.obs);
     println!("{} on {}, {procs} processors at {mips} MIPS", bench.name(), kind.name());
     println!("  protocol              : {}", report.protocol);
     println!("  simulated time        : {}", report.sim_end);
@@ -508,7 +509,7 @@ fn replay_cmd(args: &[String]) -> CliResult {
         .with_protocol(protocol_of(&flags)?)
         .with_proc_cycle(proc_cycle);
     let mut sim = kind.build(&spec)?;
-    let (report, _) = run_sim(sim.as_mut(), None);
+    let report = sim.run(&RunOptions::default()).report;
     println!("replayed {path} on {} ({procs} processors at {mips} MIPS)", kind.name());
     println!("  protocol              : {}", report.protocol);
     println!("  processor utilisation : {:5.1} %", 100.0 * report.proc_util);
