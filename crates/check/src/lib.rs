@@ -1,13 +1,44 @@
 //! Murphi-style exhaustive model checker for ringsim's coherence protocols.
 //!
-//! For small configurations (2–4 nodes, 1–2 blocks) the checker enumerates
-//! *every* reachable protocol state by breadth-first search over an abstract
-//! machine ([`mod@model`]'s docs explain the abstractions and why they are
-//! sound). The machine is built from the same [`ringsim_cache::Cache`],
+//! For small configurations the checker enumerates *every* reachable
+//! protocol state by breadth-first search over an abstract machine
+//! ([`mod@model`]'s docs explain the abstractions and why they are sound).
+//! The machine is built from the same [`ringsim_cache::Cache`],
 //! [`ringsim_proto::Directory`] and [`ringsim_proto::HomeMemory`] objects the
-//! timed simulators use, and every transition consults the shared tables in
-//! [`ringsim_proto::transitions`] — so the states explored here are the
-//! states the simulator can actually produce, not a re-implementation.
+//! timed simulators use, and every transition consults the shared guarded
+//! rule sets in [`ringsim_proto::guarded`] — so the states explored here are
+//! the states the simulator can actually produce, not a re-implementation.
+//!
+//! Three scaling levers keep exhaustive runs tractable past 4 nodes:
+//! symmetry reduction (only one representative per node/block-permutation
+//! orbit is stored — `sym`'s docs derive the sound group), a
+//! hash-compacted visited set (64-bit fingerprints instead of full state
+//! encodings, Murphi's classic trade of a ~`n²/2⁶⁴` collision risk for an
+//! order-of-magnitude memory saving), and a level-synchronous parallel BFS
+//! ([`CheckConfig::jobs`]) whose deterministic merge keeps every report
+//! byte-identical regardless of worker count.
+//!
+//! [`CheckConfig::validate`] accepts 2..=8 nodes and 1..=4 blocks, but what
+//! is *practically* exhaustive differs sharply per protocol — the
+//! directory's home-side queues and write-back buffers multiply states far
+//! faster than the snooping dirty bit does. Measured complete state-space
+//! sizes (fault-free, with evictions):
+//!
+//! | configuration | Snooping | Directory |
+//! |---------------|---------:|----------:|
+//! | 3 nodes / 1 block | ~2.5 k | ~243 k |
+//! | 4 nodes / 1 block | ~38 k  | > 35 M (truncated) |
+//! | 4 nodes / 2 blocks | > 10 M | ~100 M+ |
+//!
+//! With symmetry reduction on (the default), snooping is exhaustive
+//! through 5 nodes / 1 block in under a second (33 838 canonical states)
+//! and 4 nodes / 2 blocks in minutes (5 437 317 canonical states);
+//! the directory protocol reaches 5 nodes / 1 block in seconds with
+//! `evictions` off (172 589 states — the replacement-free protocol core),
+//! but with evictions on it exceeds 13 M canonical states already at
+//! 4 nodes. At 6 nodes / 2 blocks both protocols exceed 30 M canonical
+//! states even without evictions; there, set `max_states` and treat the
+//! truncated run as a bounded smoke test (CI does exactly this).
 //!
 //! On every reachable state the checker evaluates the shared
 //! [`ringsim_proto::invariants`]:
@@ -37,11 +68,14 @@
 use std::fmt;
 use std::str::FromStr;
 
+use ringsim_proto::guarded::RuleFire;
 use ringsim_proto::ProtocolKind;
 use ringsim_types::ConfigError;
 
 mod explore;
 mod model;
+mod store;
+mod sym;
 
 /// A deliberately injected protocol bug, for mutation-testing the checker.
 ///
@@ -86,16 +120,48 @@ impl fmt::Display for Fault {
     }
 }
 
+/// Failure to parse a [`Fault`] from its CLI spelling (the same shape as
+/// `ringsim-core`'s `SimKindError`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// The name matches no known fault.
+    Unknown {
+        /// The spelling that failed to parse.
+        name: String,
+    },
+}
+
+impl FaultError {
+    /// Every accepted spelling, for error messages and usage text.
+    pub fn known_names() -> Vec<&'static str> {
+        Fault::ALL.iter().map(|f| f.name()).collect()
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Unknown { name } => {
+                write!(
+                    f,
+                    "unknown fault `{name}`; valid faults: {}",
+                    Self::known_names().join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 impl FromStr for Fault {
-    type Err = ConfigError;
+    type Err = FaultError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Fault::ALL.into_iter().find(|f| f.name() == s).ok_or_else(|| {
-            ConfigError::new(
-                "fault",
-                "must be one of none, skip-invalidate, forget-owner, park-busy-forwards",
-            )
-        })
+        Fault::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| FaultError::Unknown { name: s.to_owned() })
     }
 }
 
@@ -118,6 +184,17 @@ pub struct CheckConfig {
     pub check_liveness: bool,
     /// Include explicit eviction moves (conflict-miss stand-ins).
     pub evictions: bool,
+    /// Worker threads for frontier expansion; `0` = one per available core
+    /// (the sweep engine's convention). Reports are byte-identical for any
+    /// value.
+    pub jobs: usize,
+    /// Store one representative per symmetry orbit instead of every state.
+    /// Off, the checker degenerates to the plain (slower, larger) BFS —
+    /// useful for validating the reduction itself.
+    pub symmetry: bool,
+    /// Collect exploration statistics: raw-vs-canonical state counts and
+    /// per-rule fire counts (filled into [`CheckReport::stats`]).
+    pub stats: bool,
 }
 
 impl CheckConfig {
@@ -131,6 +208,9 @@ impl CheckConfig {
             max_states: 4_000_000,
             check_liveness: true,
             evictions: true,
+            jobs: 0,
+            symmetry: true,
+            stats: false,
         }
     }
 
@@ -193,6 +273,75 @@ pub struct CheckReport {
     pub livelock_checked: bool,
     /// The first invariant violation found, if any.
     pub violation: Option<Violation>,
+    /// Exploration statistics, when [`CheckConfig::stats`] was set (omitted
+    /// on violation runs: the counterexample replay would distort counts).
+    pub stats: Option<CheckStats>,
+}
+
+/// Exploration statistics for `ringsim check --stats`: the observed orbit
+/// reduction and the guarded-rule exhaustiveness (dead-rule) report.
+///
+/// Deterministic for any [`CheckConfig::jobs`]: every BFS level is fully
+/// expanded before its successors are merged, so the same edges are
+/// evaluated no matter how they are sharded.
+#[derive(Debug, Clone)]
+pub struct CheckStats {
+    /// Distinct *raw* (uncanonicalized) successor states observed. With
+    /// symmetry on, `raw_states / states` is the achieved orbit reduction —
+    /// a lower bound, since only successors of stored representatives are
+    /// counted.
+    pub raw_states: u64,
+    /// The symmetry group's order — the theoretical maximum reduction.
+    pub group_order: u64,
+    /// Fire count per guarded rule, in (rule-set, declaration) order.
+    pub rule_fires: Vec<RuleFire>,
+}
+
+impl CheckStats {
+    /// The achieved orbit reduction factor (`raw_states / states`).
+    pub fn reduction(&self, states: usize) -> f64 {
+        if states == 0 {
+            return 1.0;
+        }
+        let raw = self.raw_states.max(states as u64);
+        raw as f64 / states as f64
+    }
+
+    /// Rules that never fired but should have under `protocol` — dead
+    /// weight or a reachability bug at this configuration size.
+    pub fn dead_rules(&self, protocol: ProtocolKind) -> Vec<&RuleFire> {
+        self.rule_fires.iter().filter(|r| r.fires_under == protocol && r.fired == 0).collect()
+    }
+
+    /// Renders the stats block printed under a report by
+    /// `ringsim check --stats`.
+    pub fn render(&self, states: usize, protocol: ProtocolKind) -> Vec<String> {
+        let mut lines = vec![format!(
+            "  orbit reduction: {} raw successors -> {states} canonical states (x{:.2}, group order {})",
+            self.raw_states,
+            self.reduction(states),
+            self.group_order,
+        )];
+        for r in &self.rule_fires {
+            let applicable = r.fires_under == protocol;
+            lines.push(format!(
+                "  rule {}/{}: fired {}{}",
+                r.ruleset,
+                r.rule,
+                r.fired,
+                if applicable { "" } else { " (other protocol)" },
+            ));
+        }
+        let dead = self.dead_rules(protocol);
+        if dead.is_empty() {
+            lines.push("  dead rules: none".to_owned());
+        } else {
+            for r in dead {
+                lines.push(format!("  dead rule: {}/{} never fired", r.ruleset, r.rule));
+            }
+        }
+        lines
+    }
 }
 
 impl CheckReport {

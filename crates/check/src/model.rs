@@ -29,8 +29,10 @@
 //!   `fill`-displacement does in the simulator.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use ringsim_cache::{Cache, CacheConfig, LineState};
+use ringsim_proto::guarded::{self, FireCounts};
 use ringsim_proto::transitions::{self, DirAction, DirRequest, HomeSnoopAction, SnoopAction};
 use ringsim_proto::{Directory, HomeMemory, MsgKind, ProtocolKind, RingMessage};
 use ringsim_types::{BlockAddr, NodeId};
@@ -128,6 +130,42 @@ impl Move {
     pub(crate) fn is_progress(self) -> bool {
         !matches!(self, Move::Issue { .. } | Move::Evict { .. })
     }
+
+    /// Packs the move into 16 bits for the per-state side table (3-bit tag,
+    /// 13-bit payload). Nodes fit in 3 bits and blocks in 2 by
+    /// `CheckConfig::validate`; delivery indices are bounded by the number
+    /// of in-flight messages, far below 2^13.
+    pub(crate) fn pack(self) -> u16 {
+        match self {
+            Move::Issue { node, block, write } => {
+                (node as u16) << 4 | (block as u16) << 1 | u16::from(write)
+            }
+            Move::Evict { node, block } => 1 << 13 | (node as u16) << 4 | (block as u16) << 1,
+            Move::LocalComplete { node } => 2 << 13 | node as u16,
+            Move::Circulate { node } => 3 << 13 | node as u16,
+            Move::Deliver { index } => {
+                debug_assert!(index < 1 << 13, "unpackable delivery index {index}");
+                4 << 13 | index as u16
+            }
+        }
+    }
+
+    /// Inverse of [`Move::pack`].
+    pub(crate) fn unpack(p: u16) -> Move {
+        let payload = (p & 0x1FFF) as usize;
+        match p >> 13 {
+            0 => Move::Issue {
+                node: payload >> 4,
+                block: (payload >> 1) & 0b11,
+                write: payload & 1 != 0,
+            },
+            1 => Move::Evict { node: payload >> 4, block: (payload >> 1) & 0b11 },
+            2 => Move::LocalComplete { node: payload },
+            3 => Move::Circulate { node: payload },
+            4 => Move::Deliver { index: payload },
+            tag => panic!("invalid packed move tag {tag}"),
+        }
+    }
 }
 
 /// The model: configuration plus the transition functions.
@@ -138,9 +176,12 @@ pub(crate) struct Model {
     pub blocks: usize,
     pub fault: Fault,
     pub evictions: bool,
+    /// When set, every guarded-rule evaluation bumps its fire counter
+    /// (`--stats`); `None` skips the accounting entirely.
+    pub counts: Option<Arc<FireCounts>>,
 }
 
-fn kind_code(k: MsgKind) -> u8 {
+pub(crate) fn kind_code(k: MsgKind) -> u8 {
     match k {
         MsgKind::SnoopRead => 0,
         MsgKind::SnoopWrite => 1,
@@ -177,7 +218,7 @@ fn code_kind(c: u8) -> MsgKind {
     }
 }
 
-fn state_code(s: LineState) -> u8 {
+pub(crate) fn state_code(s: LineState) -> u8 {
     match s {
         LineState::Inv => 0,
         LineState::Rs => 1,
@@ -194,6 +235,22 @@ fn code_state(c: u8) -> LineState {
     }
 }
 
+/// One-byte encoding of a transaction's kind/phase/flag bits (block
+/// excluded), shared by the state encoding and the symmetry signatures.
+pub(crate) fn txn_code(t: &Txn) -> u8 {
+    let kind = match t.kind {
+        TxnKind::Read => 0u8,
+        TxnKind::Write => 1,
+        TxnKind::Upgrade => 2,
+    };
+    let phase = match t.phase {
+        Phase::NeedProbe => 0u8,
+        Phase::WaitLocal => 1,
+        Phase::WaitRemote => 2,
+    };
+    kind | (phase << 2) | (u8::from(t.poisoned) << 4) | (u8::from(t.self_owner) << 5)
+}
+
 /// The lane a message travels in: messages in the same lane stay FIFO.
 fn lane(m: &RingMessage) -> (u8, u64, u16, u16) {
     let class = match m.class() {
@@ -203,12 +260,12 @@ fn lane(m: &RingMessage) -> (u8, u64, u16, u16) {
     (class, m.block.raw(), m.src.index() as u16, m.dst.index() as u16)
 }
 
-fn encode_msg(out: &mut Vec<u8>, m: &RingMessage) {
+fn encode_msg_under(out: &mut Vec<u8>, m: &RingMessage, node_map: &[usize], block_map: &[usize]) {
     out.push(kind_code(m.kind));
-    out.push(m.block.raw() as u8);
-    out.push(m.src.index() as u8);
-    out.push(m.dst.index() as u8);
-    out.push(m.requester.index() as u8);
+    out.push(block_map[m.block.raw() as usize] as u8);
+    out.push(node_map[m.src.index()] as u8);
+    out.push(node_map[m.dst.index()] as u8);
+    out.push(node_map[m.requester.index()] as u8);
     out.push(u8::from(m.retained) | (u8::from(m.from_dirty) << 1));
 }
 
@@ -237,7 +294,12 @@ impl Model {
         fault: Fault,
         evictions: bool,
     ) -> Self {
-        Self { protocol, nodes, blocks, fault, evictions }
+        Self { protocol, nodes, blocks, fault, evictions, counts: None }
+    }
+
+    /// The guarded-rule dispatch counters, if stats are being collected.
+    fn fire_counts(&self) -> Option<&FireCounts> {
+        self.counts.as_deref()
     }
 
     fn cache_config(&self) -> CacheConfig {
@@ -570,7 +632,7 @@ impl Model {
             let state = s.caches[j].state_of(block);
             let data =
                 RingMessage::for_requester(MsgKind::BlockData, block, NodeId::new(j), me, me);
-            match transitions::snooper_action(state, probe) {
+            match guarded::snooper_action(state, probe, self.fire_counts()) {
                 SnoopAction::SupplyDowngrade => {
                     s.caches[j].snoop_downgrade(block);
                     acked = true;
@@ -590,7 +652,7 @@ impl Model {
                 SnoopAction::Ignore => {}
             }
             if j == home.index() {
-                match transitions::home_snoop_action(s.mem.is_dirty(block), probe) {
+                match guarded::home_snoop_action(s.mem.is_dirty(block), probe, self.fire_counts()) {
                     HomeSnoopAction::Supply => {
                         acked = true;
                         s.net.push(data.with_from_dirty(false));
@@ -833,7 +895,7 @@ impl Model {
         let requester = req.requester;
         self.reclaim_own_writeback(s, block, requester);
         let entry = s.dir.entry(block);
-        match transitions::dir_action(&entry, requester, DirRequest::Read) {
+        match guarded::dir_action(&entry, requester, DirRequest::Read, self.fire_counts()) {
             DirAction::ForwardRead { owner } => {
                 // Presence recorded at grant time, as in the simulator: the
                 // requester can fill and evict before the MemUpdate returns.
@@ -871,7 +933,7 @@ impl Model {
         let requester = req.requester;
         self.reclaim_own_writeback(s, block, requester);
         let entry = s.dir.entry(block);
-        match transitions::dir_action(&entry, requester, DirRequest::Write) {
+        match guarded::dir_action(&entry, requester, DirRequest::Write, self.fire_counts()) {
             DirAction::ForwardWrite { owner } => {
                 s.active[block.raw() as usize] =
                     Some(Active { req, stage: Stage::AwaitUpdate, converted });
@@ -917,7 +979,7 @@ impl Model {
         let home = req.dst;
         let requester = req.requester;
         let entry = s.dir.entry(block);
-        match transitions::dir_action(&entry, requester, DirRequest::Upgrade) {
+        match guarded::dir_action(&entry, requester, DirRequest::Upgrade, self.fire_counts()) {
             DirAction::InvalidateSharers => {
                 self.home_self_invalidate(s, home, requester, block);
                 s.active[block.raw() as usize] =
@@ -955,7 +1017,11 @@ impl Model {
             if j == msg.requester.index() || j == home.index() {
                 continue; // requester is exempt; the home invalidated at send
             }
-            match transitions::snooper_action(s.caches[j].state_of(block), MsgKind::DirInval) {
+            match guarded::snooper_action(
+                s.caches[j].state_of(block),
+                MsgKind::DirInval,
+                self.fire_counts(),
+            ) {
                 SnoopAction::Invalidate => self.invalidate_at(s, j, block),
                 SnoopAction::Ignore => {}
                 SnoopAction::SupplyInvalidate | SnoopAction::SupplyDowngrade => {
@@ -1062,52 +1128,79 @@ impl Model {
 
     /// Canonical byte encoding of a state (scheduler-order independent).
     pub(crate) fn encode(&self, s: &State) -> Vec<u8> {
+        let identity_nodes: [usize; 8] = core::array::from_fn(|i| i);
+        let identity_blocks: [usize; 4] = core::array::from_fn(|b| b);
         let mut out = Vec::with_capacity(8 * self.nodes + 8 * self.blocks + 8 * s.net.len());
-        for cache in &s.caches {
-            for b in 0..self.blocks {
-                out.push(state_code(cache.state_of(BlockAddr::new(b as u64))));
+        self.encode_under(
+            s,
+            &identity_nodes[..self.nodes],
+            &identity_blocks[..self.blocks],
+            &mut out,
+        );
+        out
+    }
+
+    /// Byte encoding of the state relabelled by a symmetry-group element:
+    /// node `i` becomes `node_map[i]` and block `b` becomes `block_map[b]`.
+    /// Identity maps reproduce [`Model::encode`] exactly (that function
+    /// delegates here); `crate::sym::Symmetry` minimises this over the
+    /// protocol's symmetry group to pick the orbit representative.
+    pub(crate) fn encode_under(
+        &self,
+        s: &State,
+        node_map: &[usize],
+        block_map: &[usize],
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        // Who lands in each relabelled slot (bounds are validate()'s 8/4).
+        let mut inv_node = [0usize; 8];
+        for (old, &new) in node_map.iter().enumerate() {
+            inv_node[new] = old;
+        }
+        let mut inv_block = [0usize; 4];
+        for (old, &new) in block_map.iter().enumerate() {
+            inv_block[new] = old;
+        }
+        for &old_i in &inv_node[..self.nodes] {
+            let cache = &s.caches[old_i];
+            for &old_b in &inv_block[..self.blocks] {
+                out.push(state_code(cache.state_of(BlockAddr::new(old_b as u64))));
             }
         }
-        for b in 0..self.blocks {
-            let block = BlockAddr::new(b as u64);
+        for &old_b in &inv_block[..self.blocks] {
+            let block = BlockAddr::new(old_b as u64);
             out.push(u8::from(s.mem.is_dirty(block)));
             let entry = s.dir.entry(block);
-            out.push(entry.sharers as u8);
-            out.push(entry.owner.map_or(0xFF, |o| o.index() as u8));
+            let mut sharers = 0u8;
+            for (j, &new_j) in node_map.iter().enumerate() {
+                if entry.sharers & (1 << j) != 0 {
+                    sharers |= 1 << new_j;
+                }
+            }
+            out.push(sharers);
+            out.push(entry.owner.map_or(0xFF, |o| node_map[o.index()] as u8));
             out.push(u8::from(s.dir.is_locked(block)));
         }
-        for t in &s.txns {
-            match t {
+        for &old_i in &inv_node[..self.nodes] {
+            match &s.txns[old_i] {
                 None => out.push(0xFF),
                 Some(t) => {
-                    let kind = match t.kind {
-                        TxnKind::Read => 0u8,
-                        TxnKind::Write => 1,
-                        TxnKind::Upgrade => 2,
-                    };
-                    let phase = match t.phase {
-                        Phase::NeedProbe => 0u8,
-                        Phase::WaitLocal => 1,
-                        Phase::WaitRemote => 2,
-                    };
-                    out.push(
-                        kind | (phase << 2)
-                            | (u8::from(t.poisoned) << 4)
-                            | (u8::from(t.self_owner) << 5),
-                    );
-                    out.push(t.block.raw() as u8);
+                    out.push(txn_code(t));
+                    out.push(block_map[t.block.raw() as usize] as u8);
                 }
             }
         }
-        for wb in &s.wb_buffer {
+        for &old_i in &inv_node[..self.nodes] {
+            let wb = &s.wb_buffer[old_i];
             let mut bits = 0u8;
-            for (b, &set) in wb.iter().enumerate() {
-                bits |= u8::from(set) << b;
+            for (shift, &old_b) in inv_block[..self.blocks].iter().enumerate() {
+                bits |= u8::from(wb[old_b]) << shift;
             }
             out.push(bits);
         }
-        for act in &s.active {
-            match act {
+        for &old_b in &inv_block[..self.blocks] {
+            match &s.active[old_b] {
                 None => out.push(0xFF),
                 Some(a) => {
                     let stage = match a.stage {
@@ -1115,33 +1208,43 @@ impl Model {
                         Stage::AwaitUpdate => 1,
                     };
                     out.push(stage | (u8::from(a.converted) << 1));
-                    encode_msg(&mut out, &a.req);
+                    encode_msg_under(out, &a.req, node_map, block_map);
                 }
             }
         }
-        for q in &s.queue {
+        for &old_b in &inv_block[..self.blocks] {
+            let q = &s.queue[old_b];
             out.push(q.len() as u8);
             for m in q {
-                encode_msg(&mut out, m);
+                encode_msg_under(out, m, node_map, block_map);
             }
         }
-        for fwds in &s.pending_fwds {
+        for &old_i in &inv_node[..self.nodes] {
+            let fwds = &s.pending_fwds[old_i];
             let mut sorted: Vec<&RingMessage> = fwds.iter().collect();
-            sorted.sort_by_key(|m| (m.block.raw(), kind_code(m.kind)));
+            sorted.sort_by_key(|m| (block_map[m.block.raw() as usize], kind_code(m.kind)));
             out.push(sorted.len() as u8);
             for m in sorted {
-                encode_msg(&mut out, m);
+                encode_msg_under(out, m, node_map, block_map);
             }
         }
-        // Lanes are mutually unordered: stable-sort by lane, preserving FIFO
-        // order within each lane, so equivalent states encode identically.
+        // Lanes are mutually unordered: stable-sort by relabelled lane,
+        // preserving FIFO order within each lane (lanes map to lanes under
+        // any group element), so equivalent states encode identically.
         let mut net: Vec<&RingMessage> = s.net.iter().collect();
-        net.sort_by_key(|m| lane(m));
+        net.sort_by_key(|m| {
+            let (class, block, src, dst) = lane(m);
+            (
+                class,
+                block_map[block as usize] as u64,
+                node_map[src as usize] as u16,
+                node_map[dst as usize] as u16,
+            )
+        });
         out.push(net.len() as u8);
         for m in net {
-            encode_msg(&mut out, m);
+            encode_msg_under(out, m, node_map, block_map);
         }
-        out
     }
 
     /// Rebuilds a state from its encoding (inverse of [`Model::encode`] up

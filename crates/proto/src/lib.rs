@@ -11,8 +11,12 @@
 //!   serialise conflicting transactions (paper §3.2),
 //! * [`table1`] — untimed traversal accountants for the full-map and the
 //!   SCI-like linked-list directory, which regenerate Table 1,
+//! * [`guarded`] — the declarative guarded-action rule sets both protocols'
+//!   transition tables are expressed in, with a totality/determinism lint
+//!   and per-rule fire counts (dead-rule detection),
 //! * [`transitions`] — the pure transition tables consulted by both the
-//!   timed simulators and the `ringsim-check` model checker,
+//!   timed simulators and the `ringsim-check` model checker (thin wrappers
+//!   over [`guarded`]),
 //! * [`invariants`] — the coherence-invariant evaluators shared by the
 //!   runtime sanitizer and the model checker.
 //!
@@ -24,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod directory;
+pub mod guarded;
 pub mod invariants;
 mod memory;
 mod msg;

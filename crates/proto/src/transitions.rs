@@ -10,9 +10,13 @@
 //! hide in one consumer: the checker exercises exactly the code the
 //! simulator runs.
 //!
-//! Every `match` in this module is intentionally total with **no wildcard
-//! arms** — `tests/lint_protocol_tables.rs` asserts this statically so a new
-//! `MsgKind` or `LineState` variant forces every table to be revisited.
+//! The decision logic itself is declared once, as the guarded rule sets in
+//! [`crate::guarded`]; the dispatch functions here are the rule sets'
+//! fire-count-free entry points, and the enums they return stay in this
+//! module. Every `match` in this module and in `guarded` is intentionally
+//! total with **no wildcard arms** — `tests/lint_protocol_tables.rs`
+//! asserts this statically so a new `MsgKind` or `LineState` variant forces
+//! every table to be revisited.
 
 use ringsim_cache::LineState;
 use ringsim_types::NodeId;
@@ -45,40 +49,13 @@ pub enum SnoopAction {
 /// as a message of kind `msg` passes the interface.
 ///
 /// Total over every ([`LineState`], [`MsgKind`]) pair; unicast directory
-/// messages are never snooped and map to [`SnoopAction::Ignore`].
+/// messages are never snooped and map to [`SnoopAction::Ignore`]. The
+/// table itself is declared as the guarded rule set
+/// [`crate::guarded::SNOOPER_RULES`]; this wrapper is the fire-count-free
+/// entry point for the timed simulator.
 #[must_use]
 pub fn snooper_action(state: LineState, msg: MsgKind) -> SnoopAction {
-    match msg {
-        MsgKind::SnoopRead => match state {
-            LineState::We => SnoopAction::SupplyDowngrade,
-            LineState::Rs | LineState::Inv => SnoopAction::Ignore,
-        },
-        MsgKind::SnoopWrite => match state {
-            LineState::We => SnoopAction::SupplyInvalidate,
-            LineState::Rs => SnoopAction::Invalidate,
-            LineState::Inv => SnoopAction::Ignore,
-        },
-        MsgKind::SnoopUpgrade => match state {
-            // The upgrader believes it holds the only other copy; a dirty
-            // third party is impossible (SWMR) — the home's dirty bit nacks
-            // the race instead.
-            LineState::We | LineState::Inv => SnoopAction::Ignore,
-            LineState::Rs => SnoopAction::Invalidate,
-        },
-        MsgKind::DirInval => match state {
-            LineState::We | LineState::Rs => SnoopAction::Invalidate,
-            LineState::Inv => SnoopAction::Ignore,
-        },
-        MsgKind::DirRead
-        | MsgKind::DirWrite
-        | MsgKind::DirUpgrade
-        | MsgKind::DirFwdRead
-        | MsgKind::DirFwdWrite
-        | MsgKind::DirAck
-        | MsgKind::BlockData
-        | MsgKind::WriteBack
-        | MsgKind::MemUpdate => SnoopAction::Ignore,
-    }
+    crate::guarded::snooper_action(state, msg, None)
 }
 
 /// What the home node's memory contributes as a snooping probe passes it
@@ -99,42 +76,11 @@ pub enum HomeSnoopAction {
 
 /// The snooping home-side transition table: memory action for a probe of
 /// kind `msg` given the block's `dirty` bit. Total over every kind;
-/// non-probe messages contribute nothing.
+/// non-probe messages contribute nothing. Declared as the guarded rule set
+/// [`crate::guarded::HOME_RULES`].
 #[must_use]
 pub fn home_snoop_action(dirty: bool, msg: MsgKind) -> HomeSnoopAction {
-    match msg {
-        MsgKind::SnoopRead => {
-            if dirty {
-                HomeSnoopAction::Silent
-            } else {
-                HomeSnoopAction::Supply
-            }
-        }
-        MsgKind::SnoopWrite => {
-            if dirty {
-                HomeSnoopAction::Silent
-            } else {
-                HomeSnoopAction::SupplyClaim
-            }
-        }
-        MsgKind::SnoopUpgrade => {
-            if dirty {
-                HomeSnoopAction::Silent
-            } else {
-                HomeSnoopAction::AckClaim
-            }
-        }
-        MsgKind::DirRead
-        | MsgKind::DirWrite
-        | MsgKind::DirUpgrade
-        | MsgKind::DirFwdRead
-        | MsgKind::DirFwdWrite
-        | MsgKind::DirInval
-        | MsgKind::DirAck
-        | MsgKind::BlockData
-        | MsgKind::WriteBack
-        | MsgKind::MemUpdate => HomeSnoopAction::Silent,
-    }
+    crate::guarded::home_snoop_action(dirty, msg, None)
 }
 
 /// A request at the directory home's serialisation point, after the
@@ -216,39 +162,11 @@ pub fn upgrade_must_convert(entry: &DirEntry, requester: NodeId) -> bool {
 
 /// The full-map directory dispatch table. `entry` is the state *after*
 /// [`must_reclaim_writeback`] handling, and `req` the request *after*
-/// [`upgrade_must_convert`] demotion.
+/// [`upgrade_must_convert`] demotion. Declared as the guarded rule set
+/// [`crate::guarded::DIR_RULES`].
 #[must_use]
 pub fn dir_action(entry: &DirEntry, requester: NodeId, req: DirRequest) -> DirAction {
-    match req {
-        DirRequest::Read => match entry.owner {
-            Some(owner) => DirAction::ForwardRead { owner },
-            None => DirAction::GrantData,
-        },
-        DirRequest::Write => match entry.owner {
-            Some(owner) => DirAction::ForwardWrite { owner },
-            None => {
-                if entry.has_other_sharers(requester) {
-                    DirAction::InvalidateSharers
-                } else {
-                    DirAction::GrantData
-                }
-            }
-        },
-        DirRequest::Upgrade => match entry.owner {
-            // Unreachable for a well-formed upgrade (the requester is a
-            // sharer, and an owner collapses the sharer set to itself), but
-            // the table stays total: the owner can always serve it as a
-            // write miss.
-            Some(owner) => DirAction::ForwardWrite { owner },
-            None => {
-                if entry.has_other_sharers(requester) {
-                    DirAction::InvalidateSharers
-                } else {
-                    DirAction::GrantAck
-                }
-            }
-        },
-    }
+    crate::guarded::dir_action(entry, requester, req, None)
 }
 
 #[cfg(test)]

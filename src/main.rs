@@ -11,6 +11,8 @@
 //!                     [--metrics m.json]
 //! ringsim stats [--trace t.json] [--metrics m.json] [--csv]
 //! ringsim check [--all-protocols] [--nodes N] [--blocks B] [--inject FAULT]
+//!               [--jobs N] [--stats] [--no-symmetry] [--no-evictions]
+//!               [--no-liveness] [--max-states N]
 //! ringsim serve [--addr host:port] [--out DIR] [--workers N] [--queue-cap N]
 //!               [--sweep-jobs N] [--refs N]
 //! ```
@@ -93,6 +95,11 @@ commands:
   check                     exhaustively model-check the coherence protocols
                             (--all-protocols | --protocol p) (--nodes N) (--blocks B)
                             (--inject none|skip-invalidate|forget-owner|park-busy-forwards)
+                            (--jobs N parallel frontier workers, 0 = auto)
+                            (--stats orbit-reduction and rule fire counts)
+                            (--no-symmetry explore raw states, no orbit collapse)
+                            (--no-evictions | --no-liveness shrink the state space)
+                            (--max-states N exploration cap, default 4000000)
   experiments               run the paper-artifact suite
                             (--list | --only a,b) (--jobs N) (--refs N) (--out DIR)
                             (--metrics m.json folds every run's histograms and
@@ -175,16 +182,28 @@ fn check_cmd(args: &[String]) -> ExitCode {
 fn check_cmd_inner(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     use ringsim::check::{explore, CheckConfig, Fault};
 
-    // `--all-protocols` is a bare flag; everything else is `--key value`.
+    // Bare switches first; everything else is `--key value`.
     let mut all_protocols = false;
+    let mut stats = false;
+    let mut no_symmetry = false;
+    let mut no_evictions = false;
+    let mut no_liveness = false;
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got `{key}`").into());
         };
-        if name == "all-protocols" {
-            all_protocols = true;
+        let bare = match name {
+            "all-protocols" => Some(&mut all_protocols),
+            "stats" => Some(&mut stats),
+            "no-symmetry" => Some(&mut no_symmetry),
+            "no-evictions" => Some(&mut no_evictions),
+            "no-liveness" => Some(&mut no_liveness),
+            _ => None,
+        };
+        if let Some(slot) = bare {
+            *slot = true;
             continue;
         }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -212,11 +231,23 @@ fn check_cmd_inner(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
         for &(nodes, blocks) in &configs {
             let mut cfg = CheckConfig::new(*protocol, nodes, blocks);
             cfg.fault = fault;
+            cfg.stats = stats;
+            cfg.symmetry = !no_symmetry;
+            cfg.evictions = !no_evictions;
+            cfg.check_liveness = !no_liveness;
             if let Some(m) = flags.get("max-states") {
                 cfg.max_states = m.parse()?;
             }
+            if let Some(j) = flags.get("jobs") {
+                cfg.jobs = j.parse()?;
+            }
             let report = explore(&cfg)?;
             println!("{report}");
+            if let Some(s) = &report.stats {
+                for line in s.render(report.states, *protocol) {
+                    println!("{line}");
+                }
+            }
             if let Some(v) = &report.violation {
                 failed = true;
                 eprintln!("{v}");

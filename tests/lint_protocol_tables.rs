@@ -1,7 +1,8 @@
 //! Static lint over the pure protocol transition tables in
-//! `ringsim-proto::transitions`.
+//! `ringsim-proto::transitions` and the guarded-rule sets in
+//! `ringsim-proto::guarded` they dispatch through.
 //!
-//! Two layers of defence against silently-incomplete tables:
+//! Three layers of defence against silently-incomplete tables:
 //!
 //! 1. **Runtime totality**: every function is called over the full cartesian
 //!    product of its inputs. Rust's exhaustiveness checking already forces
@@ -11,6 +12,11 @@
 //!    `match` uses a wildcard `_ =>` arm. A new [`MsgKind`] or [`LineState`]
 //!    variant therefore fails compilation inside every table instead of
 //!    falling into a silent default.
+//! 3. **Guarded-rule lint**: the declarative rule sets are checked for
+//!    totality (some guard matches every enumerable context), determinism
+//!    (overlapping guards agree on the action), and liveness (no rule is
+//!    dead — every rule fires somewhere in a 4-node exhaustive run of the
+//!    protocol it belongs to).
 
 use ringsim::cache::LineState;
 use ringsim::proto::transitions::{
@@ -113,5 +119,76 @@ fn transition_tables_have_no_wildcard_arms() {
     // The scan above is only meaningful while the functions it guards exist.
     for name in ["snooper_action", "home_snoop_action", "dir_action", "classify"] {
         assert!(src.contains(name), "expected `{name}` in transitions.rs");
+    }
+}
+
+// ------------------------------------------------------- guarded rule sets
+
+/// The guarded rule sets are total and deterministic over the enumerated
+/// context domains (every snooped kind × line state, probe × dirty bit,
+/// and every 8-node directory-entry shape × requester × request).
+#[test]
+fn guarded_rule_sets_lint_clean() {
+    let findings = ringsim::proto::guarded::lint(8);
+    assert!(findings.is_empty(), "guarded-rule lint findings:\n{}", findings.join("\n"));
+}
+
+/// No two rules in a set share a name — fire counts and dead-rule reports
+/// key on `(ruleset, rule)`.
+#[test]
+fn guarded_rule_names_are_unique() {
+    use ringsim::proto::guarded::FireCounts;
+    let mut seen = std::collections::HashSet::new();
+    for fire in FireCounts::new().snapshot() {
+        assert!(seen.insert((fire.ruleset, fire.rule)), "duplicate rule {:?}", fire.rule);
+    }
+    assert!(seen.len() >= 19, "expected the full rule inventory, got {}", seen.len());
+}
+
+/// The guarded module keeps the same no-wildcard promise as the transition
+/// tables: adding a [`MsgKind`] variant must break every dispatch site.
+#[test]
+fn guarded_rules_have_no_wildcard_arms() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/proto/src/guarded.rs");
+    let src = std::fs::read_to_string(path).expect("guarded rules source");
+    for (lineno, line) in src.lines().enumerate() {
+        let code = line.split("//").next().unwrap_or("");
+        assert!(
+            !code.contains("_ =>"),
+            "wildcard match arm in guarded.rs:{}: `{}`",
+            lineno + 1,
+            line.trim()
+        );
+    }
+    for name in ["SNOOPER_RULES", "HOME_RULES", "DIR_RULES"] {
+        assert!(src.contains(name), "expected `{name}` in guarded.rs");
+    }
+}
+
+/// Dead-rule gate: every rule fires in a 4-node exhaustive run of the
+/// protocol it is declared for. A rule no reachable state ever fires is
+/// either a spec bug or dead weight that belongs deleted; both should fail
+/// loudly here rather than rot.
+#[test]
+fn no_rule_is_dead_at_four_nodes() {
+    use ringsim::check::{explore, CheckConfig};
+    use ringsim::proto::ProtocolKind;
+
+    for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        let mut cfg = CheckConfig::new(protocol, 4, 1);
+        cfg.stats = true;
+        // The directory's full 4-node space is huge; evictions add nothing
+        // to rule coverage (no rule guards on eviction state).
+        cfg.evictions = protocol == ProtocolKind::Snooping;
+        cfg.check_liveness = false;
+        let report = explore(&cfg).expect("valid config");
+        assert!(report.passed(), "{protocol}: exhaustive run must be clean");
+        let stats = report.stats.expect("stats requested");
+        let dead = stats.dead_rules(protocol);
+        assert!(
+            dead.is_empty(),
+            "{protocol}: rules never fired in a 4n/1b exhaustive run: {:?}",
+            dead.iter().map(|d| format!("{}/{}", d.ruleset, d.rule)).collect::<Vec<_>>()
+        );
     }
 }
