@@ -36,6 +36,10 @@ struct Class {
 
 impl RingModel {
     /// Creates the model with the paper's 140 ns memory and supply times.
+    ///
+    /// Only the paper's slotted-ring protocols are modelled:
+    /// [`ProtocolKind::Snooping`] and [`ProtocolKind::Directory`]. Passing
+    /// any other kind makes [`RingModel::solve`] panic.
     #[must_use]
     pub fn new(ring: RingConfig, protocol: ProtocolKind) -> Self {
         Self {
@@ -314,6 +318,11 @@ impl RingModel {
                         is_write: true,
                     },
                 ],
+                ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon => panic!(
+                    "RingModel covers the paper's slotted-ring protocols \
+                     (snooping/directory), not {:?}",
+                    self.protocol
+                ),
             };
 
             // Mean time per data reference: compute plus blocking stalls

@@ -14,10 +14,11 @@ use ringsim_bench::perf;
 const HELP: &str = "\
 perf — macro-benchmark harness for the committed BENCH_*.json baselines
 
-Times a full simulator run for every backend (ring500, ring250, bus50,
-bus100, hier) at 16 and 64 processors on the deterministic demo workload,
-and writes the grouped baselines BENCH_ring.json / BENCH_bus.json /
-BENCH_hier.json.
+Times a full simulator run for every registered backend (ring500, ring250,
+bus50, bus100, bus50-mesi, bus50-dragon, sci500, sci250, hier) at 16 and 64
+processors on the deterministic demo workload, and writes the grouped
+baselines BENCH_ring.json / BENCH_bus.json / BENCH_proto.json /
+BENCH_sci.json / BENCH_hier.json.
 
 USAGE:
   perf [OPTIONS]
@@ -33,8 +34,8 @@ OPTIONS:
                      --max-regress
   --quick            fewer samples per scenario (3 instead of 5)
   --only SUBSTR      measure only scenarios whose name contains SUBSTR
-                     (repeatable; no file is written unless the filtered
-                     set still covers every scenario)
+                     (repeatable; only groups whose scenarios are all
+                     measured get their baseline file written)
   --interleave CMD   immediately before timing each scenario, run
                      `CMD <scenario-name>` — a pre-optimization build of
                      this harness that prints its median ns/run — and
@@ -180,18 +181,23 @@ fn run(opts: &Options) -> Result<(), String> {
     };
     let measurements =
         measure_all(opts.quick, &opts.only, opts.interleave.as_deref(), &mut baselines)?;
-    if measurements.len() < perf::scenarios().len() {
-        for m in &measurements {
+    // Write only groups the (possibly --only-filtered) measurements cover
+    // completely; a half-measured group would fail schema validation.
+    let (complete, partial): (Vec<_>, Vec<_>) = perf::assemble(&measurements, &baselines)
+        .into_iter()
+        .partition(|f| perf::validate(f).is_ok());
+    for f in &partial {
+        for e in &f.entries {
             eprintln!(
-                "{:>12}  {:>12} ns/run (partial run, nothing written)",
-                m.scenario.name(),
-                m.median_ns
+                "{:>12}  {:>12} ns/run (group `{}` incomplete, not written)",
+                e.name, e.median_ns_per_run, f.group
             );
         }
+    }
+    if complete.is_empty() {
         return Ok(());
     }
-    let files = perf::assemble(&measurements, &baselines);
-    perf::write_files(&opts.out, &files)
+    perf::write_files(&opts.out, &complete)
 }
 
 fn main() -> ExitCode {

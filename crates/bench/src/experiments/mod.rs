@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod future_work;
 pub mod hierarchy;
 pub mod ring_access;
+pub mod sci_vs_fullmap;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -24,7 +25,7 @@ pub mod validate;
 pub mod wide_ring;
 
 /// Every experiment, in the order the `all` driver runs them.
-pub static ALL: [&dyn Experiment; 15] = [
+pub static ALL: [&dyn Experiment; 16] = [
     &table1::Table1,
     &table2::Table2,
     &table3::Table3,
@@ -40,6 +41,7 @@ pub static ALL: [&dyn Experiment; 15] = [
     &hierarchy::Hierarchy,
     &wide_ring::WideRing,
     &ring_access::RingAccess,
+    &sci_vs_fullmap::SciVsFullmap,
 ];
 
 /// Looks an experiment up by registry name.

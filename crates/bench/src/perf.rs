@@ -4,10 +4,12 @@
 //! run to completion through the [`Simulator`] trait — for every registered
 //! backend at 16 and 64 processors, on the deterministic demo workload at a
 //! fixed per-processor reference budget. Medians over a handful of samples
-//! go into three grouped baseline files at the repository root:
+//! go into grouped baseline files at the repository root:
 //!
 //! * `BENCH_ring.json` — `ring500`, `ring250`
 //! * `BENCH_bus.json` — `bus50`, `bus100`
+//! * `BENCH_proto.json` — `bus50-mesi`, `bus50-dragon`
+//! * `BENCH_sci.json` — `sci500`, `sci250`
 //! * `BENCH_hier.json` — `hier`
 //!
 //! Entries carry the median wall time per run, derived simulated-cycles/sec
@@ -61,9 +63,9 @@ impl Scenario {
     #[must_use]
     pub fn clock_period(&self) -> Time {
         match self.kind {
-            SimKind::Ring500 | SimKind::Hier => Time::from_ns(2),
-            SimKind::Ring250 => Time::from_ns(4),
-            SimKind::Bus50 => Time::from_ns(20),
+            SimKind::Ring500 | SimKind::Sci500 | SimKind::Hier => Time::from_ns(2),
+            SimKind::Ring250 | SimKind::Sci250 => Time::from_ns(4),
+            SimKind::Bus50 | SimKind::Bus50Mesi | SimKind::Bus50Dragon => Time::from_ns(20),
             SimKind::Bus100 => Time::from_ns(10),
         }
     }
@@ -178,24 +180,28 @@ pub struct BenchEntry {
 pub struct BenchFile {
     /// Must equal [`BENCH_SCHEMA`].
     pub schema: String,
-    /// Group name (`ring`, `bus` or `hier`).
+    /// Group name (one of [`GROUPS`]).
     pub group: String,
     /// Measured entries, in registry order.
     pub entries: Vec<BenchEntry>,
 }
 
-/// The baseline group (and thus file) a backend belongs to.
+/// The baseline group (and thus file) a backend belongs to. The bus
+/// protocol variants and the SCI backends form their own groups so the
+/// baselines captured before they existed stay comparable file-for-file.
 #[must_use]
 pub fn group_of(kind: SimKind) -> &'static str {
     match kind {
         SimKind::Ring500 | SimKind::Ring250 => "ring",
         SimKind::Bus50 | SimKind::Bus100 => "bus",
+        SimKind::Bus50Mesi | SimKind::Bus50Dragon => "proto",
+        SimKind::Sci500 | SimKind::Sci250 => "sci",
         SimKind::Hier => "hier",
     }
 }
 
-/// The three group names, in file order.
-pub const GROUPS: [&str; 3] = ["ring", "bus", "hier"];
+/// The group names, in file order.
+pub const GROUPS: [&str; 5] = ["ring", "bus", "proto", "sci", "hier"];
 
 /// File name for a group's baseline (`BENCH_<group>.json`).
 #[must_use]
@@ -222,7 +228,7 @@ fn entry_for(m: &Measurement, baselines: &HashMap<String, u64>) -> BenchEntry {
     }
 }
 
-/// Assembles the three grouped baseline files from `measurements`.
+/// Assembles the grouped baseline files from `measurements`.
 /// `baselines` maps scenario names to the pre-optimization medians to
 /// record alongside (empty on first capture).
 #[must_use]

@@ -25,8 +25,8 @@ fn smoke(name: &str) {
 }
 
 #[test]
-fn registry_covers_fifteen_experiments() {
-    assert_eq!(experiments::ALL.len(), 15);
+fn registry_covers_sixteen_experiments() {
+    assert_eq!(experiments::ALL.len(), 16);
 }
 
 #[test]
@@ -110,4 +110,9 @@ fn wide_ring_runs() {
 #[test]
 fn ring_access_runs() {
     smoke("ring_access");
+}
+
+#[test]
+fn sci_vs_fullmap_runs() {
+    smoke("sci_vs_fullmap");
 }

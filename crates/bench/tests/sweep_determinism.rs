@@ -18,12 +18,13 @@ fn run_into(name: &str, jobs: usize, dir: &Path) -> Vec<PathBuf> {
 }
 
 /// One analytic experiment (table3), one simulation experiment whose points
-/// share a characterisation (block_sweep), and the one experiment that
-/// draws per-point RNG streams from `PointCtx::seed` (ring_access) — the
-/// three ways a schedule-dependent bug could leak into artifacts.
+/// share a characterisation (block_sweep), the one experiment that draws
+/// per-point RNG streams from `PointCtx::seed` (ring_access) — the three
+/// ways a schedule-dependent bug could leak into artifacts — plus the SCI
+/// comparison, which runs two different timed backends per point.
 #[test]
 fn artifacts_are_byte_identical_across_jobs() {
-    for name in ["table3", "block_sweep", "ring_access"] {
+    for name in ["table3", "block_sweep", "ring_access", "sci_vs_fullmap"] {
         let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("det-{name}"));
         let serial = run_into(name, 1, &base.join("jobs1"));
         let parallel = run_into(name, 8, &base.join("jobs8"));

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use ringsim_cache::LineState;
 use ringsim_proto::guarded::FireCounts;
 use ringsim_proto::{invariants, ProtocolKind};
-use ringsim_types::BlockAddr;
+use ringsim_types::{BlockAddr, NodeId};
 
 use crate::model::{Model, Move, State};
 use crate::store::{fingerprint, FpMap, FpSet};
@@ -119,6 +119,68 @@ fn check_state(model: &Model, s: &State) -> Result<(), String> {
                 if model.block_quiescent(s, block) {
                     invariants::check_dir_agreement(&states, &entry)
                         .map_err(|e| format!("{block}: {e}"))?;
+                }
+            }
+            ProtocolKind::Sci => {
+                let e = &s.sci[b];
+                for (k, p) in e.list.iter().enumerate() {
+                    if e.list[..k].contains(p) {
+                        return Err(format!("{block}: sci list holds {p} twice"));
+                    }
+                }
+                if e.dirty && (e.list.len() != 1 || states[e.list[0].index()] != LineState::We) {
+                    return Err(format!(
+                        "{block}: dirty sci list without a sole write-exclusive head"
+                    ));
+                }
+                let wb_pending = vec![false; model.nodes];
+                invariants::check_dirty_data_reachable(&states, &conflicting, &wb_pending, e.dirty)
+                    .map_err(|e| format!("{block}: {e}"))?;
+                if model.block_quiescent(s, block) {
+                    for (i, st) in states.iter().enumerate() {
+                        if st.is_valid() != e.contains(NodeId::new(i)) {
+                            return Err(format!(
+                                "{block}: sci list and caches disagree at quiescence: P{i} \
+                                 is {:?} but {} the sharing list",
+                                st,
+                                if st.is_valid() { "missing from" } else { "listed on" },
+                            ));
+                        }
+                    }
+                }
+            }
+            ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                for (i, &st) in states.iter().enumerate() {
+                    if s.excl[i][b] && st != LineState::We {
+                        return Err(format!(
+                            "{block}: P{i} is marked clean-exclusive without a We line"
+                        ));
+                    }
+                }
+                let dirty = s.mem.is_dirty(block);
+                let modified_at = |i: usize| states[i] == LineState::We && !s.excl[i][b];
+                if (0..model.nodes).any(modified_at) && !dirty {
+                    return Err(format!(
+                        "{block}: a modified line exists but memory claims to be clean"
+                    ));
+                }
+                let owner_exists = (0..model.nodes).any(modified_at) || s.sm[b].is_some();
+                if dirty && !owner_exists && !conflicting.iter().any(|&c| c) {
+                    return Err(format!(
+                        "{block}: memory is stale (dirty) but no cache owns the data"
+                    ));
+                }
+                if let Some(o) = s.sm[b] {
+                    if states[o.index()] != LineState::Rs {
+                        return Err(format!(
+                            "{block}: shared-modified owner {o} holds no shared line"
+                        ));
+                    }
+                    if states.contains(&LineState::We) {
+                        return Err(format!(
+                            "{block}: both a shared-modified owner and an exclusive line"
+                        ));
+                    }
                 }
             }
         }
@@ -469,8 +531,25 @@ mod tests {
     }
 
     #[test]
+    fn tiny_atomic_protocols_are_clean() {
+        for protocol in [ProtocolKind::Sci, ProtocolKind::Mesi, ProtocolKind::Dragon] {
+            let report = run(&cfg(protocol, 2, 1));
+            assert!(report.complete, "{protocol}");
+            assert!(report.violation.is_none(), "{protocol}: {:?}", report.violation);
+            assert!(report.states > 10, "{protocol}");
+            assert!(report.livelock_checked, "{protocol}");
+        }
+    }
+
+    #[test]
     fn decode_roundtrips_along_a_walk() {
-        for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        for protocol in [
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+            ProtocolKind::Sci,
+            ProtocolKind::Mesi,
+            ProtocolKind::Dragon,
+        ] {
             let model = Model::new(protocol, 3, 2, Fault::None, true);
             let mut s = model.initial();
             // A deterministic zig-zag walk: always take the move at a
@@ -507,13 +586,41 @@ mod tests {
 
     #[test]
     fn skip_invalidate_mutation_is_caught() {
-        for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+        // Not Dragon: an update protocol has no invalidations to skip.
+        for protocol in
+            [ProtocolKind::Snooping, ProtocolKind::Directory, ProtocolKind::Sci, ProtocolKind::Mesi]
+        {
             let mut c = cfg(protocol, 2, 1);
             c.fault = Fault::SkipInvalidate;
             let report = run(&c);
             let v = report.violation.expect("mutation must be caught");
-            assert!(v.message.contains("SWMR"), "{protocol}: {}", v.message);
             assert!(v.trace.len() > 2, "trace should narrate the steps");
+        }
+    }
+
+    #[test]
+    fn break_list_link_mutation_is_caught_by_sci_only() {
+        // The broken splice needs a list of three: the evictor, its
+        // successor (lost), and a survivor keeping the block non-empty.
+        let mut c = cfg(ProtocolKind::Sci, 3, 1);
+        c.fault = Fault::BreakListLink;
+        c.check_liveness = false;
+        let report = run(&c);
+        let v = report.violation.expect("broken splice must be caught");
+        assert!(v.message.contains("sci list"), "{}", v.message);
+        // Every other protocol never touches the sharing list, so the same
+        // fault must be a no-op there.
+        for protocol in [
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+            ProtocolKind::Mesi,
+            ProtocolKind::Dragon,
+        ] {
+            let mut c = cfg(protocol, 2, 1);
+            c.fault = Fault::BreakListLink;
+            c.check_liveness = false;
+            let report = run(&c);
+            assert!(report.violation.is_none(), "{protocol}: {:?}", report.violation);
         }
     }
 

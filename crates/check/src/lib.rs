@@ -96,12 +96,22 @@ pub enum Fault {
     /// even when the target's write-back buffer could serve them — the
     /// deadlock this checker found in the seed `RingSystem::deliver`.
     ParkBusyForwards,
+    /// The SCI rollout splice drops the departing node's *successor* from
+    /// the sharing list instead of relinking it — a classic linked-list
+    /// pointer bug. Only the SCI list–cache agreement invariant can see it;
+    /// every other protocol ignores the fault entirely.
+    BreakListLink,
 }
 
 impl Fault {
     /// All faults, including [`Fault::None`].
-    pub const ALL: [Fault; 4] =
-        [Fault::None, Fault::SkipInvalidate, Fault::ForgetOwner, Fault::ParkBusyForwards];
+    pub const ALL: [Fault; 5] = [
+        Fault::None,
+        Fault::SkipInvalidate,
+        Fault::ForgetOwner,
+        Fault::ParkBusyForwards,
+        Fault::BreakListLink,
+    ];
 
     /// The CLI spelling of this fault.
     pub fn name(self) -> &'static str {
@@ -110,6 +120,7 @@ impl Fault {
             Fault::SkipInvalidate => "skip-invalidate",
             Fault::ForgetOwner => "forget-owner",
             Fault::ParkBusyForwards => "park-busy-forwards",
+            Fault::BreakListLink => "break-list-link",
         }
     }
 }

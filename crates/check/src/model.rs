@@ -33,7 +33,10 @@ use std::sync::Arc;
 
 use ringsim_cache::{Cache, CacheConfig, LineState};
 use ringsim_proto::guarded::{self, FireCounts};
-use ringsim_proto::transitions::{self, DirAction, DirRequest, HomeSnoopAction, SnoopAction};
+use ringsim_proto::sci::{SciAction, SciList, SciRequest};
+use ringsim_proto::transitions::{
+    self, BusOp, DirAction, DirRequest, DragonAction, HomeSnoopAction, MesiAction, SnoopAction,
+};
 use ringsim_proto::{Directory, HomeMemory, MsgKind, ProtocolKind, RingMessage};
 use ringsim_types::{BlockAddr, NodeId};
 
@@ -107,6 +110,13 @@ pub(crate) struct State {
     pub queue: Vec<VecDeque<RingMessage>>,
     /// Forwards parked behind the target's own fill, per node.
     pub pending_fwds: Vec<Vec<RingMessage>>,
+    /// SCI mode: per-block sharing list (head first) plus dirty bit.
+    pub sci: Vec<SciList>,
+    /// MESI/Dragon mode: clean-exclusive (E) marker per `[node][block]` —
+    /// the line is `We` in the cache but memory is still up to date.
+    pub excl: Vec<Vec<bool>>,
+    /// Dragon mode: per-block Sm owner (shared-modified supplier), if any.
+    pub sm: Vec<Option<NodeId>>,
 }
 
 /// One scheduler step.
@@ -325,7 +335,20 @@ impl Model {
             active: vec![None; self.blocks],
             queue: vec![VecDeque::new(); self.blocks],
             pending_fwds: vec![Vec::new(); self.nodes],
+            sci: vec![SciList::default(); self.blocks],
+            excl: vec![vec![false; self.blocks]; self.nodes],
+            sm: vec![None; self.blocks],
         }
+    }
+
+    /// Whether this protocol is one of the atomic-transaction models: the
+    /// bus protocols (a bus transaction is indivisible) and SCI (the home
+    /// serialises all list operations per block). For these, `Circulate`
+    /// means "the pending transaction wins arbitration and is served in one
+    /// step"; interleavings come from the order outstanding transactions
+    /// and evictions are served in, not from in-flight messages.
+    fn is_atomic(&self) -> bool {
+        matches!(self.protocol, ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon)
     }
 
     pub(crate) fn is_quiescent(&self, s: &State) -> bool {
@@ -363,6 +386,11 @@ impl Model {
                                 moves.push(Move::Issue { node: i, block: b, write: true });
                             }
                             LineState::Rs => {
+                                moves.push(Move::Issue { node: i, block: b, write: true });
+                            }
+                            // A clean-exclusive (E) line promotes silently on
+                            // a write hit — a real transition worth exploring.
+                            LineState::We if s.excl[i][b] => {
                                 moves.push(Move::Issue { node: i, block: b, write: true });
                             }
                             LineState::We => {}
@@ -474,6 +502,36 @@ impl Model {
         let block = BlockAddr::new(b as u64);
         let me = NodeId::new(i);
         let home = self.home_of(block);
+        if s.caches[i].state_of(block) == LineState::We {
+            // Only enumerated for MESI/Dragon on a clean-exclusive line: the
+            // write hit promotes E to M without any bus traffic.
+            debug_assert!(write && s.excl[i][b]);
+            match self.protocol {
+                ProtocolKind::Mesi => {
+                    let a = guarded::mesi_action(
+                        BusOp::WriteExclusiveHit,
+                        false,
+                        false,
+                        self.fire_counts(),
+                    );
+                    debug_assert_eq!(a, MesiAction::PromoteSilently);
+                }
+                ProtocolKind::Dragon => {
+                    let a = guarded::dragon_action(
+                        BusOp::WriteExclusiveHit,
+                        false,
+                        false,
+                        self.fire_counts(),
+                    );
+                    debug_assert_eq!(a, DragonAction::PromoteSilently);
+                }
+                _ => unreachable!("silent promotion outside MESI/Dragon"),
+            }
+            s.excl[i][b] = false;
+            // Memory is stale from here on; `ForgetOwner` loses the note.
+            self.claim_dirty(s, block);
+            return format!("P{i} writes {block} in clean-exclusive; silent promotion to modified");
+        }
         let kind = match (s.caches[i].state_of(block), write) {
             (LineState::Inv, false) => TxnKind::Read,
             (LineState::Inv, true) => TxnKind::Write,
@@ -516,6 +574,13 @@ impl Model {
                     label
                 }
             }
+            ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                // Atomic-transaction protocols: the request sits pending
+                // until a Circulate move serves it in one indivisible step.
+                txn.phase = Phase::NeedProbe;
+                s.txns[i] = Some(txn);
+                label
+            }
         }
     }
 
@@ -556,7 +621,55 @@ impl Model {
                     s.dir.remove_sharer(victim, me);
                 }
             }
+            ProtocolKind::Sci => {
+                if vstate.is_valid() {
+                    let e = &s.sci[victim.raw() as usize];
+                    let a = guarded::sci_action(
+                        SciRequest::Rollout,
+                        e.list.len(),
+                        e.contains(me),
+                        self.fire_counts(),
+                    );
+                    debug_assert_eq!(a, SciAction::Splice);
+                    self.sci_splice(s, victim, me);
+                }
+                // A dirty head's rollout carries the data home with it; the
+                // splice clears the dirty bit when the list empties, so
+                // nothing stays in flight.
+            }
+            ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                let b = victim.raw() as usize;
+                if vstate.is_dirty() && !s.excl[i][b] {
+                    // A modified victim writes back in the same bus
+                    // transaction as the replacement (atomic bus).
+                    s.mem.clear_dirty(victim);
+                }
+                s.excl[i][b] = false;
+                if s.sm[b] == Some(me) {
+                    // The Sm owner's write-back refreshes memory; remaining
+                    // Sc copies stay valid and clean.
+                    s.mem.clear_dirty(victim);
+                    s.sm[b] = None;
+                }
+            }
         }
+    }
+
+    /// SCI rollout: the departing node splices itself out of the sharing
+    /// list. `BreakListLink` reinstates a classic SCI implementation bug:
+    /// the splice writes the departing node's *own* forward pointer into
+    /// its predecessor instead of the successor's, losing the successor —
+    /// the list forgets a cache that still holds a valid copy.
+    fn sci_splice(&self, s: &mut State, block: BlockAddr, node: NodeId) {
+        let e = &mut s.sci[block.raw() as usize];
+        if self.fault == Fault::BreakListLink {
+            if let Some(pos) = e.list.iter().position(|&p| p == node) {
+                if pos + 1 < e.list.len() {
+                    e.list.remove(pos + 1);
+                }
+            }
+        }
+        e.splice(node);
     }
 
     fn fill(&self, s: &mut State, i: usize, block: BlockAddr, state: LineState) {
@@ -582,6 +695,9 @@ impl Model {
     // --------------------------------------------------- snooping probes
 
     fn do_circulate(&self, s: &mut State, i: usize) -> String {
+        if self.is_atomic() {
+            return self.do_serve(s, i);
+        }
         let t = s.txns[i].expect("circulate without txn");
         debug_assert_eq!(t.phase, Phase::NeedProbe);
         let block = t.block;
@@ -710,6 +826,286 @@ impl Model {
         }
     }
 
+    // -------------------------------------- atomic transaction protocols
+
+    /// Serves node `i`'s pending transaction in one indivisible step — the
+    /// bus grant (MESI/Dragon) or the home's serialised list operation
+    /// (SCI). See [`Model::is_atomic`].
+    fn do_serve(&self, s: &mut State, i: usize) -> String {
+        let t = s.txns[i].expect("serve without txn");
+        debug_assert_eq!(t.phase, Phase::NeedProbe);
+        match self.protocol {
+            ProtocolKind::Sci => self.serve_sci(s, i, t),
+            ProtocolKind::Mesi => self.serve_mesi(s, i, t),
+            ProtocolKind::Dragon => self.serve_dragon(s, i, t),
+            _ => unreachable!("serve on a message-passing protocol"),
+        }
+    }
+
+    /// An upgrade whose line vanished while the request was pending must go
+    /// back to memory as a full write miss (`upgrade_must_convert`'s bus
+    /// analogue).
+    fn demote_stale_upgrade(&self, s: &State, i: usize, t: &Txn) -> TxnKind {
+        if t.kind == TxnKind::Upgrade && !s.caches[i].state_of(t.block).is_valid() {
+            TxnKind::Write
+        } else {
+            t.kind
+        }
+    }
+
+    /// Clears the clean-exclusive marker once the line is no longer `We` —
+    /// keeps `excl` meaningful even when a fault skips an invalidation.
+    fn sync_excl(&self, s: &mut State, j: usize, block: BlockAddr) {
+        if s.caches[j].state_of(block) != LineState::We {
+            s.excl[j][block.raw() as usize] = false;
+        }
+    }
+
+    fn serve_sci(&self, s: &mut State, i: usize, t: Txn) -> String {
+        let block = t.block;
+        let b = block.raw() as usize;
+        let me = NodeId::new(i);
+        let home = self.home_of(block);
+        let kind = self.demote_stale_upgrade(s, i, &t);
+        let req = match kind {
+            TxnKind::Read => SciRequest::Read,
+            TxnKind::Write => SciRequest::Write,
+            TxnKind::Upgrade => SciRequest::Upgrade,
+        };
+        let e = s.sci[b].clone();
+        let action = guarded::sci_action(req, e.list.len(), e.contains(me), self.fire_counts());
+        let note = match action {
+            SciAction::GrantFromMemory => {
+                s.sci[b].list.insert(0, me);
+                self.fill(s, i, block, LineState::Rs);
+                "memory supplies; requester heads the empty list"
+            }
+            SciAction::ForwardToHead => {
+                if e.dirty {
+                    s.caches[e.list[0].index()].snoop_downgrade(block);
+                    s.sci[b].dirty = false;
+                }
+                s.sci[b].list.insert(0, me);
+                self.fill(s, i, block, LineState::Rs);
+                "head supplies; requester prepends to the list"
+            }
+            SciAction::GrantClaim => {
+                s.sci[b].list = vec![me];
+                s.sci[b].dirty = true;
+                self.fill(s, i, block, LineState::We);
+                "memory supplies; requester claims the empty list"
+            }
+            SciAction::PurgeAndClaim => {
+                for &p in &e.list {
+                    self.invalidate_at(s, p.index(), block);
+                }
+                s.sci[b].list = vec![me];
+                s.sci[b].dirty = true;
+                self.fill(s, i, block, LineState::We);
+                "list purged in order; requester claims"
+            }
+            SciAction::PurgeOthersAndClaim => {
+                for p in e.others(me) {
+                    self.invalidate_at(s, p.index(), block);
+                }
+                s.sci[b].list = vec![me];
+                s.sci[b].dirty = true;
+                if !s.caches[i].promote(block) {
+                    self.fill(s, i, block, LineState::We);
+                }
+                "other members purged; sole survivor claims"
+            }
+            SciAction::Claim => {
+                s.sci[b].dirty = true;
+                if !s.caches[i].promote(block) {
+                    self.fill(s, i, block, LineState::We);
+                }
+                "sole member claims the list"
+            }
+            SciAction::Splice => unreachable!("rollouts are served at eviction, not as requests"),
+        };
+        self.finish_txn(s, i);
+        format!("home {home} serves P{i}'s {} on {block}; {note}", kind.name())
+    }
+
+    fn serve_mesi(&self, s: &mut State, i: usize, t: Txn) -> String {
+        let block = t.block;
+        let b = block.raw() as usize;
+        let kind = self.demote_stale_upgrade(s, i, &t);
+        let others: Vec<usize> =
+            (0..self.nodes).filter(|&j| j != i && s.caches[j].state_of(block).is_valid()).collect();
+        // "Owner" means a modified copy; a clean-exclusive (E) copy lets
+        // memory supply and merely downgrades.
+        let owner = others
+            .iter()
+            .copied()
+            .find(|&j| s.caches[j].state_of(block) == LineState::We && !s.excl[j][b]);
+        let op = match kind {
+            TxnKind::Read => BusOp::ReadMiss,
+            TxnKind::Write => BusOp::WriteMiss,
+            TxnKind::Upgrade => BusOp::WriteSharedHit,
+        };
+        let action =
+            guarded::mesi_action(op, !others.is_empty(), owner.is_some(), self.fire_counts());
+        let note = match action {
+            MesiAction::FillExclusive => {
+                self.fill(s, i, block, LineState::We);
+                s.excl[i][b] = true;
+                "memory supplies; fills clean-exclusive"
+            }
+            MesiAction::FillShared => {
+                for &j in &others {
+                    if s.caches[j].state_of(block) == LineState::We {
+                        s.caches[j].snoop_downgrade(block);
+                    }
+                    self.sync_excl(s, j, block);
+                }
+                self.fill(s, i, block, LineState::Rs);
+                "memory supplies; fills shared"
+            }
+            MesiAction::OwnerSuppliesShared => {
+                let j = owner.expect("owner-supplies without owner");
+                s.caches[j].snoop_downgrade(block);
+                // The owner's flush refreshes memory as it supplies.
+                s.mem.clear_dirty(block);
+                self.fill(s, i, block, LineState::Rs);
+                "owner supplies and downgrades; memory refreshed"
+            }
+            MesiAction::OwnerSuppliesModified => {
+                let j = owner.expect("owner-supplies without owner");
+                self.invalidate_at(s, j, block);
+                self.sync_excl(s, j, block);
+                self.fill(s, i, block, LineState::We);
+                // Dirty data moves cache to cache; memory stays stale.
+                self.claim_dirty(s, block);
+                "owner supplies modified data and invalidates itself"
+            }
+            MesiAction::InvalidateAndFillModified => {
+                for &j in &others {
+                    self.invalidate_at(s, j, block);
+                    self.sync_excl(s, j, block);
+                }
+                self.fill(s, i, block, LineState::We);
+                self.claim_dirty(s, block);
+                "sharers invalidated; fills modified"
+            }
+            MesiAction::FillModified => {
+                self.fill(s, i, block, LineState::We);
+                self.claim_dirty(s, block);
+                "memory supplies; fills modified"
+            }
+            MesiAction::InvalidateAndPromote => {
+                for &j in &others {
+                    self.invalidate_at(s, j, block);
+                    self.sync_excl(s, j, block);
+                }
+                if !s.caches[i].promote(block) {
+                    self.fill(s, i, block, LineState::We);
+                }
+                self.claim_dirty(s, block);
+                "sharers invalidated; line promoted"
+            }
+            MesiAction::Promote => {
+                if !s.caches[i].promote(block) {
+                    self.fill(s, i, block, LineState::We);
+                }
+                self.claim_dirty(s, block);
+                "last copy; line promoted in place"
+            }
+            MesiAction::PromoteSilently => {
+                unreachable!("exclusive write hits never reach the bus")
+            }
+        };
+        self.finish_txn(s, i);
+        format!("bus grants P{i}'s {} on {block}; {note}", kind.name())
+    }
+
+    fn serve_dragon(&self, s: &mut State, i: usize, t: Txn) -> String {
+        let block = t.block;
+        let b = block.raw() as usize;
+        let me = NodeId::new(i);
+        let kind = self.demote_stale_upgrade(s, i, &t);
+        let others: Vec<usize> =
+            (0..self.nodes).filter(|&j| j != i && s.caches[j].state_of(block).is_valid()).collect();
+        // The owner — responsible for supplying dirty data — is either a
+        // modified copy or the block's Sm (shared-modified) holder.
+        let m_owner = others
+            .iter()
+            .copied()
+            .find(|&j| s.caches[j].state_of(block) == LineState::We && !s.excl[j][b]);
+        let has_owner =
+            m_owner.is_some() || s.sm[b].is_some_and(|o| o != me && others.contains(&o.index()));
+        let op = match kind {
+            TxnKind::Read => BusOp::ReadMiss,
+            TxnKind::Write => BusOp::WriteMiss,
+            TxnKind::Upgrade => BusOp::WriteSharedHit,
+        };
+        let action = guarded::dragon_action(op, !others.is_empty(), has_owner, self.fire_counts());
+        let note = match action {
+            DragonAction::FillExclusive => {
+                self.fill(s, i, block, LineState::We);
+                s.excl[i][b] = true;
+                "memory supplies; fills clean-exclusive"
+            }
+            DragonAction::FillShared => {
+                for &j in &others {
+                    if s.caches[j].state_of(block) == LineState::We {
+                        s.caches[j].snoop_downgrade(block);
+                    }
+                    self.sync_excl(s, j, block);
+                }
+                self.fill(s, i, block, LineState::Rs);
+                "memory supplies; fills shared-clean"
+            }
+            DragonAction::OwnerSuppliesShared => {
+                if let Some(j) = m_owner {
+                    // A modified owner demotes to Sm but keeps supplying.
+                    s.caches[j].snoop_downgrade(block);
+                    s.sm[b] = Some(NodeId::new(j));
+                }
+                self.fill(s, i, block, LineState::Rs);
+                "owner supplies; stays shared-modified"
+            }
+            DragonAction::FillModified => {
+                self.fill(s, i, block, LineState::We);
+                self.claim_dirty(s, block);
+                "memory supplies; fills modified"
+            }
+            DragonAction::FillSharedOwnerUpdate => {
+                for &j in &others {
+                    if s.caches[j].state_of(block) == LineState::We {
+                        s.caches[j].snoop_downgrade(block);
+                    }
+                    self.sync_excl(s, j, block);
+                }
+                s.sm[b] = Some(me);
+                self.fill(s, i, block, LineState::Rs);
+                self.claim_dirty(s, block);
+                "copies updated in place; writer becomes shared-modified owner"
+            }
+            DragonAction::BroadcastUpdate => {
+                s.sm[b] = Some(me);
+                self.claim_dirty(s, block);
+                "update broadcast; writer becomes shared-modified owner"
+            }
+            DragonAction::PromoteToModified => {
+                if s.sm[b] == Some(me) {
+                    s.sm[b] = None;
+                }
+                if !s.caches[i].promote(block) {
+                    self.fill(s, i, block, LineState::We);
+                }
+                self.claim_dirty(s, block);
+                "last copy; promoted to modified"
+            }
+            DragonAction::PromoteSilently => {
+                unreachable!("exclusive write hits never reach the bus")
+            }
+        };
+        self.finish_txn(s, i);
+        format!("bus grants P{i}'s {} on {block}; {note}", kind.name())
+    }
+
     // ------------------------------------------------------- deliveries
 
     /// Routes a message that reached its destination — mirror of
@@ -735,6 +1131,9 @@ impl Model {
                 ProtocolKind::Directory => {
                     let outcome = self.home_receive(s, msg);
                     format!("{msg} arrives ({outcome})")
+                }
+                ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                    unreachable!("atomic protocols fold write-backs into the serving step")
                 }
             },
             MsgKind::MemUpdate => self.update_received(s, msg),
@@ -1054,7 +1453,9 @@ impl Model {
         // (found by this checker; `ParkBusyForwards` reinstates the bug).
         let park = match self.fault {
             Fault::ParkBusyForwards => has_txn,
-            Fault::None | Fault::SkipInvalidate | Fault::ForgetOwner => has_txn && !buffered,
+            Fault::None | Fault::SkipInvalidate | Fault::ForgetOwner | Fault::BreakListLink => {
+                has_txn && !buffered
+            }
         };
         if park {
             s.pending_fwds[d].push(msg);
@@ -1228,6 +1629,25 @@ impl Model {
                 encode_msg_under(out, m, node_map, block_map);
             }
         }
+        // Extension state for the atomic protocols. Constant defaults for
+        // the message-passing protocols, so their encodings stay unique.
+        for &old_b in &inv_block[..self.blocks] {
+            let e = &s.sci[old_b];
+            out.push(e.list.len() as u8 | (u8::from(e.dirty) << 7));
+            for p in &e.list {
+                out.push(node_map[p.index()] as u8);
+            }
+        }
+        for &old_i in &inv_node[..self.nodes] {
+            let mut bits = 0u8;
+            for (shift, &old_b) in inv_block[..self.blocks].iter().enumerate() {
+                bits |= u8::from(s.excl[old_i][old_b]) << shift;
+            }
+            out.push(bits);
+        }
+        for &old_b in &inv_block[..self.blocks] {
+            out.push(s.sm[old_b].map_or(0xFF, |o| node_map[o.index()] as u8));
+        }
         // Lanes are mutually unordered: stable-sort by relabelled lane,
         // preserving FIFO order within each lane (lanes map to lanes under
         // any group element), so equivalent states encode identically.
@@ -1337,6 +1757,25 @@ impl Model {
                 s.pending_fwds[i].push(decode_msg(bytes, &mut pos));
             }
         }
+        for b in 0..self.blocks {
+            let header = take(&mut pos);
+            s.sci[b].dirty = header & 0x80 != 0;
+            for _ in 0..(header & 0x7F) {
+                s.sci[b].list.push(NodeId::new(take(&mut pos) as usize));
+            }
+        }
+        for i in 0..self.nodes {
+            let bits = take(&mut pos);
+            for b in 0..self.blocks {
+                s.excl[i][b] = bits & (1 << b) != 0;
+            }
+        }
+        for b in 0..self.blocks {
+            let owner = take(&mut pos);
+            if owner != 0xFF {
+                s.sm[b] = Some(NodeId::new(owner as usize));
+            }
+        }
         let len = take(&mut pos);
         for _ in 0..len {
             s.net.push(decode_msg(bytes, &mut pos));
@@ -1364,6 +1803,30 @@ impl Model {
                         e.sharers,
                         e.owner.map_or_else(|| "-".to_owned(), |o| o.to_string()),
                         if s.dir.is_locked(block) { "[locked]" } else { "" }
+                    )
+                }
+                ProtocolKind::Sci => {
+                    let e = &s.sci[b];
+                    format!(
+                        "sci list [{}]{}",
+                        e.list.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> "),
+                        if e.dirty { " dirty" } else { "" }
+                    )
+                }
+                ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                    let excl: Vec<String> = (0..self.nodes)
+                        .filter(|&j| s.excl[j][b])
+                        .map(|j| format!("P{j}:E"))
+                        .collect();
+                    format!(
+                        "memory {}{}{}",
+                        if s.mem.is_dirty(block) { "dirty" } else { "clean" },
+                        if excl.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" {}", excl.join(" "))
+                        },
+                        s.sm[b].map_or_else(String::new, |o| format!(" Sm:{o}")),
                     )
                 }
             };

@@ -315,6 +315,42 @@ fn permutations<T: Copy>(items: &mut [T], at: usize, f: &mut impl FnMut(&[T])) {
     }
 }
 
+/// Calls `f` with `order` under every combination of permutations of the
+/// tie-group ranges `groups[from..]` (each `(start, end)` half-open).
+fn for_each_tie_order(
+    order: &mut [usize],
+    groups: &[(usize, usize)],
+    from: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    match groups.get(from) {
+        None => f(order),
+        Some(&(start, end)) => {
+            // Permute the group in place, recursing into later groups for
+            // each arrangement.
+            fn rec(
+                order: &mut [usize],
+                end: usize,
+                at: usize,
+                groups: &[(usize, usize)],
+                from: usize,
+                f: &mut impl FnMut(&[usize]),
+            ) {
+                if at + 1 >= end {
+                    for_each_tie_order(order, groups, from + 1, f);
+                    return;
+                }
+                for k in at..end {
+                    order.swap(at, k);
+                    rec(order, end, at + 1, groups, from, f);
+                    order.swap(at, k);
+                }
+            }
+            rec(order, end, start, groups, from, f);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use proptest::prelude::*;
@@ -441,42 +477,6 @@ mod tests {
                 sym.canonical_encode(&model, &g_s),
                 sym.canonical_encode(&model, &s)
             );
-        }
-    }
-}
-
-/// Calls `f` with `order` under every combination of permutations of the
-/// tie-group ranges `groups[from..]` (each `(start, end)` half-open).
-fn for_each_tie_order(
-    order: &mut [usize],
-    groups: &[(usize, usize)],
-    from: usize,
-    f: &mut impl FnMut(&[usize]),
-) {
-    match groups.get(from) {
-        None => f(order),
-        Some(&(start, end)) => {
-            // Permute the group in place, recursing into later groups for
-            // each arrangement.
-            fn rec(
-                order: &mut [usize],
-                end: usize,
-                at: usize,
-                groups: &[(usize, usize)],
-                from: usize,
-                f: &mut impl FnMut(&[usize]),
-            ) {
-                if at + 1 >= end {
-                    for_each_tie_order(order, groups, from + 1, f);
-                    return;
-                }
-                for k in at..end {
-                    order.swap(at, k);
-                    rec(order, end, at + 1, groups, from, f);
-                    order.swap(at, k);
-                }
-            }
-            rec(order, end, start, groups, from, f);
         }
     }
 }

@@ -13,6 +13,8 @@
 use ringsim_bus::{Bus, BusConfig, PhaseKind};
 use ringsim_cache::{AccessClass, Cache, CacheConfig, LineState};
 use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
+use ringsim_proto::guarded;
+use ringsim_proto::transitions::{BusOp, DragonAction, MesiAction};
 use ringsim_trace::{AddressSpace, NodeStream, Workload, BLOCK_BYTES};
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{AccessKind, BlockAddr, CoherenceEvents, ConfigError, NodeId, Region, Time};
@@ -23,6 +25,28 @@ use crate::sanitize;
 
 /// Windowed-accumulator slot for bus arbitration wait (see [`Obs::acc_add`]).
 const ACC_ARB_WAIT: usize = 0;
+
+/// Which coherence protocol the snooping bus runs.
+///
+/// All three share the arbitration, timing and event machinery of
+/// [`BusSystem`]; they differ only in what the snoop does at the
+/// serialisation point. MESI and Dragon dispatch every such decision
+/// through the guarded rule sets in [`ringsim_proto::guarded`] — the same
+/// tables the `ringsim-check` model checker exhausts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BusProtocol {
+    /// The paper's 3-state write-invalidate protocol (MSI).
+    #[default]
+    Msi,
+    /// 4-state MESI: read misses with no other cached copy fill
+    /// clean-exclusive, and a later write hit promotes to modified
+    /// silently — no bus transaction at all.
+    Mesi,
+    /// Dragon write-update: writes to shared lines broadcast the new word
+    /// instead of invalidating, so copies stay valid and the writer
+    /// becomes the shared-modified supplier.
+    Dragon,
+}
 
 /// Configuration of a bus-based system.
 ///
@@ -48,6 +72,8 @@ pub struct BusSystemConfig {
     pub mem_latency: Time,
     /// Dirty-cache supply time.
     pub supply_latency: Time,
+    /// Coherence protocol variant the snoop runs.
+    pub protocol: BusProtocol,
 }
 
 impl BusSystemConfig {
@@ -61,6 +87,7 @@ impl BusSystemConfig {
             proc_cycle: Time::from_ns(20),
             mem_latency: Time::from_ns(140),
             supply_latency: Time::from_ns(140),
+            protocol: BusProtocol::Msi,
         }
     }
 
@@ -80,6 +107,13 @@ impl BusSystemConfig {
     #[must_use]
     pub fn with_proc_cycle(mut self, proc_cycle: Time) -> Self {
         self.proc_cycle = proc_cycle;
+        self
+    }
+
+    /// Builder-style protocol override.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: BusProtocol) -> Self {
+        self.protocol = protocol;
         self
     }
 
@@ -160,6 +194,10 @@ struct BusNode {
     txn: Option<Txn>,
     misses: u64,
     miss_lat: LatencyHistogram,
+    /// MESI/Dragon: blocks this node holds clean-exclusive (E) — the cache
+    /// line is `We`, but the data was never written and memory is still up
+    /// to date. Always empty under MSI.
+    excl: FnvMap<u64, ()>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,6 +313,7 @@ impl BusSystem {
                     txn: None,
                     misses: 0,
                     miss_lat: LatencyHistogram::new(),
+                    excl: FnvMap::default(),
                 })
             })
             .collect::<Result<Vec<_>, ConfigError>>()?;
@@ -416,7 +455,32 @@ impl BusSystem {
                 }
             }
             match class {
-                AccessClass::Hit => {}
+                AccessClass::Hit => {
+                    // A write hit on a clean-exclusive line silently
+                    // promotes it to modified — the E-state payoff: no bus
+                    // transaction. The directory must still learn that the
+                    // node is now the dirty owner, so the next remote miss
+                    // snoops a cache supply instead of memory.
+                    if self.cfg.protocol != BusProtocol::Msi
+                        && r.kind == AccessKind::Write
+                        && self.nodes[i].excl.remove(&block.raw()).is_some()
+                        && r.region == Region::Shared
+                    {
+                        let silent = match self.cfg.protocol {
+                            BusProtocol::Msi => unreachable!(),
+                            BusProtocol::Mesi => {
+                                guarded::mesi_action(BusOp::WriteExclusiveHit, false, false, None)
+                                    == MesiAction::PromoteSilently
+                            }
+                            BusProtocol::Dragon => {
+                                guarded::dragon_action(BusOp::WriteExclusiveHit, false, false, None)
+                                    == DragonAction::PromoteSilently
+                            }
+                        };
+                        debug_assert!(silent);
+                        self.blocks.entry(block.raw()).or_default().owner = Some(NodeId::new(i));
+                    }
+                }
                 AccessClass::Upgrade | AccessClass::Miss => {
                     let kind = match (class, r.kind) {
                         (AccessClass::Upgrade, _) => TxnKind::Upgrade,
@@ -470,15 +534,92 @@ impl BusSystem {
                 if self.nodes[j].cache.snoop_invalidate(block).is_valid() {
                     count += 1;
                 }
+                if self.cfg.protocol != BusProtocol::Msi {
+                    self.nodes[j].excl.remove(&block.raw());
+                }
             }
         }
         count
+    }
+
+    /// Nodes other than `except` whose cached copy of `block` is actually
+    /// valid. The presence mask is only a superset, so the caches are
+    /// consulted — this is the "shared line" a real MESI/Dragon bus snoop
+    /// asserts. Ascending node order for determinism.
+    fn valid_others(&self, block: BlockAddr, except: usize) -> Vec<usize> {
+        let Some(b) = self.blocks.get(&block.raw()) else { return Vec::new() };
+        let mut others = b.present & !(1u64 << except);
+        let mut out = Vec::new();
+        while others != 0 {
+            let j = others.trailing_zeros() as usize;
+            others &= others - 1;
+            if self.nodes[j].cache.state_of(block).is_valid() {
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    /// Downgrades any write-exclusive copy among `others` to shared and
+    /// clears its clean-exclusive marker (MESI/Dragon read- or
+    /// update-miss snoop: an E or M holder observes the fill and demotes).
+    fn downgrade_exclusive(&mut self, block: BlockAddr, others: &[usize]) {
+        for &j in others {
+            if self.nodes[j].cache.state_of(block) == LineState::We {
+                self.nodes[j].cache.snoop_downgrade(block);
+                self.nodes[j].excl.remove(&block.raw());
+            }
+        }
+    }
+
+    /// Dragon write to a still-shared line: the address phase we just won
+    /// broadcast the update word. Other copies stay valid and take the new
+    /// data; the writer becomes (or stays) the shared-modified owner —
+    /// unless every other copy has rolled out, in which case the update
+    /// found no listeners and the line promotes to modified.
+    fn dragon_update_done(&mut self, i: usize, t: Txn) {
+        let me = NodeId::new(i);
+        let block = t.block;
+        let others = self.valid_others(block, i);
+        let owner = self.blocks.get(&block.raw()).and_then(|b| b.owner.filter(|&d| d != me));
+        let action = guarded::dragon_action(
+            BusOp::WriteSharedHit,
+            !others.is_empty(),
+            owner.is_some(),
+            None,
+        );
+        match action {
+            DragonAction::BroadcastUpdate => {
+                // A previous shared-modified supplier hands that role to
+                // the writer; every copy stays valid.
+            }
+            DragonAction::PromoteToModified => {
+                let promoted = self.nodes[i].cache.promote(block);
+                debug_assert!(promoted);
+            }
+            a => unreachable!("update dispatch yielded {a:?}"),
+        }
+        self.blocks.entry(block.raw()).or_default().owner = Some(me);
+        if self.nodes[i].measuring {
+            let local = self.home_of(block) == me;
+            match (!others.is_empty(), local) {
+                (false, true) => self.events.upgrade_nosharers_local += 1,
+                (false, false) => self.events.upgrade_nosharers_remote += 1,
+                (true, true) => self.events.upgrade_sharers_local += 1,
+                (true, false) => self.events.upgrade_sharers_remote += 1,
+            }
+        }
+        self.schedule(self.now, Event::Complete { node: i });
     }
 
     fn upgrade_done(&mut self, i: usize) {
         let t = self.nodes[i].txn.expect("upgrade txn");
         let block = t.block;
         if self.nodes[i].cache.state_of(block).is_valid() {
+            if self.cfg.protocol == BusProtocol::Dragon && t.region == Region::Shared {
+                self.dragon_update_done(i, t);
+                return;
+            }
             // Private blocks are only ever touched by their owning node, so
             // there is nothing to invalidate and no reader of their
             // directory entry — skip the map (and keep them out of it).
@@ -535,7 +676,16 @@ impl BusSystem {
             if let Some(txn) = self.nodes[i].txn.as_mut() {
                 txn.served = Served::Local;
             }
-            let state = if is_write { LineState::We } else { LineState::Rs };
+            let state = if is_write {
+                LineState::We
+            } else if self.cfg.protocol == BusProtocol::Msi {
+                LineState::Rs
+            } else {
+                // MESI/Dragon: a private read miss fills clean-exclusive,
+                // so the (common) subsequent write promotes silently.
+                self.nodes[i].excl.insert(block.raw(), ());
+                LineState::We
+            };
             if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, state) {
                 self.retire_victim(me, victim, vstate, measuring, completion);
             }
@@ -583,16 +733,84 @@ impl BusSystem {
         // --- snoop resolution (atomic at the serialisation point)
         let is_write = t.kind != TxnKind::Read;
         let mut invalidated = 0;
-        if is_write {
-            invalidated = self.invalidate_others(block, i);
-        } else if let Some(d) = owner {
-            self.nodes[d.index()].cache.snoop_downgrade(block);
-            if let Some(b) = self.blocks.get_mut(&block.raw()) {
-                b.owner = None;
+        let mut fill_state = if is_write { LineState::We } else { LineState::Rs };
+        // Dragon write miss that updated live copies instead of purging
+        // them (keeps the sharers-vs-nosharers event buckets honest).
+        let mut updated_sharers = false;
+        match self.cfg.protocol {
+            BusProtocol::Msi => {
+                if is_write {
+                    invalidated = self.invalidate_others(block, i);
+                } else if let Some(d) = owner {
+                    self.nodes[d.index()].cache.snoop_downgrade(block);
+                    if let Some(b) = self.blocks.get_mut(&block.raw()) {
+                        b.owner = None;
+                    }
+                }
+            }
+            BusProtocol::Mesi => {
+                let others = self.valid_others(block, i);
+                let op = if is_write { BusOp::WriteMiss } else { BusOp::ReadMiss };
+                match guarded::mesi_action(op, !others.is_empty(), owner.is_some(), None) {
+                    MesiAction::FillExclusive => {
+                        self.nodes[i].excl.insert(block.raw(), ());
+                        fill_state = LineState::We;
+                    }
+                    MesiAction::FillShared => self.downgrade_exclusive(block, &others),
+                    MesiAction::OwnerSuppliesShared => {
+                        let d = owner.expect("dispatched with an owner");
+                        self.nodes[d.index()].cache.snoop_downgrade(block);
+                        if let Some(b) = self.blocks.get_mut(&block.raw()) {
+                            b.owner = None;
+                        }
+                    }
+                    MesiAction::OwnerSuppliesModified
+                    | MesiAction::InvalidateAndFillModified
+                    | MesiAction::FillModified => {
+                        invalidated = self.invalidate_others(block, i);
+                    }
+                    a @ (MesiAction::InvalidateAndPromote
+                    | MesiAction::Promote
+                    | MesiAction::PromoteSilently) => {
+                        unreachable!("miss dispatch yielded {a:?}")
+                    }
+                }
+            }
+            BusProtocol::Dragon => {
+                let others = self.valid_others(block, i);
+                let op = if is_write { BusOp::WriteMiss } else { BusOp::ReadMiss };
+                match guarded::dragon_action(op, !others.is_empty(), owner.is_some(), None) {
+                    DragonAction::FillExclusive => {
+                        self.nodes[i].excl.insert(block.raw(), ());
+                        fill_state = LineState::We;
+                    }
+                    DragonAction::FillShared => self.downgrade_exclusive(block, &others),
+                    DragonAction::OwnerSuppliesShared => {
+                        // The owner supplies and demotes to shared-modified:
+                        // it keeps the dirty copy and stays the supplier.
+                        let d = owner.expect("dispatched with an owner");
+                        self.nodes[d.index()].cache.snoop_downgrade(block);
+                        self.nodes[d.index()].excl.remove(&block.raw());
+                    }
+                    DragonAction::FillModified => {}
+                    DragonAction::FillSharedOwnerUpdate => {
+                        // No invalidation: the other copies take the update
+                        // word and stay valid; a previous owner demotes to
+                        // shared-clean and the writer fills shared-modified.
+                        self.downgrade_exclusive(block, &others);
+                        fill_state = LineState::Rs;
+                        updated_sharers = true;
+                    }
+                    a @ (DragonAction::BroadcastUpdate
+                    | DragonAction::PromoteToModified
+                    | DragonAction::PromoteSilently) => {
+                        unreachable!("miss dispatch yielded {a:?}")
+                    }
+                }
             }
         }
         if measuring && is_write && owner.is_none() {
-            match (invalidated > 0, local) {
+            match (invalidated > 0 || updated_sharers, local) {
                 (false, true) => self.events.write_nosharers_local += 1,
                 (false, false) => self.events.write_nosharers_remote += 1,
                 (true, true) => self.events.write_sharers_local += 1,
@@ -637,14 +855,13 @@ impl BusSystem {
             };
         }
         // --- commit cache state now (serialisation point), deliver later.
-        let state = if is_write { LineState::We } else { LineState::Rs };
         let b = self.blocks.entry(block.raw()).or_default();
         if is_write {
             b.owner = Some(me);
         }
         b.ready = completion;
         b.present |= 1u64 << i;
-        if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, state) {
+        if let Some((victim, vstate)) = self.nodes[i].cache.fill(block, fill_state) {
             self.retire_victim(me, victim, vstate, measuring, completion);
         }
         self.schedule(completion, Event::Complete { node: i });
@@ -662,13 +879,23 @@ impl BusSystem {
         measuring: bool,
         completion: Time,
     ) {
+        // A clean-exclusive victim is `We` in the cache but was never
+        // written: no write-back. (The marker map is empty under MSI.)
+        let was_excl = self.nodes[me.index()].excl.remove(&victim.raw()).is_some();
+        let mut dirty = vstate.is_dirty() && !was_excl;
         if let Some(v) = self.blocks.get_mut(&victim.raw()) {
             v.present &= !(1u64 << me.index());
             if v.owner == Some(me) {
                 v.owner = None;
+                // A Dragon shared-modified victim holds the only fresh
+                // copy: its rollout writes the data back even though the
+                // line is only shared.
+                if vstate == LineState::Rs {
+                    dirty = true;
+                }
             }
         }
-        if vstate.is_dirty() {
+        if dirty {
             let vhome = self.home_of(victim);
             if vhome != me {
                 self.bus.acquire_kind(completion, self.cfg.bus.response_cycles(), PhaseKind::Data);
@@ -762,7 +989,11 @@ impl BusSystem {
             }
         };
         let report = SimReport {
-            protocol: "bus-snooping".into(),
+            protocol: match self.cfg.protocol {
+                BusProtocol::Msi => "bus-snooping".into(),
+                BusProtocol::Mesi => "bus-mesi".into(),
+                BusProtocol::Dragon => "bus-dragon".into(),
+            },
             nodes: self.cfg.nodes(),
             proc_cycle: self.cfg.proc_cycle,
             sim_end,
@@ -840,6 +1071,61 @@ mod tests {
     fn address_and_data_utilisation_sum_to_total() {
         let r = run(4, 2_000, 100);
         assert!((r.probe_util + r.block_util - r.ring_util).abs() < 1e-9);
+    }
+
+    fn run_proto(p: BusProtocol, nodes: usize, refs: u64, mips: u64) -> SimReport {
+        let cfg = BusSystemConfig::bus_100mhz(nodes).with_mips(mips).with_protocol(p);
+        let w = Workload::new(WorkloadSpec::demo(nodes).with_refs(refs)).unwrap();
+        BusSystem::new(cfg, w).unwrap().run()
+    }
+
+    fn upgrades(r: &SimReport) -> u64 {
+        r.events.upgrade_nosharers_local
+            + r.events.upgrade_nosharers_remote
+            + r.events.upgrade_sharers_local
+            + r.events.upgrade_sharers_remote
+    }
+
+    #[test]
+    fn mesi_silent_promotion_cuts_upgrade_transactions() {
+        let msi = run_proto(BusProtocol::Msi, 4, 3_000, 100);
+        let mesi = run_proto(BusProtocol::Mesi, 4, 3_000, 100);
+        assert_eq!(mesi.protocol, "bus-mesi");
+        assert_eq!(mesi.events.data_refs(), msi.events.data_refs());
+        // Read-then-write on a sole copy fills clean-exclusive and
+        // promotes silently instead of paying an invalidation txn.
+        assert!(
+            upgrades(&mesi) < upgrades(&msi),
+            "mesi {} vs msi {}",
+            upgrades(&mesi),
+            upgrades(&msi)
+        );
+    }
+
+    #[test]
+    fn dragon_updates_instead_of_invalidating() {
+        let msi = run_proto(BusProtocol::Msi, 4, 3_000, 100);
+        let dragon = run_proto(BusProtocol::Dragon, 4, 3_000, 100);
+        assert_eq!(dragon.protocol, "bus-dragon");
+        assert_eq!(dragon.events.data_refs(), msi.events.data_refs());
+        assert_eq!(dragon.events.invalidated_copies, 0);
+        // Copies stay valid, so coherence (invalidation) misses vanish.
+        assert!(
+            dragon.miss_latency.count() < msi.miss_latency.count(),
+            "dragon {} vs msi {}",
+            dragon.miss_latency.count(),
+            msi.miss_latency.count()
+        );
+    }
+
+    #[test]
+    fn protocol_variants_are_deterministic() {
+        for p in [BusProtocol::Mesi, BusProtocol::Dragon] {
+            let a = run_proto(p, 4, 2_000, 100);
+            let b = run_proto(p, 4, 2_000, 100);
+            assert_eq!(a.sim_end, b.sim_end, "{p:?}");
+            assert_eq!(a.events, b.events, "{p:?}");
+        }
     }
 
     #[test]

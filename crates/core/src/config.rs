@@ -137,6 +137,16 @@ impl SystemConfig {
         if self.proc_cycle.is_zero() {
             return Err(ConfigError::new("proc_cycle", "must be non-zero"));
         }
+        if !matches!(
+            self.protocol,
+            ringsim_proto::ProtocolKind::Snooping | ringsim_proto::ProtocolKind::Directory
+        ) {
+            return Err(ConfigError::new(
+                "protocol",
+                "the slotted-ring simulator runs snooping or directory; \
+                 SCI runs on SciRingSystem, MESI/Dragon on BusSystem",
+            ));
+        }
         if self.mem_latency.is_zero() {
             return Err(ConfigError::new("mem_latency", "must be non-zero"));
         }

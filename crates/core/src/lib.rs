@@ -39,10 +39,11 @@ mod hier_net;
 mod report;
 mod ring_system;
 mod sanitize;
+mod sci_system;
 mod simulator;
 
 pub use access_net::{AccessNetConfig, AccessNetReport, InsertionNetSim, SlottedNetSim};
-pub use bus_system::{BusSystem, BusSystemConfig};
+pub use bus_system::{BusProtocol, BusSystem, BusSystemConfig};
 pub use collections::{FnvBuildHasher, FnvHasher, FnvMap, RingBuf, RingBufIter, Slab};
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use engine::EventQueue;
@@ -50,6 +51,7 @@ pub use hier_net::{HierNetConfig, HierNetReport, HierNetSim};
 pub use report::{summarize_nodes, ClassLatencies, NodeMeasure, NodeSummary, SimReport};
 pub use ring_system::RingSystem;
 pub use sanitize::{sanitize_enabled, set_sanitize_mode, SanitizeMode};
+pub use sci_system::{SciRingSystem, SciSystemConfig};
 #[allow(deprecated)]
 pub use simulator::run_sim;
 pub use simulator::{RunOptions, RunOutcome, SimKind, SimKindError, SimSpec, Simulator};

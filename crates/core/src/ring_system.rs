@@ -544,6 +544,9 @@ impl RingSystem {
                     self.send_no_earlier(i, req, now);
                 }
             }
+            ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                unreachable!("rejected by SystemConfig::validate")
+            }
         }
     }
 
@@ -811,6 +814,9 @@ impl RingSystem {
             MsgKind::WriteBack => match self.cfg.protocol {
                 ProtocolKind::Snooping => self.mem.clear_dirty(msg.block),
                 ProtocolKind::Directory => self.home_receive(msg, now),
+                ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                    unreachable!("rejected by SystemConfig::validate")
+                }
             },
             MsgKind::MemUpdate => self.update_received(msg, now),
         }
@@ -940,6 +946,9 @@ impl RingSystem {
                         // DESIGN.md).
                         self.dir.remove_sharer(victim, me);
                     }
+                }
+                ProtocolKind::Sci | ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                    unreachable!("rejected by SystemConfig::validate")
                 }
             }
         }

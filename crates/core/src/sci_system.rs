@@ -1,0 +1,659 @@
+//! The timed SCI linked-list-directory ring simulator.
+//!
+//! The paper accounts for an SCI-like linked-list directory analytically
+//! (Table 1); this backend makes it a runnable system: the same processors
+//! and workloads as the other simulators, attached to a slotted ring whose
+//! coherence state lives in per-block distributed sharing lists served at
+//! each block's home node.
+//!
+//! Protocol truth is [`SciEngine`] — every home decision dispatches through
+//! the guarded rule set `ringsim_proto::guarded::SCI_RULES`, the same table
+//! the `ringsim-check` model checker exhausts. The timing model on top:
+//!
+//! * the home serialises transactions per block (FIFO): a request is served
+//!   no earlier than the completion of the block's previous transaction,
+//! * a transaction's ring time is `traversals × revolution`, where
+//!   `traversals` is the engine's closed-path count over the nodes the
+//!   messages visit (requester → home → head/list walk) and `revolution`
+//!   is one full ring rotation at the configured clock,
+//! * every served transaction pays one directory/memory access
+//!   (`mem_latency`); a dirty head supplying data adds `supply_latency`.
+//!
+//! Like the bus simulator, list and cache mutations are applied atomically
+//! at the serialisation point while data delivery and processor wake-up
+//! keep their latencies; the retire-time sanitizer re-checks SWMR on every
+//! completed transaction.
+
+use ringsim_cache::{AccessClass, LineState};
+use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
+use ringsim_proto::sci::SciEngine;
+use ringsim_proto::table1::TraversalReport;
+use ringsim_ring::RingConfig;
+use ringsim_trace::{NodeStream, Workload, BLOCK_BYTES};
+use ringsim_types::stats::RunningMean;
+use ringsim_types::{
+    AccessKind, BlockAddr, CoherenceEvents, ConfigError, MemRef, NodeId, Region, Time,
+};
+
+use crate::collections::FnvMap;
+use crate::report::{ClassLatencies, NodeMeasure, SimReport};
+use crate::sanitize;
+
+/// Windowed-accumulator slot for home-queue wait (see [`Obs::acc_add`]).
+const ACC_HOME_WAIT: usize = 0;
+
+/// Quantum of lookahead a processor may run ahead of the global event
+/// clock while it keeps hitting in its cache (same bound as the bus
+/// simulator).
+const PROC_QUANTUM: Time = Time::from_ns(200);
+
+/// Configuration of an SCI linked-list-directory ring system.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_core::SciSystemConfig;
+/// use ringsim_types::Time;
+///
+/// let cfg = SciSystemConfig::sci_500mhz(16).with_mips(100);
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.proc_cycle, Time::from_ns(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SciSystemConfig {
+    /// Ring geometry and clock.
+    pub ring: RingConfig,
+    /// Processor cycle time.
+    pub proc_cycle: Time,
+    /// Directory/memory access time at the home (140 ns in the paper).
+    pub mem_latency: Time,
+    /// Extra supply time when a dirty head provides the data.
+    pub supply_latency: Time,
+}
+
+impl SciSystemConfig {
+    /// The paper's 500 MHz ring carrying the SCI directory, with 50 MIPS
+    /// processors.
+    #[must_use]
+    pub fn sci_500mhz(nodes: usize) -> Self {
+        Self {
+            ring: RingConfig::standard_500mhz(nodes),
+            proc_cycle: Time::from_ns(20),
+            mem_latency: Time::from_ns(140),
+            supply_latency: Time::from_ns(140),
+        }
+    }
+
+    /// The 250 MHz variant.
+    #[must_use]
+    pub fn sci_250mhz(nodes: usize) -> Self {
+        Self { ring: RingConfig::standard_250mhz(nodes), ..Self::sci_500mhz(nodes) }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.ring.nodes
+    }
+
+    /// Builder-style processor cycle override.
+    #[must_use]
+    pub fn with_proc_cycle(mut self, proc_cycle: Time) -> Self {
+        self.proc_cycle = proc_cycle;
+        self
+    }
+
+    /// Builder-style MIPS override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mips` is zero.
+    #[must_use]
+    pub fn with_mips(self, mips: u64) -> Self {
+        assert!(mips > 0, "mips must be positive");
+        self.with_proc_cycle(Time::from_ps(1_000_000 / mips))
+    }
+
+    /// Validates all parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.ring.validate()?;
+        if self.ring.nodes > 64 {
+            return Err(ConfigError::new("ring.nodes", "at most 64 nodes supported"));
+        }
+        if self.proc_cycle.is_zero() || self.mem_latency.is_zero() || self.supply_latency.is_zero()
+        {
+            return Err(ConfigError::new("timing", "all latencies must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    block: BlockAddr,
+    class: AccessClass,
+    start: Time,
+    served: Served,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    Local,
+    CleanRemote,
+    Dirty,
+}
+
+#[derive(Debug)]
+struct SciNode {
+    stream: NodeStream,
+    ready_at: Time,
+    instr_carry: f64,
+    refs_issued: u64,
+    warmup_refs: u64,
+    total_refs: u64,
+    measuring: bool,
+    measure_start: Time,
+    busy: Time,
+    finish_at: Option<Time>,
+    txn: Option<Txn>,
+    misses: u64,
+    miss_lat: LatencyHistogram,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Resume the processor's issue loop.
+    ProcReady { node: usize },
+    /// The blocked processor's transaction finishes.
+    Complete { node: usize },
+}
+
+/// The timed SCI ring system simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ringsim_core::{SciRingSystem, SciSystemConfig};
+/// use ringsim_trace::{Workload, WorkloadSpec};
+///
+/// let cfg = SciSystemConfig::sci_500mhz(4);
+/// let workload = Workload::new(WorkloadSpec::demo(4).with_refs(2_000)).unwrap();
+/// let report = SciRingSystem::new(cfg, workload).unwrap().run();
+/// assert!(report.proc_util > 0.0);
+/// ```
+pub struct SciRingSystem {
+    cfg: SciSystemConfig,
+    /// Protocol truth: caches + sharing lists + traversal accounting,
+    /// every home decision dispatched through the SCI rule set.
+    engine: SciEngine<Box<dyn Fn(BlockAddr) -> NodeId>>,
+    nodes: Vec<SciNode>,
+    /// Per-block home-queue serialisation: earliest time the home will
+    /// admit the block's next transaction. Private blocks are skipped
+    /// (their single user serialises itself).
+    block_free: FnvMap<u64, Time>,
+    /// One full ring rotation at the configured clock.
+    revolution: Time,
+    measuring_nodes: usize,
+    queue: crate::EventQueue<Event>,
+    now: Time,
+    /// Total in-flight ring time charged so far (for utilisation).
+    travel: Time,
+    /// `(travel, now)` at the instant every node entered its measured
+    /// window.
+    snapshot: Option<(Time, Time)>,
+    miss_lat: RunningMean,
+    miss_hist: LatencyHistogram,
+    upg_lat: RunningMean,
+    class_lat: ClassLatencies,
+    events: CoherenceEvents,
+    // Telemetry (no-op unless `attach_obs` was called).
+    obs: Obs,
+    obs_sci_tl: usize,
+    obs_window: (Time, Time),
+}
+
+impl SciRingSystem {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration is invalid or the
+    /// workload's processor count does not match the ring's node count.
+    pub fn new(cfg: SciSystemConfig, workload: Workload) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if workload.procs() != cfg.nodes() {
+            return Err(ConfigError::new(
+                "workload.procs",
+                format!("workload has {} processors, ring has {}", workload.procs(), cfg.nodes()),
+            ));
+        }
+        let spec = workload.spec().clone();
+        let space = workload.space();
+        let layout = cfg.ring.layout()?;
+        let revolution = cfg.ring.clock_period * layout.round_trip_cycles() as u64;
+        let home: Box<dyn Fn(BlockAddr) -> NodeId> = Box::new(move |b| space.home_of_block(b));
+        let engine = SciEngine::new(layout, home)?;
+        let nodes = workload
+            .into_streams()
+            .into_iter()
+            .map(|stream| SciNode {
+                stream,
+                ready_at: Time::ZERO,
+                instr_carry: 0.0,
+                refs_issued: 0,
+                warmup_refs: spec.warmup_refs_per_proc,
+                total_refs: spec.warmup_refs_per_proc + spec.data_refs_per_proc,
+                measuring: false,
+                measure_start: Time::ZERO,
+                busy: Time::ZERO,
+                finish_at: None,
+                txn: None,
+                misses: 0,
+                miss_lat: LatencyHistogram::new(),
+            })
+            .collect();
+        Ok(Self {
+            cfg,
+            engine,
+            nodes,
+            block_free: FnvMap::default(),
+            revolution,
+            measuring_nodes: 0,
+            queue: crate::EventQueue::new(),
+            now: Time::ZERO,
+            travel: Time::ZERO,
+            snapshot: None,
+            miss_lat: RunningMean::default(),
+            miss_hist: LatencyHistogram::new(),
+            upg_lat: RunningMean::default(),
+            class_lat: ClassLatencies::default(),
+            events: CoherenceEvents::default(),
+            obs: Obs::disabled(),
+            obs_sci_tl: usize::MAX,
+            obs_window: (Time::ZERO, Time::ZERO),
+        })
+    }
+
+    /// Enables telemetry for this run: per-transaction trace events plus a
+    /// `"sci"` gauge timeline (ring travel fraction over the sampling
+    /// window, outstanding transactions, mean home-queue wait). Strictly
+    /// observational.
+    pub fn attach_obs(&mut self, cfg: ObsConfig) {
+        let mut obs = Obs::enabled(cfg, self.nodes.len());
+        self.obs_sci_tl = obs.add_timeline("sci", &["travel", "outstanding", "home_wait_ns"]);
+        self.obs = obs;
+    }
+
+    /// Takes the telemetry recorder after a run; `None` unless
+    /// [`SciRingSystem::attach_obs`] was called.
+    pub fn take_obs(&mut self) -> Option<Recorder> {
+        std::mem::take(&mut self.obs).into_recorder()
+    }
+
+    /// Replays `refs` through the protocol engine directly, in the order
+    /// given, without any timing — the untimed reference path. Returns the
+    /// accumulated traversal distributions, which match
+    /// [`ringsim_proto::table1::LinkedListAccountant`] on the same stream
+    /// (a test pins that equivalence). Intended for freshly built systems;
+    /// do not mix with [`SciRingSystem::run`].
+    pub fn replay_reference(&mut self, refs: impl IntoIterator<Item = MemRef>) -> TraversalReport {
+        for r in refs {
+            self.engine.process(r, None);
+        }
+        self.engine.report()
+    }
+
+    /// The traversal distributions the protocol engine accumulated so far
+    /// (both timed runs and [`SciRingSystem::replay_reference`] feed it).
+    #[must_use]
+    pub fn traversal_report(&self) -> TraversalReport {
+        self.engine.report()
+    }
+
+    /// Coherence state of `block` in node `i`'s cache (inspection hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cache_state(&self, i: usize, block: BlockAddr) -> LineState {
+        self.engine.state_of(NodeId::new(i), block)
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> SimReport {
+        for i in 0..self.nodes.len() {
+            self.schedule(Time::ZERO, Event::ProcReady { node: i });
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            self.now = t;
+            match ev {
+                Event::ProcReady { node } => self.step_processor(node),
+                Event::Complete { node } => self.complete(node),
+            }
+            if self.snapshot.is_none() && self.measuring_nodes == self.nodes.len() {
+                self.snapshot = Some((self.travel, self.now));
+            }
+            if self.obs.sample_due(self.now) {
+                self.sample_gauges();
+            }
+        }
+        self.build_report()
+    }
+
+    /// Pushes one row onto the `"sci"` gauge timeline: the travel fraction
+    /// is the delta over the window since the previous sample.
+    fn sample_gauges(&mut self) {
+        let (prev, since) = self.obs_window;
+        let window = self.now.saturating_sub(since);
+        let frac = if window.is_zero() {
+            0.0
+        } else {
+            (self.travel.saturating_sub(prev).as_ps() as f64 / window.as_ps() as f64).min(1.0)
+        };
+        let outstanding = self.nodes.iter().filter(|n| n.txn.is_some()).count() as f64;
+        let wait = self.obs.acc_take_mean(ACC_HOME_WAIT);
+        self.obs.sample(self.obs_sci_tl, self.now, vec![frac, outstanding, wait]);
+        self.obs_window = (self.travel, self.now);
+    }
+
+    fn step_processor(&mut self, i: usize) {
+        let horizon = self.now + PROC_QUANTUM;
+        loop {
+            let node = &mut self.nodes[i];
+            if node.finish_at.is_some() || node.txn.is_some() {
+                return;
+            }
+            if node.ready_at > horizon {
+                let at = node.ready_at;
+                self.schedule(at, Event::ProcReady { node: i });
+                return;
+            }
+            if node.refs_issued == node.total_refs {
+                node.finish_at = Some(node.ready_at);
+                return;
+            }
+            let icycles = node.instr_carry + node.stream.instr_per_data();
+            let whole = icycles.floor();
+            node.instr_carry = icycles - whole;
+            let cost = self.cfg.proc_cycle * (1 + whole as u64);
+            if node.measuring {
+                node.busy += cost;
+            }
+            node.ready_at += cost;
+            let r = node.stream.next_ref();
+            node.refs_issued += 1;
+            if !node.measuring && node.refs_issued > node.warmup_refs {
+                node.measuring = true;
+                self.measuring_nodes += 1;
+                node.measure_start = node.ready_at;
+                node.busy = cost;
+            }
+            let block = r.addr.block(BLOCK_BYTES);
+            if node.measuring {
+                match (r.region, r.kind) {
+                    (Region::Private, AccessKind::Read) => self.events.private_reads += 1,
+                    (Region::Private, AccessKind::Write) => self.events.private_writes += 1,
+                    (Region::Shared, AccessKind::Read) => self.events.shared_reads += 1,
+                    (Region::Shared, AccessKind::Write) => self.events.shared_writes += 1,
+                }
+            }
+            // The serialisation point: the home admits the request and the
+            // engine applies list + cache mutations atomically; only the
+            // latencies play out in event time.
+            let step = self.engine.process(r, None);
+            if step.class == AccessClass::Hit {
+                continue;
+            }
+            self.issue_txn(i, r, block, step);
+            return;
+        }
+    }
+
+    fn issue_txn(
+        &mut self,
+        i: usize,
+        r: MemRef,
+        block: BlockAddr,
+        step: ringsim_proto::sci::SciStep,
+    ) {
+        let me = NodeId::new(i);
+        let home = self.engine.home(block);
+        let local = home == me;
+        let measuring = self.nodes[i].measuring;
+        let start = self.nodes[i].ready_at;
+        let is_upgrade = step.class == AccessClass::Upgrade;
+
+        self.obs.txn_begin(i, if is_upgrade { "upgrade" } else { "miss" }, block.raw(), start);
+
+        // Home-queue admission: shared blocks serialise per block.
+        let serve_at = if r.region == Region::Shared {
+            let free = self.block_free.get(&block.raw()).copied().unwrap_or(Time::ZERO);
+            start.max(free)
+        } else {
+            start
+        };
+        self.obs.acc_add(ACC_HOME_WAIT, serve_at.saturating_sub(start).as_ns_f64());
+        self.obs.txn_mark(i, "admit", serve_at);
+
+        // Ring travel + the home's directory/memory access; a dirty head
+        // supplying the data adds the cache-supply time.
+        let travel = self.revolution * step.traversals as u64;
+        let mut completion = serve_at + travel + self.cfg.mem_latency;
+        if step.dirty_supply {
+            completion += self.cfg.supply_latency;
+        }
+        self.travel += travel;
+        if r.region == Region::Shared {
+            self.block_free.insert(block.raw(), completion);
+        }
+
+        // Event classification, mirroring the other backends' buckets.
+        if measuring {
+            if r.region == Region::Private {
+                if is_upgrade {
+                    self.events.upgrade_nosharers_local += 1;
+                } else {
+                    self.events.private_misses += 1;
+                }
+            } else if is_upgrade {
+                match (step.invalidated > 0, local) {
+                    (false, true) => self.events.upgrade_nosharers_local += 1,
+                    (false, false) => self.events.upgrade_nosharers_remote += 1,
+                    (true, true) => self.events.upgrade_sharers_local += 1,
+                    (true, false) => self.events.upgrade_sharers_remote += 1,
+                }
+                self.events.invalidated_copies += step.invalidated as u64;
+            } else if r.kind == AccessKind::Read {
+                if step.dirty_supply {
+                    if step.traversals >= 2 {
+                        self.events.read_dirty_2 += 1;
+                    } else {
+                        self.events.read_dirty_1 += 1;
+                    }
+                } else if local {
+                    self.events.read_clean_local += 1;
+                } else {
+                    self.events.read_clean_remote += 1;
+                }
+            } else {
+                if step.dirty_supply {
+                    if step.traversals >= 2 {
+                        self.events.write_dirty_2 += 1;
+                    } else {
+                        self.events.write_dirty_1 += 1;
+                    }
+                } else {
+                    match (step.invalidated > 0, local) {
+                        (false, true) => self.events.write_nosharers_local += 1,
+                        (false, false) => self.events.write_nosharers_remote += 1,
+                        (true, true) => self.events.write_sharers_local += 1,
+                        (true, false) => self.events.write_sharers_remote += 1,
+                    }
+                }
+                self.events.invalidated_copies += step.invalidated as u64;
+            }
+        }
+
+        let served = if step.dirty_supply {
+            Served::Dirty
+        } else if local {
+            Served::Local
+        } else {
+            Served::CleanRemote
+        };
+        self.nodes[i].txn = Some(Txn { block, class: step.class, start, served });
+        self.schedule(completion, Event::Complete { node: i });
+    }
+
+    fn complete(&mut self, i: usize) {
+        let t = self.nodes[i].txn.take().expect("completing absent txn");
+        if sanitize::sanitize_enabled() {
+            // List and cache mutations are atomic at the serialisation
+            // point, so SWMR must hold outright at every retire.
+            let states: Vec<LineState> = (0..self.nodes.len())
+                .map(|j| self.engine.state_of(NodeId::new(j), t.block))
+                .collect();
+            sanitize::check_swmr(t.block, &states, &vec![false; states.len()]);
+        }
+        let node = &mut self.nodes[i];
+        node.ready_at = node.ready_at.max(self.now);
+        let latency = self.now.saturating_sub(t.start);
+        if node.measuring {
+            if t.class == AccessClass::Upgrade {
+                self.upg_lat.push_time_ns(latency);
+                self.class_lat.upgrade.record_time(latency);
+                self.obs.txn_end(i, "upgrade", "upgrade", self.now);
+            } else {
+                self.miss_lat.push_time_ns(latency);
+                self.miss_hist.record_time(latency);
+                node.misses += 1;
+                node.miss_lat.record_time(latency);
+                let class = match t.served {
+                    Served::Local => {
+                        self.class_lat.local.record_time(latency);
+                        "local"
+                    }
+                    Served::Dirty => {
+                        self.class_lat.dirty.record_time(latency);
+                        "dirty"
+                    }
+                    Served::CleanRemote => {
+                        self.class_lat.clean_remote.record_time(latency);
+                        "clean_remote"
+                    }
+                };
+                self.obs.txn_end(i, "miss", class, self.now);
+            }
+        } else {
+            self.obs.txn_abandon(i);
+        }
+        self.step_processor(i);
+    }
+
+    fn build_report(&mut self) -> SimReport {
+        let (per_node, proc_util, sim_end) =
+            crate::report::summarize_nodes(self.nodes.iter().map(|n| NodeMeasure {
+                finished_at: n.finish_at.expect("all nodes finished"),
+                measure_start: n.measure_start,
+                busy: n.busy,
+                misses: n.misses,
+                miss_lat: &n.miss_lat,
+            }));
+        let (base_travel, start) = self.snapshot.unwrap_or((Time::ZERO, Time::ZERO));
+        let window = sim_end.saturating_sub(start);
+        let travel = self.travel.saturating_sub(base_travel);
+        let ring_util = if window.is_zero() {
+            0.0
+        } else {
+            (travel.as_ps() as f64 / window.as_ps() as f64).min(1.0)
+        };
+        let report = SimReport {
+            protocol: "sci-linked-list".into(),
+            nodes: self.cfg.nodes(),
+            proc_cycle: self.cfg.proc_cycle,
+            sim_end,
+            proc_util,
+            ring_util,
+            // SCI messages are point-to-point packets on one ring; the
+            // request/data split of the slotted-ring backends does not
+            // apply, so all travel is reported as probe traffic.
+            probe_util: ring_util,
+            block_util: 0.0,
+            miss_latency: self.miss_lat,
+            miss_histogram: self.miss_hist.clone(),
+            upgrade_latency: self.upg_lat,
+            class_latencies: self.class_lat.clone(),
+            events: self.events,
+            retries: 0,
+            per_node,
+        };
+        if ringsim_obs::global_metrics_enabled() {
+            ringsim_obs::global_record(&report.metrics_summary());
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsim_trace::WorkloadSpec;
+
+    fn run(nodes: usize, refs: u64, mips: u64) -> SimReport {
+        let cfg = SciSystemConfig::sci_500mhz(nodes).with_mips(mips);
+        let w = Workload::new(WorkloadSpec::demo(nodes).with_refs(refs)).unwrap();
+        SciRingSystem::new(cfg, w).unwrap().run()
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let r = run(4, 3_000, 50);
+        assert_eq!(r.protocol, "sci-linked-list");
+        assert!(r.proc_util > 0.0 && r.proc_util <= 1.0);
+        assert!(r.miss_latency.count() > 0);
+        assert_eq!(r.events.data_refs(), 4 * 3_000);
+    }
+
+    #[test]
+    fn miss_latency_has_memory_floor() {
+        let r = run(4, 2_000, 50);
+        assert!(r.miss_latency.min().unwrap_or(0.0) >= 139.0);
+    }
+
+    #[test]
+    fn slower_ring_means_longer_misses() {
+        let w = || Workload::new(WorkloadSpec::demo(8).with_refs(2_500)).unwrap();
+        let fast = SciRingSystem::new(SciSystemConfig::sci_500mhz(8), w()).unwrap().run();
+        let slow = SciRingSystem::new(SciSystemConfig::sci_250mhz(8), w()).unwrap().run();
+        assert!(
+            slow.miss_latency.mean() > fast.miss_latency.mean(),
+            "250 MHz {} vs 500 MHz {}",
+            slow.miss_latency.mean(),
+            fast.miss_latency.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(4, 2_000, 100);
+        let b = run(4, 2_000, 100);
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn rejects_mismatched_workload() {
+        let cfg = SciSystemConfig::sci_500mhz(8);
+        let w = Workload::new(WorkloadSpec::demo(4)).unwrap();
+        assert!(SciRingSystem::new(cfg, w).is_err());
+    }
+}

@@ -26,11 +26,12 @@ use ringsim_ring::RingHierarchy;
 use ringsim_trace::Workload;
 use ringsim_types::{ConfigError, Time};
 
-use crate::bus_system::{BusSystem, BusSystemConfig};
+use crate::bus_system::{BusProtocol, BusSystem, BusSystemConfig};
 use crate::config::SystemConfig;
 use crate::hier_net::{HierNetConfig, HierNetSim};
 use crate::report::SimReport;
 use crate::ring_system::RingSystem;
+use crate::sci_system::{SciRingSystem, SciSystemConfig};
 
 /// What a [`Simulator::run`] call should observe, beyond the report every
 /// run produces.
@@ -135,6 +136,16 @@ impl Simulator for BusSystem {
     }
 }
 
+impl Simulator for SciRingSystem {
+    fn run(&mut self, opts: &RunOptions) -> RunOutcome {
+        if let Some(cfg) = obs_to_attach(opts) {
+            SciRingSystem::attach_obs(self, cfg);
+        }
+        let report = SciRingSystem::run(self);
+        seal_outcome(opts, report, SciRingSystem::take_obs(self))
+    }
+}
+
 impl Simulator for HierNetSim {
     fn run(&mut self, opts: &RunOptions) -> RunOutcome {
         if let Some(cfg) = obs_to_attach(opts) {
@@ -150,8 +161,10 @@ impl Simulator for HierNetSim {
 /// workload to run plus the knobs every backend understands.
 #[derive(Debug, Clone)]
 pub struct SimSpec {
-    /// Coherence protocol (ring backends; bus is always snooping and the
-    /// hierarchy backend abstracts the protocol level away).
+    /// Coherence protocol for the slotted-ring backends. The other kinds
+    /// carry their protocol in the kind itself (`bus50-mesi`, `sci500`, …)
+    /// and ignore this field; the hierarchy backend abstracts the protocol
+    /// level away.
     pub protocol: ProtocolKind,
     /// Processor cycle time.
     pub proc_cycle: Time,
@@ -194,14 +207,32 @@ pub enum SimKind {
     Bus50,
     /// 64-bit split-transaction bus at 100 MHz.
     Bus100,
+    /// 64-bit 50 MHz bus running 4-state MESI (clean-exclusive fills,
+    /// silent E→M promotion).
+    Bus50Mesi,
+    /// 64-bit 50 MHz bus running the Dragon write-update protocol.
+    Bus50Dragon,
+    /// SCI linked-list-directory ring at 500 MHz.
+    Sci500,
+    /// SCI linked-list-directory ring at 250 MHz.
+    Sci250,
     /// Two-level slotted-ring hierarchy (message-level, KSR1-style IRIs).
     Hier,
 }
 
 impl SimKind {
     /// Every registered backend, in CLI listing order.
-    pub const ALL: [SimKind; 5] =
-        [SimKind::Ring500, SimKind::Ring250, SimKind::Bus50, SimKind::Bus100, SimKind::Hier];
+    pub const ALL: [SimKind; 9] = [
+        SimKind::Ring500,
+        SimKind::Ring250,
+        SimKind::Bus50,
+        SimKind::Bus100,
+        SimKind::Bus50Mesi,
+        SimKind::Bus50Dragon,
+        SimKind::Sci500,
+        SimKind::Sci250,
+        SimKind::Hier,
+    ];
 
     /// Canonical CLI name.
     #[must_use]
@@ -211,6 +242,10 @@ impl SimKind {
             SimKind::Ring250 => "ring250",
             SimKind::Bus50 => "bus50",
             SimKind::Bus100 => "bus100",
+            SimKind::Bus50Mesi => "bus50-mesi",
+            SimKind::Bus50Dragon => "bus50-dragon",
+            SimKind::Sci500 => "sci500",
+            SimKind::Sci250 => "sci250",
             SimKind::Hier => "hier",
         }
     }
@@ -223,6 +258,10 @@ impl SimKind {
             SimKind::Ring250 => "32-bit slotted ring at 250 MHz",
             SimKind::Bus50 => "64-bit split-transaction bus at 50 MHz",
             SimKind::Bus100 => "64-bit split-transaction bus at 100 MHz",
+            SimKind::Bus50Mesi => "50 MHz bus running 4-state MESI",
+            SimKind::Bus50Dragon => "50 MHz bus running Dragon write-update",
+            SimKind::Sci500 => "SCI linked-list-directory ring at 500 MHz",
+            SimKind::Sci250 => "SCI linked-list-directory ring at 250 MHz",
             SimKind::Hier => "two-level slotted-ring hierarchy",
         }
     }
@@ -256,13 +295,26 @@ impl SimKind {
                 .with_proc_cycle(spec.proc_cycle);
                 Box::new(RingSystem::new(cfg, spec.workload.clone())?)
             }
-            SimKind::Bus50 | SimKind::Bus100 => {
+            SimKind::Bus50 | SimKind::Bus100 | SimKind::Bus50Mesi | SimKind::Bus50Dragon => {
                 let cfg = match self {
                     SimKind::Bus100 => BusSystemConfig::bus_100mhz(procs),
                     _ => BusSystemConfig::bus_50mhz(procs),
                 }
+                .with_protocol(match self {
+                    SimKind::Bus50Mesi => BusProtocol::Mesi,
+                    SimKind::Bus50Dragon => BusProtocol::Dragon,
+                    _ => BusProtocol::Msi,
+                })
                 .with_proc_cycle(spec.proc_cycle);
                 Box::new(BusSystem::new(cfg, spec.workload.clone())?)
+            }
+            SimKind::Sci500 | SimKind::Sci250 => {
+                let cfg = match self {
+                    SimKind::Sci500 => SciSystemConfig::sci_500mhz(procs),
+                    _ => SciSystemConfig::sci_250mhz(procs),
+                }
+                .with_proc_cycle(spec.proc_cycle);
+                Box::new(SciRingSystem::new(cfg, spec.workload.clone())?)
             }
             SimKind::Hier => {
                 let (rings, per) = balanced_split(procs)?;
@@ -323,7 +375,8 @@ impl fmt::Display for SimKindError {
         match self {
             SimKindError::Unknown { name } => write!(
                 f,
-                "unknown network `{name}` (known: {}; aliases: ring, bus, hiernet)",
+                "unknown network `{name}` (known: {}; aliases: ring, bus, mesi, dragon, sci, \
+                 hiernet)",
                 SimKindError::known_names()
             ),
             SimKindError::Ambiguous { name, candidates } => {
@@ -336,8 +389,8 @@ impl fmt::Display for SimKindError {
 impl std::error::Error for SimKindError {}
 
 /// Typed network-name resolution: canonical names plus the documented
-/// aliases `ring` (→ `ring500`), `bus` (→ `bus100`) and `hiernet`
-/// (→ `hier`). Other prefixes are rejected — with
+/// aliases `ring` (→ `ring500`), `bus` (→ `bus100`), `sci` (→ `sci500`)
+/// and `hiernet` (→ `hier`). Other prefixes are rejected — with
 /// [`SimKindError::Ambiguous`] when several backends match, so callers can
 /// suggest the candidates instead of guessing.
 impl FromStr for SimKind {
@@ -349,6 +402,10 @@ impl FromStr for SimKind {
             "ring250" => Ok(SimKind::Ring250),
             "bus50" => Ok(SimKind::Bus50),
             "bus100" | "bus" => Ok(SimKind::Bus100),
+            "bus50-mesi" | "mesi" => Ok(SimKind::Bus50Mesi),
+            "bus50-dragon" | "dragon" => Ok(SimKind::Bus50Dragon),
+            "sci500" | "sci" => Ok(SimKind::Sci500),
+            "sci250" => Ok(SimKind::Sci250),
             "hier" | "hiernet" => Ok(SimKind::Hier),
             _ => {
                 let candidates: Vec<&'static str> = SimKind::ALL
@@ -415,6 +472,9 @@ mod tests {
         }
         assert_eq!("ring".parse::<SimKind>(), Ok(SimKind::Ring500));
         assert_eq!("bus".parse::<SimKind>(), Ok(SimKind::Bus100));
+        assert_eq!("mesi".parse::<SimKind>(), Ok(SimKind::Bus50Mesi));
+        assert_eq!("dragon".parse::<SimKind>(), Ok(SimKind::Bus50Dragon));
+        assert_eq!("sci".parse::<SimKind>(), Ok(SimKind::Sci500));
         assert_eq!("hiernet".parse::<SimKind>(), Ok(SimKind::Hier));
     }
 
@@ -422,14 +482,30 @@ mod tests {
     fn from_str_errors_are_typed() {
         let err = "token-ring".parse::<SimKind>().unwrap_err();
         assert_eq!(err, SimKindError::Unknown { name: "token-ring".into() });
-        assert!(err.to_string().contains("ring500, ring250, bus50, bus100, hier"), "{err}");
+        assert!(
+            err.to_string().contains(
+                "ring500, ring250, bus50, bus100, bus50-mesi, bus50-dragon, sci500, sci250, hier"
+            ),
+            "{err}"
+        );
 
+        // The ambiguity listing must include the protocol-variant kinds:
+        // `bu` could mean any of the four bus backends.
         let err = "bu".parse::<SimKind>().unwrap_err();
         assert_eq!(
             err,
-            SimKindError::Ambiguous { name: "bu".into(), candidates: vec!["bus50", "bus100"] }
+            SimKindError::Ambiguous {
+                name: "bu".into(),
+                candidates: vec!["bus50", "bus100", "bus50-mesi", "bus50-dragon"],
+            }
         );
-        assert!(err.to_string().contains("bus50 or bus100"), "{err}");
+        assert!(err.to_string().contains("bus50 or bus100 or bus50-mesi or bus50-dragon"), "{err}");
+
+        let err = "s".parse::<SimKind>().unwrap_err();
+        assert_eq!(
+            err,
+            SimKindError::Ambiguous { name: "s".into(), candidates: vec!["sci500", "sci250"] }
+        );
 
         // A unique prefix is still not a name: resolution never guesses.
         assert_eq!("ring2".parse::<SimKind>(), Err(SimKindError::Unknown { name: "ring2".into() }));

@@ -1,0 +1,48 @@
+//! Satellite check for the SCI backend: the timed system's protocol engine
+//! must be the *same protocol* as the untimed Table 1 accountant. Replaying
+//! one reference stream through [`LinkedListAccountant`] and through
+//! [`SciRingSystem::replay_reference`] must yield identical
+//! [`TraversalReport`]s — every miss/invalidation traversal histogram bucket
+//! included.
+
+use ringsim_core::{SciRingSystem, SciSystemConfig};
+use ringsim_proto::table1::LinkedListAccountant;
+use ringsim_trace::{Workload, WorkloadSpec};
+use ringsim_types::MemRef;
+
+const PROCS: usize = 16;
+const REFS_PER_NODE: u64 = 4_000;
+
+#[test]
+fn replay_matches_linked_list_accountant() {
+    // One deterministic stream, observed twice.
+    let mut source = Workload::new(WorkloadSpec::demo(PROCS)).expect("workload");
+    let space = source.space();
+    let refs: Vec<MemRef> = source.round_robin(REFS_PER_NODE).collect();
+
+    let cfg = SciSystemConfig::sci_500mhz(PROCS);
+    let layout = cfg.ring.layout().expect("layout");
+
+    // Reference model: the proto crate's untimed accountant.
+    let mut acct =
+        LinkedListAccountant::new(layout, move |b| space.home_of_block(b)).expect("accountant");
+    for &r in &refs {
+        acct.process(r);
+    }
+
+    // System under test: the timed backend's engine via the untimed replay
+    // hook. Built from an identically specified workload, so its home
+    // mapping matches the accountant's.
+    let workload = Workload::new(WorkloadSpec::demo(PROCS)).expect("workload");
+    let mut sys = SciRingSystem::new(cfg, workload).expect("system");
+    let replayed = sys.replay_reference(refs.iter().copied());
+
+    let reference = acct.report();
+    assert!(
+        reference.miss.total() > 0 && reference.invalidate.total() > 0,
+        "demo stream must exercise both histograms: {reference:?}"
+    );
+    assert_eq!(replayed, reference, "timed backend's engine diverged from the accountant");
+    // `traversal_report` exposes the same accumulated state.
+    assert_eq!(sys.traversal_report(), reference);
+}

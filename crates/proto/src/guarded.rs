@@ -31,7 +31,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ringsim_cache::LineState;
 use ringsim_types::NodeId;
 
-use crate::transitions::{DirAction, DirRequest, HomeSnoopAction, SnoopAction};
+use crate::sci::{SciAction, SciRequest};
+use crate::transitions::{
+    BusOp, DirAction, DirRequest, DragonAction, HomeSnoopAction, MesiAction, SnoopAction,
+};
 use crate::{DirEntry, MsgKind, ProtocolKind};
 
 /// One guarded action: when `guard` holds on the context, the transition
@@ -153,6 +156,34 @@ pub struct DirCtx {
     pub requester: NodeId,
     /// The admitted request (after upgrade demotion).
     pub req: DirRequest,
+}
+
+/// Context for the SCI linked-list home dispatch rules: an admitted
+/// request against the block's sharing list.
+#[derive(Debug, Clone, Copy)]
+pub struct SciCtx {
+    /// The admitted request (upgrades are converted to writes before
+    /// dispatch when the requester's copy was purged while queued).
+    pub req: SciRequest,
+    /// Current sharing-list length.
+    pub list_len: usize,
+    /// The requester is on the list (always true for upgrades and
+    /// rollouts after conversion, always false for misses).
+    pub requester_in_list: bool,
+}
+
+/// Context for the MESI and Dragon bus rules: an operation admitted at the
+/// bus's serialisation point, summarised by what the snoop would find.
+#[derive(Debug, Clone, Copy)]
+pub struct BusCtx {
+    /// The admitted operation (upgrades demoted to write misses when the
+    /// requester's copy was invalidated while waiting).
+    pub op: BusOp,
+    /// Some *other* cache holds a valid copy.
+    pub others_valid: bool,
+    /// Some *other* cache is the owner (MESI: Modified; Dragon: Sm or
+    /// Modified). Implies `others_valid`.
+    pub owner: bool,
 }
 
 /// `true` for message kinds a cache interface snoops as they pass: the
@@ -353,6 +384,180 @@ pub static DIR_RULES: RuleSet<DirCtx, DirAction> = RuleSet {
     ],
 };
 
+/// SCI linked-list home dispatch rules: how the home serves a request
+/// against the block's sharing list (head insertion on a miss, list-order
+/// purge on a write, rollout splice on an eviction). Domain: every
+/// consistent [`SciCtx`] (misses imply the requester is off-list,
+/// upgrades/rollouts that it is on it).
+pub static SCI_RULES: RuleSet<SciCtx, SciAction> = RuleSet {
+    name: "sci",
+    rules: &[
+        Rule {
+            name: "read-miss-uncached-granted-from-memory",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Read && c.list_len == 0,
+            action: |_| SciAction::GrantFromMemory,
+        },
+        Rule {
+            name: "read-miss-forwarded-to-head",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Read && c.list_len > 0,
+            action: |_| SciAction::ForwardToHead,
+        },
+        Rule {
+            name: "write-miss-uncached-granted-from-memory",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Write && c.list_len == 0,
+            action: |_| SciAction::GrantClaim,
+        },
+        Rule {
+            name: "write-miss-purges-list-in-order",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Write && c.list_len > 0,
+            action: |_| SciAction::PurgeAndClaim,
+        },
+        Rule {
+            name: "upgrade-purges-other-members",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Upgrade && c.list_len > 1,
+            action: |_| SciAction::PurgeOthersAndClaim,
+        },
+        Rule {
+            name: "upgrade-sole-member-claims",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Upgrade && c.list_len == 1,
+            action: |_| SciAction::Claim,
+        },
+        Rule {
+            name: "rollout-splices-member",
+            fires_under: ProtocolKind::Sci,
+            guard: |c| c.req == SciRequest::Rollout,
+            action: |_| SciAction::Splice,
+        },
+    ],
+};
+
+/// MESI bus rules: how the atomic bus serves an admitted operation. The
+/// exclusive state buys the silent E→M promotion; everything else is the
+/// classic invalidation protocol. Domain: every consistent [`BusCtx`]
+/// (`owner` implies `others_valid`; an exclusive hit implies neither).
+pub static MESI_RULES: RuleSet<BusCtx, MesiAction> = RuleSet {
+    name: "mesi",
+    rules: &[
+        Rule {
+            name: "read-miss-uncached-fills-exclusive",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::ReadMiss && !c.others_valid,
+            action: |_| MesiAction::FillExclusive,
+        },
+        Rule {
+            name: "read-miss-owner-supplies-and-downgrades",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::ReadMiss && c.owner,
+            action: |_| MesiAction::OwnerSuppliesShared,
+        },
+        Rule {
+            name: "read-miss-fills-shared",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::ReadMiss && c.others_valid && !c.owner,
+            action: |_| MesiAction::FillShared,
+        },
+        Rule {
+            name: "write-miss-owner-supplies-and-invalidates",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::WriteMiss && c.owner,
+            action: |_| MesiAction::OwnerSuppliesModified,
+        },
+        Rule {
+            name: "write-miss-invalidates-sharers",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::WriteMiss && c.others_valid && !c.owner,
+            action: |_| MesiAction::InvalidateAndFillModified,
+        },
+        Rule {
+            name: "write-miss-uncached-fills-modified",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::WriteMiss && !c.others_valid,
+            action: |_| MesiAction::FillModified,
+        },
+        Rule {
+            name: "upgrade-invalidates-sharers",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::WriteSharedHit && c.others_valid,
+            action: |_| MesiAction::InvalidateAndPromote,
+        },
+        Rule {
+            name: "upgrade-last-copy-promotes",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::WriteSharedHit && !c.others_valid,
+            action: |_| MesiAction::Promote,
+        },
+        Rule {
+            name: "write-hit-exclusive-promotes-silently",
+            fires_under: ProtocolKind::Mesi,
+            guard: |c| c.op == BusOp::WriteExclusiveHit,
+            action: |_| MesiAction::PromoteSilently,
+        },
+    ],
+};
+
+/// Dragon bus rules: updates instead of invalidations. A write to a shared
+/// line broadcasts the word; the writer becomes the Sm owner and other
+/// copies stay valid. Domain: every consistent [`BusCtx`].
+pub static DRAGON_RULES: RuleSet<BusCtx, DragonAction> = RuleSet {
+    name: "dragon",
+    rules: &[
+        Rule {
+            name: "read-miss-uncached-fills-exclusive",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::ReadMiss && !c.others_valid,
+            action: |_| DragonAction::FillExclusive,
+        },
+        Rule {
+            name: "read-miss-owner-supplies-shared",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::ReadMiss && c.owner,
+            action: |_| DragonAction::OwnerSuppliesShared,
+        },
+        Rule {
+            name: "read-miss-fills-shared-clean",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::ReadMiss && c.others_valid && !c.owner,
+            action: |_| DragonAction::FillShared,
+        },
+        Rule {
+            name: "write-miss-uncached-fills-modified",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::WriteMiss && !c.others_valid,
+            action: |_| DragonAction::FillModified,
+        },
+        Rule {
+            name: "write-miss-updates-sharers",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::WriteMiss && c.others_valid,
+            action: |_| DragonAction::FillSharedOwnerUpdate,
+        },
+        Rule {
+            name: "write-hit-shared-broadcasts-update",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::WriteSharedHit && c.others_valid,
+            action: |_| DragonAction::BroadcastUpdate,
+        },
+        Rule {
+            name: "write-hit-last-copy-promotes",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::WriteSharedHit && !c.others_valid,
+            action: |_| DragonAction::PromoteToModified,
+        },
+        Rule {
+            name: "write-hit-exclusive-promotes-silently",
+            fires_under: ProtocolKind::Dragon,
+            guard: |c| c.op == BusOp::WriteExclusiveHit,
+            action: |_| DragonAction::PromoteSilently,
+        },
+    ],
+};
+
 // ------------------------------------------------------------ evaluation
 
 /// Rule-set-backed snooper dispatch: non-snooped kinds are ignored without
@@ -391,6 +596,39 @@ pub fn dir_action(
     DIR_RULES.eval(&DirCtx { entry: *entry, requester, req }, counts.map(|c| c.dir.as_slice()))
 }
 
+/// Rule-set-backed SCI home dispatch through [`SCI_RULES`].
+#[must_use]
+pub fn sci_action(
+    req: SciRequest,
+    list_len: usize,
+    requester_in_list: bool,
+    counts: Option<&FireCounts>,
+) -> SciAction {
+    SCI_RULES.eval(&SciCtx { req, list_len, requester_in_list }, counts.map(|c| c.sci.as_slice()))
+}
+
+/// Rule-set-backed MESI bus dispatch through [`MESI_RULES`].
+#[must_use]
+pub fn mesi_action(
+    op: BusOp,
+    others_valid: bool,
+    owner: bool,
+    counts: Option<&FireCounts>,
+) -> MesiAction {
+    MESI_RULES.eval(&BusCtx { op, others_valid, owner }, counts.map(|c| c.mesi.as_slice()))
+}
+
+/// Rule-set-backed Dragon bus dispatch through [`DRAGON_RULES`].
+#[must_use]
+pub fn dragon_action(
+    op: BusOp,
+    others_valid: bool,
+    owner: bool,
+    counts: Option<&FireCounts>,
+) -> DragonAction {
+    DRAGON_RULES.eval(&BusCtx { op, others_valid, owner }, counts.map(|c| c.dragon.as_slice()))
+}
+
 // ------------------------------------------------------------ fire counts
 
 /// Per-rule fire counters, one slot per rule in declaration order.
@@ -406,6 +644,12 @@ pub struct FireCounts {
     pub home: Vec<AtomicU64>,
     /// Counters for [`DIR_RULES`].
     pub dir: Vec<AtomicU64>,
+    /// Counters for [`SCI_RULES`].
+    pub sci: Vec<AtomicU64>,
+    /// Counters for [`MESI_RULES`].
+    pub mesi: Vec<AtomicU64>,
+    /// Counters for [`DRAGON_RULES`].
+    pub dragon: Vec<AtomicU64>,
 }
 
 /// One rule's fire count, as reported by [`FireCounts::snapshot`].
@@ -430,6 +674,9 @@ impl FireCounts {
             snooper: zeros(SNOOPER_RULES.rules.len()),
             home: zeros(HOME_RULES.rules.len()),
             dir: zeros(DIR_RULES.rules.len()),
+            sci: zeros(SCI_RULES.rules.len()),
+            mesi: zeros(MESI_RULES.rules.len()),
+            dragon: zeros(DRAGON_RULES.rules.len()),
         }
     }
 
@@ -450,6 +697,9 @@ impl FireCounts {
         push(&mut out, &SNOOPER_RULES, &self.snooper);
         push(&mut out, &HOME_RULES, &self.home);
         push(&mut out, &DIR_RULES, &self.dir);
+        push(&mut out, &SCI_RULES, &self.sci);
+        push(&mut out, &MESI_RULES, &self.mesi);
+        push(&mut out, &DRAGON_RULES, &self.dragon);
         out
     }
 }
@@ -511,6 +761,49 @@ pub fn lint(nodes: usize) -> Vec<String> {
         }
     }
     findings.extend(DIR_RULES.lint_over(dir_domain, |c| format!("{c:?}")));
+
+    let mut sci_domain = Vec::new();
+    for req in [SciRequest::Read, SciRequest::Write, SciRequest::Upgrade, SciRequest::Rollout] {
+        for list_len in 0..=nodes {
+            for requester_in_list in [false, true] {
+                // Consistency: misses come from off-list nodes; upgrades
+                // and rollouts from on-list ones (an empty list has no
+                // members to upgrade or roll out).
+                let consistent = match req {
+                    SciRequest::Read | SciRequest::Write => !requester_in_list,
+                    SciRequest::Upgrade | SciRequest::Rollout => requester_in_list && list_len >= 1,
+                };
+                if consistent {
+                    sci_domain.push(SciCtx { req, list_len, requester_in_list });
+                }
+            }
+        }
+    }
+    findings.extend(SCI_RULES.lint_over(sci_domain, |c| format!("{c:?}")));
+
+    let bus_domain: Vec<BusCtx> =
+        [BusOp::ReadMiss, BusOp::WriteMiss, BusOp::WriteSharedHit, BusOp::WriteExclusiveHit]
+            .into_iter()
+            .flat_map(|op| {
+                // (others_valid, owner): owner implies others_valid; an exclusive
+                // hit implies a sole copy.
+                [(false, false), (true, false), (true, true)]
+                    .into_iter()
+                    .filter(move |&(others_valid, _)| {
+                        op != BusOp::WriteExclusiveHit || !others_valid
+                    })
+                    .map(move |(others_valid, owner)| BusCtx { op, others_valid, owner })
+            })
+            .collect();
+    findings.extend(MESI_RULES.lint_over(
+        bus_domain.iter().copied().filter(|c| {
+            // MESI upgrades racing an ownership change are demoted to
+            // write misses before dispatch.
+            c.op != BusOp::WriteSharedHit || !c.owner
+        }),
+        |c| format!("{c:?}"),
+    ));
+    findings.extend(DRAGON_RULES.lint_over(bus_domain, |c| format!("{c:?}")));
 
     findings
 }

@@ -32,6 +32,7 @@ pub mod guarded;
 pub mod invariants;
 mod memory;
 mod msg;
+pub mod sci;
 pub mod table1;
 pub mod transitions;
 
@@ -48,6 +49,14 @@ pub enum ProtocolKind {
     Snooping,
     /// Full-map directory at the home nodes (paper §3.2).
     Directory,
+    /// SCI-like linked-list directory at the home nodes (paper Table 1,
+    /// now a first-class timed and checked protocol).
+    Sci,
+    /// Classic 4-state MESI on the bus backend (silent E→M promotion).
+    Mesi,
+    /// Dragon update-based protocol on the bus backend (write updates
+    /// instead of invalidations; an Sm owner supplies shared data).
+    Dragon,
 }
 
 impl ProtocolKind {
@@ -57,6 +66,9 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Snooping => "snooping",
             ProtocolKind::Directory => "directory",
+            ProtocolKind::Sci => "sci",
+            ProtocolKind::Mesi => "mesi",
+            ProtocolKind::Dragon => "dragon",
         }
     }
 }

@@ -169,6 +169,79 @@ pub fn dir_action(entry: &DirEntry, requester: NodeId, req: DirRequest) -> DirAc
     crate::guarded::dir_action(entry, requester, req, None)
 }
 
+/// A processor operation at the atomic bus's serialisation point, as seen
+/// by the MESI and Dragon rule sets. Misses and upgrades are bus
+/// transactions; the two hit variants are local decisions that MESI and
+/// Dragon still declare as rules (silent E→M promotion, Dragon's
+/// write-to-shared update).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// Read miss.
+    ReadMiss,
+    /// Write miss (including upgrades demoted after losing the race).
+    WriteMiss,
+    /// Write to a still-valid read-shared line (MESI invalidating upgrade;
+    /// Dragon broadcast update).
+    WriteSharedHit,
+    /// Write to a clean exclusive line (MESI/Dragon E state): promotes to
+    /// modified without any bus transaction.
+    WriteExclusiveHit,
+}
+
+/// How MESI serves an admitted bus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiAction {
+    /// Read miss, no other valid copy: memory supplies, fill Exclusive.
+    FillExclusive,
+    /// Read miss, clean copies elsewhere: memory supplies, fill Shared.
+    FillShared,
+    /// Read miss, dirty owner elsewhere: the owner supplies, downgrades to
+    /// Shared, and memory is refreshed; fill Shared.
+    OwnerSuppliesShared,
+    /// Write miss, dirty owner elsewhere: the owner supplies and
+    /// invalidates its copy; fill Modified.
+    OwnerSuppliesModified,
+    /// Write miss, clean copies elsewhere: invalidate them; memory
+    /// supplies; fill Modified.
+    InvalidateAndFillModified,
+    /// Write miss, uncached: memory supplies; fill Modified.
+    FillModified,
+    /// Upgrade with other sharers: invalidate them, promote to Modified.
+    InvalidateAndPromote,
+    /// Upgrade with no other copy: promote to Modified, no data moves.
+    Promote,
+    /// Write hit on an Exclusive line: promote to Modified silently (the
+    /// MESI payoff — no bus transaction at all).
+    PromoteSilently,
+}
+
+/// How Dragon serves an admitted bus operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DragonAction {
+    /// Read miss, uncached: memory supplies, fill Exclusive.
+    FillExclusive,
+    /// Read miss, clean copies elsewhere: memory supplies, fill
+    /// Shared-clean.
+    FillShared,
+    /// Read miss with an owner (Sm or M): the owner supplies and demotes
+    /// to Sm; fill Shared-clean.
+    OwnerSuppliesShared,
+    /// Write miss, uncached: memory supplies, fill Modified.
+    FillModified,
+    /// Write miss with copies elsewhere: fetch the block (owner supplies
+    /// if dirty), broadcast the update word; requester becomes Sm, the
+    /// previous owner demotes to Shared-clean.
+    FillSharedOwnerUpdate,
+    /// Write hit on a shared line with other copies: broadcast the update
+    /// word; requester becomes (or stays) Sm, other copies stay valid.
+    BroadcastUpdate,
+    /// Write hit on a shared line whose other copies have all rolled out:
+    /// the update finds no listeners, promote to Modified.
+    PromoteToModified,
+    /// Write hit on an Exclusive line: promote to Modified silently.
+    PromoteSilently,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

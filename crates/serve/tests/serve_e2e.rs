@@ -189,6 +189,17 @@ fn concurrent_clients_dedupe_onto_one_byte_identical_run() {
     let (status, _) = http(&addr, "POST", "/runs", "{\"experiment\": \"nope\"}");
     assert_eq!(status, 400);
 
+    // A bad `network` spelling surfaces the simulator registry's typed
+    // error, candidates included, straight over the wire.
+    let (status, body) =
+        http(&addr, "POST", "/runs", "{\"experiment\": \"fig3\", \"network\": \"bu\"}");
+    assert_eq!(status, 400);
+    let msg = String::from_utf8_lossy(&body).into_owned();
+    assert!(
+        msg.contains("bus50-mesi") && msg.contains("bus50-dragon"),
+        "ambiguous-prefix error must list every candidate: {msg}"
+    );
+
     // /metrics reflects the traffic this test generated.
     let (status, body) = http(&addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
@@ -201,6 +212,19 @@ fn concurrent_clients_dedupe_onto_one_byte_identical_run() {
     let routes: Vec<&str> = http_stats.iter().map(|s| str_of(s, "route")).collect();
     assert!(routes.contains(&"POST /runs"), "missing POST /runs in {routes:?}");
     assert!(routes.contains(&"GET /runs/:id"), "missing GET /runs/:id in {routes:?}");
+
+    // A submission can pin the network; the ack echoes the canonical
+    // registry spelling (aliases included: `sci` resolves to `sci500`),
+    // and the SCI-backed experiment runs to completion.
+    let sci_submission =
+        format!("{{\"experiment\": \"sci_vs_fullmap\", \"refs\": {REFS}, \"network\": \"sci\"}}");
+    let (status, body) = http(&addr, "POST", "/runs", &sci_submission);
+    assert_eq!(status, 202, "new submission must create a job: {status}");
+    let v = json(&body);
+    assert_eq!(str_of(&v, "network"), "sci500");
+    let sci_id = str_of(&v, "id").to_owned();
+    assert_ne!(sci_id, first_id);
+    wait_done(&addr, &sci_id);
 
     // Malformed wire input maps to a 400, not a dropped connection.
     let mut stream = TcpStream::connect(&addr).unwrap();

@@ -94,7 +94,8 @@ commands:
   replay                    simulate a recorded trace (--trace <path>)
   check                     exhaustively model-check the coherence protocols
                             (--all-protocols | --protocol p) (--nodes N) (--blocks B)
-                            (--inject none|skip-invalidate|forget-owner|park-busy-forwards)
+                            (--inject none|skip-invalidate|forget-owner|park-busy-forwards
+                                     |break-list-link)
                             (--jobs N parallel frontier workers, 0 = auto)
                             (--stats orbit-reduction and rule fire counts)
                             (--no-symmetry explore raw states, no orbit collapse)
@@ -117,10 +118,14 @@ options:
   --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
                             (sim defaults to mp3d)
   --procs <n>               processor count (per the paper's sizes)
-  --network <net>           ring500 | ring250 | bus50 | bus100 | hier
+  --network <net>           ring500 | ring250 | bus50 | bus100 | bus50-mesi |
+                            bus50-dragon | sci500 | sci250 | hier
                             (default ring500; sim and replay only accept what
                             the simulator registry lists)
-  --protocol <p>            snooping | directory (rings only; default snooping)
+  --protocol <p>            snooping | directory | sci | mesi | dragon
+                            (slotted rings run snooping/directory; sci/mesi/
+                            dragon pick the matching --network instead; check
+                            accepts all five; default snooping)
   --mips <m>                processor speed in MIPS (default 50)
   --refs <n>                measured references per processor (default 20000)";
 
@@ -162,7 +167,13 @@ fn protocol_of(flags: &HashMap<String, String>) -> Result<ProtocolKind, Box<dyn 
     match flags.get("protocol").map(String::as_str) {
         None | Some("snooping") => Ok(ProtocolKind::Snooping),
         Some("directory") => Ok(ProtocolKind::Directory),
-        Some(other) => Err(format!("unknown protocol `{other}`").into()),
+        Some("sci") => Ok(ProtocolKind::Sci),
+        Some("mesi") => Ok(ProtocolKind::Mesi),
+        Some("dragon") => Ok(ProtocolKind::Dragon),
+        Some(other) => {
+            Err(format!("unknown protocol `{other}` (snooping, directory, sci, mesi or dragon)")
+                .into())
+        }
     }
 }
 
@@ -211,7 +222,13 @@ fn check_cmd_inner(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
     }
 
     let protocols: Vec<ProtocolKind> = if all_protocols {
-        vec![ProtocolKind::Snooping, ProtocolKind::Directory]
+        vec![
+            ProtocolKind::Snooping,
+            ProtocolKind::Directory,
+            ProtocolKind::Sci,
+            ProtocolKind::Mesi,
+            ProtocolKind::Dragon,
+        ]
     } else {
         vec![protocol_of(&flags)?]
     };

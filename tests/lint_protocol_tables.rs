@@ -142,7 +142,8 @@ fn guarded_rule_names_are_unique() {
     for fire in FireCounts::new().snapshot() {
         assert!(seen.insert((fire.ruleset, fire.rule)), "duplicate rule {:?}", fire.rule);
     }
-    assert!(seen.len() >= 19, "expected the full rule inventory, got {}", seen.len());
+    // snooper + home + directory + sci + mesi + dragon.
+    assert!(seen.len() >= 43, "expected the full rule inventory, got {}", seen.len());
 }
 
 /// The guarded module keeps the same no-wildcard promise as the transition
@@ -160,7 +161,9 @@ fn guarded_rules_have_no_wildcard_arms() {
             line.trim()
         );
     }
-    for name in ["SNOOPER_RULES", "HOME_RULES", "DIR_RULES"] {
+    for name in
+        ["SNOOPER_RULES", "HOME_RULES", "DIR_RULES", "SCI_RULES", "MESI_RULES", "DRAGON_RULES"]
+    {
         assert!(src.contains(name), "expected `{name}` in guarded.rs");
     }
 }
@@ -174,12 +177,21 @@ fn no_rule_is_dead_at_four_nodes() {
     use ringsim::check::{explore, CheckConfig};
     use ringsim::proto::ProtocolKind;
 
-    for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+    for protocol in [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Sci,
+        ProtocolKind::Mesi,
+        ProtocolKind::Dragon,
+    ] {
         let mut cfg = CheckConfig::new(protocol, 4, 1);
         cfg.stats = true;
-        // The directory's full 4-node space is huge; evictions add nothing
-        // to rule coverage (no rule guards on eviction state).
-        cfg.evictions = protocol == ProtocolKind::Snooping;
+        // The directory's full 4-node space is huge and evictions add
+        // nothing to its rule coverage (no directory rule guards on
+        // eviction state). Every other protocol keeps them: SCI's rollout
+        // splice, MESI's last-copy promote and Dragon's last-copy promote
+        // only fire with evictions in the mix.
+        cfg.evictions = protocol != ProtocolKind::Directory;
         cfg.check_liveness = false;
         let report = explore(&cfg).expect("valid config");
         assert!(report.passed(), "{protocol}: exhaustive run must be clean");
