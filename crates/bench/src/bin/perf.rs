@@ -15,10 +15,11 @@ const HELP: &str = "\
 perf — macro-benchmark harness for the committed BENCH_*.json baselines
 
 Times a full simulator run for every registered backend (ring500, ring250,
-bus50, bus100, bus50-mesi, bus50-dragon, sci500, sci250, hier) at 16 and 64
-processors on the deterministic demo workload, and writes the grouped
-baselines BENCH_ring.json / BENCH_bus.json / BENCH_proto.json /
-BENCH_sci.json / BENCH_hier.json.
+bus50, bus100, bus50-mesi, bus50-dragon, sci500, sci250, hier, hier3,
+hier-deflect) at 16 and 64 processors on the deterministic demo workload —
+plus the flat and two-level topology overrides of hier at 64 processors —
+and writes the grouped baselines BENCH_ring.json / BENCH_bus.json /
+BENCH_proto.json / BENCH_sci.json / BENCH_hier.json / BENCH_topo.json.
 
 USAGE:
   perf [OPTIONS]

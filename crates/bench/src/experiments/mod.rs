@@ -21,11 +21,12 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod topology_sweep;
 pub mod validate;
 pub mod wide_ring;
 
 /// Every experiment, in the order the `all` driver runs them.
-pub static ALL: [&dyn Experiment; 16] = [
+pub static ALL: [&dyn Experiment; 17] = [
     &table1::Table1,
     &table2::Table2,
     &table3::Table3,
@@ -42,6 +43,7 @@ pub static ALL: [&dyn Experiment; 16] = [
     &wide_ring::WideRing,
     &ring_access::RingAccess,
     &sci_vs_fullmap::SciVsFullmap,
+    &topology_sweep::TopologySweep,
 ];
 
 /// Looks an experiment up by registry name.

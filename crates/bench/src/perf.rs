@@ -11,6 +11,9 @@
 //! * `BENCH_proto.json` — `bus50-mesi`, `bus50-dragon`
 //! * `BENCH_sci.json` — `sci500`, `sci250`
 //! * `BENCH_hier.json` — `hier`
+//! * `BENCH_topo.json` — `hier3`, `hier-deflect`, and the flat / two-level
+//!   topology overrides of `hier` at 64 processors (the topology-sweep
+//!   comparison at equal node counts)
 //!
 //! Entries carry the median wall time per run, derived simulated-cycles/sec
 //! and references/sec throughput, and a fingerprint of the exact
@@ -26,7 +29,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use ringsim_core::{RunOptions, SimKind, SimReport, SimSpec, Simulator};
+use ringsim_core::{HierTopology, RunOptions, SimKind, SimReport, SimSpec, Simulator};
 use ringsim_trace::{Workload, WorkloadSpec};
 use ringsim_types::Time;
 
@@ -40,7 +43,8 @@ pub const REFS_PER_PROC: u64 = 4_000;
 /// Processor counts each backend is measured at.
 pub const PROC_POINTS: [usize; 2] = [16, 64];
 
-/// One benchmarked configuration: a backend at a processor count.
+/// One benchmarked configuration: a backend at a processor count,
+/// optionally pinned to an explicit hierarchy topology.
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// Backend under measurement.
@@ -49,13 +53,20 @@ pub struct Scenario {
     pub procs: usize,
     /// Per-processor data-reference budget.
     pub refs_per_proc: u64,
+    /// Topology override for the hierarchical backends (`None` keeps the
+    /// backend's default depth; meaningless for non-hier kinds).
+    pub topo: Option<HierTopology>,
 }
 
 impl Scenario {
-    /// Stable scenario name, e.g. `ring500-64p`.
+    /// Stable scenario name, e.g. `ring500-64p` — or `hier-flat-64p` when a
+    /// topology override is pinned.
     #[must_use]
     pub fn name(&self) -> String {
-        format!("{}-{}p", self.kind.name(), self.procs)
+        match self.topo {
+            Some(t) => format!("{}-{}-{}p", self.kind.name(), t.name(), self.procs),
+            None => format!("{}-{}p", self.kind.name(), self.procs),
+        }
     }
 
     /// The interconnect clock period the backend's slot pipeline (or bus
@@ -63,26 +74,47 @@ impl Scenario {
     #[must_use]
     pub fn clock_period(&self) -> Time {
         match self.kind {
-            SimKind::Ring500 | SimKind::Sci500 | SimKind::Hier => Time::from_ns(2),
+            SimKind::Ring500
+            | SimKind::Sci500
+            | SimKind::Hier
+            | SimKind::Hier3
+            | SimKind::HierDeflect => Time::from_ns(2),
             SimKind::Ring250 | SimKind::Sci250 => Time::from_ns(4),
             SimKind::Bus50 | SimKind::Bus50Mesi | SimKind::Bus50Dragon => Time::from_ns(20),
             SimKind::Bus100 => Time::from_ns(10),
         }
     }
 
+    /// The baseline group (and thus `BENCH_*.json` file) this scenario
+    /// belongs to: topology-override scenarios land in `topo` regardless of
+    /// backend, everything else groups by backend.
+    #[must_use]
+    pub fn group(&self) -> &'static str {
+        if self.topo.is_some() {
+            "topo"
+        } else {
+            group_of(self.kind)
+        }
+    }
+
     /// Fingerprint of everything that shapes this scenario's runtime: the
     /// backend, topology, workload identity and budget, and the schema
     /// version. Committed baselines are only comparable to a fresh
-    /// measurement when the fingerprints match.
+    /// measurement when the fingerprints match. (The `|topology=` suffix is
+    /// only appended when an override is pinned, so fingerprints of the
+    /// pre-existing matrix are unchanged.)
     #[must_use]
     pub fn fingerprint(&self) -> String {
-        let canon = format!(
+        let mut canon = format!(
             "{schema}|{kind}|procs={procs}|refs={refs}|workload=demo|protocol=snooping|proc_cycle_ps=20000",
             schema = BENCH_SCHEMA,
             kind = self.kind.name(),
             procs = self.procs,
             refs = self.refs_per_proc,
         );
+        if let Some(t) = self.topo {
+            let _ = write!(canon, "|topology={}", t.name());
+        }
         format!("{:016x}", fnv1a(canon.as_bytes()))
     }
 
@@ -96,7 +128,10 @@ impl Scenario {
     pub fn build(&self) -> Box<dyn Simulator> {
         let workload = Workload::new(WorkloadSpec::demo(self.procs).with_refs(self.refs_per_proc))
             .expect("demo workload");
-        let spec = SimSpec::new(workload);
+        let mut spec = SimSpec::new(workload);
+        if let Some(t) = self.topo {
+            spec = spec.with_topology(t);
+        }
         self.kind.build(&spec).unwrap_or_else(|e| panic!("{}: {e}", self.name()))
     }
 
@@ -112,14 +147,25 @@ impl Scenario {
     }
 }
 
-/// The full committed matrix: every backend at every processor point.
+/// The full committed matrix: every backend at every processor point, plus
+/// the `topo` group's flat and two-level overrides of `hier` at 64
+/// processors (so `BENCH_topo.json` records all four topologies — flat,
+/// two-level, three-level, deflection — at equal node counts).
 #[must_use]
 pub fn scenarios() -> Vec<Scenario> {
     let mut out = Vec::new();
     for kind in SimKind::ALL {
         for procs in PROC_POINTS {
-            out.push(Scenario { kind, procs, refs_per_proc: REFS_PER_PROC });
+            out.push(Scenario { kind, procs, refs_per_proc: REFS_PER_PROC, topo: None });
         }
+    }
+    for topo in [HierTopology::Flat, HierTopology::TwoLevel] {
+        out.push(Scenario {
+            kind: SimKind::Hier,
+            procs: 64,
+            refs_per_proc: REFS_PER_PROC,
+            topo: Some(topo),
+        });
     }
     out
 }
@@ -187,8 +233,10 @@ pub struct BenchFile {
 }
 
 /// The baseline group (and thus file) a backend belongs to. The bus
-/// protocol variants and the SCI backends form their own groups so the
-/// baselines captured before they existed stay comparable file-for-file.
+/// protocol variants, the SCI backends, and the topology variants form
+/// their own groups so the baselines captured before they existed stay
+/// comparable file-for-file. Scenarios with a topology override land in
+/// `topo` regardless of backend — see [`Scenario::group`].
 #[must_use]
 pub fn group_of(kind: SimKind) -> &'static str {
     match kind {
@@ -197,11 +245,12 @@ pub fn group_of(kind: SimKind) -> &'static str {
         SimKind::Bus50Mesi | SimKind::Bus50Dragon => "proto",
         SimKind::Sci500 | SimKind::Sci250 => "sci",
         SimKind::Hier => "hier",
+        SimKind::Hier3 | SimKind::HierDeflect => "topo",
     }
 }
 
 /// The group names, in file order.
-pub const GROUPS: [&str; 5] = ["ring", "bus", "proto", "sci", "hier"];
+pub const GROUPS: [&str; 6] = ["ring", "bus", "proto", "sci", "hier", "topo"];
 
 /// File name for a group's baseline (`BENCH_<group>.json`).
 #[must_use]
@@ -240,7 +289,7 @@ pub fn assemble(measurements: &[Measurement], baselines: &HashMap<String, u64>) 
             group: (*group).to_owned(),
             entries: measurements
                 .iter()
-                .filter(|m| group_of(m.scenario.kind) == *group)
+                .filter(|m| m.scenario.group() == *group)
                 .map(|m| entry_for(m, baselines))
                 .collect(),
         })
@@ -314,7 +363,7 @@ pub fn validate(file: &BenchFile) -> Result<(), String> {
         return Err(format!("unknown group `{}`", file.group));
     }
     let expected: Vec<Scenario> =
-        scenarios().into_iter().filter(|s| group_of(s.kind) == file.group).collect();
+        scenarios().into_iter().filter(|s| s.group() == file.group).collect();
     if file.entries.len() != expected.len() {
         return Err(format!(
             "group `{}` has {} entries (expected {})",
@@ -415,12 +464,27 @@ mod tests {
     #[test]
     fn matrix_covers_every_backend_at_both_points() {
         let all = scenarios();
-        assert_eq!(all.len(), SimKind::ALL.len() * PROC_POINTS.len());
+        // Every backend at both points, plus the two 64-processor topology
+        // overrides of `hier` in the `topo` group.
+        assert_eq!(all.len(), SimKind::ALL.len() * PROC_POINTS.len() + 2);
         for kind in SimKind::ALL {
             for procs in PROC_POINTS {
-                assert!(all.iter().any(|s| s.kind == kind && s.procs == procs));
+                assert!(all.iter().any(|s| s.kind == kind && s.procs == procs && s.topo.is_none()));
             }
         }
+        let topo: Vec<String> =
+            all.iter().filter(|s| s.group() == "topo").map(Scenario::name).collect();
+        assert_eq!(
+            topo,
+            [
+                "hier3-16p",
+                "hier3-64p",
+                "hier-deflect-16p",
+                "hier-deflect-64p",
+                "hier-flat-64p",
+                "hier-2level-64p",
+            ]
+        );
     }
 
     #[test]
@@ -437,7 +501,8 @@ mod tests {
 
     #[test]
     fn assemble_round_trips_through_json() {
-        let s = Scenario { kind: SimKind::Bus50, procs: 16, refs_per_proc: REFS_PER_PROC };
+        let s =
+            Scenario { kind: SimKind::Bus50, procs: 16, refs_per_proc: REFS_PER_PROC, topo: None };
         let m = Measurement { scenario: s, median_ns: 1_000_000, sim_cycles: 50_000 };
         let mut baselines = HashMap::new();
         baselines.insert(s.name(), 2_000_000_u64);

@@ -23,8 +23,8 @@ const GOLDEN: &str = "tests/goldens/simkind_digests.json";
 fn golden_scenarios() -> Vec<Scenario> {
     let mut out = Vec::new();
     for kind in SimKind::ALL {
-        out.push(Scenario { kind, procs: 16, refs_per_proc: 2_000 });
-        out.push(Scenario { kind, procs: 64, refs_per_proc: 400 });
+        out.push(Scenario { kind, procs: 16, refs_per_proc: 2_000, topo: None });
+        out.push(Scenario { kind, procs: 64, refs_per_proc: 400, topo: None });
     }
     out
 }
@@ -81,7 +81,7 @@ fn runs_are_deterministic_within_a_process() {
     // this guards the weaker (but load-bearing) half: re-running the same
     // scenario in-process yields the same bytes.
     for kind in SimKind::ALL {
-        let s = Scenario { kind, procs: 16, refs_per_proc: 500 };
+        let s = Scenario { kind, procs: 16, refs_per_proc: 500, topo: None };
         let (a, _) = s.run_once();
         let (b, _) = s.run_once();
         assert_eq!(report_digest(&a), report_digest(&b), "{}", s.name());

@@ -25,8 +25,8 @@ fn smoke(name: &str) {
 }
 
 #[test]
-fn registry_covers_sixteen_experiments() {
-    assert_eq!(experiments::ALL.len(), 16);
+fn registry_covers_seventeen_experiments() {
+    assert_eq!(experiments::ALL.len(), 17);
 }
 
 #[test]
@@ -115,4 +115,9 @@ fn ring_access_runs() {
 #[test]
 fn sci_vs_fullmap_runs() {
     smoke("sci_vs_fullmap");
+}
+
+#[test]
+fn topology_sweep_runs() {
+    smoke("topology_sweep");
 }

@@ -21,10 +21,13 @@ fn run_into(name: &str, jobs: usize, dir: &Path) -> Vec<PathBuf> {
 /// share a characterisation (block_sweep), the one experiment that draws
 /// per-point RNG streams from `PointCtx::seed` (ring_access) — the three
 /// ways a schedule-dependent bug could leak into artifacts — plus the SCI
-/// comparison, which runs two different timed backends per point.
+/// comparison, which runs two different timed backends per point, and the
+/// topology sweep, which runs the hierarchical engine at every tree depth
+/// (including the deflecting-bridge mode, whose deflection counts must
+/// also be schedule-independent).
 #[test]
 fn artifacts_are_byte_identical_across_jobs() {
-    for name in ["table3", "block_sweep", "ring_access", "sci_vs_fullmap"] {
+    for name in ["table3", "block_sweep", "ring_access", "sci_vs_fullmap", "topology_sweep"] {
         let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("det-{name}"));
         let serial = run_into(name, 1, &base.join("jobs1"));
         let parallel = run_into(name, 8, &base.join("jobs8"));

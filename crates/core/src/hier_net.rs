@@ -1,28 +1,49 @@
-//! Message-level timed simulation of a two-level slotted-ring hierarchy.
+//! Message-level timed simulation of a tree of slotted rings.
 //!
 //! This validates the hierarchical analytical model
 //! (`ringsim_analytic::HierRingModel`) by actually circulating messages
-//! through real [`SlotRing`]s: every local ring and the global ring are
-//! slot machines in lockstep, inter-ring interfaces (IRIs) forward between
-//! them with queues, and nodes run a closed loop of *think → transact →
-//! wait for reply*. Coherence details are abstracted to a single request/
-//! reply transaction shape (the protocol level is validated separately by
-//! the flat-ring system simulator); what is measured here is exactly what
-//! the hierarchy model predicts — slot contention and multi-level latency.
+//! through real [`SlotRing`]s: every ring of a [`RingTopology`] — flat,
+//! two-level or three-level — is a slot machine in lockstep, [`Bridge`]
+//! junctions forward between a ring and its parent, and nodes run a closed
+//! loop of *think → transact → wait for reply*. Coherence details are
+//! abstracted to a single request/reply transaction shape (the protocol
+//! level is validated separately by the flat-ring system simulator); what
+//! is measured here is exactly what the hierarchy model predicts — slot
+//! contention and multi-level latency.
 //!
-//! Transaction shapes (KSR1-style IRI filters):
+//! Transaction shapes (KSR1-style bridge filters):
 //!
-//! * **intra-ring**: a probe makes one full local revolution (snooped by
+//! * **intra-ring**: a probe makes one full leaf revolution (snooped by
 //!   the home on the way), the home replies after the 140 ns access with a
 //!   block message to the requester.
-//! * **inter-ring**: the probe makes a full local revolution (the IRI
-//!   copies it as it passes), a full global revolution (the target ring's
-//!   IRI copies it), and a full remote-ring revolution; the reply hops
-//!   home → IRI → IRI → requester through block slots.
+//! * **inter-ring**: the probe makes a full revolution of every ring on
+//!   the tree path — its own leaf (the uplink bridge copies it as it
+//!   passes), each ring up to the meet point, and each ring back down to
+//!   the home leaf; the reply hops home → bridges → requester through
+//!   block slots.
+//!
+//! Bridges come in two flavours selected by
+//! [`HierNetConfig::bridge_buffer`]:
+//!
+//! * `None` (classic): unbounded transfer queues, the original two-level
+//!   interface behaviour — for two-level trees this path is bit-for-bit
+//!   identical to the pre-topology `hier` backend.
+//! * `Some(depth)` (HiRD-style deflection): transfer queues are capped at
+//!   `depth.max(1)` entries (0 ⇒ a single-entry bufferless latch). A
+//!   message that loses arbitration at a full bridge is *deflected*: it
+//!   stays on its current ring, re-circulates, and retries one revolution
+//!   later. Each deflection bumps a deterministic age tag in the message
+//!   header; aged messages may claim the last queue entry that fresh
+//!   messages (at depth ≥ 2) must leave free, and a message deflected
+//!   [`ESCAPE_AGE`] times is admitted even into a full queue (which then
+//!   transiently exceeds its cap) — without that escape, fully occupied
+//!   bridges on opposite sides of a ring can enter a circular wait. Every
+//!   message is therefore eventually delivered. Per-bridge
+//!   occupancy/deflection gauges flow through the `ringsim-obs` sinks.
 
 use ringsim_obs::{LatencyHistogram, Obs, ObsConfig, Recorder};
 use ringsim_proto::{MsgClass, MsgKind, RingMessage};
-use ringsim_ring::{RingConfig, RingHierarchy, SlotId, SlotKind, SlotRing};
+use ringsim_ring::{RingHierarchy, RingTopology, SlotId, SlotKind, SlotRing};
 use ringsim_types::rng::Xoshiro256;
 use ringsim_types::stats::RunningMean;
 use ringsim_types::{BlockAddr, CoherenceEvents, ConfigError, NodeId, Time};
@@ -31,15 +52,31 @@ use crate::collections::RingBuf;
 use crate::report::{summarize_nodes, ClassLatencies, NodeMeasure, SimReport};
 use crate::sanitize;
 
+/// Block-address bit layout. Bits 0–31 carry the per-transaction id,
+/// bits 32–47 the home leaf ring and bits 48–53 the origin leaf ring + 1
+/// (0 = untagged) — all of which route the message. Bits 54+ only exist
+/// in deflection mode: bit 54 marks "crossed its bridge on this ring" and
+/// bits 55–62 count deflections (the age tag). The classic path never
+/// sets them, which is what keeps it bit-identical to the pre-topology
+/// backend.
+const HOME_SHIFT: u32 = 32;
+const ORIGIN_SHIFT: u32 = 48;
+const ORIGIN_MASK: u64 = 0x3F;
+const CROSSED_BIT: u64 = 1 << 54;
+const AGE_SHIFT: u32 = 55;
+const AGE_MASK: u64 = 0xFF;
+/// Everything that routes: txn id, home ring, origin tag.
+const ROUTE_MASK: u64 = CROSSED_BIT - 1;
+
 /// Configuration of a hierarchy network simulation.
 #[derive(Debug, Clone)]
 pub struct HierNetConfig {
-    /// The two-level topology.
-    pub hier: RingHierarchy,
+    /// The ring tree (flat, two-level or three-level).
+    pub topo: RingTopology,
     /// Mean think time between a node's transactions.
     pub think_time: Time,
     /// Probability that a transaction's home is in the requester's ring
-    /// (uniform placement would be `1 / local_rings`).
+    /// (uniform placement would be `1 / leaf_rings`).
     pub locality: f64,
     /// Memory access time at the home (paper: 140 ns).
     pub mem_latency: Time,
@@ -47,20 +84,31 @@ pub struct HierNetConfig {
     pub txns_per_node: u64,
     /// PRNG seed for think times, home choices and block parities.
     pub seed: u64,
+    /// Bridge transfer-queue depth: `None` for the classic unbounded
+    /// queues, `Some(depth)` for HiRD-style deflection routing with
+    /// `depth.max(1)`-entry queues (0 ⇒ bufferless latch).
+    pub bridge_buffer: Option<usize>,
 }
 
 impl HierNetConfig {
-    /// A baseline configuration for the given topology.
+    /// A baseline configuration for a classic two-level topology.
     #[must_use]
     pub fn new(hier: RingHierarchy) -> Self {
-        let locality = hier.uniform_locality();
+        Self::with_topology(hier.into_topology())
+    }
+
+    /// A baseline configuration for the given ring tree.
+    #[must_use]
+    pub fn with_topology(topo: RingTopology) -> Self {
+        let locality = topo.uniform_locality();
         Self {
-            hier,
+            topo,
             think_time: Time::from_ns(400),
             locality,
             mem_latency: Time::from_ns(140),
             txns_per_node: 400,
             seed: 0xB10C,
+            bridge_buffer: None,
         }
     }
 
@@ -79,6 +127,11 @@ impl HierNetConfig {
         if self.txns_per_node == 0 {
             return Err(ConfigError::new("txns_per_node", "must be non-zero"));
         }
+        if let Some(depth) = self.bridge_buffer {
+            if depth > 1024 {
+                return Err(ConfigError::new("bridge_buffer", "at most 1024 entries"));
+            }
+        }
         Ok(())
     }
 }
@@ -90,14 +143,17 @@ pub struct HierNetReport {
     pub latency: RunningMean,
     /// Full latency distribution (log2 buckets) over the same samples.
     pub latency_hist: LatencyHistogram,
-    /// Combined slot utilisation of the local rings.
+    /// Combined slot utilisation of the leaf rings.
     pub local_util: f64,
-    /// Slot utilisation of the global ring.
+    /// Combined slot utilisation of every ring above the leaves (0 for a
+    /// flat topology).
     pub global_util: f64,
     /// Completed transactions.
     pub completed: u64,
     /// Simulated time.
     pub sim_end: Time,
+    /// Total bridge deflections (always 0 with unbounded bridges).
+    pub deflections: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,20 +177,62 @@ struct NetNode {
     finished: Time,
     /// Its own end-to-end latency distribution.
     lat_hist: LatencyHistogram,
-    /// Pending local-ring insertions for this node.
+    /// Pending leaf-ring insertions for this node.
     out_q: RingBuf<RingMessage>,
     rng: Xoshiro256,
 }
 
-/// Per-message routing plan, encoded in the `RingMessage` fields:
-/// `block`'s low bits carry the target ring and requester so the IRIs can
-/// route without extra state.
+/// A junction between a ring and its parent: the generalisation of the
+/// two-level inter-ring interface (IRI). `bridges[level][ring]` connects
+/// ring `ring` of `level` to the parent ring above it; routing is encoded
+/// in the message header (`block`'s bits carry the home/origin leaf rings)
+/// so bridges need no per-transaction state.
 #[derive(Debug)]
-struct Iri {
-    /// Messages waiting to enter the global ring.
-    to_global: RingBuf<RingMessage>,
-    /// Messages waiting to enter this IRI's local ring.
-    to_local: RingBuf<RingMessage>,
+struct Bridge {
+    /// Messages waiting to enter the parent ring.
+    up: RingBuf<RingMessage>,
+    /// Messages waiting to enter this bridge's own (child) ring.
+    down: RingBuf<RingMessage>,
+    /// `None`: unbounded classic queues. `Some(cap)`: deflection mode,
+    /// at most `cap` entries per direction.
+    cap: Option<usize>,
+    /// Messages this bridge turned away (deflection mode only).
+    deflections: u64,
+    /// Messages this bridge accepted (both directions).
+    transfers: u64,
+}
+
+/// After this many lost arbitrations a message is admitted regardless of
+/// queue occupancy (the queue transiently exceeds its cap). Finite bridge
+/// queues alone can deadlock: with every queue full, a circulating message
+/// that must cross before it can be removed holds the very ring slot the
+/// opposing queue needs to drain into — a circular wait the age priority
+/// cannot break when the cap leaves no reserved entry. The escape bound
+/// turns that wait into bounded extra occupancy (at most one in-flight
+/// message per node exists system-wide), restoring guaranteed delivery.
+const ESCAPE_AGE: u64 = 8;
+
+impl Bridge {
+    fn new(cap: Option<usize>) -> Self {
+        Self { up: RingBuf::new(), down: RingBuf::new(), cap, deflections: 0, transfers: 0 }
+    }
+
+    /// Arbitration for one queue entry. Unbounded bridges always admit.
+    /// Bounded bridges admit while there is room, but (at depth ≥ 2) hold
+    /// the last entry back for aged messages; a message deflected
+    /// [`ESCAPE_AGE`] times is admitted unconditionally — the deterministic
+    /// priority that guarantees a deflected message eventually wins.
+    fn admits(&self, queue_len: usize, age: u64) -> bool {
+        match self.cap {
+            None => true,
+            Some(_) if age >= ESCAPE_AGE => true,
+            Some(cap) => queue_len < cap && (queue_len + 1 < cap || age > 0 || cap == 1),
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.up.len() + self.down.len()
+    }
 }
 
 /// The message-level hierarchy simulator.
@@ -155,29 +253,32 @@ struct Iri {
 #[derive(Debug)]
 pub struct HierNetSim {
     cfg: HierNetConfig,
-    locals: Vec<SlotRing<RingMessage>>,
-    global: SlotRing<RingMessage>,
-    iris: Vec<Iri>,
+    /// `rings[level][ring]`; level 0 holds the leaf rings.
+    rings: Vec<Vec<SlotRing<RingMessage>>>,
+    /// `bridges[level][ring]` joins that ring to its parent; empty at the
+    /// root level (and entirely for a flat topology).
+    bridges: Vec<Vec<Bridge>>,
     nodes: Vec<NetNode>,
     latency: RunningMean,
     latency_hist: LatencyHistogram,
     intra_hist: LatencyHistogram,
     inter_hist: LatencyHistogram,
     completed: u64,
+    /// Total deflections across all bridges.
+    deflections: u64,
     max_cycles: u64,
     debug: bool,
     obs: Obs,
     obs_hier_tl: usize,
+    obs_bridge_tl: usize,
     /// Earliest cycle each node could act in the think/issue step
     /// (`u64::MAX` while waiting on a reply or finished). Lets the
     /// per-cycle loop skip nodes that provably cannot move.
     wake_at: Vec<u64>,
-    /// Phase-indexed header arrivals, shared by the (identically
-    /// configured) local rings: `local_sched[cycle % stages]` lists the
-    /// `(position, slot)` pairs with an arrival that cycle.
-    local_sched: Vec<Vec<(NodeId, SlotId)>>,
-    /// Phase-indexed header arrivals on the global ring.
-    global_sched: Vec<Vec<(NodeId, SlotId)>>,
+    /// Phase-indexed header arrivals, one schedule per level (all rings of
+    /// a level are identically configured): `scheds[level][cycle % stages]`
+    /// lists the `(position, slot)` pairs with an arrival that cycle.
+    scheds: Vec<Vec<Vec<(NodeId, SlotId)>>>,
 }
 
 impl HierNetSim {
@@ -188,21 +289,27 @@ impl HierNetSim {
     /// Returns a [`ConfigError`] when the configuration is invalid.
     pub fn new(cfg: HierNetConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let base = *cfg.hier.base();
-        let local_cfg = RingConfig { nodes: cfg.hier.nodes_per_ring() + 1, ..base };
-        let global_cfg = RingConfig { nodes: cfg.hier.local_rings().max(2), ..base };
-        let locals = (0..cfg.hier.local_rings())
-            .map(|_| SlotRing::new(local_cfg))
-            .collect::<Result<Vec<_>, _>>()?;
-        let global = SlotRing::new(global_cfg)?;
-        let iris = (0..cfg.hier.local_rings())
-            .map(|_| Iri { to_global: RingBuf::new(), to_local: RingBuf::new() })
-            .collect();
-        let local_sched =
-            locals.first().map(|r: &SlotRing<RingMessage>| r.layout().arrival_schedule());
-        let global_sched = global.layout().arrival_schedule();
+        let levels = cfg.topo.levels();
+        let cap = cfg.bridge_buffer.map(|d| d.max(1));
+        let mut rings = Vec::with_capacity(levels);
+        let mut bridges = Vec::with_capacity(levels.saturating_sub(1));
+        for level in 0..levels {
+            let ring_cfg = cfg.topo.level_config(level);
+            rings.push(
+                (0..cfg.topo.rings_at(level))
+                    .map(|_| SlotRing::new(ring_cfg))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+            if level + 1 < levels {
+                bridges.push((0..cfg.topo.rings_at(level)).map(|_| Bridge::new(cap)).collect());
+            }
+        }
+        let scheds = rings
+            .iter()
+            .map(|l| l[0].layout().arrival_schedule())
+            .collect::<Vec<Vec<Vec<(NodeId, SlotId)>>>>();
         let mut root = Xoshiro256::seed_from_u64(cfg.seed);
-        let nodes = (0..cfg.hier.total_nodes())
+        let nodes = (0..cfg.topo.total_nodes())
             .map(|i| NetNode {
                 phase: Phase::Thinking { until: Time::from_ps(1 + i as u64 * 137) },
                 issued: 0,
@@ -214,34 +321,49 @@ impl HierNetSim {
                 rng: root.fork(i as u64),
             })
             .collect();
-        let cfg_total_nodes = cfg.hier.total_nodes();
+        let cfg_total_nodes = cfg.topo.total_nodes();
         Ok(Self {
             cfg,
-            locals,
-            global,
-            iris,
+            rings,
+            bridges,
             nodes,
             latency: RunningMean::default(),
             latency_hist: LatencyHistogram::new(),
             intra_hist: LatencyHistogram::new(),
             inter_hist: LatencyHistogram::new(),
             completed: 0,
+            deflections: 0,
             max_cycles: 500_000_000,
             debug: false,
             obs: Obs::disabled(),
             obs_hier_tl: usize::MAX,
+            obs_bridge_tl: usize::MAX,
             wake_at: vec![0; cfg_total_nodes],
-            local_sched: local_sched.unwrap_or_default(),
-            global_sched,
+            scheds,
         })
     }
 
-    /// Enables telemetry for this run: per-transaction trace events plus a
-    /// `"hier"` gauge timeline (combined local-ring occupancy, global-ring
-    /// occupancy, total IRI queue depth). Strictly observational.
+    /// Enables telemetry for this run: per-transaction trace events, a
+    /// `"hier"` gauge timeline (combined leaf-ring occupancy, combined
+    /// upper-ring occupancy, total bridge queue depth) and — for trees
+    /// with at least one bridge — a `"bridges"` timeline with per-bridge
+    /// occupancy, cumulative deflection and cumulative transfer columns.
+    /// Strictly observational.
     pub fn attach_obs(&mut self, cfg: ObsConfig) {
         let mut obs = Obs::enabled(cfg, self.nodes.len());
         self.obs_hier_tl = obs.add_timeline("hier", &["local_occ", "global_occ", "iri_queue"]);
+        if self.cfg.topo.levels() > 1 {
+            let mut names = Vec::new();
+            for (level, row) in self.bridges.iter().enumerate() {
+                for ring in 0..row.len() {
+                    for gauge in ["occ", "defl", "xfer"] {
+                        names.push(format!("L{level}R{ring}_{gauge}"));
+                    }
+                }
+            }
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            self.obs_bridge_tl = obs.add_timeline("bridges", &refs);
+        }
         self.obs = obs;
     }
 
@@ -252,20 +374,62 @@ impl HierNetSim {
     }
 
     /// Encodes routing into a message: requester in `requester`, the home
-    /// ring in the upper block bits, and a per-transaction id in the lower
-    /// bits (parity varies so both probe slots are exercised).
+    /// leaf ring in the upper block bits, and a per-transaction id in the
+    /// lower bits (parity varies so both probe slots are exercised).
     fn make_probe(req: NodeId, home_ring: usize, txn: u64) -> RingMessage {
-        let block = BlockAddr::new(((home_ring as u64) << 32) | txn);
+        let block = BlockAddr::new(((home_ring as u64) << HOME_SHIFT) | txn);
         RingMessage::for_requester(MsgKind::SnoopRead, block, req, req, req)
     }
 
     fn home_ring_of(msg: &RingMessage) -> usize {
-        // Mask off the origin-ring tag that IRIs add in bits 48+.
-        ((msg.block.raw() >> 32) & 0xFFFF) as usize
+        // Mask off the origin-ring tag and deflection bits above bit 47.
+        ((msg.block.raw() >> HOME_SHIFT) & 0xFFFF) as usize
+    }
+
+    /// Origin leaf ring + 1; 0 while untagged (intra-ring transactions).
+    fn origin_of(msg: &RingMessage) -> usize {
+        ((msg.block.raw() >> ORIGIN_SHIFT) & ORIGIN_MASK) as usize
+    }
+
+    /// Whether the message already crossed its bridge on this ring
+    /// (deflection mode only; always false on the classic path).
+    fn crossed(msg: &RingMessage) -> bool {
+        msg.block.raw() & CROSSED_BIT != 0
+    }
+
+    fn age_of(msg: &RingMessage) -> u64 {
+        (msg.block.raw() >> AGE_SHIFT) & AGE_MASK
+    }
+
+    /// Strips the deflection-mode bits so a message enters a bridge queue
+    /// (and thus its next ring) fresh. Identity on the classic path.
+    fn strip_deflect(mut msg: RingMessage) -> RingMessage {
+        msg.block = BlockAddr::new(msg.block.raw() & ROUTE_MASK);
+        msg
+    }
+
+    /// Marks the slot's in-flight message as having crossed its bridge
+    /// (deflection mode only — the classic path never mutates a message
+    /// in place).
+    fn mark_crossed(ring: &mut SlotRing<RingMessage>, slot: SlotId) {
+        if let Some(m) = ring.peek_mut(slot) {
+            m.block = BlockAddr::new(m.block.raw() | CROSSED_BIT);
+        }
+    }
+
+    /// Bumps the slot's in-flight message age tag after a lost
+    /// arbitration (deflection mode only; saturating).
+    fn bump_age(ring: &mut SlotRing<RingMessage>, slot: SlotId) {
+        if let Some(m) = ring.peek_mut(slot) {
+            let raw = m.block.raw();
+            if (raw >> AGE_SHIFT) & AGE_MASK < AGE_MASK {
+                m.block = BlockAddr::new(raw + (1 << AGE_SHIFT));
+            }
+        }
     }
 
     /// Debug variant of [`HierNetSim::run`] that aborts after `max_cycles`
-    /// and dumps per-node and per-IRI state.
+    /// and dumps per-node and per-bridge state.
     #[doc(hidden)]
     pub fn run_debug(&mut self, max_cycles: u64) -> HierNetReport {
         self.max_cycles = max_cycles;
@@ -274,10 +438,14 @@ impl HierNetSim {
     }
 
     /// Runs to completion.
+    #[allow(clippy::too_many_lines)]
     pub fn run(&mut self) -> HierNetReport {
-        let period = self.cfg.hier.base().clock_period;
+        let period = self.cfg.topo.base().clock_period;
         let mem_cycles = self.cfg.mem_latency.as_ps().div_ceil(period.as_ps());
-        let per_ring = self.cfg.hier.nodes_per_ring();
+        let per_ring = self.cfg.topo.leaf_procs();
+        let leaf_rings = self.cfg.topo.leaf_rings();
+        let levels = self.cfg.topo.levels();
+        let root_dim = self.cfg.topo.shape()[levels - 1];
         // Delayed reply queue: (ready_cycle, home_global_node, msg) — the
         // home node inserts its own reply once the memory access finishes.
         let mut pending_replies: Vec<(u64, usize, RingMessage)> = Vec::new();
@@ -313,11 +481,14 @@ impl HierNetSim {
                 node.issued += 1;
                 node.started = now;
                 let my_ring = i / per_ring;
-                let home_ring = if node.rng.chance(self.cfg.locality) {
+                let home_ring = if leaf_rings == 1 {
+                    // Flat topology: everything is local.
+                    my_ring
+                } else if node.rng.chance(self.cfg.locality) {
                     my_ring
                 } else {
                     // A uniformly chosen *other* ring.
-                    let k = self.cfg.hier.local_rings() as u64 - 1;
+                    let k = leaf_rings as u64 - 1;
                     let pick = node.rng.next_below(k) as usize;
                     if pick >= my_ring {
                         pick + 1
@@ -341,13 +512,13 @@ impl HierNetSim {
                     true
                 }
             });
-            // 3. local rings: arrivals at processor and IRI positions —
+            // 3. leaf rings: arrivals at processor and bridge positions —
             // only the positions with a header this phase.
-            let lphase = (cycle % self.local_sched.len().max(1) as u64) as usize;
-            for ring_idx in 0..self.locals.len() {
-                for k in 0..self.local_sched[lphase].len() {
-                    let (pos, slot) = self.local_sched[lphase][k];
-                    self.handle_local_arrival(
+            let lphase = (cycle % self.scheds[0].len().max(1) as u64) as usize;
+            for ring_idx in 0..self.rings[0].len() {
+                for k in 0..self.scheds[0][lphase].len() {
+                    let (pos, slot) = self.scheds[0][lphase][k];
+                    self.handle_leaf_arrival(
                         ring_idx,
                         pos,
                         slot,
@@ -357,36 +528,58 @@ impl HierNetSim {
                     );
                 }
             }
-            // 4. global ring: arrivals at IRI positions (skip padding
-            // positions when the global ring was widened to its 2-node
-            // minimum).
-            let gphase = (cycle % self.global_sched.len() as u64) as usize;
-            for k in 0..self.global_sched[gphase].len() {
-                let (pos, slot) = self.global_sched[gphase][k];
-                if pos.index() < self.cfg.hier.local_rings() {
-                    self.handle_global_arrival(pos, slot);
+            // 4. upper rings, level by level: arrivals at child-bridge and
+            // uplink positions (skip padding positions when the root ring
+            // was widened to its 2-node minimum).
+            for level in 1..levels {
+                let phase = (cycle % self.scheds[level].len() as u64) as usize;
+                for ring_idx in 0..self.rings[level].len() {
+                    for k in 0..self.scheds[level][phase].len() {
+                        let (pos, slot) = self.scheds[level][phase][k];
+                        if level + 1 == levels && pos.index() >= root_dim {
+                            continue;
+                        }
+                        self.handle_upper_arrival(level, ring_idx, pos, slot);
+                    }
                 }
             }
-            // 5. advance everything one cycle.
-            for ring in &mut self.locals {
-                ring.advance();
+            // 5. advance everything one cycle, leaves first.
+            for level in &mut self.rings {
+                for ring in level {
+                    ring.advance();
+                }
             }
-            self.global.advance();
             if self.obs.sample_due(now) {
                 let (mut occ, mut cap) = (0.0, 0.0);
-                for r in &self.locals {
+                for r in &self.rings[0] {
                     occ += r.in_flight() as f64;
                     cap += r.layout().slot_count() as f64;
                 }
-                let gcap = self.global.layout().slot_count() as f64;
-                let iri_q: usize =
-                    self.iris.iter().map(|i| i.to_global.len() + i.to_local.len()).sum();
+                let (mut gocc, mut gcap) = (0.0, 0.0);
+                for level in &self.rings[1..] {
+                    for r in level {
+                        gocc += r.in_flight() as f64;
+                        gcap += r.layout().slot_count() as f64;
+                    }
+                }
+                let iri_q: usize = self.bridges.iter().flatten().map(Bridge::occupancy).sum();
                 let values = vec![
                     if cap > 0.0 { occ / cap } else { 0.0 },
-                    if gcap > 0.0 { self.global.in_flight() as f64 / gcap } else { 0.0 },
+                    if gcap > 0.0 { gocc / gcap } else { 0.0 },
                     iri_q as f64,
                 ];
                 self.obs.sample(self.obs_hier_tl, now, values);
+                if self.obs_bridge_tl != usize::MAX {
+                    let mut gauges = Vec::new();
+                    for row in &self.bridges {
+                        for b in row {
+                            gauges.push(b.occupancy() as f64);
+                            gauges.push(b.deflections as f64);
+                            gauges.push(b.transfers as f64);
+                        }
+                    }
+                    self.obs.sample(self.obs_bridge_tl, now, gauges);
+                }
             }
             cycle += 1;
             if done_nodes == self.nodes.len() {
@@ -404,16 +597,19 @@ impl HierNetSim {
                             );
                         }
                     }
-                    for (r, iri) in self.iris.iter().enumerate() {
-                        eprintln!(
-                            "iri {r}: to_global {:?} to_local {:?}",
-                            iri.to_global, iri.to_local
-                        );
+                    for (level, row) in self.bridges.iter().enumerate() {
+                        for (r, b) in row.iter().enumerate() {
+                            eprintln!(
+                                "bridge L{level}R{r}: up {:?} down {:?} deflections {}",
+                                b.up, b.down, b.deflections
+                            );
+                        }
                     }
-                    for (r, ring) in self.locals.iter().enumerate() {
-                        eprintln!("local ring {r}: in_flight {}", ring.in_flight());
+                    for (level, row) in self.rings.iter().enumerate() {
+                        for (r, ring) in row.iter().enumerate() {
+                            eprintln!("ring L{level}R{r}: in_flight {}", ring.in_flight());
+                        }
                     }
-                    eprintln!("global: in_flight {}", self.global.in_flight());
                     break;
                 }
                 panic!("hierarchy network simulation ran away (deadlock?)");
@@ -423,9 +619,24 @@ impl HierNetSim {
         let local_util = {
             let mut occupied = 0u64;
             let mut capacity = 0u64;
-            for r in &self.locals {
+            for r in &self.rings[0] {
                 occupied += r.stats().occupied_slot_cycles;
                 capacity += r.stats().cycles * r.layout().slot_count() as u64;
+            }
+            if capacity == 0 {
+                0.0
+            } else {
+                occupied as f64 / capacity as f64
+            }
+        };
+        let global_util = {
+            let mut occupied = 0u64;
+            let mut capacity = 0u64;
+            for level in &self.rings[1..] {
+                for r in level {
+                    occupied += r.stats().occupied_slot_cycles;
+                    capacity += r.stats().cycles * r.layout().slot_count() as u64;
+                }
             }
             if capacity == 0 {
                 0.0
@@ -437,9 +648,10 @@ impl HierNetSim {
             latency: self.latency,
             latency_hist: self.latency_hist.clone(),
             local_util,
-            global_util: self.global.stats().slot_utilization(self.global.layout().slot_count()),
+            global_util,
             completed: self.completed,
             sim_end,
+            deflections: self.deflections,
         }
     }
 
@@ -453,12 +665,13 @@ impl HierNetSim {
     ///
     /// * `proc_cycle` — the mean think time (the closest analogue of
     ///   "execution speed" in the closed-loop workload);
-    /// * `ring_util`/`probe_util` — combined local-ring slot utilisation,
-    ///   `block_util` — global-ring slot utilisation;
+    /// * `ring_util`/`probe_util` — combined leaf-ring slot utilisation,
+    ///   `block_util` — combined upper-ring slot utilisation;
     /// * `miss_*` — end-to-end transaction latency;
     /// * `class_latencies.local` / `.clean_remote` — intra-ring vs
     ///   inter-ring transactions (mirrored in `events` so
-    ///   `events.misses()` equals the completed-transaction count).
+    ///   `events.misses()` equals the completed-transaction count);
+    /// * `retries` — total bridge deflections (0 with unbounded bridges).
     #[must_use]
     pub fn sim_report(&self, rep: &HierNetReport) -> SimReport {
         let measures = self.nodes.iter().map(|n| NodeMeasure {
@@ -493,7 +706,7 @@ impl HierNetSim {
             upgrade_latency: RunningMean::default(),
             class_latencies,
             events,
-            retries: 0,
+            retries: rep.deflections,
             per_node,
         };
         if ringsim_obs::global_metrics_enabled() {
@@ -502,11 +715,11 @@ impl HierNetSim {
         report
     }
 
-    /// Handles one header arrival on local ring `ring_idx`: `pos` below
-    /// `nodes_per_ring()` is a processor interface, the last position is
-    /// the ring's IRI.
+    /// Handles one header arrival on leaf ring `ring_idx`: `pos` below
+    /// `leaf_procs()` is a processor interface, the last position (absent
+    /// on a flat topology) is the ring's uplink bridge.
     #[allow(clippy::too_many_lines)]
-    fn handle_local_arrival(
+    fn handle_leaf_arrival(
         &mut self,
         ring_idx: usize,
         pos: NodeId,
@@ -515,10 +728,11 @@ impl HierNetSim {
         mem_cycles: u64,
         pending_replies: &mut Vec<(u64, usize, RingMessage)>,
     ) {
-        let now = self.cfg.hier.base().clock_period * cycle;
-        let per_ring = self.cfg.hier.nodes_per_ring();
-        let iri_pos = NodeId::new(per_ring); // last interface on the local ring
-        let ring = &mut self.locals[ring_idx];
+        let now = self.cfg.topo.base().clock_period * cycle;
+        let per_ring = self.cfg.topo.leaf_procs();
+        let deflect = self.cfg.bridge_buffer.is_some();
+        let iri_pos = NodeId::new(per_ring); // last interface on the leaf ring
+        let ring = &mut self.rings[0][ring_idx];
         if pos.index() < per_ring {
             // Processor position.
             let p = pos.index();
@@ -534,16 +748,20 @@ impl HierNetSim {
                         // responder is the node whose index matches the
                         // transaction id.
                         if Self::home_ring_of(&msg) == ring_idx
-                            && (msg.block.raw() as usize % per_ring) == p
+                            && ((msg.block.raw() & ROUTE_MASK) as usize % per_ring) == p
                         {
                             // Schedule the reply after the memory access.
                             // Inter-ring replies first head to this ring's
-                            // IRI; intra-ring replies go straight to the
+                            // bridge; intra-ring replies go straight to the
                             // requester.
-                            let origin_ring = (msg.block.raw() >> 48) as usize;
+                            let origin_ring = Self::origin_of(&msg);
                             let dst = if origin_ring == 0 { msg.requester } else { iri_pos };
-                            let reply =
-                                RingMessage { kind: MsgKind::BlockData, src: pos, dst, ..msg };
+                            let reply = Self::strip_deflect(RingMessage {
+                                kind: MsgKind::BlockData,
+                                src: pos,
+                                dst,
+                                ..msg
+                            });
                             pending_replies.push((
                                 cycle + mem_cycles,
                                 ring_idx * per_ring + p,
@@ -554,8 +772,12 @@ impl HierNetSim {
                         if msg.src == pos && msg.kind.returns_to_source() {
                             // Full revolution completed at the requester's
                             // interface — but only in the ring it was
-                            // inserted into.
-                            let _ = ring.remove(slot, pos);
+                            // inserted into, and (deflection mode) only
+                            // once its bridge copy actually went through.
+                            let needs_cross = deflect && Self::home_ring_of(&msg) != ring_idx;
+                            if !needs_cross || Self::crossed(&msg) {
+                                let _ = ring.remove(slot, pos);
+                            }
                         }
                     }
                     MsgKind::BlockData => {
@@ -564,7 +786,7 @@ impl HierNetSim {
                             // Reply reached the requester: transaction done
                             // (only when this is the requester's own ring —
                             // i.e. the message was re-injected here).
-                            let origin_ring = (m.block.raw() >> 48) as usize;
+                            let origin_ring = Self::origin_of(&m);
                             let home_ring = Self::home_ring_of(&m);
                             let is_final = if origin_ring == 0 {
                                 // Intra-ring transactions never leave their
@@ -593,7 +815,7 @@ impl HierNetSim {
                                         .max(0.1);
                                 let until = now + Time::from_ns_f64(think);
                                 node.phase = Phase::Thinking { until };
-                                let period_ps = self.cfg.hier.base().clock_period.as_ps();
+                                let period_ps = self.cfg.topo.base().clock_period.as_ps();
                                 self.wake_at[global_node] = until.as_ps().div_ceil(period_ps);
                                 let class = if origin_ring == 0 { "intra" } else { "inter" };
                                 self.obs.txn_end(global_node, "txn", class, now);
@@ -623,23 +845,43 @@ impl HierNetSim {
                 }
             }
         } else {
-            // IRI position: copy inter-ring probes, inject queued messages.
+            // Uplink bridge position: copy inter-ring probes towards the
+            // parent, inject queued messages.
             if let Some(&msg) = ring.peek(slot) {
                 #[allow(clippy::collapsible_match)] // symmetry with the probe arm
                 match msg.kind {
                     MsgKind::SnoopRead => {
                         let home_ring = Self::home_ring_of(&msg);
-                        if home_ring != ring_idx && (msg.block.raw() >> 48) == 0 {
+                        if home_ring != ring_idx
+                            && Self::origin_of(&msg) == 0
+                            && !Self::crossed(&msg)
+                        {
                             // First pass of an inter-ring probe: tag its
                             // origin ring (+1 so 0 means "untagged") and
-                            // forward a copy to the global ring.
-                            let mut copy = msg;
-                            copy.block =
-                                BlockAddr::new(msg.block.raw() | ((ring_idx as u64 + 1) << 48));
-                            self.iris[ring_idx].to_global.push_back(copy);
+                            // forward a copy towards the parent ring.
+                            let bridge = &self.bridges[0][ring_idx];
+                            if bridge.admits(bridge.up.len(), Self::age_of(&msg)) {
+                                let mut copy = msg;
+                                copy.block = BlockAddr::new(
+                                    (msg.block.raw() & ROUTE_MASK)
+                                        | ((ring_idx as u64 + 1) << ORIGIN_SHIFT),
+                                );
+                                let bridge = &mut self.bridges[0][ring_idx];
+                                bridge.up.push_back(copy);
+                                bridge.transfers += 1;
+                                if deflect {
+                                    Self::mark_crossed(ring, slot);
+                                }
+                            } else {
+                                // Deflected: the original keeps circulating
+                                // and retries next revolution, aged.
+                                self.bridges[0][ring_idx].deflections += 1;
+                                self.deflections += 1;
+                                Self::bump_age(ring, slot);
+                            }
                         }
                         if msg.src == iri_pos {
-                            // A probe the IRI injected into this ring has
+                            // A probe the bridge injected into this ring has
                             // completed its revolution here.
                             let _ = ring.remove(slot, iri_pos);
                         }
@@ -647,13 +889,22 @@ impl HierNetSim {
                     MsgKind::BlockData => {
                         if msg.dst == iri_pos {
                             // Reply leaving this ring towards the requester.
-                            let m = ring.remove(slot, iri_pos);
-                            self.iris[ring_idx].to_global.push_back(m);
+                            let bridge = &self.bridges[0][ring_idx];
+                            if bridge.admits(bridge.up.len(), Self::age_of(&msg)) {
+                                let m = Self::strip_deflect(ring.remove(slot, iri_pos));
+                                let bridge = &mut self.bridges[0][ring_idx];
+                                bridge.up.push_back(m);
+                                bridge.transfers += 1;
+                            } else {
+                                self.bridges[0][ring_idx].deflections += 1;
+                                self.deflections += 1;
+                                Self::bump_age(ring, slot);
+                            }
                         }
                     }
                     _ => {}
                 }
-            } else if let Some(msg) = self.iris[ring_idx].to_local.front().copied() {
+            } else if let Some(msg) = self.bridges[0][ring_idx].down.front().copied() {
                 let kind = ring.kind_of(slot);
                 let ok = match (msg.class(), kind) {
                     (MsgClass::Probe, SlotKind::Block) => false,
@@ -665,7 +916,8 @@ impl HierNetSim {
                 let mut m = msg;
                 match m.kind {
                     MsgKind::SnoopRead => {
-                        // Probe injected by the IRI circles this ring once.
+                        // Probe injected by the bridge circles this ring
+                        // once.
                         m.src = iri_pos;
                         m.dst = iri_pos;
                     }
@@ -673,47 +925,151 @@ impl HierNetSim {
                         m.src = iri_pos;
                         // dst stays: the requester position (final ring) or
                         // was already set by the home (reply in home ring
-                        // heads to the IRI when inter-ring).
+                        // heads to the bridge when inter-ring).
                     }
                     _ => {}
                 }
                 if ok && ring.try_insert(slot, iri_pos, m).is_ok() {
-                    self.iris[ring_idx].to_local.pop_front();
+                    self.bridges[0][ring_idx].down.pop_front();
                 }
             }
         }
     }
 
-    /// Handles one header arrival on the global ring at IRI position `pos`.
-    fn handle_global_arrival(&mut self, pos: NodeId, slot: SlotId) {
-        let r = pos.index();
-        {
-            if let Some(&msg) = self.global.peek(slot) {
-                #[allow(clippy::collapsible_match)] // symmetry with the probe arm
-                match msg.kind {
-                    MsgKind::SnoopRead => {
-                        // Target ring's IRI copies the probe down.
-                        if Self::home_ring_of(&msg) == r {
-                            self.iris[r].to_local.push_back(msg);
+    /// Handles one header arrival on ring `ring_idx` of `level` ≥ 1:
+    /// positions below `children_at(level)` are child-bridge interfaces,
+    /// the next position (absent at the root) is the ring's own uplink.
+    #[allow(clippy::too_many_lines)]
+    fn handle_upper_arrival(&mut self, level: usize, ring_idx: usize, pos: NodeId, slot: SlotId) {
+        let topo = &self.cfg.topo;
+        let children = topo.children_at(level);
+        // Leaf rings covered by one child subtree / by this whole ring.
+        let per_child = topo.leafs_per_subtree(level - 1);
+        let per_self = topo.leafs_per_subtree(level);
+        let self_lo = ring_idx * per_self;
+        let deflect = self.cfg.bridge_buffer.is_some();
+        let uplink_pos = NodeId::new(children);
+        let ring = &mut self.rings[level][ring_idx];
+        let at_uplink = pos.index() == children;
+        debug_assert!(at_uplink || pos.index() < children);
+        if let Some(&msg) = ring.peek(slot) {
+            #[allow(clippy::collapsible_match)] // symmetry with the probe arm
+            match msg.kind {
+                MsgKind::SnoopRead => {
+                    let home_leaf = Self::home_ring_of(&msg);
+                    if at_uplink {
+                        // Probe still hunting outside this subtree: copy it
+                        // up (it is already origin-tagged).
+                        if !(self_lo..self_lo + per_self).contains(&home_leaf)
+                            && !Self::crossed(&msg)
+                        {
+                            let bridge = &self.bridges[level][ring_idx];
+                            if bridge.admits(bridge.up.len(), Self::age_of(&msg)) {
+                                let copy = Self::strip_deflect(msg);
+                                let bridge = &mut self.bridges[level][ring_idx];
+                                bridge.up.push_back(copy);
+                                bridge.transfers += 1;
+                                if deflect {
+                                    Self::mark_crossed(ring, slot);
+                                }
+                            } else {
+                                self.bridges[level][ring_idx].deflections += 1;
+                                self.deflections += 1;
+                                Self::bump_age(ring, slot);
+                            }
                         }
-                        if msg.src == pos {
-                            let _ = self.global.remove(slot, pos);
+                    } else {
+                        // Child-bridge interface: copy the probe down when
+                        // the home leaf lives in that child's subtree.
+                        let child_ring = ring_idx * children + pos.index();
+                        let child_lo = child_ring * per_child;
+                        if (child_lo..child_lo + per_child).contains(&home_leaf)
+                            && !Self::crossed(&msg)
+                        {
+                            let bridge = &self.bridges[level - 1][child_ring];
+                            if bridge.admits(bridge.down.len(), Self::age_of(&msg)) {
+                                let copy = Self::strip_deflect(msg);
+                                let bridge = &mut self.bridges[level - 1][child_ring];
+                                bridge.down.push_back(copy);
+                                bridge.transfers += 1;
+                                if deflect {
+                                    Self::mark_crossed(ring, slot);
+                                }
+                            } else {
+                                self.bridges[level - 1][child_ring].deflections += 1;
+                                self.deflections += 1;
+                                Self::bump_age(ring, slot);
+                            }
                         }
                     }
-                    MsgKind::BlockData => {
-                        // Replies are addressed to the origin ring's IRI.
-                        let origin_ring = (msg.block.raw() >> 48) as usize;
-                        if origin_ring >= 1 && origin_ring - 1 == r {
-                            let mut m = self.global.remove(slot, pos);
-                            // Down into the requester's ring.
-                            m.dst = m.requester;
-                            self.iris[r].to_local.push_back(m);
+                    if msg.src == pos {
+                        // Revolution complete at the inserting interface —
+                        // in deflection mode only once the copy went
+                        // through (every upper-level probe must cross
+                        // exactly once, up or down).
+                        if !deflect || Self::crossed(&msg) {
+                            let _ = ring.remove(slot, pos);
                         }
                     }
-                    _ => {}
                 }
-            } else if let Some(msg) = self.iris[r].to_global.front().copied() {
-                let kind = self.global.kind_of(slot);
+                MsgKind::BlockData => {
+                    // Replies descend at the child subtree holding their
+                    // origin leaf and ascend everywhere else.
+                    let origin = Self::origin_of(&msg);
+                    if origin >= 1 {
+                        let origin_leaf = origin - 1;
+                        if at_uplink {
+                            if !(self_lo..self_lo + per_self).contains(&origin_leaf) {
+                                let bridge = &self.bridges[level][ring_idx];
+                                if bridge.admits(bridge.up.len(), Self::age_of(&msg)) {
+                                    let m = Self::strip_deflect(ring.remove(slot, pos));
+                                    let bridge = &mut self.bridges[level][ring_idx];
+                                    bridge.up.push_back(m);
+                                    bridge.transfers += 1;
+                                } else {
+                                    self.bridges[level][ring_idx].deflections += 1;
+                                    self.deflections += 1;
+                                    Self::bump_age(ring, slot);
+                                }
+                            }
+                        } else {
+                            let child_ring = ring_idx * children + pos.index();
+                            let child_lo = child_ring * per_child;
+                            if (child_lo..child_lo + per_child).contains(&origin_leaf) {
+                                let bridge = &self.bridges[level - 1][child_ring];
+                                if bridge.admits(bridge.down.len(), Self::age_of(&msg)) {
+                                    let mut m = Self::strip_deflect(ring.remove(slot, pos));
+                                    if level == 1 {
+                                        // Down into the requester's leaf
+                                        // ring.
+                                        m.dst = m.requester;
+                                    }
+                                    let bridge = &mut self.bridges[level - 1][child_ring];
+                                    bridge.down.push_back(m);
+                                    bridge.transfers += 1;
+                                } else {
+                                    self.bridges[level - 1][child_ring].deflections += 1;
+                                    self.deflections += 1;
+                                    Self::bump_age(ring, slot);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        } else {
+            // Empty slot: each position injects from exactly one queue —
+            // child bridges drain their child's up-queue, the uplink
+            // drains this ring's own down-queue.
+            let queued = if at_uplink {
+                self.bridges[level][ring_idx].down.front().copied()
+            } else {
+                let child_ring = ring_idx * children + pos.index();
+                self.bridges[level - 1][child_ring].up.front().copied()
+            };
+            if let Some(msg) = queued {
+                let kind = ring.kind_of(slot);
                 let ok = match (msg.class(), kind) {
                     (MsgClass::Probe, SlotKind::Block) => false,
                     (MsgClass::Probe, k) => k.parity().accepts(msg.block.is_even()),
@@ -722,11 +1078,22 @@ impl HierNetSim {
                 };
                 let mut m = msg;
                 if m.kind == MsgKind::SnoopRead {
+                    // Probes circle this ring exactly once.
                     m.src = pos;
                     m.dst = pos;
+                } else if at_uplink && m.kind == MsgKind::BlockData {
+                    // Mirror the leaf-side down-insertion: mark the bridge
+                    // as the inserter; dst is set at the origin's level-1
+                    // descent.
+                    m.src = uplink_pos;
                 }
-                if ok && self.global.try_insert(slot, pos, m).is_ok() {
-                    self.iris[r].to_global.pop_front();
+                if ok && ring.try_insert(slot, pos, m).is_ok() {
+                    if at_uplink {
+                        self.bridges[level][ring_idx].down.pop_front();
+                    } else {
+                        let child_ring = ring_idx * children + pos.index();
+                        self.bridges[level - 1][child_ring].up.pop_front();
+                    }
                 }
             }
         }
@@ -743,6 +1110,21 @@ mod tests {
         cfg.think_time = Time::from_ns(think_ns);
         cfg.locality = locality;
         cfg.txns_per_node = txns;
+        HierNetSim::new(cfg).unwrap().run()
+    }
+
+    fn run_topo(
+        topo: RingTopology,
+        think_ns: u64,
+        locality: f64,
+        txns: u64,
+        bridge_buffer: Option<usize>,
+    ) -> HierNetReport {
+        let mut cfg = HierNetConfig::with_topology(topo);
+        cfg.think_time = Time::from_ns(think_ns);
+        cfg.locality = locality;
+        cfg.txns_per_node = txns;
+        cfg.bridge_buffer = bridge_buffer;
         HierNetSim::new(cfg).unwrap().run()
     }
 
@@ -791,6 +1173,63 @@ mod tests {
         let b = run(2, 4, 500, 0.5, 40);
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.sim_end, b.sim_end);
+    }
+
+    #[test]
+    fn flat_topology_completes_without_bridges() {
+        let topo = RingTopology::flat(8).unwrap();
+        let r = run_topo(topo, 500, 1.0, 50, None);
+        assert_eq!(r.completed, 8 * 50);
+        // One ring, nothing above it.
+        assert!(r.global_util == 0.0);
+        assert_eq!(r.deflections, 0);
+    }
+
+    #[test]
+    fn three_level_completes_and_pays_for_depth() {
+        let three = RingTopology::three_level(2, 2, 4).unwrap();
+        let r3 = run_topo(three, 1_500, 0.0, 40, None);
+        assert_eq!(r3.completed, 16 * 40);
+        // Cross-group transactions traverse five rings; with the same leaf
+        // count a two-level tree traverses three.
+        let two = RingTopology::two_level(4, 4).unwrap();
+        let r2 = run_topo(two, 1_500, 0.0, 40, None);
+        assert_eq!(r2.completed, 16 * 40);
+        assert!(
+            r3.latency.mean() > r2.latency.mean(),
+            "3-level {} vs 2-level {}",
+            r3.latency.mean(),
+            r2.latency.mean()
+        );
+    }
+
+    #[test]
+    fn deflection_mode_completes_and_counts() {
+        // A bufferless latch under all-remote traffic at a short think
+        // time: bridges contend, deflections happen, nothing is lost.
+        let topo = RingTopology::two_level(4, 4).unwrap();
+        let r = run_topo(topo, 150, 0.0, 60, Some(0));
+        assert_eq!(r.completed, 16 * 60);
+        assert!(r.deflections > 0, "expected contention at bufferless bridges");
+        // A generous buffer deflects less.
+        let roomy = run_topo(RingTopology::two_level(4, 4).unwrap(), 150, 0.0, 60, Some(64));
+        assert_eq!(roomy.completed, 16 * 60);
+        assert!(roomy.deflections <= r.deflections);
+    }
+
+    #[test]
+    fn deflection_mode_is_deterministic() {
+        let a = run_topo(RingTopology::three_level(2, 2, 2).unwrap(), 200, 0.0, 40, Some(1));
+        let b = run_topo(RingTopology::three_level(2, 2, 2).unwrap(), 200, 0.0, 40, Some(1));
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.deflections, b.deflections);
+    }
+
+    #[test]
+    fn unbounded_bridges_never_deflect() {
+        let r = run(4, 4, 150, 0.0, 60);
+        assert_eq!(r.deflections, 0);
     }
 
     #[test]

@@ -54,4 +54,6 @@ pub use sanitize::{sanitize_enabled, set_sanitize_mode, SanitizeMode};
 pub use sci_system::{SciRingSystem, SciSystemConfig};
 #[allow(deprecated)]
 pub use simulator::run_sim;
-pub use simulator::{RunOptions, RunOutcome, SimKind, SimKindError, SimSpec, Simulator};
+pub use simulator::{
+    HierTopology, RunOptions, RunOutcome, SimKind, SimKindError, SimSpec, Simulator,
+};

@@ -22,7 +22,7 @@ use std::str::FromStr;
 
 use ringsim_obs::{ObsConfig, Recorder};
 use ringsim_proto::ProtocolKind;
-use ringsim_ring::RingHierarchy;
+use ringsim_ring::RingTopology;
 use ringsim_trace::Workload;
 use ringsim_types::{ConfigError, Time};
 
@@ -157,6 +157,70 @@ impl Simulator for HierNetSim {
     }
 }
 
+/// Ring-tree depth for the hierarchy backends, the sweepable topology
+/// axis: a flat ring, the classic two-level hierarchy, or a three-level
+/// tree of ring groups — all balanced factorisations of the processor
+/// count (see [`RingTopology::balanced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierTopology {
+    /// One flat slotted ring (no bridges).
+    Flat,
+    /// Leaf rings under one global ring (the classic hierarchy).
+    TwoLevel,
+    /// Leaf rings under group rings under one root ring.
+    ThreeLevel,
+}
+
+impl HierTopology {
+    /// Every topology, in CLI listing order.
+    pub const ALL: [HierTopology; 3] =
+        [HierTopology::Flat, HierTopology::TwoLevel, HierTopology::ThreeLevel];
+
+    /// Canonical CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HierTopology::Flat => "flat",
+            HierTopology::TwoLevel => "2level",
+            HierTopology::ThreeLevel => "3level",
+        }
+    }
+
+    /// Number of ring-tree levels.
+    #[must_use]
+    pub fn levels(self) -> usize {
+        match self {
+            HierTopology::Flat => 1,
+            HierTopology::TwoLevel => 2,
+            HierTopology::ThreeLevel => 3,
+        }
+    }
+}
+
+impl fmt::Display for HierTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Accepts the canonical names `flat`, `2level` and `3level` (plus the
+/// spelled-out `two-level`/`three-level`).
+impl FromStr for HierTopology {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "flat" => Ok(HierTopology::Flat),
+            "2level" | "two-level" => Ok(HierTopology::TwoLevel),
+            "3level" | "three-level" => Ok(HierTopology::ThreeLevel),
+            _ => Err(ConfigError::new(
+                "topology",
+                format!("unknown topology `{s}` (known: flat, 2level, 3level)"),
+            )),
+        }
+    }
+}
+
 /// The backend-neutral simulation request a [`SimKind`] builds from: the
 /// workload to run plus the knobs every backend understands.
 #[derive(Debug, Clone)]
@@ -168,6 +232,15 @@ pub struct SimSpec {
     pub protocol: ProtocolKind,
     /// Processor cycle time.
     pub proc_cycle: Time,
+    /// Ring-tree depth override for the hierarchy backends (`None` keeps
+    /// the kind's default: two levels for `hier`/`hier-deflect`, three for
+    /// `hier3`). Ignored by the non-hierarchy kinds.
+    pub topology: Option<HierTopology>,
+    /// Bridge buffer depth override for the hierarchy backends (`None`
+    /// keeps the kind's default: unbounded classic queues, except
+    /// `hier-deflect` which defaults to 2-entry deflecting bridges).
+    /// Ignored by the non-hierarchy kinds.
+    pub bridge_buffer: Option<usize>,
     /// The workload to drive through the interconnect.
     pub workload: Workload,
 }
@@ -176,7 +249,13 @@ impl SimSpec {
     /// A spec with the paper's defaults: snooping at 50 MIPS (20 ns).
     #[must_use]
     pub fn new(workload: Workload) -> Self {
-        Self { protocol: ProtocolKind::Snooping, proc_cycle: Time::from_ns(20), workload }
+        Self {
+            protocol: ProtocolKind::Snooping,
+            proc_cycle: Time::from_ns(20),
+            topology: None,
+            bridge_buffer: None,
+            workload,
+        }
     }
 
     /// Sets the coherence protocol.
@@ -190,6 +269,21 @@ impl SimSpec {
     #[must_use]
     pub fn with_proc_cycle(mut self, proc_cycle: Time) -> Self {
         self.proc_cycle = proc_cycle;
+        self
+    }
+
+    /// Overrides the hierarchy backends' ring-tree depth.
+    #[must_use]
+    pub fn with_topology(mut self, topology: HierTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Overrides the hierarchy backends' bridge buffer depth (switches
+    /// `hier`/`hier3` into deflection mode; 0 = bufferless latch).
+    #[must_use]
+    pub fn with_bridge_buffer(mut self, depth: usize) -> Self {
+        self.bridge_buffer = Some(depth);
         self
     }
 }
@@ -216,13 +310,20 @@ pub enum SimKind {
     Sci500,
     /// SCI linked-list-directory ring at 250 MHz.
     Sci250,
-    /// Two-level slotted-ring hierarchy (message-level, KSR1-style IRIs).
+    /// Slotted-ring hierarchy (message-level, KSR1-style bridges;
+    /// two-level by default, topology overridable).
     Hier,
+    /// Three-level slotted-ring hierarchy (leaf rings under group rings
+    /// under one root ring).
+    Hier3,
+    /// Two-level hierarchy with HiRD-style deflecting bridges (2-entry
+    /// buffers by default; losers of bridge arbitration re-circulate).
+    HierDeflect,
 }
 
 impl SimKind {
     /// Every registered backend, in CLI listing order.
-    pub const ALL: [SimKind; 9] = [
+    pub const ALL: [SimKind; 11] = [
         SimKind::Ring500,
         SimKind::Ring250,
         SimKind::Bus50,
@@ -232,6 +333,8 @@ impl SimKind {
         SimKind::Sci500,
         SimKind::Sci250,
         SimKind::Hier,
+        SimKind::Hier3,
+        SimKind::HierDeflect,
     ];
 
     /// Canonical CLI name.
@@ -247,7 +350,17 @@ impl SimKind {
             SimKind::Sci500 => "sci500",
             SimKind::Sci250 => "sci250",
             SimKind::Hier => "hier",
+            SimKind::Hier3 => "hier3",
+            SimKind::HierDeflect => "hier-deflect",
         }
+    }
+
+    /// Whether this kind runs the hierarchy network engine (and therefore
+    /// honours [`SimSpec::topology`]/[`SimSpec::bridge_buffer`] and lacks
+    /// a reference-level replay trace).
+    #[must_use]
+    pub fn is_hier(self) -> bool {
+        matches!(self, SimKind::Hier | SimKind::Hier3 | SimKind::HierDeflect)
     }
 
     /// One-line description for `--help`-style listings.
@@ -262,7 +375,9 @@ impl SimKind {
             SimKind::Bus50Dragon => "50 MHz bus running Dragon write-update",
             SimKind::Sci500 => "SCI linked-list-directory ring at 500 MHz",
             SimKind::Sci250 => "SCI linked-list-directory ring at 250 MHz",
-            SimKind::Hier => "two-level slotted-ring hierarchy",
+            SimKind::Hier => "slotted-ring hierarchy (two-level by default)",
+            SimKind::Hier3 => "three-level slotted-ring hierarchy",
+            SimKind::HierDeflect => "two-level hierarchy with deflecting bridges",
         }
     }
 
@@ -276,9 +391,11 @@ impl SimKind {
 
     /// Builds a ready-to-run simulator for this backend from `spec`.
     ///
-    /// The hierarchy backend derives its topology from the processor count
-    /// (the most balanced `local rings × nodes per ring` factorisation) and
-    /// its per-node transaction budget from the workload's reference budget.
+    /// The hierarchy backends derive their ring tree from the processor
+    /// count (the most balanced factorisation at the requested depth — see
+    /// [`RingTopology::balanced`]) and their per-node transaction budget
+    /// from the workload's reference budget; [`SimSpec::topology`] and
+    /// [`SimSpec::bridge_buffer`] override the per-kind defaults.
     ///
     /// # Errors
     ///
@@ -316,15 +433,23 @@ impl SimKind {
                 .with_proc_cycle(spec.proc_cycle);
                 Box::new(SciRingSystem::new(cfg, spec.workload.clone())?)
             }
-            SimKind::Hier => {
-                let (rings, per) = balanced_split(procs)?;
-                let hier = RingHierarchy::new(rings, per)?;
-                let mut cfg = HierNetConfig::new(hier);
+            SimKind::Hier | SimKind::Hier3 | SimKind::HierDeflect => {
+                let levels = spec
+                    .topology
+                    .map_or(if self == SimKind::Hier3 { 3 } else { 2 }, HierTopology::levels);
+                let topo = RingTopology::balanced(levels, procs)?;
                 // The hierarchy workload is closed-loop (think → transact →
                 // wait), so map the reference budget onto a transaction
                 // budget: one coherence transaction per ~50 references
                 // keeps the default budgets comparable across backends.
-                cfg.txns_per_node = (spec.workload.spec().data_refs_per_proc / 50).max(1);
+                let budget = topo.txn_budget(spec.workload.spec().data_refs_per_proc);
+                let mut cfg = HierNetConfig::with_topology(topo);
+                cfg.txns_per_node = budget;
+                cfg.bridge_buffer = spec.bridge_buffer.or(if self == SimKind::HierDeflect {
+                    Some(2)
+                } else {
+                    None
+                });
                 Box::new(HierNetSim::new(cfg)?)
             }
         })
@@ -407,6 +532,8 @@ impl FromStr for SimKind {
             "sci500" | "sci" => Ok(SimKind::Sci500),
             "sci250" => Ok(SimKind::Sci250),
             "hier" | "hiernet" => Ok(SimKind::Hier),
+            "hier3" => Ok(SimKind::Hier3),
+            "hier-deflect" => Ok(SimKind::HierDeflect),
             _ => {
                 let candidates: Vec<&'static str> = SimKind::ALL
                     .iter()
@@ -421,26 +548,6 @@ impl FromStr for SimKind {
             }
         }
     }
-}
-
-/// Splits `procs` into the most balanced `(local_rings, nodes_per_ring)`
-/// pair with both factors ≥ 2 (closest to square, rings ≤ nodes-per-ring).
-fn balanced_split(procs: usize) -> Result<(usize, usize), ConfigError> {
-    let mut best = None;
-    let mut d = 2;
-    while d * d <= procs {
-        if procs.is_multiple_of(d) {
-            best = Some((d, procs / d));
-        }
-        d += 1;
-    }
-    best.ok_or_else(|| {
-        ConfigError::new(
-            "procs",
-            "the hierarchy network needs a composite processor count \
-             (local rings × nodes per ring, both at least 2)",
-        )
-    })
 }
 
 /// Tuple-style shim over [`Simulator::run`], kept for callers written
@@ -479,12 +586,43 @@ mod tests {
     }
 
     #[test]
+    fn hier_prefixes_stay_unambiguous_in_the_grown_registry() {
+        // `hier` is an exact name, so growing the registry with `hier3`
+        // and `hier-deflect` must not break it …
+        assert_eq!("hier".parse::<SimKind>(), Ok(SimKind::Hier));
+        assert_eq!("hier3".parse::<SimKind>(), Ok(SimKind::Hier3));
+        assert_eq!("hier-deflect".parse::<SimKind>(), Ok(SimKind::HierDeflect));
+        // … while a strict prefix of several hierarchy kinds is reported
+        // with all its candidates instead of silently guessing.
+        let err = "hie".parse::<SimKind>().unwrap_err();
+        assert_eq!(
+            err,
+            SimKindError::Ambiguous {
+                name: "hie".into(),
+                candidates: vec!["hier", "hier3", "hier-deflect"],
+            }
+        );
+        // A unique prefix is still not a name.
+        assert_eq!("hier-".parse::<SimKind>(), Err(SimKindError::Unknown { name: "hier-".into() }));
+    }
+
+    #[test]
+    fn topology_names_round_trip() {
+        for topo in HierTopology::ALL {
+            assert_eq!(topo.name().parse::<HierTopology>(), Ok(topo));
+        }
+        assert_eq!("two-level".parse::<HierTopology>(), Ok(HierTopology::TwoLevel));
+        assert!("4level".parse::<HierTopology>().is_err());
+    }
+
+    #[test]
     fn from_str_errors_are_typed() {
         let err = "token-ring".parse::<SimKind>().unwrap_err();
         assert_eq!(err, SimKindError::Unknown { name: "token-ring".into() });
         assert!(
             err.to_string().contains(
-                "ring500, ring250, bus50, bus100, bus50-mesi, bus50-dragon, sci500, sci250, hier"
+                "ring500, ring250, bus50, bus100, bus50-mesi, bus50-dragon, sci500, sci250, \
+                 hier, hier3, hier-deflect"
             ),
             "{err}"
         );
@@ -520,25 +658,37 @@ mod tests {
     }
 
     #[test]
-    fn balanced_split_prefers_square() {
-        assert_eq!(balanced_split(16).unwrap(), (4, 4));
-        assert_eq!(balanced_split(8).unwrap(), (2, 4));
-        assert_eq!(balanced_split(12).unwrap(), (3, 4));
-        assert!(balanced_split(13).is_err());
-        assert!(balanced_split(2).is_err());
-    }
-
-    #[test]
     fn every_backend_runs_through_the_trait() {
+        // 8 processors factor at every hierarchy depth (8 = 4×2 = 2×2×2).
         for kind in SimKind::ALL {
-            let spec = SimSpec::new(workload(4, 1_000));
+            let spec = SimSpec::new(workload(8, 1_000));
             let mut sim = kind.build(&spec).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             let outcome = sim.run(&RunOptions::default());
             assert!(outcome.obs.is_none());
-            assert_eq!(outcome.report.nodes, 4);
+            assert_eq!(outcome.report.nodes, 8);
             assert!(outcome.report.sim_end > Time::ZERO, "{}", kind.name());
             assert!(outcome.report.miss_histogram.count() > 0, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn spec_overrides_reach_the_hierarchy_backend() {
+        // A flat-topology override on `hier` runs a single 16-node ring:
+        // nothing above the leaves, so nothing is ever deflected or
+        // crosses a bridge.
+        let spec = SimSpec::new(workload(16, 500)).with_topology(HierTopology::Flat);
+        let outcome = SimKind::Hier.build(&spec).unwrap().run(&RunOptions::default());
+        assert_eq!(outcome.report.nodes, 16);
+        assert!(outcome.report.block_util == 0.0, "flat has no upper rings");
+        // `hier-deflect` reports its deflections through `retries`; the
+        // plain kinds must stay at zero.
+        let spec = SimSpec::new(workload(16, 500));
+        let plain = SimKind::Hier.build(&spec).unwrap().run(&RunOptions::default());
+        assert_eq!(plain.report.retries, 0);
+        // A bufferless override is accepted and still completes.
+        let spec = SimSpec::new(workload(16, 500)).with_bridge_buffer(0);
+        let tight = SimKind::Hier.build(&spec).unwrap().run(&RunOptions::default());
+        assert_eq!(tight.report.nodes, 16);
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //!
 //! A [`RingHierarchy`] is `k` local rings of `m` processing nodes each; one
 //! extra interface position per local ring hosts the *inter-ring interface*
-//! (IRI), which also occupies one position on the global ring. The
-//! geometry here provides what the hierarchical analytic model and the
-//! hierarchy experiment need: stage counts per level, round-trip times and
+//! (IRI), which also occupies one position on the global ring. It is the
+//! two-level special case of the recursive [`RingTopology`] tree and is
+//! kept as a convenience facade: the hierarchical analytic model and the
+//! hierarchy experiment read stage counts per level, round-trip times and
 //! transaction path lengths for intra- and inter-ring coherence
 //! transactions under KSR1-style directory filters at the IRIs (a probe
-//! circulates its local ring; only unresolved probes ascend).
+//! circulates its local ring; only unresolved probes ascend). Deeper trees
+//! and flat baselines are built directly through [`RingTopology`].
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +19,7 @@ use ringsim_types::{ConfigError, NodeId, Time};
 
 use crate::config::RingConfig;
 use crate::layout::RingLayout;
+use crate::topology::RingTopology;
 
 /// Configuration of a two-level ring hierarchy.
 ///
@@ -33,12 +36,7 @@ use crate::layout::RingLayout;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RingHierarchy {
-    local_rings: usize,
-    nodes_per_ring: usize,
-    base: RingConfig,
-    local_layout: RingLayout,
-    global_layout: RingLayout,
-    flat_layout: RingLayout,
+    topo: RingTopology,
 }
 
 impl RingHierarchy {
@@ -72,59 +70,56 @@ impl RingHierarchy {
         if nodes_per_ring < 2 {
             return Err(ConfigError::new("nodes_per_ring", "need at least 2 nodes per ring"));
         }
-        let total = local_rings * nodes_per_ring;
-        if total > 64 {
-            return Err(ConfigError::new("total_nodes", "at most 64 processors supported"));
-        }
-        // Local ring: the processors plus one IRI position.
-        let local_cfg = RingConfig { nodes: nodes_per_ring + 1, ..base };
-        // Global ring: one position per IRI.
-        let global_cfg = RingConfig { nodes: local_rings.max(2), ..base };
-        let flat_cfg = RingConfig { nodes: total, ..base };
-        Ok(Self {
-            local_rings,
-            nodes_per_ring,
-            base,
-            local_layout: local_cfg.layout()?,
-            global_layout: global_cfg.layout()?,
-            flat_layout: flat_cfg.layout()?,
-        })
+        let topo = RingTopology::from_shape(&[nodes_per_ring, local_rings], base)?;
+        Ok(Self { topo })
+    }
+
+    /// The underlying topology tree (always two levels).
+    #[must_use]
+    pub fn topology(&self) -> &RingTopology {
+        &self.topo
+    }
+
+    /// Consumes the facade, yielding the topology tree.
+    #[must_use]
+    pub fn into_topology(self) -> RingTopology {
+        self.topo
     }
 
     /// Number of local rings.
     #[must_use]
     pub fn local_rings(&self) -> usize {
-        self.local_rings
+        self.topo.leaf_rings()
     }
 
     /// Processors per local ring.
     #[must_use]
     pub fn nodes_per_ring(&self) -> usize {
-        self.nodes_per_ring
+        self.topo.leaf_procs()
     }
 
     /// Total processors.
     #[must_use]
     pub fn total_nodes(&self) -> usize {
-        self.local_rings * self.nodes_per_ring
+        self.topo.total_nodes()
     }
 
     /// The link/slot parameters the hierarchy was built from.
     #[must_use]
     pub fn base(&self) -> &RingConfig {
-        &self.base
+        self.topo.base()
     }
 
     /// The local-ring geometry (processors + IRI).
     #[must_use]
     pub fn local_layout(&self) -> &RingLayout {
-        &self.local_layout
+        self.topo.layout(0)
     }
 
     /// The global-ring geometry (one position per IRI).
     #[must_use]
     pub fn global_layout(&self) -> &RingLayout {
-        &self.global_layout
+        self.topo.layout(1)
     }
 
     /// Which local ring hosts `node` (nodes are numbered ring-major).
@@ -134,40 +129,39 @@ impl RingHierarchy {
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn ring_of(&self, node: NodeId) -> usize {
-        assert!(node.index() < self.total_nodes(), "{node} out of range");
-        node.index() / self.nodes_per_ring
+        self.topo.ring_of(node)
     }
 
     /// Whether two nodes share a local ring.
     #[must_use]
     pub fn same_ring(&self, a: NodeId, b: NodeId) -> bool {
-        self.ring_of(a) == self.ring_of(b)
+        self.topo.same_ring(a, b)
     }
 
     /// Round-trip time of one local ring.
     #[must_use]
     pub fn local_round_trip(&self) -> Time {
-        self.base.clock_period * self.local_layout.stages() as u64
+        self.topo.round_trip(0)
     }
 
     /// Round-trip time of the global ring.
     #[must_use]
     pub fn global_round_trip(&self) -> Time {
-        self.base.clock_period * self.global_layout.stages() as u64
+        self.topo.round_trip(1)
     }
 
     /// Round-trip time of the equivalent flat ring with the same total
     /// processor count (the baseline the hierarchy competes against).
     #[must_use]
     pub fn flat_equivalent_round_trip(&self) -> Time {
-        self.base.clock_period * self.flat_layout.stages() as u64
+        self.topo.flat_equivalent_round_trip()
     }
 
     /// Contention-free time for a snooping probe to resolve an
     /// **intra-ring** transaction: one local revolution.
     #[must_use]
     pub fn intra_ring_probe_time(&self) -> Time {
-        self.local_round_trip()
+        self.topo.intra_ring_probe_time()
     }
 
     /// Contention-free time for a probe to resolve an **inter-ring**
@@ -177,28 +171,45 @@ impl RingHierarchy {
     /// ring.
     #[must_use]
     pub fn inter_ring_probe_time(&self) -> Time {
-        self.local_round_trip() + self.global_round_trip() + self.local_round_trip()
+        self.topo.inter_ring_probe_time()
     }
 
     /// Expected contention-free travel time of a data reply for an
     /// inter-ring transaction: half of each traversed ring.
     #[must_use]
     pub fn inter_ring_reply_time(&self) -> Time {
-        (self.local_round_trip() + self.global_round_trip() + self.local_round_trip()) / 2
+        self.topo.inter_ring_reply_time()
     }
 
     /// Expected contention-free travel time of a data reply that stays
     /// within one ring: half a local revolution.
     #[must_use]
     pub fn intra_ring_reply_time(&self) -> Time {
-        self.local_round_trip() / 2
+        self.topo.intra_ring_reply_time()
     }
 
     /// Probability that a uniformly placed home lands in the requester's
     /// local ring.
     #[must_use]
     pub fn uniform_locality(&self) -> f64 {
-        1.0 / self.local_rings as f64
+        self.topo.uniform_locality()
+    }
+}
+
+impl From<RingHierarchy> for RingTopology {
+    fn from(h: RingHierarchy) -> Self {
+        h.topo
+    }
+}
+
+impl TryFrom<RingTopology> for RingHierarchy {
+    type Error = ConfigError;
+
+    fn try_from(topo: RingTopology) -> Result<Self, Self::Error> {
+        if topo.levels() != 2 {
+            return Err(ConfigError::new("levels", "a RingHierarchy is exactly two levels"));
+        }
+        Ok(Self { topo })
     }
 }
 
@@ -253,5 +264,17 @@ mod tests {
     fn uniform_locality_is_one_over_rings() {
         let h = RingHierarchy::new(4, 16).unwrap();
         assert!((h.uniform_locality() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facade_round_trips_through_topology() {
+        let h = RingHierarchy::new(4, 8).unwrap();
+        let topo = h.clone().into_topology();
+        assert_eq!(topo.shape(), &[8, 4]);
+        let back = RingHierarchy::try_from(topo).unwrap();
+        assert_eq!(back, h);
+        // Deeper trees do not squeeze into the facade.
+        let three = RingTopology::three_level(2, 2, 2).unwrap();
+        assert!(RingHierarchy::try_from(three).is_err());
     }
 }

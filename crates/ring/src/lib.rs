@@ -50,8 +50,10 @@ mod config;
 pub mod hierarchy;
 mod layout;
 mod ring;
+pub mod topology;
 
 pub use config::{Parity, RingConfig};
 pub use hierarchy::RingHierarchy;
 pub use layout::{RingLayout, SlotId, SlotKind, SlotSpec};
 pub use ring::{InsertError, RingStats, SlotRing};
+pub use topology::RingTopology;

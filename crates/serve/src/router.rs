@@ -74,16 +74,22 @@ struct SubmitAck {
     /// Canonical spelling of the request's `network` field, when given
     /// (resolved through the simulator registry, aliases included).
     network: Option<String>,
+    /// Canonical spelling of the request's `topology` field, when given
+    /// (resolved through [`ringsim_core::HierTopology`]).
+    topology: Option<String>,
 }
 
-/// `POST /runs`: body `{"experiment": "<name>", "refs": <n>?, "network": "<net>"?}`.
+/// `POST /runs`: body
+/// `{"experiment": "<name>", "refs": <n>?, "network": "<net>"?, "topology": "<topo>"?}`.
 ///
 /// The optional `network` field is resolved against the simulator registry
 /// with [`ringsim_core::SimKind::from_str`]; a bad spelling is rejected
 /// with a 400 carrying the typed [`ringsim_core::SimKindError`] rendering
 /// (which names the valid spellings, or the candidates for an ambiguous
 /// prefix), and a good one is echoed back canonicalised so clients can
-/// pre-validate the name they are about to sweep with.
+/// pre-validate the name they are about to sweep with. The optional
+/// `topology` field (`flat` / `2level` / `3level`, hyphenated aliases
+/// included) validates the hierarchy-depth override the same way.
 fn submit(state: &ServerState, req: &Request) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body must be UTF-8 JSON");
@@ -103,6 +109,14 @@ fn submit(state: &ServerState, req: &Request) -> Response {
         },
         Some(_) => return Response::error(400, "`network` must be a string"),
     };
+    let topology = match parsed.get("topology") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(t)) => match t.parse::<ringsim_core::HierTopology>() {
+            Ok(topo) => Some(topo.name().to_owned()),
+            Err(e) => return Response::error(400, &e.to_string()),
+        },
+        Some(_) => return Response::error(400, "`topology` must be a string"),
+    };
     let refs = match parsed.get("refs") {
         None | Some(Value::Null) => state.cfg.default_refs,
         Some(Value::UInt(n)) if *n > 0 => *n,
@@ -121,6 +135,7 @@ fn submit(state: &ServerState, req: &Request) -> Response {
         deduped,
         state: status.state,
         network: network.clone(),
+        topology: topology.clone(),
     };
     match state.pool.submit(exp, refs) {
         SubmitOutcome::Created(st) => Response::json(202, render(&ack(st, false))),
@@ -287,6 +302,8 @@ mod tests {
             "{\"experiment\": \"fig3\", \"refs\": -4}",
             "{\"experiment\": \"fig3\", \"network\": 7}",
             "{\"experiment\": \"fig3\", \"network\": \"token-ring\"}",
+            "{\"experiment\": \"fig3\", \"topology\": 2}",
+            "{\"experiment\": \"fig3\", \"topology\": \"4level\"}",
         ] {
             let (_, resp) = dispatch(&st, &post("/runs", body));
             assert_eq!(resp.status, 400, "accepted body {body:?}");
@@ -318,6 +335,57 @@ mod tests {
         assert_eq!(resp.status, 202);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"network\": \"bus100\""), "got: {text}");
+        st.request_shutdown();
+        st.pool.join();
+    }
+
+    #[test]
+    fn hier_prefix_became_ambiguous_when_the_registry_grew() {
+        // Regression: `hier` used to be resolvable from the prefix `hie`;
+        // with `hier3` and `hier-deflect` registered the prefix must fail
+        // loudly instead of silently picking one.
+        let st = state("hier-prefix");
+        let (_, resp) =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"hie\"}"));
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("ambiguous network `hie`"), "got: {text}");
+        for candidate in ["hier", "hier3", "hier-deflect"] {
+            assert!(text.contains(candidate), "candidates should list {candidate}: {text}");
+        }
+        // The exact spellings all still resolve.
+        for exact in ["hier", "hier3", "hier-deflect"] {
+            let body = format!("{{\"experiment\": \"fig3\", \"network\": \"{exact}\"}}");
+            let (_, resp) = dispatch(&st, &post("/runs", &body));
+            assert!(resp.status == 202 || resp.status == 200, "{exact}: {}", resp.status);
+            let text = String::from_utf8(resp.body).unwrap();
+            assert!(text.contains(&format!("\"network\": \"{exact}\"")), "got: {text}");
+        }
+        st.request_shutdown();
+        st.pool.join();
+    }
+
+    #[test]
+    fn topology_field_is_validated_and_canonicalised() {
+        let st = state("topology");
+        // Hyphenated alias → canonical spelling in the ack.
+        let (_, resp) = dispatch(
+            &st,
+            &post(
+                "/runs",
+                "{\"experiment\": \"fig3\", \"network\": \"hier-deflect\", \
+                 \"topology\": \"three-level\"}",
+            ),
+        );
+        assert_eq!(resp.status, 202);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"topology\": \"3level\""), "got: {text}");
+        // A bad spelling names the valid ones.
+        let (_, resp) =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"topology\": \"deep\"}"));
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("flat"), "got: {text}");
         st.request_shutdown();
         st.pool.join();
     }

@@ -18,8 +18,11 @@
 //! ```
 //!
 //! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
-//! (64-bit split-transaction buses), `hier` (two-level slotted-ring
-//! hierarchy). Every network runs through the one [`SimKind`] registry —
+//! (64-bit split-transaction buses), and the slotted-ring hierarchies
+//! `hier` (two-level), `hier3` (three-level) and `hier-deflect` (finite
+//! deflecting bridges); `--topology flat|2level|3level` and
+//! `--bridge-buffer N` override either axis of any hierarchy backend.
+//! Every network runs through the one [`SimKind`] registry —
 //! adding a backend there is all a new network needs to appear here.
 
 use std::collections::HashMap;
@@ -83,12 +86,15 @@ commands:
                             --trace-out t.json captures a Chrome trace,
                             --metrics m.json|m.csv exports latency histograms,
                             --ring / --bus / --hier pick the default network
-                            variant)
+                            variant; --topology and --bridge-buffer shape the
+                            hierarchy backends)
   model                     evaluate the analytical model
   stats                     inspect observability artifacts
                             (--trace t.json validates and summarises a Chrome
                             trace; --metrics m.json prints per-class latency
-                            tables, --csv for machine-readable output)
+                            tables and, for hierarchy runs, a per-bridge
+                            occupancy/deflection table; --csv for
+                            machine-readable output)
   sweep                     model sweep over processor cycle 1-20 ns (figure series)
   record                    capture a benchmark trace to a file (--out <path>)
   replay                    simulate a recorded trace (--trace <path>)
@@ -119,9 +125,15 @@ options:
                             (sim defaults to mp3d)
   --procs <n>               processor count (per the paper's sizes)
   --network <net>           ring500 | ring250 | bus50 | bus100 | bus50-mesi |
-                            bus50-dragon | sci500 | sci250 | hier
+                            bus50-dragon | sci500 | sci250 | hier | hier3 |
+                            hier-deflect
                             (default ring500; sim and replay only accept what
                             the simulator registry lists)
+  --topology <t>            flat | 2level | 3level ring tree for the hierarchy
+                            backends (sim only; overrides the backend default)
+  --bridge-buffer <n>       bridge transfer-queue depth for the hierarchy
+                            backends (sim only; a finite depth enables
+                            deflection routing, 0 is the bufferless latch)
   --protocol <p>            snooping | directory | sci | mesi | dragon
                             (slotted rings run snooping/directory; sci/mesi/
                             dragon pick the matching --network instead; check
@@ -352,8 +364,24 @@ fn sim_cmd(args: &[String]) -> CliResult {
     let spec = bench.spec(procs)?.with_refs(refs_of(&flags)?);
     let workload = ringsim::trace::Workload::new(spec)?;
     let kind = network_of(flags.get("network").map_or("ring500", String::as_str))?;
-    let sim_spec =
+    let mut sim_spec =
         SimSpec::new(workload).with_protocol(protocol_of(&flags)?).with_proc_cycle(proc_cycle);
+    for flag in ["topology", "bridge-buffer"] {
+        if flags.contains_key(flag) && !kind.is_hier() {
+            return Err(format!(
+                "--{flag} only applies to the hierarchy backends \
+                 (hier, hier3, hier-deflect), not `{}`",
+                kind.name()
+            )
+            .into());
+        }
+    }
+    if let Some(t) = flags.get("topology") {
+        sim_spec = sim_spec.with_topology(t.parse::<ringsim::core::HierTopology>()?);
+    }
+    if let Some(d) = flags.get("bridge-buffer") {
+        sim_spec = sim_spec.with_bridge_buffer(d.parse::<usize>()?);
+    }
     let mut sim = kind.build(&sim_spec)?;
     let want_obs = flags.contains_key("trace-out") || flags.contains_key("metrics");
     let opts = RunOptions { obs: want_obs.then(ringsim::obs::ObsConfig::default) };
@@ -493,6 +521,100 @@ fn stats_cmd(args: &[String]) -> CliResult {
                 );
             }
         }
+        if let Some(timelines) = doc.get("timelines").and_then(json::JsonValue::as_array) {
+            for tl in timelines {
+                if tl.get("name").and_then(json::JsonValue::as_str) == Some("bridges") {
+                    print_bridge_stats(path, tl, csv)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fraction of bridge arbitrations lost above which `stats` warns that the
+/// bridge buffer is undersized for the workload.
+const DEFLECTION_WARN_RATE: f64 = 0.10;
+
+/// Renders the per-bridge table from a hierarchy run's `bridges` gauge
+/// timeline (columns `L{level}R{ring}_{occ|defl|xfer}`): occupancy p95 over
+/// the sampled rows plus the final cumulative deflection/transfer counters.
+/// Warns loudly when a bridge deflected more than 10% of its arbitrations.
+fn print_bridge_stats(path: &str, tl: &ringsim::obs::json::JsonValue, csv: bool) -> CliResult {
+    use ringsim::obs::json::JsonValue;
+
+    let columns: Vec<&str> = tl
+        .get("columns")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{path}: `bridges` timeline missing `columns`"))?
+        .iter()
+        .map(|c| c.as_str().unwrap_or_default())
+        .collect();
+    let rows = tl
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{path}: `bridges` timeline missing `rows`"))?;
+    let value_at = |row: &JsonValue, idx: usize| {
+        row.get("values")
+            .and_then(JsonValue::as_array)
+            .and_then(|v| v.get(idx))
+            .and_then(JsonValue::as_f64)
+    };
+    if csv {
+        println!("bridge,occ_p95,deflections,transfers,defl_rate");
+    } else {
+        println!("{path}: bridge gauges ({} sampled rows)", rows.len());
+        println!(
+            "  {:<10} {:>9} {:>12} {:>12} {:>10}",
+            "bridge", "occ_p95", "deflections", "transfers", "defl_rate"
+        );
+    }
+    let mut warned = Vec::new();
+    for (idx, col) in columns.iter().enumerate() {
+        let Some(bridge) = col.strip_suffix("_occ") else { continue };
+        // The occupancy gauge is instantaneous; deflections/transfers are
+        // cumulative, so their final row holds the run totals.
+        let mut occ: Vec<f64> = rows.iter().filter_map(|r| value_at(r, idx)).collect();
+        occ.sort_by(f64::total_cmp);
+        let occ_p95 = if occ.is_empty() {
+            0.0
+        } else {
+            occ[((occ.len() as f64 * 0.95).ceil() as usize).clamp(1, occ.len()) - 1]
+        };
+        let find = |suffix: &str| {
+            let name = format!("{bridge}{suffix}");
+            columns
+                .iter()
+                .position(|c| **c == name)
+                .and_then(|i| rows.last().and_then(|r| value_at(r, i)))
+        };
+        let defl = find("_defl").unwrap_or(0.0);
+        let xfer = find("_xfer").unwrap_or(0.0);
+        let rate = if defl + xfer > 0.0 { defl / (defl + xfer) } else { 0.0 };
+        if csv {
+            println!("{bridge},{occ_p95},{defl},{xfer},{rate}");
+        } else {
+            println!(
+                "  {:<10} {:>9.1} {:>12.0} {:>12.0} {:>9.1}%",
+                bridge,
+                occ_p95,
+                defl,
+                xfer,
+                100.0 * rate
+            );
+        }
+        if rate > DEFLECTION_WARN_RATE {
+            warned.push((bridge, rate));
+        }
+    }
+    for (bridge, rate) in warned {
+        eprintln!(
+            "warning: {path}: bridge {bridge} deflected {:.1}% of its arbitrations \
+             (> {:.0}%) — the transfer queue is undersized for this workload \
+             (raise --bridge-buffer)",
+            100.0 * rate,
+            100.0 * DEFLECTION_WARN_RATE
+        );
     }
     Ok(())
 }
@@ -548,10 +670,13 @@ fn replay_cmd(args: &[String]) -> CliResult {
     let mips = mips_of(&flags)?;
     let proc_cycle = Time::from_ps(1_000_000 / mips);
     let kind = network_of(flags.get("network").map_or("ring500", String::as_str))?;
-    if kind == SimKind::Hier {
-        return Err("the hierarchy backend is transaction-level and cannot \
-                    replay reference traces (use sim --network hier)"
-            .into());
+    if kind.is_hier() {
+        return Err(format!(
+            "the hierarchy backends are transaction-level and cannot \
+             replay reference traces (use sim --network {})",
+            kind.name()
+        )
+        .into());
     }
     let spec = SimSpec::new(trace.workload())
         .with_protocol(protocol_of(&flags)?)
