@@ -1,0 +1,87 @@
+//! Load-tests a running `ringsim serve` instance and gates on the result.
+//!
+//! ```text
+//! loadtest --addr 127.0.0.1:8080 [--clients N] [--requests N]
+//!          [--storm N] [--experiments a,b] [--refs N]
+//!          [--p99-ms BOUND] [--report out.json]
+//! ```
+//!
+//! Exit status: 0 when every gate holds (zero 5xx, zero dropped
+//! connections, every operation's p99 under the bound), 1 otherwise. The
+//! JSON report is written regardless so CI can upload it as an artifact.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ringsim_bench::loadtest::{run_loadtest, LoadConfig};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`").into());
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    let mut cfg = LoadConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    if let Some(c) = flags.get("clients") {
+        cfg.clients = c.parse::<usize>()?.max(1);
+    }
+    if let Some(r) = flags.get("requests") {
+        cfg.requests_per_client = r.parse()?;
+    }
+    if let Some(s) = flags.get("storm") {
+        cfg.storm_submits = s.parse()?;
+    }
+    if let Some(e) = flags.get("experiments") {
+        cfg.experiments = e.split(',').map(str::to_owned).collect();
+        if cfg.experiments.is_empty() {
+            return Err("--experiments needs at least one name".into());
+        }
+    }
+    if let Some(r) = flags.get("refs") {
+        cfg.refs = r.parse()?;
+    }
+    let p99_bound = Duration::from_millis(flags.get("p99-ms").map_or(Ok(5000), |v| v.parse())?);
+
+    eprintln!(
+        "loadtest: {} clients x ({} storm + {} mixed) against {}",
+        cfg.clients, cfg.storm_submits, cfg.requests_per_client, cfg.addr
+    );
+    let report = run_loadtest(&cfg);
+    let json = serde_json::to_string_pretty(&report)?;
+    if let Some(path) = flags.get("report") {
+        std::fs::write(path, &json)?;
+        eprintln!("loadtest: report written to {path}");
+    }
+    println!("{json}");
+    match report.gate(p99_bound) {
+        Ok(()) => {
+            eprintln!(
+                "loadtest: PASS — {} ops over {} run(s), {} ms wall",
+                report.total_ops, report.runs_seen, report.wall_ms
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            eprintln!("loadtest: FAIL — {why}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod loadtest;
 pub mod perf;
 
 use std::fs;

@@ -1,0 +1,268 @@
+//! Artifact retention: a size/age budget over `<out>/runs/*`.
+//!
+//! Run directories accumulate forever without a policy — every distinct
+//! `(experiment, refs)` submission leaves artifacts plus a point cache on
+//! disk. The sweeper periodically scans the runs root and deletes
+//! directories the policy marks evictable, with three hard safety rules
+//! (locked by a property test in `tests/gc_policy.rs`):
+//!
+//! * **in-flight runs are untouchable** — a run whose job is queued or
+//!   running is never a candidate, whatever its size or age;
+//! * **pinned runs are untouchable** — `POST /runs/:id/pin` drops a
+//!   `.pinned` marker file into the run directory, and pinned directories
+//!   are skipped even when the size budget is blown;
+//! * **just-created runs are untouchable** — directories younger than the
+//!   policy's `min_age` are skipped, so a run is never reaped between its
+//!   final artifact write and the client's first fetch.
+//!
+//! Within those rules the policy is two simple axes: runs older than
+//! `max_age` expire unconditionally, and when the root's total size
+//! exceeds `max_total_bytes` the oldest evictable runs go first until the
+//! total fits the budget. [`plan`] is a pure function from a scan snapshot
+//! to the eviction list — the sweeper's only side effects are the scan and
+//! the deletions — which is what makes the policy property-testable.
+
+use std::path::Path;
+use std::time::Duration;
+
+/// The retention policy knobs (`0` disables an axis).
+#[derive(Debug, Clone, Copy)]
+pub struct GcPolicy {
+    /// Total size budget for `<out>/runs` in bytes; `0` = unlimited.
+    pub max_total_bytes: u64,
+    /// Runs older than this expire unconditionally; zero = never.
+    pub max_age: Duration,
+    /// Runs younger than this are never deleted (fetch grace window).
+    pub min_age: Duration,
+}
+
+impl GcPolicy {
+    /// Whether both axes are disabled (the sweeper can skip scanning).
+    #[must_use]
+    pub fn disabled(&self) -> bool {
+        self.max_total_bytes == 0 && self.max_age.is_zero()
+    }
+}
+
+/// One run directory as the sweeper's scan saw it.
+#[derive(Debug, Clone)]
+pub struct RunInfo {
+    /// Run id (directory name under `<out>/runs`).
+    pub id: String,
+    /// Recursive size of the directory in bytes.
+    pub bytes: u64,
+    /// Time since the directory was last modified.
+    pub age: Duration,
+    /// Whether the run's job is queued or running.
+    pub active: bool,
+    /// Whether the directory carries a `.pinned` marker.
+    pub pinned: bool,
+}
+
+/// Pure eviction planner: which run ids the sweeper should delete, given a
+/// scan snapshot and the policy. Never returns an active, pinned, or
+/// younger-than-`min_age` run.
+#[must_use]
+pub fn plan(runs: &[RunInfo], policy: &GcPolicy) -> Vec<String> {
+    let evictable = |r: &&RunInfo| !r.active && !r.pinned && r.age >= policy.min_age;
+    let mut doomed: Vec<&RunInfo> = Vec::new();
+    // Age axis: expired runs go regardless of the size budget.
+    if !policy.max_age.is_zero() {
+        doomed.extend(runs.iter().filter(evictable).filter(|r| r.age > policy.max_age));
+    }
+    // Size axis: evict oldest-first until the total fits the budget.
+    if policy.max_total_bytes > 0 {
+        let total: u64 = runs.iter().map(|r| r.bytes).sum();
+        let already: u64 = doomed.iter().map(|r| r.bytes).sum();
+        let mut excess = total.saturating_sub(already).saturating_sub(policy.max_total_bytes);
+        if excess > 0 {
+            let mut candidates: Vec<&RunInfo> = runs
+                .iter()
+                .filter(evictable)
+                .filter(|r| !doomed.iter().any(|d| d.id == r.id))
+                .collect();
+            candidates.sort_by(|a, b| b.age.cmp(&a.age).then_with(|| a.id.cmp(&b.id)));
+            for r in candidates {
+                if excess == 0 {
+                    break;
+                }
+                excess = excess.saturating_sub(r.bytes);
+                doomed.push(r);
+            }
+        }
+    }
+    doomed.iter().map(|r| r.id.clone()).collect()
+}
+
+/// Recursive directory size in bytes (symlinks not followed; errors count
+/// as zero — retention is advisory, not accounting).
+#[must_use]
+pub fn dir_size(path: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(path) else { return 0 };
+    let mut total = 0;
+    for entry in entries.flatten() {
+        let Ok(meta) = entry.metadata() else { continue };
+        if meta.is_dir() {
+            total += dir_size(&entry.path());
+        } else {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+/// Scans `<out>/runs` into a [`RunInfo`] snapshot. `is_active` answers
+/// "is this run's job queued or running" (the pool knows, this module
+/// doesn't).
+#[must_use]
+pub fn scan(runs_root: &Path, is_active: impl Fn(&str) -> bool) -> Vec<RunInfo> {
+    let Ok(entries) = std::fs::read_dir(runs_root) else { return Vec::new() };
+    let mut runs = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let id = entry.file_name().to_string_lossy().into_owned();
+        let age = entry
+            .metadata()
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.elapsed().ok())
+            .unwrap_or(Duration::ZERO);
+        runs.push(RunInfo {
+            active: is_active(&id),
+            pinned: path.join(".pinned").is_file(),
+            bytes: dir_size(&path),
+            age,
+            id,
+        });
+    }
+    runs
+}
+
+/// What one sweep did (feeds the `/metrics` GC counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOutcome {
+    /// Run directories deleted.
+    pub deleted_runs: u64,
+    /// Bytes those directories held.
+    pub reclaimed_bytes: u64,
+}
+
+/// One full sweep: scan, plan, delete, forget. `forget` unregisters a
+/// deleted run from the job map (so its id maps to 404, not a dangling
+/// "done" status); a run that went active between scan and delete is
+/// skipped — `forget` refusing is the authoritative re-check.
+pub fn sweep_once(
+    runs_root: &Path,
+    policy: &GcPolicy,
+    is_active: impl Fn(&str) -> bool,
+    forget: impl Fn(&str) -> bool,
+) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    if policy.disabled() {
+        return outcome;
+    }
+    let runs = scan(runs_root, &is_active);
+    for id in plan(&runs, policy) {
+        // Re-check liveness at deletion time: the plan snapshot races with
+        // submissions, and an id that re-entered the queue must survive.
+        if is_active(&id) {
+            continue;
+        }
+        let info = runs.iter().find(|r| r.id == id).expect("planned id came from the scan");
+        let path = runs_root.join(&id);
+        forget(&id);
+        if std::fs::remove_dir_all(&path).is_ok() {
+            outcome.deleted_runs += 1;
+            outcome.reclaimed_bytes += info.bytes;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(id: &str, bytes: u64, age_secs: u64, active: bool, pinned: bool) -> RunInfo {
+        RunInfo { id: id.to_owned(), bytes, age: Duration::from_secs(age_secs), active, pinned }
+    }
+
+    #[test]
+    fn age_axis_expires_old_runs_only() {
+        let policy = GcPolicy {
+            max_total_bytes: 0,
+            max_age: Duration::from_secs(100),
+            min_age: Duration::from_secs(10),
+        };
+        let runs = vec![
+            run("old", 5, 200, false, false),
+            run("fresh", 5, 50, false, false),
+            run("old-active", 5, 200, true, false),
+            run("old-pinned", 5, 200, false, true),
+            run("newborn", 5, 1, false, false),
+        ];
+        assert_eq!(plan(&runs, &policy), vec!["old".to_owned()]);
+    }
+
+    #[test]
+    fn size_axis_evicts_oldest_first_until_budget_fits() {
+        let policy =
+            GcPolicy { max_total_bytes: 100, max_age: Duration::ZERO, min_age: Duration::ZERO };
+        let runs = vec![
+            run("a", 60, 300, false, false),
+            run("b", 60, 200, false, false),
+            run("c", 60, 100, false, false),
+        ];
+        // 180 total, budget 100: drop the two oldest (a, b) to reach 60.
+        assert_eq!(plan(&runs, &policy), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn pinned_and_active_survive_even_over_budget() {
+        let policy =
+            GcPolicy { max_total_bytes: 10, max_age: Duration::ZERO, min_age: Duration::ZERO };
+        let runs = vec![run("pin", 500, 900, false, true), run("act", 500, 900, true, false)];
+        assert!(plan(&runs, &policy).is_empty());
+    }
+
+    #[test]
+    fn disabled_policy_plans_nothing() {
+        let policy =
+            GcPolicy { max_total_bytes: 0, max_age: Duration::ZERO, min_age: Duration::ZERO };
+        assert!(policy.disabled());
+        assert!(plan(&[run("x", 1 << 40, 1 << 30, false, false)], &policy).is_empty());
+    }
+
+    #[test]
+    fn sweep_once_deletes_planned_dirs_and_reports_bytes() {
+        let root = std::env::temp_dir().join(format!("ringsim-gc-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        for id in ["kept-active", "kept-pinned", "doomed"] {
+            let dir = root.join(id);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("fig3.json"), vec![b'x'; 1000]).unwrap();
+        }
+        std::fs::write(root.join("kept-pinned").join(".pinned"), b"").unwrap();
+        let policy =
+            GcPolicy { max_total_bytes: 1, max_age: Duration::ZERO, min_age: Duration::ZERO };
+        let forgotten = std::sync::Mutex::new(Vec::new());
+        let outcome = sweep_once(
+            &root,
+            &policy,
+            |id| id == "kept-active",
+            |id| {
+                forgotten.lock().unwrap().push(id.to_owned());
+                true
+            },
+        );
+        assert_eq!(outcome.deleted_runs, 1);
+        assert!(outcome.reclaimed_bytes >= 1000);
+        assert!(!root.join("doomed").exists());
+        assert!(root.join("kept-active").exists() && root.join("kept-pinned").exists());
+        assert_eq!(*forgotten.lock().unwrap(), vec!["doomed".to_owned()]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

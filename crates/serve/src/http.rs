@@ -247,6 +247,51 @@ impl Response {
     }
 }
 
+/// Writes the header block of a streaming (chunked) response and flushes.
+/// There is no `Content-Length` — the body is a sequence of
+/// [`write_chunk`] frames ended by [`finish_chunks`] — and the connection
+/// still closes afterwards, like every response this server writes.
+///
+/// # Errors
+///
+/// Propagates transport write errors.
+pub fn write_stream_headers(w: &mut impl Write, content_type: &str) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n\
+         Cache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    w.flush()
+}
+
+/// Writes one HTTP/1.1 chunk (`<hex len>\r\n<data>\r\n`) and flushes so
+/// live streams are delivered promptly, not on buffer boundaries. Empty
+/// data is skipped — a zero-length chunk would terminate the stream.
+///
+/// # Errors
+///
+/// Propagates transport write errors (a failed write means the client
+/// disconnected; streaming callers stop on the first error).
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Writes the stream-terminating zero chunk.
+///
+/// # Errors
+///
+/// Propagates transport write errors.
+pub fn finish_chunks(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
 /// Canonical reason phrase for the status codes this service emits.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -327,6 +372,25 @@ mod tests {
             parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
             Err(HttpError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn chunked_stream_framing_is_wellformed() {
+        let mut out = Vec::new();
+        write_stream_headers(&mut out, "text/event-stream").unwrap();
+        write_chunk(&mut out, b"event: state\ndata: {}\n\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // empty chunk is skipped, not terminal
+        write_chunk(&mut out, b": keepalive\n\n").unwrap();
+        finish_chunks(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Content-Type: text/event-stream\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("17\r\nevent: state\ndata: {}\n\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+        // Exactly one zero-length chunk, and it is the terminator.
+        assert_eq!(text.matches("\r\n0\r\n").count(), 1);
     }
 
     #[test]

@@ -16,14 +16,21 @@
 //! already accepted — nothing accepted is ever lost mid-write.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::BufRead as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use ringsim_sweep::{run_experiment, Experiment, Progress, ProgressFn, SweepConfig, SweepPoint};
+use ringsim_sweep::{
+    run_experiment, Experiment, Progress, ProgressFn, Shard, SweepConfig, SweepPoint,
+};
 use serde::{Serialize, Value};
+
+use crate::worker::WireEvent;
+use crate::ServeConfig;
 
 /// Lifecycle state of a job. Serialises as its lower-case name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,7 +137,29 @@ struct JobStateData {
     error: Option<String>,
 }
 
-/// One job: identity plus live progress counters.
+/// One server-sent event in a job's live stream (`GET /runs/:id/events`).
+/// Kinds: `state` (lifecycle transition), `progress` (one point finished),
+/// `done` / `failed` (terminal — the stream closes after one of these).
+#[derive(Debug, Clone)]
+pub struct SseEvent {
+    /// SSE `event:` field.
+    pub event: &'static str,
+    /// SSE `data:` field — a single-line JSON document.
+    pub data: String,
+}
+
+impl SseEvent {
+    /// Whether this event ends the stream.
+    #[must_use]
+    pub fn terminal(&self) -> bool {
+        matches!(self.event, "done" | "failed")
+    }
+}
+
+/// One job: identity plus live progress counters and the event log every
+/// SSE subscriber replays (late subscribers see the full history, so a
+/// stream over a finished job is the whole run followed by the terminal
+/// event).
 struct JobInner {
     id: String,
     exp: &'static dyn Experiment,
@@ -140,11 +169,13 @@ struct JobInner {
     hits: AtomicU64,
     misses: AtomicU64,
     state: Mutex<JobStateData>,
+    events: Mutex<Vec<SseEvent>>,
+    events_cv: Condvar,
 }
 
 impl JobInner {
     fn new(id: String, exp: &'static dyn Experiment, refs: u64) -> Self {
-        Self {
+        let job = Self {
             id,
             exp,
             refs,
@@ -157,6 +188,88 @@ impl JobInner {
                 artifacts: Vec::new(),
                 error: None,
             }),
+            events: Mutex::new(Vec::new()),
+            events_cv: Condvar::new(),
+        };
+        job.push_state_event(JobState::Queued);
+        job
+    }
+
+    fn push_event(&self, event: &'static str, data: String) {
+        self.events.lock().expect("events lock").push(SseEvent { event, data });
+        self.events_cv.notify_all();
+    }
+
+    fn push_state_event(&self, state: JobState) {
+        #[derive(Serialize)]
+        struct Data {
+            state: String,
+        }
+        self.push_event("state", render_event(&Data { state: state.as_str().to_owned() }));
+    }
+
+    /// Records one finished point (counter bump + `progress` event).
+    fn point_done(&self, label: &str, cached: bool) {
+        let counter = if cached { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let completed = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        #[derive(Serialize)]
+        struct Data {
+            completed: u64,
+            total: u64,
+            label: String,
+            cached: bool,
+        }
+        self.push_event(
+            "progress",
+            render_event(&Data {
+                completed,
+                total: self.total.load(Ordering::Relaxed),
+                label: label.to_owned(),
+                cached,
+            }),
+        );
+    }
+
+    /// Pushes the terminal event matching the job's final status.
+    fn push_terminal_event(&self) {
+        let status = self.status();
+        match status.state {
+            JobState::Done => {
+                #[derive(Serialize)]
+                struct Data {
+                    state: String,
+                    points: u64,
+                    hits: u64,
+                    misses: u64,
+                    artifacts: u64,
+                }
+                self.push_event(
+                    "done",
+                    render_event(&Data {
+                        state: "done".to_owned(),
+                        points: status.points.total,
+                        hits: status.cache.hits,
+                        misses: status.cache.misses,
+                        artifacts: status.artifacts.len() as u64,
+                    }),
+                );
+            }
+            JobState::Failed => {
+                #[derive(Serialize)]
+                struct Data {
+                    state: String,
+                    error: String,
+                }
+                self.push_event(
+                    "failed",
+                    render_event(&Data {
+                        state: "failed".to_owned(),
+                        error: status.error.clone().unwrap_or_else(|| "unknown".to_owned()),
+                    }),
+                );
+            }
+            JobState::Queued | JobState::Running => {}
         }
     }
 
@@ -181,6 +294,36 @@ impl JobInner {
     }
 }
 
+/// Renders an event's `data:` JSON (compact — SSE data must be one line).
+fn render_event<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("event serialisation is infallible")
+}
+
+/// A subscriber's position in one job's event log. [`EventCursor::poll`]
+/// drains everything appended since the last call, blocking briefly when
+/// the log is caught up — the SSE handler turns empty polls into heartbeat
+/// comments.
+pub struct EventCursor {
+    job: Arc<JobInner>,
+    next: usize,
+}
+
+impl EventCursor {
+    /// Events appended since the last poll; blocks up to `wait` when none
+    /// are pending (an empty return after `wait` means "still caught up").
+    pub fn poll(&mut self, wait: Duration) -> Vec<SseEvent> {
+        let mut log = self.job.events.lock().expect("events lock");
+        if self.next >= log.len() {
+            let (guard, _timeout) =
+                self.job.events_cv.wait_timeout(log, wait).expect("events condvar");
+            log = guard;
+        }
+        let batch: Vec<SseEvent> = log[self.next.min(log.len())..].to_vec();
+        self.next = log.len();
+        batch
+    }
+}
+
 /// Shared pool state (behind an `Arc` for the worker threads).
 struct PoolShared {
     jobs: Mutex<HashMap<String, Arc<JobInner>>>,
@@ -192,6 +335,12 @@ struct PoolShared {
     out_root: PathBuf,
     /// Worker threads per sweep (`0` = the engine default).
     sweep_jobs: usize,
+    /// Shard-worker processes per run (`0`/`1` = in-process execution).
+    shards: usize,
+    /// Executable spawned as `serve-worker` (`None` = this executable).
+    worker_exe: Option<PathBuf>,
+    /// Peer-wait deadline handed to shard workers.
+    shard_wait: Duration,
 }
 
 /// Bounded worker pool executing experiment runs.
@@ -201,22 +350,27 @@ pub struct JobPool {
 }
 
 impl JobPool {
-    /// Spawns `workers` job-worker threads. `queue_cap` bounds how many
-    /// jobs may wait (running jobs excluded); `sweep_jobs` is the sweep
-    /// engine's per-job thread budget (`0` = engine default).
+    /// Spawns `cfg.workers` job-worker threads. `cfg.queue_cap` bounds how
+    /// many jobs may wait (running jobs excluded); `cfg.sweep_jobs` is the
+    /// sweep engine's per-job thread budget (`0` = engine default); with
+    /// `cfg.shards >= 2` each job runs as that many `serve-worker`
+    /// processes instead of in-process.
     #[must_use]
-    pub fn new(out_root: PathBuf, workers: usize, queue_cap: usize, sweep_jobs: usize) -> Self {
+    pub fn new(cfg: &ServeConfig) -> Self {
         let shared = Arc::new(PoolShared {
             jobs: Mutex::new(HashMap::new()),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            queue_cap,
+            queue_cap: cfg.queue_cap,
             draining: AtomicBool::new(false),
             running: AtomicU64::new(0),
-            out_root,
-            sweep_jobs,
+            out_root: cfg.out_dir.clone(),
+            sweep_jobs: cfg.sweep_jobs,
+            shards: cfg.shards,
+            worker_exe: cfg.worker_exe.clone(),
+            shard_wait: cfg.shard_wait,
         });
-        let handles = (0..workers.max(1))
+        let handles = (0..cfg.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -274,6 +428,48 @@ impl JobPool {
     #[must_use]
     pub fn status(&self, id: &str) -> Option<JobStatus> {
         self.shared.jobs.lock().expect("jobs lock").get(id).map(|j| j.status())
+    }
+
+    /// A subscriber cursor over a job's event log, replaying from the
+    /// beginning (late subscribers see the full history).
+    #[must_use]
+    pub fn events(&self, id: &str) -> Option<EventCursor> {
+        let job = self.shared.jobs.lock().expect("jobs lock").get(id).map(Arc::clone)?;
+        Some(EventCursor { job, next: 0 })
+    }
+
+    /// Jobs waiting for a worker right now (the `/metrics` queue depth).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// Whether a run is queued or running (the GC must never touch it).
+    #[must_use]
+    pub fn is_active(&self, id: &str) -> bool {
+        self.shared.jobs.lock().expect("jobs lock").get(id).is_some_and(|j| {
+            matches!(
+                j.state.lock().expect("job state lock").state,
+                JobState::Queued | JobState::Running
+            )
+        })
+    }
+
+    /// Forgets a finished job (GC deleted its directory): the id maps to
+    /// 404 afterwards and an identical resubmission re-runs from scratch.
+    /// Refuses (returns `false`) while the job is queued or running.
+    pub fn forget(&self, id: &str) -> bool {
+        let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+        let Some(job) = jobs.get(id) else { return false };
+        let active = matches!(
+            job.state.lock().expect("job state lock").state,
+            JobState::Queued | JobState::Running
+        );
+        if active {
+            return false;
+        }
+        jobs.remove(id);
+        true
     }
 
     /// Aggregate per-state counts.
@@ -340,37 +536,155 @@ fn worker_loop(pool: &PoolShared) {
     }
 }
 
-/// Executes one job through the sweep engine, feeding its live counters
-/// from the engine's progress callback.
+/// Executes one job, feeding its live counters (and event log) from the
+/// engine's progress callback. With `shards >= 2` the sweep itself runs in
+/// shard-worker processes; the in-process part is then only the fold.
 fn run_job(pool: &PoolShared, job: &Arc<JobInner>) {
     job.state.lock().expect("job state lock").state = JobState::Running;
+    job.push_state_event(JobState::Running);
     let dir = pool.out_root.join("runs").join(&job.id);
+    if pool.shards >= 2 {
+        run_shard_workers(pool, job, &dir);
+    }
+    fold_and_finish(pool, job, &dir, pool.shards >= 2);
+}
+
+/// Runs the sweep's points in `pool.shards` `serve-worker` processes, the
+/// shared `<run>` directory as their common cache root. Worker stdout is
+/// the wire protocol (see [`crate::worker`]): each worker announces only
+/// the points its shard owns, so the coordinator's per-point counters sum
+/// to exactly the sweep size across all workers. A worker that dies is
+/// respawned once (its finished points replay from the warm cache); a
+/// worker that stays dead is survivable too, because the fold recomputes
+/// whatever the cache is missing.
+fn run_shard_workers(pool: &PoolShared, job: &Arc<JobInner>, dir: &std::path::Path) {
+    let exe = pool
+        .worker_exe
+        .clone()
+        .or_else(|| std::env::current_exe().ok())
+        .unwrap_or_else(|| PathBuf::from("ringsim"));
+    let shards = pool.shards;
+    std::thread::scope(|scope| {
+        for index in 0..shards {
+            let exe = &exe;
+            scope.spawn(move || {
+                for attempt in 0..2 {
+                    match spawn_and_track_worker(exe, pool, job, dir, index, shards) {
+                        Ok(()) => return,
+                        Err(e) => {
+                            eprintln!(
+                                "serve: shard {index}/{shards} of run {} failed \
+                                 (attempt {attempt}): {e}",
+                                job.id
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Spawns one shard worker, streams its stdout protocol into the job's
+/// counters, and waits for exit. `Err` on spawn failure, abnormal exit, or
+/// a `failed` protocol line.
+fn spawn_and_track_worker(
+    exe: &std::path::Path,
+    pool: &PoolShared,
+    job: &Arc<JobInner>,
+    dir: &std::path::Path,
+    index: usize,
+    shards: usize,
+) -> Result<(), String> {
+    let shard = Shard::new(index, shards).expect("index < shards by construction");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve-worker")
+        .arg("--experiment")
+        .arg(job.exp.name())
+        .arg("--refs")
+        .arg(job.refs.to_string())
+        .arg("--out")
+        .arg(dir.join("shards").join(index.to_string()))
+        .arg("--cache-dir")
+        .arg(dir)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--jobs")
+        .arg(pool.sweep_jobs.to_string())
+        .arg("--shard-wait-secs")
+        .arg(pool.shard_wait.as_secs().max(1).to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    let mut child = cmd.spawn().map_err(|e| format!("spawning {}: {e}", exe.display()))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut failure: Option<String> = None;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let Ok(line) = line else { break };
+        match WireEvent::parse(&line) {
+            Some(WireEvent::MapStarted { points }) => {
+                job.total.fetch_add(points, Ordering::Relaxed);
+            }
+            Some(WireEvent::PointDone { label, cached }) => {
+                job.point_done(&label, cached);
+            }
+            Some(WireEvent::Failed { error }) => failure = Some(error),
+            // Per-worker totals are diagnostic; the fold meta is
+            // authoritative for the job's final counters.
+            Some(WireEvent::Done { .. }) | None => {}
+        }
+    }
+    let status = child.wait().map_err(|e| format!("waiting for worker: {e}"))?;
+    match failure {
+        Some(error) => Err(error),
+        None if !status.success() => Err(format!("worker exited with {status}")),
+        None => Ok(()),
+    }
+}
+
+/// Runs the experiment in-process against `<dir>/.cache` and finalises the
+/// job. For a single-pool job this *is* the run; after shard workers it is
+/// the fold — every point replays from the warm shared cache (a miss here
+/// means a shard died without a successor, and the fold computes the gap
+/// itself), and the artifacts are rendered by exactly one process, which
+/// is what makes them byte-identical to the single-pool path.
+fn fold_and_finish(pool: &PoolShared, job: &Arc<JobInner>, dir: &std::path::Path, folded: bool) {
     let progress: ProgressFn = {
         let job = Arc::clone(job);
         Arc::new(move |ev| match ev {
             Progress::MapStarted { points } => {
-                job.total.fetch_add(*points as u64, Ordering::Relaxed);
+                if !folded {
+                    job.total.fetch_add(*points as u64, Ordering::Relaxed);
+                }
             }
-            Progress::PointDone { cached, .. } => {
-                job.completed.fetch_add(1, Ordering::Relaxed);
-                let counter = if *cached { &job.hits } else { &job.misses };
-                counter.fetch_add(1, Ordering::Relaxed);
+            Progress::PointDone { cached, label } => {
+                // After shard workers, hits replay points a worker already
+                // announced — only the gap points (misses) are news.
+                if !folded || !*cached {
+                    job.point_done(label, *cached);
+                }
             }
         })
     };
-    let mut cfg = SweepConfig::new(job.refs).out_dir(&dir).cache(true).on_progress(progress);
+    let mut cfg = SweepConfig::new(job.refs).out_dir(dir).cache(true).on_progress(progress);
     if pool.sweep_jobs > 0 {
         cfg = cfg.jobs(pool.sweep_jobs);
     }
     let exp = job.exp;
     match catch_unwind(AssertUnwindSafe(|| run_experiment(exp, &cfg))) {
         Ok(report) => {
-            // The meta twin is authoritative; progress counters converge to
-            // the same values, but store them explicitly for exactness.
+            // The meta twin is authoritative for totals; the hit/miss split
+            // of a sharded run keeps the workers' counters (the fold's
+            // all-hit replay says nothing about how points were computed).
             job.total.store(report.meta.points as u64, Ordering::Relaxed);
             job.completed.store(report.meta.points as u64, Ordering::Relaxed);
-            job.hits.store(report.meta.cache_hits, Ordering::Relaxed);
-            job.misses.store(report.meta.cache_misses, Ordering::Relaxed);
+            if !folded {
+                job.hits.store(report.meta.cache_hits, Ordering::Relaxed);
+                job.misses.store(report.meta.cache_misses, Ordering::Relaxed);
+            }
+            // Shard scratch dirs are not servable artifacts; drop them so
+            // retention accounting sees only the run's real footprint.
+            let _ = std::fs::remove_dir_all(dir.join("shards"));
             let mut st = job.state.lock().expect("job state lock");
             st.artifacts = report
                 .artifacts
@@ -390,6 +704,7 @@ fn run_job(pool: &PoolShared, job: &Arc<JobInner>) {
             st.state = JobState::Failed;
         }
     }
+    job.push_terminal_event();
 }
 
 #[cfg(test)]
@@ -398,6 +713,10 @@ mod tests {
 
     fn tmp(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("ringsim-serve-jobs-{tag}-{}", std::process::id()))
+    }
+
+    fn pool_cfg(out_dir: PathBuf, queue_cap: usize) -> ServeConfig {
+        ServeConfig { out_dir, workers: 1, queue_cap, sweep_jobs: 1, ..ServeConfig::default() }
     }
 
     #[test]
@@ -412,7 +731,7 @@ mod tests {
     #[test]
     fn zero_capacity_queue_rejects_submissions() {
         let dir = tmp("cap0");
-        let pool = JobPool::new(dir.clone(), 1, 0, 1);
+        let pool = JobPool::new(&pool_cfg(dir.clone(), 0));
         let exp = ringsim_bench::experiments::find("fig3").unwrap();
         assert!(matches!(pool.submit(exp, 123), SubmitOutcome::QueueFull));
         pool.shutdown();
@@ -423,7 +742,7 @@ mod tests {
     #[test]
     fn draining_pool_rejects_submissions() {
         let dir = tmp("drain");
-        let pool = JobPool::new(dir.clone(), 1, 4, 1);
+        let pool = JobPool::new(&pool_cfg(dir.clone(), 4));
         pool.shutdown();
         let exp = ringsim_bench::experiments::find("fig3").unwrap();
         assert!(matches!(pool.submit(exp, 123), SubmitOutcome::Draining));

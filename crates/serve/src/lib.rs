@@ -12,7 +12,10 @@
 //!   bounded queue is full, 503 while draining;
 //! * `GET  /runs/:id` — job status with per-point progress and sweep-cache
 //!   hit/miss counts;
+//! * `GET  /runs/:id/events` — live Server-Sent Events stream of the run
+//!   (history replayed, then followed until the terminal event);
 //! * `GET  /runs/:id/artifacts/:file` — byte-exact artifact serving;
+//! * `POST /runs/:id/pin` — exempt a run from artifact retention ([`gc`]);
 //! * `GET  /metrics` — process-wide simulator metrics, per-route request
 //!   latency histograms, job counts, and retained obs warnings;
 //! * `POST /shutdown` — programmatic drain (same path as SIGINT).
@@ -36,16 +39,18 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gc;
 pub mod http;
 pub mod jobs;
 pub mod router;
 mod signal;
+pub mod worker;
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,8 +58,10 @@ use std::time::{Duration, Instant};
 use ringsim_obs::LatencyHistogram;
 
 use crate::jobs::JobPool;
+use crate::router::Reply;
 
-/// How the service runs: bind address, storage root, queue shape.
+/// How the service runs: bind address, storage root, queue shape,
+/// execution mode (in-process pool vs shard-worker processes), retention.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Address to bind (`host:port`; port `0` picks a free one).
@@ -71,6 +78,24 @@ pub struct ServeConfig {
     pub default_refs: u64,
     /// Per-connection read/write timeout.
     pub request_timeout: Duration,
+    /// Shard-worker processes per run; `0`/`1` keeps the in-process pool,
+    /// `N >= 2` executes each run as N `serve-worker` processes merging
+    /// through the run's shared cache (see [`jobs`] and [`worker`]).
+    pub shards: usize,
+    /// Executable to spawn as `serve-worker` (`None` = this executable;
+    /// tests point it at the `ringsim` binary explicitly).
+    pub worker_exe: Option<PathBuf>,
+    /// Peer-wait deadline shard workers use before computing a dead peer's
+    /// points themselves.
+    pub shard_wait: Duration,
+    /// Retention: total size budget for `<out>/runs` (`0` = unlimited).
+    pub gc_max_bytes: u64,
+    /// Retention: runs older than this expire (zero = never).
+    pub gc_max_age: Duration,
+    /// Retention: runs younger than this are never deleted.
+    pub gc_min_age: Duration,
+    /// How often the retention sweeper runs (zero disables it).
+    pub gc_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +108,25 @@ impl Default for ServeConfig {
             sweep_jobs: 0,
             default_refs: ringsim_bench::EXPERIMENT_REFS,
             request_timeout: Duration::from_secs(10),
+            shards: 0,
+            worker_exe: None,
+            shard_wait: Duration::from_secs(600),
+            gc_max_bytes: 0,
+            gc_max_age: Duration::ZERO,
+            gc_min_age: Duration::from_secs(60),
+            gc_interval: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The retention policy this config describes.
+    #[must_use]
+    pub fn gc_policy(&self) -> gc::GcPolicy {
+        gc::GcPolicy {
+            max_total_bytes: self.gc_max_bytes,
+            max_age: self.gc_max_age,
+            min_age: self.gc_min_age,
         }
     }
 }
@@ -96,19 +140,32 @@ pub struct ServerState {
     started: Instant,
     draining: AtomicBool,
     http: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
+    gc_sweeps: AtomicU64,
+    gc_deleted_runs: AtomicU64,
+    gc_reclaimed_bytes: AtomicU64,
 }
 
 impl ServerState {
     /// Builds the state and spawns the pool's workers.
     #[must_use]
     pub fn new(cfg: ServeConfig) -> Self {
-        let pool = JobPool::new(cfg.out_dir.clone(), cfg.workers, cfg.queue_cap, cfg.sweep_jobs);
+        let pool = JobPool::new(&cfg);
+        // Pre-register every dispatchable route so `/metrics` reports a
+        // (possibly zero-count) histogram per route from the first scrape —
+        // a route that has never been hit is visible, not missing.
+        let mut http = BTreeMap::new();
+        for route in router::ROUTES {
+            http.insert(*route, LatencyHistogram::default());
+        }
         Self {
             cfg,
             pool,
             started: Instant::now(),
             draining: AtomicBool::new(false),
-            http: Mutex::new(BTreeMap::new()),
+            http: Mutex::new(http),
+            gc_sweeps: AtomicU64::new(0),
+            gc_deleted_runs: AtomicU64::new(0),
+            gc_reclaimed_bytes: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +199,22 @@ impl ServerState {
         let map = self.http.lock().expect("http metrics lock");
         map.iter().map(|(route, h)| ((*route).to_owned(), h.clone())).collect()
     }
+
+    /// Folds one retention sweep's outcome into the GC counters.
+    pub(crate) fn record_gc(&self, outcome: gc::SweepOutcome) {
+        self.gc_sweeps.fetch_add(1, Ordering::Relaxed);
+        self.gc_deleted_runs.fetch_add(outcome.deleted_runs, Ordering::Relaxed);
+        self.gc_reclaimed_bytes.fetch_add(outcome.reclaimed_bytes, Ordering::Relaxed);
+    }
+
+    /// `(sweeps, deleted_runs, reclaimed_bytes)` since boot.
+    pub(crate) fn gc_counters(&self) -> (u64, u64, u64) {
+        (
+            self.gc_sweeps.load(Ordering::Relaxed),
+            self.gc_deleted_runs.load(Ordering::Relaxed),
+            self.gc_reclaimed_bytes.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// A bound, accepting server. Dropping it leaks the accept thread; call
@@ -150,6 +223,7 @@ pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -170,7 +244,17 @@ impl Server {
         let accept = std::thread::Builder::new()
             .name("http-accept".to_owned())
             .spawn(move || accept_loop(&listener, &accept_state))?;
-        Ok(Self { state, addr, accept: Some(accept) })
+        let sweeper = if state.cfg.gc_interval.is_zero() || state.cfg.gc_policy().disabled() {
+            None
+        } else {
+            let gc_state = Arc::clone(&state);
+            Some(
+                std::thread::Builder::new()
+                    .name("gc-sweeper".to_owned())
+                    .spawn(move || gc_loop(&gc_state))?,
+            )
+        };
+        Ok(Self { state, addr, accept: Some(accept), sweeper })
     }
 
     /// The bound address (resolves port `0`).
@@ -203,7 +287,37 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
         self.state.pool.join();
+    }
+}
+
+/// Retention sweeper: every `gc_interval`, scan `<out>/runs`, delete what
+/// the policy marks evictable, and fold the outcome into `/metrics`.
+/// Polls the drain flag at 250 ms so shutdown isn't held up by the
+/// interval.
+fn gc_loop(state: &Arc<ServerState>) {
+    let runs_root = state.cfg.out_dir.join("runs");
+    let policy = state.cfg.gc_policy();
+    let interval = state.cfg.gc_interval;
+    let mut last_sweep = Instant::now();
+    loop {
+        if state.draining() {
+            return;
+        }
+        if last_sweep.elapsed() >= interval {
+            last_sweep = Instant::now();
+            let outcome = gc::sweep_once(
+                &runs_root,
+                &policy,
+                |id| state.pool.is_active(id),
+                |id| state.pool.forget(id),
+            );
+            state.record_gc(outcome);
+        }
+        std::thread::sleep(Duration::from_millis(250));
     }
 }
 
@@ -242,16 +356,52 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     let mut writer = stream;
     let start = Instant::now();
     match http::read_request(&mut reader) {
-        Ok(Some(req)) => {
-            let (route, resp) = router::dispatch(state, &req);
-            state.record_http(route, start.elapsed());
-            let _ = resp.write_to(&mut writer);
-        }
+        Ok(Some(req)) => match router::dispatch(state, &req) {
+            (route, Reply::Full(resp)) => {
+                state.record_http(route, start.elapsed());
+                let _ = resp.write_to(&mut writer);
+            }
+            (route, Reply::Events(cursor)) => {
+                state.record_http(route, start.elapsed());
+                stream_events(&mut writer, cursor);
+            }
+        },
         Ok(None) => {}
         Err(e) => {
             if let Some(resp) = e.response() {
                 state.record_http("(rejected)", start.elapsed());
                 let _ = resp.write_to(&mut writer);
+            }
+        }
+    }
+}
+
+/// Streams a job's event log as Server-Sent Events over chunked transfer
+/// encoding, replaying history first, then following live until the
+/// terminal (`done`/`failed`) event. Blocks on the cursor's condvar with a
+/// 1 s timeout; idle gaps emit `: keepalive` comment frames so proxies and
+/// dead-peer detection see traffic. A client disconnect surfaces as a write
+/// error and silently ends the stream — never the job.
+fn stream_events(writer: &mut TcpStream, mut cursor: jobs::EventCursor) {
+    if http::write_stream_headers(writer, "text/event-stream").is_err() {
+        return;
+    }
+    loop {
+        let batch = cursor.poll(Duration::from_secs(1));
+        if batch.is_empty() {
+            if http::write_chunk(writer, b": keepalive\n\n").is_err() {
+                return;
+            }
+            continue;
+        }
+        for ev in batch {
+            let frame = format!("event: {}\ndata: {}\n\n", ev.event, ev.data);
+            if http::write_chunk(writer, frame.as_bytes()).is_err() {
+                return;
+            }
+            if ev.terminal() {
+                let _ = http::finish_chunks(writer);
+                return;
             }
         }
     }

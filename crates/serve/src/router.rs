@@ -9,37 +9,116 @@
 use serde::{Serialize, Value};
 
 use crate::http::{Request, Response};
-use crate::jobs::{JobCounts, JobState, JobStatus, SubmitOutcome};
+use crate::jobs::{EventCursor, JobCounts, JobState, JobStatus, SubmitOutcome};
 use crate::ServerState;
 
 /// Seconds clients are told to wait after a 429 (queue full).
 const RETRY_AFTER_SECS: u32 = 2;
 
-/// Dispatches one request, returning `(route label, response)`.
+/// Every route label the server records latency under; registered eagerly
+/// at startup so `/metrics` reports all routes (zero-count included) from
+/// the first request, not only the ones that happened to be hit.
+pub const ROUTES: &[&str] = &[
+    "GET /healthz",
+    "GET /experiments",
+    "POST /runs",
+    "GET /runs/:id",
+    "GET /runs/:id/events",
+    "GET /runs/:id/artifacts/:file",
+    "POST /runs/:id/pin",
+    "GET /metrics",
+    "POST /shutdown",
+];
+
+/// What a route produced: a complete response, or a live stream the
+/// connection handler keeps writing until it ends.
+pub enum Reply {
+    /// An ordinary buffered response.
+    Full(Response),
+    /// An SSE subscription on a job's event log (`GET /runs/:id/events`).
+    Events(EventCursor),
+}
+
+impl Reply {
+    /// Unwraps the buffered response (tests and non-streaming callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a streaming reply.
+    #[must_use]
+    pub fn into_response(self) -> Response {
+        match self {
+            Reply::Full(resp) => resp,
+            Reply::Events(_) => panic!("streaming reply has no buffered response"),
+        }
+    }
+}
+
+impl From<Response> for Reply {
+    fn from(resp: Response) -> Self {
+        Reply::Full(resp)
+    }
+}
+
+/// Dispatches one request, returning `(route label, reply)`.
 #[must_use]
-pub fn dispatch(state: &ServerState, req: &Request) -> (&'static str, Response) {
+pub fn dispatch(state: &ServerState, req: &Request) -> (&'static str, Reply) {
     let segs: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segs.as_slice()) {
-        ("GET", ["healthz"]) => ("GET /healthz", healthz(state)),
-        ("GET", ["experiments"]) => ("GET /experiments", list_experiments()),
-        ("POST", ["runs"]) => ("POST /runs", submit(state, req)),
-        ("GET", ["runs", id]) => ("GET /runs/:id", run_status(state, id)),
+        ("GET", ["healthz"]) => ("GET /healthz", healthz(state).into()),
+        ("GET", ["experiments"]) => ("GET /experiments", list_experiments().into()),
+        ("POST", ["runs"]) => ("POST /runs", submit(state, req).into()),
+        ("GET", ["runs", id]) => ("GET /runs/:id", run_status(state, id).into()),
+        ("GET", ["runs", id, "events"]) => ("GET /runs/:id/events", events(state, id)),
         ("GET", ["runs", id, "artifacts", file]) => {
-            ("GET /runs/:id/artifacts/:file", artifact(state, id, file))
+            ("GET /runs/:id/artifacts/:file", artifact(state, id, file).into())
         }
-        ("GET", ["metrics"]) => ("GET /metrics", metrics(state)),
-        ("POST", ["shutdown"]) => ("POST /shutdown", shutdown(state)),
+        ("POST", ["runs", id, "pin"]) => ("POST /runs/:id/pin", pin(state, id).into()),
+        ("GET", ["metrics"]) => ("GET /metrics", metrics(state).into()),
+        ("POST", ["shutdown"]) => ("POST /shutdown", shutdown(state).into()),
         (
             _,
             ["healthz" | "experiments" | "metrics" | "shutdown" | "runs"]
             | ["runs", _]
+            | ["runs", _, "events" | "pin"]
             | ["runs", _, "artifacts", _],
         ) => (
             "(method-not-allowed)",
-            Response::error(405, &format!("{} not allowed on {}", req.method, req.path())),
+            Response::error(405, &format!("{} not allowed on {}", req.method, req.path())).into(),
         ),
-        _ => ("(not-found)", Response::error(404, &format!("no route for {}", req.path()))),
+        _ => ("(not-found)", Response::error(404, &format!("no route for {}", req.path())).into()),
     }
+}
+
+/// `GET /runs/:id/events`: subscribe to the job's live SSE stream. The
+/// cursor replays the full event history first, so a subscription to a
+/// finished run is the whole log followed immediately by the terminal
+/// event.
+fn events(state: &ServerState, id: &str) -> Reply {
+    match state.pool.events(id) {
+        Some(cursor) => Reply::Events(cursor),
+        None => Reply::Full(Response::error(404, &format!("no run `{id}`"))),
+    }
+}
+
+/// `POST /runs/:id/pin`: drop a `.pinned` marker into the run directory so
+/// retention never evicts it (see [`crate::gc`]).
+fn pin(state: &ServerState, id: &str) -> Response {
+    if state.pool.status(id).is_none() {
+        return Response::error(404, &format!("no run `{id}`"));
+    }
+    let dir = state.pool.job_dir(id);
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(dir.join(".pinned"), b""))
+    {
+        return Response::error(500, &format!("pinning run `{id}`: {e}"));
+    }
+    #[derive(Serialize)]
+    struct Ack {
+        id: String,
+        pinned: bool,
+    }
+    Response::json(200, render(&Ack { id: id.to_owned(), pinned: true }))
 }
 
 fn healthz(state: &ServerState) -> Response {
@@ -196,12 +275,33 @@ struct RouteStat {
     latency: ringsim_obs::LatencyHistogram,
 }
 
+/// Worker-pool shape and load in the `/metrics` document.
+#[derive(Serialize)]
+struct PoolStat {
+    /// Jobs waiting for a worker right now.
+    depth: u64,
+    /// Job-worker threads.
+    workers: u64,
+    /// Shard-worker processes per run (`0`/`1` = in-process).
+    shards: u64,
+}
+
+/// Retention counters in the `/metrics` document (see [`crate::gc`]).
+#[derive(Serialize)]
+struct GcStat {
+    sweeps: u64,
+    deleted_runs: u64,
+    reclaimed_bytes: u64,
+}
+
 /// The `GET /metrics` document.
 #[derive(Serialize)]
 struct MetricsDoc {
     uptime_ms: u64,
     draining: bool,
     jobs: JobCounts,
+    pool: PoolStat,
+    gc: GcStat,
     http: Vec<RouteStat>,
     /// Process-wide simulator metrics (`None` until a simulator-backed
     /// experiment has run).
@@ -215,10 +315,17 @@ fn metrics(state: &ServerState) -> Response {
         .into_iter()
         .map(|(route, latency)| RouteStat { route, requests: latency.count(), latency })
         .collect();
+    let gc = state.gc_counters();
     let doc = MetricsDoc {
         uptime_ms: state.uptime_ms(),
         draining: state.draining(),
         jobs: state.pool.counts(),
+        pool: PoolStat {
+            depth: state.pool.depth() as u64,
+            workers: state.cfg.workers as u64,
+            shards: state.cfg.shards as u64,
+        },
+        gc: GcStat { sweeps: gc.0, deleted_runs: gc.1, reclaimed_bytes: gc.2 },
         http,
         summary: ringsim_obs::global_metrics_snapshot(),
         warnings: ringsim_obs::warnings_snapshot(),
@@ -279,7 +386,8 @@ mod tests {
     #[test]
     fn experiments_listing_covers_the_registry() {
         let st = state("list");
-        let (route, resp) = dispatch(&st, &get("/experiments"));
+        let (route, reply) = dispatch(&st, &get("/experiments"));
+        let resp = reply.into_response();
         assert_eq!((route, resp.status), ("GET /experiments", 200));
         let text = String::from_utf8(resp.body).unwrap();
         for exp in ringsim_bench::experiments::registry() {
@@ -305,7 +413,8 @@ mod tests {
             "{\"experiment\": \"fig3\", \"topology\": 2}",
             "{\"experiment\": \"fig3\", \"topology\": \"4level\"}",
         ] {
-            let (_, resp) = dispatch(&st, &post("/runs", body));
+            let (_, reply) = dispatch(&st, &post("/runs", body));
+            let resp = reply.into_response();
             assert_eq!(resp.status, 400, "accepted body {body:?}");
         }
         st.request_shutdown();
@@ -316,22 +425,27 @@ mod tests {
     fn network_field_surfaces_the_typed_registry_error() {
         let st = state("network");
         // Unknown spelling: the SimKindError rendering names the valid ones.
-        let (_, resp) =
-            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"tokenring\"}"));
+        let resp =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"tokenring\"}"))
+                .1
+                .into_response();
         assert_eq!(resp.status, 400);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("unknown network `tokenring`"), "got: {text}");
         assert!(text.contains("ring500"), "error should list spellings: {text}");
         // Ambiguous prefix: the candidates are spelled out.
-        let (_, resp) =
-            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"b\"}"));
+        let resp = dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"b\"}"))
+            .1
+            .into_response();
         assert_eq!(resp.status, 400);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("ambiguous network `b`"), "got: {text}");
         assert!(text.contains("bus50 or bus100"), "got: {text}");
         // A documented alias resolves and is echoed back canonicalised.
-        let (_, resp) =
-            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"bus\"}"));
+        let resp =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"bus\"}"))
+                .1
+                .into_response();
         assert_eq!(resp.status, 202);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"network\": \"bus100\""), "got: {text}");
@@ -345,8 +459,10 @@ mod tests {
         // with `hier3` and `hier-deflect` registered the prefix must fail
         // loudly instead of silently picking one.
         let st = state("hier-prefix");
-        let (_, resp) =
-            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"hie\"}"));
+        let resp =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"network\": \"hie\"}"))
+                .1
+                .into_response();
         assert_eq!(resp.status, 400);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("ambiguous network `hie`"), "got: {text}");
@@ -356,7 +472,8 @@ mod tests {
         // The exact spellings all still resolve.
         for exact in ["hier", "hier3", "hier-deflect"] {
             let body = format!("{{\"experiment\": \"fig3\", \"network\": \"{exact}\"}}");
-            let (_, resp) = dispatch(&st, &post("/runs", &body));
+            let (_, reply) = dispatch(&st, &post("/runs", &body));
+            let resp = reply.into_response();
             assert!(resp.status == 202 || resp.status == 200, "{exact}: {}", resp.status);
             let text = String::from_utf8(resp.body).unwrap();
             assert!(text.contains(&format!("\"network\": \"{exact}\"")), "got: {text}");
@@ -369,7 +486,7 @@ mod tests {
     fn topology_field_is_validated_and_canonicalised() {
         let st = state("topology");
         // Hyphenated alias → canonical spelling in the ack.
-        let (_, resp) = dispatch(
+        let (_, reply) = dispatch(
             &st,
             &post(
                 "/runs",
@@ -377,12 +494,15 @@ mod tests {
                  \"topology\": \"three-level\"}",
             ),
         );
+        let resp = reply.into_response();
         assert_eq!(resp.status, 202);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"topology\": \"3level\""), "got: {text}");
         // A bad spelling names the valid ones.
-        let (_, resp) =
-            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"topology\": \"deep\"}"));
+        let resp =
+            dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\", \"topology\": \"deep\"}"))
+                .1
+                .into_response();
         assert_eq!(resp.status, 400);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("flat"), "got: {text}");
@@ -394,10 +514,12 @@ mod tests {
     fn draining_state_rejects_submissions_but_keeps_reads() {
         let st = state("drain");
         st.request_shutdown();
-        let (_, resp) = dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\"}"));
+        let (_, reply) = dispatch(&st, &post("/runs", "{\"experiment\": \"fig3\"}"));
+        let resp = reply.into_response();
         assert_eq!(resp.status, 503);
-        assert_eq!(dispatch(&st, &get("/metrics")).1.status, 200);
-        let (_, resp) = dispatch(&st, &get("/healthz"));
+        assert_eq!(dispatch(&st, &get("/metrics")).1.into_response().status, 200);
+        let (_, reply) = dispatch(&st, &get("/healthz"));
+        let resp = reply.into_response();
         assert_eq!(resp.body, b"draining\n");
         st.pool.join();
     }
@@ -405,10 +527,10 @@ mod tests {
     #[test]
     fn unknown_routes_and_methods_map_to_404_and_405() {
         let st = state("routes");
-        assert_eq!(dispatch(&st, &get("/nope")).1.status, 404);
-        assert_eq!(dispatch(&st, &get("/runs/zzz")).1.status, 404);
-        assert_eq!(dispatch(&st, &post("/experiments", "")).1.status, 405);
-        assert_eq!(dispatch(&st, &get("/metrics")).1.status, 200);
+        assert_eq!(dispatch(&st, &get("/nope")).1.into_response().status, 404);
+        assert_eq!(dispatch(&st, &get("/runs/zzz")).1.into_response().status, 404);
+        assert_eq!(dispatch(&st, &post("/experiments", "")).1.into_response().status, 405);
+        assert_eq!(dispatch(&st, &get("/metrics")).1.into_response().status, 200);
         st.request_shutdown();
         st.pool.join();
     }

@@ -1,0 +1,99 @@
+//! Property tests locking the retention planner's safety rules.
+//!
+//! [`ringsim_serve::gc::plan`] is a pure function from a scan snapshot to
+//! an eviction list, which makes its three hard guarantees — active runs,
+//! pinned runs, and younger-than-`min_age` runs are never deleted —
+//! checkable over arbitrary snapshots and policies rather than a handful
+//! of examples. A planner that violates any of these under any input would
+//! delete a run out from under a client.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ringsim_serve::gc::{plan, GcPolicy, RunInfo};
+
+/// Builds a deterministic snapshot from proptest-chosen raw parts; the
+/// third element packs the `active`/`pinned` flags in its low two bits
+/// (the vendored proptest only composes tuples up to three elements).
+fn snapshot(raw: &[(u64, u64, u64)]) -> Vec<RunInfo> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(bytes, age_secs, flags))| RunInfo {
+            id: format!("run-{i:04}"),
+            bytes: bytes % 1_000_000,
+            age: Duration::from_secs(age_secs % 100_000),
+            active: flags & 1 != 0,
+            pinned: flags & 2 != 0,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn plan_never_touches_active_pinned_or_young_runs(
+        raw in prop::collection::vec(
+            (0u64..1_000_000, 0u64..100_000, 0u64..4),
+            0..40,
+        ),
+        max_total in 0u64..2_000_000,
+        max_age_secs in 0u64..100_000,
+        min_age_secs in 0u64..100_000,
+    ) {
+        let runs = snapshot(&raw);
+        let policy = GcPolicy {
+            max_total_bytes: max_total,
+            max_age: Duration::from_secs(max_age_secs),
+            min_age: Duration::from_secs(min_age_secs),
+        };
+        let doomed = plan(&runs, &policy);
+        for id in &doomed {
+            let info = runs.iter().find(|r| &r.id == id)
+                .expect("planned id must come from the snapshot");
+            prop_assert!(!info.active, "planned an active run: {id}");
+            prop_assert!(!info.pinned, "planned a pinned run: {id}");
+            prop_assert!(
+                info.age >= policy.min_age,
+                "planned a run younger than min_age: {id}"
+            );
+        }
+        // No id is planned twice (the sweeper deletes each at most once).
+        let mut seen = doomed.clone();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), doomed.len(), "duplicate ids in the plan");
+    }
+
+    #[test]
+    fn disabled_policy_never_plans_and_age_axis_is_sound(
+        raw in prop::collection::vec(
+            (0u64..1_000_000, 0u64..100_000, 0u64..4),
+            0..40,
+        ),
+        max_age_secs in 1u64..100_000,
+    ) {
+        let runs = snapshot(&raw);
+        let off = GcPolicy {
+            max_total_bytes: 0,
+            max_age: Duration::ZERO,
+            min_age: Duration::ZERO,
+        };
+        prop_assert!(plan(&runs, &off).is_empty(), "disabled policy planned evictions");
+
+        // Age-only policy: everything evictable past max_age is planned,
+        // nothing else is.
+        let age_only = GcPolicy {
+            max_total_bytes: 0,
+            max_age: Duration::from_secs(max_age_secs),
+            min_age: Duration::ZERO,
+        };
+        let doomed = plan(&runs, &age_only);
+        for r in &runs {
+            let expected = !r.active && !r.pinned && r.age > age_only.max_age;
+            prop_assert_eq!(
+                doomed.contains(&r.id),
+                expected,
+                "age axis mis-planned {}", &r.id
+            );
+        }
+    }
+}

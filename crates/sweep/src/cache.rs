@@ -28,8 +28,11 @@ use serde::{Deserialize, Serialize};
 const SCHEMA: u64 = 1;
 
 /// Where the entry for one `(experiment, map call, point)` lives.
+/// `cache_root` is the directory the `.cache/` tree hangs under — the out
+/// dir by default, or a shared run directory when several shard workers
+/// merge through one cache (see [`SweepConfig::cache_dir`](crate::SweepConfig::cache_dir)).
 pub(crate) fn entry_path(
-    out_dir: &Path,
+    cache_root: &Path,
     experiment: &str,
     map_call: u64,
     refs_per_proc: u64,
@@ -39,7 +42,7 @@ pub(crate) fn entry_path(
     let key = format!(
         "v{SCHEMA}|{experiment}|map={map_call}|refs={refs_per_proc}|seed={seed:016x}|{label}"
     );
-    out_dir.join(".cache").join(experiment).join(format!("{:016x}.json", fnv1a(key.as_bytes())))
+    cache_root.join(".cache").join(experiment).join(format!("{:016x}.json", fnv1a(key.as_bytes())))
 }
 
 /// FNV-1a over the key string (same family as `SweepPoint::seed`, but the
@@ -61,12 +64,19 @@ pub(crate) fn read<R: Deserialize>(path: &Path) -> Option<R> {
 }
 
 /// Writes a result entry; failures are non-fatal (the next run recomputes).
+///
+/// The write is **atomic** (temp file + rename): shard workers in other
+/// processes poll entries while they land, and a reader must only ever see
+/// a complete entry or none at all. Two writers racing on the same entry
+/// write identical bytes (results are pure functions of the key), so the
+/// last rename winning is harmless.
 pub(crate) fn write<R: Serialize>(path: &Path, value: &R) {
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    if let Ok(data) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(path, data);
+    let Some(dir) = path.parent() else { return };
+    let _ = std::fs::create_dir_all(dir);
+    let Ok(data) = serde_json::to_string_pretty(value) else { return };
+    let tmp = dir.join(format!(".tmp-{}-{:?}", std::process::id(), std::thread::current().id()));
+    if std::fs::write(&tmp, data).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
 }
 

@@ -22,15 +22,17 @@
 mod cache;
 mod engine;
 mod point;
+mod shard;
 
 pub use point::SweepPoint;
+pub use shard::Shard;
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +76,16 @@ pub struct SweepConfig {
     pub use_cache: bool,
     /// Optional per-point progress callback (see [`Progress`]).
     pub progress: Option<ProgressFn>,
+    /// Directory the `.cache/` tree hangs under; `None` means the out
+    /// dir. Shard workers point this at the shared run directory so every
+    /// shard merges through one cache (see [`Shard`]).
+    pub cache_dir: Option<PathBuf>,
+    /// This process's slice of a multi-process sweep, if sharded. Sharding
+    /// forces the cache on — it is the merge substrate.
+    pub shard: Option<Shard>,
+    /// How long a shard worker polls the shared cache for a peer's point
+    /// before computing it itself (liveness fallback; see [`Shard`]).
+    pub shard_wait: Duration,
 }
 
 impl fmt::Debug for SweepConfig {
@@ -84,6 +96,8 @@ impl fmt::Debug for SweepConfig {
             .field("out_dir", &self.out_dir)
             .field("use_cache", &self.use_cache)
             .field("progress", &self.progress.is_some())
+            .field("cache_dir", &self.cache_dir)
+            .field("shard", &self.shard)
             .finish()
     }
 }
@@ -99,6 +113,9 @@ impl SweepConfig {
             out_dir: PathBuf::from("results"),
             use_cache: true,
             progress: None,
+            cache_dir: None,
+            shard: None,
+            shard_wait: Duration::from_secs(600),
         }
     }
 
@@ -128,6 +145,36 @@ impl SweepConfig {
     pub fn on_progress(mut self, f: ProgressFn) -> Self {
         self.progress = Some(f);
         self
+    }
+
+    /// Points the `.cache/` tree at a directory other than the out dir
+    /// (shard workers share one cache under the run directory while
+    /// keeping their scratch artifacts apart).
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Restricts this process to one [`Shard`] of the sweep (multi-process
+    /// execution; forces the cache on).
+    #[must_use]
+    pub fn shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Overrides the peer-wait deadline of the sharded path.
+    #[must_use]
+    pub fn shard_wait(mut self, wait: Duration) -> Self {
+        self.shard_wait = wait;
+        self
+    }
+
+    /// The directory the `.cache/` tree hangs under.
+    #[must_use]
+    pub fn cache_root(&self) -> &Path {
+        self.cache_dir.as_deref().unwrap_or(&self.out_dir)
     }
 }
 
@@ -280,6 +327,9 @@ impl SweepCtx {
         R: Send + Serialize + Deserialize,
     {
         let map_call = self.map_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(shard) = self.cfg.shard {
+            return self.map_sharded(map_call, shard, points, key, work);
+        }
         let use_cache = self.cfg.use_cache;
         let progress = self.cfg.progress.as_ref();
         if let Some(p) = progress {
@@ -287,7 +337,7 @@ impl SweepCtx {
         }
         let wrapped = |pctx: &PointCtx, p: &P| -> (R, bool) {
             let entry = cache::entry_path(
-                &self.cfg.out_dir,
+                self.cfg.cache_root(),
                 self.experiment,
                 map_call,
                 pctx.refs_per_proc,
@@ -332,6 +382,180 @@ impl SweepCtx {
         }
         self.stats.lock().expect("stats lock").extend(stats);
         out
+    }
+
+    /// The multi-process path of [`map`](Self::map): this process computes
+    /// only the points its [`Shard`] owns, then fills the rest of the
+    /// result vector from the shared cache its peers write into.
+    ///
+    /// Two phases keep the critical path clean. **Phase 1** runs the owned
+    /// stripe on the thread pool exactly like an unsharded `map` (cache
+    /// consulted first, results written atomically into the shared
+    /// `.cache/`), emitting progress for owned points only — so across all
+    /// shards the per-point events sum to exactly the sweep size. **Phase
+    /// 2** polls the shared cache for every peer-owned point; peers advance
+    /// through the same map calls in lockstep, so the wait is bounded by
+    /// shard skew, and since the slowest shard bounds the run anyway the
+    /// poll adds nothing to wall clock. If the deadline
+    /// ([`SweepConfig::shard_wait`]) expires — a peer died — the point is
+    /// computed locally so the run still terminates with correct results.
+    fn map_sharded<P, R>(
+        &self,
+        map_call: u64,
+        shard: Shard,
+        points: &[P],
+        key: impl Fn(&P) -> SweepPoint + Sync,
+        work: impl Fn(&PointCtx, &P) -> R + Sync,
+    ) -> Vec<R>
+    where
+        P: Sync,
+        R: Send + Serialize + Deserialize,
+    {
+        let n = points.len();
+        let progress = self.cfg.progress.as_ref();
+        // Per-point identity (label, seed, cache entry) in submission
+        // order; `PointCtx::index` stays the *global* index so work
+        // closures see the same context as in a single-pool run.
+        let metas: Vec<(PointCtx, PathBuf)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let sp = key(p);
+                let label = sp.label();
+                let seed = sp.seed(self.experiment);
+                let entry = cache::entry_path(
+                    self.cfg.cache_root(),
+                    self.experiment,
+                    map_call,
+                    self.cfg.refs_per_proc,
+                    &label,
+                    seed,
+                );
+                let pctx = PointCtx {
+                    experiment: self.experiment.to_owned(),
+                    label,
+                    seed,
+                    refs_per_proc: self.cfg.refs_per_proc,
+                    index: i,
+                };
+                (pctx, entry)
+            })
+            .collect();
+        let owned: Vec<usize> = (0..n).filter(|&i| shard.owns(i)).collect();
+        if let Some(p) = progress {
+            p(&Progress::MapStarted { points: owned.len() });
+        }
+
+        // Runs one owned (or fallback) point: cache-consult, compute,
+        // atomic publish into the shared cache.
+        let run_one = |i: usize, announce: bool| -> (R, bool, PointStat) {
+            let (pctx, entry) = &metas[i];
+            let start = Instant::now();
+            if let Some(r) = cache::read::<R>(entry) {
+                if announce {
+                    if let Some(pf) = progress {
+                        pf(&Progress::PointDone { label: pctx.label.clone(), cached: true });
+                    }
+                }
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let stat =
+                    PointStat { label: pctx.label.clone(), seed: pctx.seed, wall_ms, cached: true };
+                return (r, true, stat);
+            }
+            ringsim_obs::set_run_label(Some(&format!("{}/{}", pctx.experiment, pctx.label)));
+            let r = work(pctx, &points[i]);
+            ringsim_obs::set_run_label(None);
+            cache::write(entry, &r);
+            if announce {
+                if let Some(pf) = progress {
+                    pf(&Progress::PointDone { label: pctx.label.clone(), cached: false });
+                }
+            }
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let stat =
+                PointStat { label: pctx.label.clone(), seed: pctx.seed, wall_ms, cached: false };
+            (r, false, stat)
+        };
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut stats: Vec<Option<PointStat>> = (0..n).map(|_| None).collect();
+
+        // Phase 1: this shard's stripe, on the thread pool.
+        let jobs = self.cfg.jobs.clamp(1, owned.len().max(1));
+        if jobs == 1 {
+            for &i in &owned {
+                let (r, cached, stat) = run_one(i, true);
+                self.count_cache(cached);
+                results[i] = Some(r);
+                stats[i] = Some(stat);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, (R, bool, PointStat))>();
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let owned = &owned;
+                    let run_one = &run_one;
+                    scope.spawn(move || loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= owned.len() {
+                            break;
+                        }
+                        let i = owned[k];
+                        let out = run_one(i, true);
+                        if tx.send((i, out)).is_err() {
+                            break;
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            for (i, (r, cached, stat)) in rx {
+                self.count_cache(cached);
+                results[i] = Some(r);
+                stats[i] = Some(stat);
+            }
+        }
+
+        // Phase 2: peers' points, from the shared cache. Poll order is
+        // submission order; no progress events for these (the owning shard
+        // already announced them).
+        let deadline = Instant::now() + self.cfg.shard_wait;
+        for i in 0..n {
+            if results[i].is_some() {
+                continue;
+            }
+            let (pctx, entry) = &metas[i];
+            let start = Instant::now();
+            let (r, cached) = loop {
+                if let Some(r) = cache::read::<R>(entry) {
+                    break (r, true);
+                }
+                if Instant::now() >= deadline {
+                    // Liveness fallback: the owning peer is gone; compute
+                    // the point locally so the run still completes.
+                    let (r, cached, _) = run_one(i, false);
+                    break (r, cached);
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            };
+            self.count_cache(cached);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            stats[i] =
+                Some(PointStat { label: pctx.label.clone(), seed: pctx.seed, wall_ms, cached });
+            results[i] = Some(r);
+        }
+
+        let stats: Vec<PointStat> = stats.into_iter().map(|s| s.expect("point filled")).collect();
+        self.stats.lock().expect("stats lock").extend(stats);
+        results.into_iter().map(|r| r.expect("point filled")).collect()
+    }
+
+    fn count_cache(&self, hit: bool) {
+        let counter = if hit { &self.cache_hits } else { &self.cache_misses };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `(hits, misses)` of the per-point cache across this context's `map`

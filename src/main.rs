@@ -14,7 +14,11 @@
 //!               [--jobs N] [--stats] [--no-symmetry] [--no-evictions]
 //!               [--no-liveness] [--max-states N]
 //! ringsim serve [--addr host:port] [--out DIR] [--workers N] [--queue-cap N]
-//!               [--sweep-jobs N] [--refs N]
+//!               [--sweep-jobs N] [--refs N] [--shards N] [--shard-wait-secs S]
+//!               [--gc-max-bytes B] [--gc-max-age-secs S] [--gc-min-age-secs S]
+//!               [--gc-interval-secs S]
+//! ringsim serve-worker --experiment NAME --refs N --out DIR --cache-dir DIR
+//!                      --shard I/N [--jobs N] [--shard-wait-secs S]
 //! ```
 //!
 //! Networks: `ring500`, `ring250` (32-bit slotted rings), `bus50`, `bus100`
@@ -51,6 +55,7 @@ fn main() -> ExitCode {
     }
     let result = match cmd.as_str() {
         "check" => return check_cmd(rest),
+        "serve-worker" => return serve_worker_cmd(rest),
         "list" => list(),
         "characterize" => characterize_cmd(rest),
         "sim" => sim_cmd(rest),
@@ -117,8 +122,20 @@ commands:
                             (--out DIR job storage root, default serve-data)
                             (--workers N concurrent jobs) (--queue-cap N)
                             (--sweep-jobs N threads per sweep, 0 = auto)
-                            (--refs N default per-processor reference budget);
+                            (--refs N default per-processor reference budget)
+                            (--shards N run each job as N serve-worker
+                            processes sharing the run cache, 0/1 = in-process)
+                            (--shard-wait-secs S peer-wait deadline, default 600)
+                            (--gc-max-bytes B | --gc-max-age-secs S artifact
+                            retention budget, 0 = unlimited/never)
+                            (--gc-min-age-secs S never delete younger runs)
+                            (--gc-interval-secs S sweep period, 0 disables);
                             SIGINT drains in-flight jobs and exits 0
+  serve-worker              one shard of a sharded serve run (spawned by
+                            serve; not for interactive use)
+                            (--experiment NAME) (--refs N) (--out DIR)
+                            (--cache-dir DIR shared cache root)
+                            (--shard I/N) (--jobs N) (--shard-wait-secs S)
 
 options:
   --benchmark <name>        mp3d | water | cholesky | fft | weather | simple
@@ -643,8 +660,61 @@ fn serve_cmd(args: &[String]) -> CliResult {
     if let Some(r) = flags.get("refs") {
         cfg.default_refs = r.parse::<u64>()?;
     }
+    if let Some(s) = flags.get("shards") {
+        cfg.shards = s.parse::<usize>()?;
+    }
+    if let Some(s) = flags.get("shard-wait-secs") {
+        cfg.shard_wait = std::time::Duration::from_secs(s.parse::<u64>()?);
+    }
+    if let Some(b) = flags.get("gc-max-bytes") {
+        cfg.gc_max_bytes = b.parse::<u64>()?;
+    }
+    if let Some(s) = flags.get("gc-max-age-secs") {
+        cfg.gc_max_age = std::time::Duration::from_secs(s.parse::<u64>()?);
+    }
+    if let Some(s) = flags.get("gc-min-age-secs") {
+        cfg.gc_min_age = std::time::Duration::from_secs(s.parse::<u64>()?);
+    }
+    if let Some(s) = flags.get("gc-interval-secs") {
+        cfg.gc_interval = std::time::Duration::from_secs(s.parse::<u64>()?);
+    }
     ringsim::serve::run(cfg)?;
     Ok(())
+}
+
+/// `ringsim serve-worker`: one shard of a sharded serve run. Spawned by the
+/// serve coordinator — executes its shard of the sweep against the shared
+/// run cache and streams `@ringsim-progress` protocol lines on stdout.
+fn serve_worker_cmd(args: &[String]) -> ExitCode {
+    match serve_worker_spec(args) {
+        Ok(spec) => match ringsim::serve::worker::run_worker(&spec) {
+            0 => ExitCode::SUCCESS,
+            _ => ExitCode::FAILURE,
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_worker_spec(
+    args: &[String],
+) -> Result<ringsim::serve::worker::WorkerSpec, Box<dyn Error>> {
+    let flags = parse_flags(args)?;
+    let need =
+        |key: &str| flags.get(key).cloned().ok_or_else(|| format!("serve-worker needs --{key}"));
+    Ok(ringsim::serve::worker::WorkerSpec {
+        experiment: need("experiment")?,
+        refs: need("refs")?.parse::<u64>()?,
+        out_dir: need("out")?.into(),
+        cache_dir: need("cache-dir")?.into(),
+        shard: need("shard")?.parse::<ringsim::sweep::Shard>()?,
+        jobs: flags.get("jobs").map_or(Ok(0), |j| j.parse::<usize>())?,
+        shard_wait: std::time::Duration::from_secs(
+            flags.get("shard-wait-secs").map_or(Ok(600), |s| s.parse::<u64>())?,
+        ),
+    })
 }
 
 fn record_cmd(args: &[String]) -> CliResult {
